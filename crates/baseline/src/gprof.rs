@@ -1,0 +1,311 @@
+//! The gprof algorithm: flat profile + call-count-proportional time
+//! propagation.
+
+use callpath_profiler::{Binary, Counter, ExecResult};
+
+/// One row of the flat profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatEntry {
+    /// Procedure index in the binary.
+    pub proc: usize,
+    /// Procedure name.
+    pub name: String,
+    /// Self cost (sampled cycles attributed to the procedure's own
+    /// instructions, context-blind).
+    pub self_cycles: f64,
+    /// Estimated total cost: self + call-count-proportional share of
+    /// callees' totals.
+    pub total_cycles: f64,
+    /// Times called (exact, from instrumentation).
+    pub calls: u64,
+}
+
+/// One call-graph arc.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcEntry {
+    /// Calling procedure index.
+    pub caller: usize,
+    /// Called procedure index.
+    pub callee: usize,
+    /// Exact number of calls along this arc.
+    pub count: u64,
+    /// The callee (total) time gprof attributes to this caller:
+    /// `total(callee) × count / total_calls(callee)`.
+    pub attributed_cycles: f64,
+}
+
+/// A complete gprof-style report.
+#[derive(Debug, Clone)]
+pub struct GprofReport {
+    /// Flat entries, sorted by self time descending.
+    pub flat: Vec<FlatEntry>,
+    /// Arcs, sorted by (caller, callee).
+    pub arcs: Vec<ArcEntry>,
+}
+
+impl GprofReport {
+    /// Flat entry by procedure name.
+    pub fn entry(&self, name: &str) -> Option<&FlatEntry> {
+        self.flat.iter().find(|e| e.name == name)
+    }
+
+    /// Arcs into `callee_name`, with the attributed share of its time.
+    pub fn callers_of(&self, callee_name: &str) -> Vec<&ArcEntry> {
+        let Some(callee) = self.flat.iter().find(|e| e.name == callee_name) else {
+            return Vec::new();
+        };
+        self.arcs
+            .iter()
+            .filter(|a| a.callee == callee.proc)
+            .collect()
+    }
+}
+
+/// Build the gprof report from an execution: PC samples give self time,
+/// instrumented arcs give call counts, and descendant time is estimated by
+/// proportional distribution.
+pub fn analyze(binary: &Binary, exec: &ExecResult, cycle_period: u64) -> GprofReport {
+    let n = binary.procs.len();
+    // Self time: fold every sample onto the procedure that owns the
+    // sampled instruction — all calling context is discarded, exactly what
+    // a flat PC-sampling profiler sees.
+    let mut self_cycles = vec![0.0f64; n];
+    let mut stack = vec![exec.profile.root()];
+    while let Some(node) = stack.pop() {
+        for leaf in exec.profile.leaves(node) {
+            if let Some(p) = binary.proc_at(leaf.addr) {
+                self_cycles[p] += leaf.counts[Counter::Cycles as usize] * cycle_period as f64;
+            }
+        }
+        stack.extend(exec.profile.children(node));
+    }
+
+    // Call counts.
+    let mut calls = vec![0u64; n];
+    let mut in_arcs: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n]; // callee -> [(caller, count)]
+    let mut out_arcs: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+    for (&(caller, callee), &count) in &exec.call_arcs {
+        calls[callee] += count;
+        if caller != callee {
+            in_arcs[callee].push((caller, count));
+            out_arcs[caller].push((callee, count));
+        }
+        // Self-arcs (direct recursion) are dropped from propagation, as
+        // gprof collapses recursive cycles.
+    }
+    calls[binary.entry] += 1; // the initial activation
+
+    // Total-time estimation: total(p) = self(p) + Σ_c total(c) * share.
+    // Fixed-point iteration handles arbitrary DAGs (and converges for the
+    // cycles we allow, since shares along any cycle are < 1 once self-arcs
+    // are dropped).
+    let mut total: Vec<f64> = self_cycles.clone();
+    for _ in 0..100 {
+        let mut next = self_cycles.clone();
+        for p in 0..n {
+            for &(callee, count) in &out_arcs[p] {
+                let callee_calls: u64 = in_arcs[callee].iter().map(|&(_, c)| c).sum();
+                if callee_calls > 0 {
+                    next[p] += total[callee] * count as f64 / callee_calls as f64;
+                }
+            }
+        }
+        let delta: f64 = next
+            .iter()
+            .zip(total.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        total = next;
+        if delta < 1e-9 {
+            break;
+        }
+    }
+
+    let mut flat: Vec<FlatEntry> = (0..n)
+        .map(|p| FlatEntry {
+            proc: p,
+            name: binary.procs[p].name.clone(),
+            self_cycles: self_cycles[p],
+            total_cycles: total[p],
+            calls: calls[p],
+        })
+        .filter(|e| e.self_cycles > 0.0 || e.calls > 0)
+        .collect();
+    flat.sort_by(|a, b| {
+        b.self_cycles
+            .partial_cmp(&a.self_cycles)
+            .unwrap()
+            .then_with(|| a.name.cmp(&b.name))
+    });
+
+    let mut arcs: Vec<ArcEntry> = exec
+        .call_arcs
+        .iter()
+        .map(|(&(caller, callee), &count)| {
+            let callee_calls: u64 = in_arcs[callee].iter().map(|&(_, c)| c).sum();
+            let attributed = if caller != callee && callee_calls > 0 {
+                total[callee] * count as f64 / callee_calls as f64
+            } else {
+                0.0
+            };
+            ArcEntry {
+                caller,
+                callee,
+                count,
+                attributed_cycles: attributed,
+            }
+        })
+        .collect();
+    arcs.sort_by_key(|a| (a.caller, a.callee));
+
+    GprofReport { flat, arcs }
+}
+
+/// Render the report in gprof's classic textual style.
+pub fn render(report: &GprofReport, binary: &Binary) -> String {
+    let total: f64 = report.flat.iter().map(|e| e.self_cycles).sum();
+    let mut out = String::from("Flat profile (cycles):\n");
+    out.push_str("  %time        self       total      calls  name\n");
+    for e in &report.flat {
+        let pct = if total > 0.0 {
+            100.0 * e.self_cycles / total
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "  {:5.1}  {:>10.3e}  {:>10.3e}  {:>9}  {}\n",
+            pct, e.self_cycles, e.total_cycles, e.calls, e.name
+        ));
+    }
+    out.push_str("\nCall graph arcs:\n");
+    for a in &report.arcs {
+        out.push_str(&format!(
+            "  {} -> {}  x{}  (attributed {:.3e})\n",
+            binary.procs[a.caller].name, binary.procs[a.callee].name, a.count, a.attributed_cycles
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use callpath_profiler::{execute, lower, Costs, ExecConfig, Op, ProgramBuilder};
+
+    /// f calls work 9 times cheaply; m calls work once expensively — the
+    /// classic case gprof mis-attributes.
+    fn asymmetric() -> (Binary, ExecResult) {
+        let mut b = ProgramBuilder::new("app");
+        let f = b.file("a.c");
+        // `work` costs what its argument says; our simulator has no
+        // arguments, so model it with two distinct work chunks selected by
+        // the caller through loop counts around a single cheap body.
+        let work = b.declare("work", f, 30);
+        let cheap_caller = b.declare("cheap_caller", f, 10);
+        let hot_caller = b.declare("hot_caller", f, 20);
+        let main = b.declare("main", f, 1);
+        b.body(work, vec![Op::work(31, Costs::cycles(1_000))]);
+        // cheap: 9 calls, each 1k cycles of work => 9k cycles in work.
+        b.body(
+            cheap_caller,
+            vec![Op::looped(12, 9, vec![Op::call(13, work)])],
+        );
+        // hot: 1 call, but loops *inside* its own body 91 times around the
+        // call => 91k cycles of work from 91 calls... to keep call counts
+        // asymmetric, call work once but then burn the rest locally.
+        b.body(
+            hot_caller,
+            vec![
+                Op::call(22, work),
+                Op::work(23, Costs::cycles(0).with(callpath_profiler::Counter::Cycles, 1)),
+            ],
+        );
+        b.body(main, vec![Op::call(3, cheap_caller), Op::call(4, hot_caller)]);
+        b.entry(main);
+        let bin = lower(&b.build());
+        let cfg = ExecConfig {
+            jitter_seed: None,
+            ..ExecConfig::single(Counter::Cycles, 1)
+        };
+        let res = execute(&bin, &cfg).unwrap();
+        (bin, res)
+    }
+
+    #[test]
+    fn self_time_matches_ground_truth() {
+        let (bin, res) = asymmetric();
+        let report = analyze(&bin, &res, 1);
+        let work = report.entry("work").unwrap();
+        assert_eq!(work.self_cycles, 10_000.0, "9 + 1 calls x 1k cycles");
+        assert_eq!(work.calls, 10);
+    }
+
+    #[test]
+    fn propagation_is_call_count_proportional() {
+        let (bin, res) = asymmetric();
+        let report = analyze(&bin, &res, 1);
+        let callers = report.callers_of("work");
+        assert_eq!(callers.len(), 2);
+        let cheap = callers
+            .iter()
+            .find(|a| bin.procs[a.caller].name == "cheap_caller")
+            .unwrap();
+        let hot = callers
+            .iter()
+            .find(|a| bin.procs[a.caller].name == "hot_caller")
+            .unwrap();
+        // gprof splits work's 10k cycles 9:1 by call count — regardless of
+        // what each context actually cost.
+        assert_eq!(cheap.count, 9);
+        assert_eq!(hot.count, 1);
+        assert!((cheap.attributed_cycles - 9_000.0).abs() < 1e-6);
+        assert!((hot.attributed_cycles - 1_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn totals_flow_to_main() {
+        let (bin, res) = asymmetric();
+        let report = analyze(&bin, &res, 1);
+        let main = report.entry("main").unwrap();
+        let truth = res.totals[Counter::Cycles] as f64;
+        assert!(
+            (main.total_cycles - truth).abs() / truth < 0.01,
+            "main total {} vs truth {}",
+            main.total_cycles,
+            truth
+        );
+    }
+
+    #[test]
+    fn recursion_does_not_diverge() {
+        let mut b = ProgramBuilder::new("rec");
+        let f = b.file("r.c");
+        let g = b.declare("g", f, 2);
+        b.body(
+            g,
+            vec![Op::work(3, Costs::cycles(100)), Op::call_recursive(4, g, 5)],
+        );
+        b.entry(g);
+        let bin = lower(&b.build());
+        let cfg = ExecConfig {
+            jitter_seed: None,
+            ..ExecConfig::single(Counter::Cycles, 1)
+        };
+        let res = execute(&bin, &cfg).unwrap();
+        let report = analyze(&bin, &res, 1);
+        let g_entry = report.entry("g").unwrap();
+        assert_eq!(g_entry.self_cycles, 500.0);
+        assert!(g_entry.total_cycles.is_finite());
+        assert_eq!(g_entry.calls, 5, "4 recursive + 1 initial");
+    }
+
+    #[test]
+    fn render_contains_flat_and_arcs() {
+        let (bin, res) = asymmetric();
+        let report = analyze(&bin, &res, 1);
+        let text = render(&report, &bin);
+        assert!(text.contains("Flat profile"));
+        assert!(text.contains("work"));
+        assert!(text.contains("cheap_caller -> work  x9"));
+    }
+}

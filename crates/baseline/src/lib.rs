@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # callpath-baseline
+//!
+//! A gprof-style flat profiler — the comparison baseline from the paper's
+//! related work (Section VIII; gprof is the canonical tabular profiler
+//! that "supports the Calling Context View with inclusive and exclusive
+//! metrics" only in the degenerate one-level sense).
+//!
+//! gprof's model:
+//!
+//! * **flat profile**: per-procedure self time from PC sampling, plus
+//!   exact call counts from `mcount` instrumentation;
+//! * **call graph**: per-arc call counts, with descendant time
+//!   *estimated* by distributing each callee's total time to its callers
+//!   **in proportion to call counts** — the famous context-insensitive
+//!   approximation (Varley 1993, the paper's reference \[16\], documents
+//!   its practical limitations).
+//!
+//! The `baseline_contrast` integration test shows exactly where this
+//! breaks: when the same procedure is cheap from one caller and expensive
+//! from another, gprof splits the cost by call count while the CCT views
+//! report the truth.
+
+pub mod gprof;
+
+pub use gprof::{analyze, render, ArcEntry, FlatEntry, GprofReport};

@@ -1,0 +1,71 @@
+//! E5 / Section V-D — derived metric formulas: parsing, single-node
+//! evaluation, and whole-CCT column computation (the Fig. 6 waste
+//! metric workflow).
+
+use callpath_bench::{s3d_experiment, sized_experiment};
+use callpath_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const WASTE: &str = "$1 * 4 - $3";
+const EFFICIENCY: &str = "$3 / ($1 * 4)";
+const GNARLY: &str = "max(sqrt($0 * $2), min($1, $3) ^ 1.5) / (1 + abs($0 - $2) / @0)";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derived_metrics");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("parse_waste", |b| {
+        b.iter(|| Expr::parse(WASTE).unwrap())
+    });
+    group.bench_function("parse_gnarly", |b| {
+        b.iter(|| Expr::parse(GNARLY).unwrap())
+    });
+
+    let expr = Expr::parse(GNARLY).unwrap();
+    let cols = [1234.5, 6789.0, 42.0, 99.9];
+    let aggs = [1e9, 2e9, 3e6, 4e8];
+    group.bench_function("eval_gnarly_once", |b| {
+        b.iter(|| {
+            expr.eval(&SliceContext {
+                columns: &cols,
+                aggregates: &aggs,
+            })
+        })
+    });
+
+    // Whole-column computation over CCTs of increasing size.
+    for &size in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("add_derived_column", size),
+            &size,
+            |b, &size| {
+                b.iter_batched(
+                    || sized_experiment(size),
+                    |mut exp| exp.add_derived("x", "$0 * 2 - $1").unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+
+    // The Fig. 6 workflow end to end: waste + efficiency on measured S3D.
+    group.bench_function("fig6_waste_and_efficiency", |b| {
+        b.iter_batched(
+            s3d_experiment,
+            |mut exp| {
+                let w = exp.add_derived("waste", WASTE).unwrap();
+                let e = exp.add_derived("eff", EFFICIENCY).unwrap();
+                (w, e)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E9 / Section IX — XML vs compact binary experiment databases: encode
+//! and decode throughput, plus a printed size table (the future-work
+//! claim this repo implements).
+
+use callpath_bench::{s3d_experiment, sized_experiment};
+use callpath_expdb::{from_binary, from_xml, to_binary, to_xml};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn print_size_table() {
+    println!("--- database size: XML vs compact binary ---");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "CCT nodes", "xml bytes", "bin bytes", "ratio"
+    );
+    for &size in &[1_000usize, 10_000, 100_000] {
+        let exp = sized_experiment(size);
+        let xml = to_xml(&exp);
+        let bin = to_binary(&exp);
+        println!(
+            "{:>10} {:>12} {:>12} {:>8.2}",
+            exp.cct.len(),
+            xml.len(),
+            bin.len(),
+            xml.len() as f64 / bin.len() as f64
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_size_table();
+    let mut group = c.benchmark_group("expdb_formats");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for &size in &[10_000usize, 100_000] {
+        let exp = sized_experiment(size);
+        let xml = to_xml(&exp);
+        let bin = to_binary(&exp);
+        group.bench_with_input(BenchmarkId::new("xml_encode", size), &exp, |b, exp| {
+            b.iter(|| to_xml(exp).len())
+        });
+        group.bench_with_input(BenchmarkId::new("bin_encode", size), &exp, |b, exp| {
+            b.iter(|| to_binary(exp).len())
+        });
+        group.bench_with_input(BenchmarkId::new("xml_decode", size), &xml, |b, xml| {
+            b.iter(|| from_xml(xml).unwrap().cct.len())
+        });
+        group.bench_with_input(BenchmarkId::new("bin_decode", size), &bin, |b, bin| {
+            b.iter(|| from_binary(bin).unwrap().cct.len())
+        });
+    }
+
+    // A real measured database too.
+    let s3d = s3d_experiment();
+    group.bench_function("s3d_bin_roundtrip", |b| {
+        b.iter(|| from_binary(&to_binary(&s3d)).unwrap().cct.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E2 / Section V-C — hot path analysis (Eq. 3): cost of the automatic
+//! drill-down, across tree sizes and thresholds.
+//!
+//! The paper's pitch is that hot-path expansion replaces "tediously
+//! opening each link along a deep chain" with one instantaneous action;
+//! this bench quantifies "instantaneous" and sweeps the threshold `t`
+//! (the preference-dialog knob) to show cost is threshold-insensitive.
+
+use callpath_bench::{s3d_experiment, sized_experiment, CYC_I};
+use callpath_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // Fig. 3 scenario: hot path over the measured S3D CCT.
+    let s3d = s3d_experiment();
+    group.bench_function("s3d_calling_context", |b| {
+        b.iter(|| {
+            let mut view = View::calling_context(&s3d);
+            let roots = view.roots();
+            view.hot_path(roots[0], CYC_I, HotPathConfig::default())
+        })
+    });
+
+    // Threshold sweep on a large random CCT.
+    let big = sized_experiment(100_000);
+    for t in [0.3, 0.5, 0.7] {
+        group.bench_with_input(BenchmarkId::new("threshold", format!("{t}")), &t, |b, &t| {
+            b.iter(|| {
+                let mut view = View::calling_context(&big);
+                let roots = view.roots();
+                view.hot_path(roots[0], CYC_I, HotPathConfig::with_threshold(t))
+            })
+        });
+    }
+
+    // Hot path through the *lazy* Callers View (materializes children on
+    // the way down — the paper's combination of V-C with VII).
+    group.bench_function("lazy_callers_drilldown", |b| {
+        b.iter(|| {
+            let mut view = View::callers(&big);
+            let mut roots = view.roots();
+            sort_by_column(&view, &mut roots, CYC_I);
+            view.hot_path(roots[0], CYC_I, HotPathConfig::default())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ablation / Section V-A — sparse vs dense metric storage.
+//!
+//! "Performance data is sparse": most scopes have zero for most metrics.
+//! This bench measures attribution and point-lookup under both storage
+//! flavors and prints their heap footprints on a sparse profile.
+
+use callpath_bench::sized_experiment;
+use callpath_core::attribution::attribute;
+use callpath_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn print_footprints() {
+    println!("--- metric storage footprint (one column, 100k-node CCT) ---");
+    let exp = sized_experiment(100_000);
+    for kind in [StorageKind::Dense, StorageKind::Sparse] {
+        let attr = attribute(&exp.cct, &exp.raw, MetricId(0), kind);
+        println!(
+            "{:?}: inclusive {} bytes ({} nonzero), exclusive {} bytes",
+            kind,
+            attr.inclusive.heap_bytes(),
+            attr.inclusive.nonzero_count(),
+            attr.exclusive.heap_bytes(),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_footprints();
+    let mut group = c.benchmark_group("metric_storage");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for &size in &[10_000usize, 100_000] {
+        let exp = sized_experiment(size);
+        for kind in [StorageKind::Dense, StorageKind::Sparse] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("attribute_{kind:?}"), size),
+                &exp,
+                |b, exp| b.iter(|| attribute(&exp.cct, &exp.raw, MetricId(0), kind)),
+            );
+        }
+        // Point lookups over both flavors.
+        let dense = attribute(&exp.cct, &exp.raw, MetricId(0), StorageKind::Dense);
+        let sparse = attribute(&exp.cct, &exp.raw, MetricId(0), StorageKind::Sparse);
+        group.bench_with_input(
+            BenchmarkId::new("lookup_dense", size),
+            &dense,
+            |b, attr| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for i in (0..size as u32).step_by(7) {
+                        acc += attr.inclusive.get(i);
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lookup_sparse", size),
+            &sparse,
+            |b, attr| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for i in (0..size as u32).step_by(7) {
+                        acc += attr.inclusive.get(i);
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

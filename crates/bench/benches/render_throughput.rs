@@ -1,0 +1,89 @@
+//! E7 ablations / Sections V-B and VII — renderer throughput: tabular
+//! tree rendering across sizes, fused vs separate call-site lines, and
+//! with/without percentage cells.
+//!
+//! Prints the fused-vs-separate row-count table (the paper: fusing
+//! "shortens the length of the call chains in hpcviewer by half").
+
+use callpath_bench::{sized_experiment, CYC_I};
+use callpath_core::prelude::*;
+use callpath_viewer::{render, ExpandMode, RenderConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn print_fused_table() {
+    println!("--- fused vs separate call-site/callee lines ---");
+    let exp = sized_experiment(10_000);
+    for fused in [true, false] {
+        let mut view = View::calling_context(&exp);
+        let text = render(
+            &mut view,
+            &RenderConfig {
+                fused,
+                max_children: usize::MAX,
+                max_depth: 512,
+                ..Default::default()
+            },
+        );
+        println!("fused={fused}: {} rendered rows", text.lines().count());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_fused_table();
+    let mut group = c.benchmark_group("render_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for &size in &[1_000usize, 10_000, 100_000] {
+        let exp = sized_experiment(size);
+        group.bench_with_input(BenchmarkId::new("full_ccv", size), &exp, |b, exp| {
+            b.iter(|| {
+                let mut view = View::calling_context(exp);
+                render(
+                    &mut view,
+                    &RenderConfig {
+                        max_children: usize::MAX,
+                        max_depth: 512,
+                        ..Default::default()
+                    },
+                )
+                .len()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("top_three_levels", size),
+            &exp,
+            |b, exp| {
+                b.iter(|| {
+                    let mut view = View::calling_context(exp);
+                    render(
+                        &mut view,
+                        &RenderConfig {
+                            expand: ExpandMode::Levels(3),
+                            ..Default::default()
+                        },
+                    )
+                    .len()
+                })
+            },
+        );
+    }
+
+    // Sorting cost in isolation.
+    let exp = sized_experiment(100_000);
+    group.bench_function("sort_100k_siblings", |b| {
+        let view = View::calling_context(&exp);
+        let mut nodes: Vec<u32> = (0..100_000u32).collect();
+        b.iter(|| {
+            sort_by_column(&view, &mut nodes, CYC_I);
+            nodes[0]
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E1 / Section III — constructing the three complementary views from one
+//! canonical CCT, across CCT sizes.
+//!
+//! The claim under test: all three views derive from the same canonical
+//! CCT with costs that scale near-linearly in CCT size, so multi-view
+//! presentation is affordable even for large profiles.
+
+use callpath_bench::sized_experiment;
+use callpath_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_construction");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for &size in &[1_000usize, 10_000, 100_000] {
+        let exp = sized_experiment(size);
+        group.bench_with_input(
+            BenchmarkId::new("attribute_all", size),
+            &exp,
+            |b, exp| {
+                b.iter(|| {
+                    callpath_core::attribution::attribute_all(
+                        &exp.cct,
+                        &exp.raw,
+                        StorageKind::Dense,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("callers_view_lazy", size),
+            &exp,
+            |b, exp| b.iter(|| CallersView::build(exp, StorageKind::Dense)),
+        );
+        group.bench_with_input(BenchmarkId::new("flat_view", size), &exp, |b, exp| {
+            b.iter(|| FlatView::build(exp, StorageKind::Dense))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

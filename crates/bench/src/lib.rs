@@ -1,0 +1,30 @@
+//! # callpath-bench
+//!
+//! Shared fixtures for the Criterion benchmark harness. Each bench target
+//! under `benches/` regenerates one of the paper's figures or claims; see
+//! `EXPERIMENTS.md` at the workspace root for the per-experiment index.
+
+use callpath_core::prelude::*;
+use callpath_profiler::ExecConfig;
+use callpath_workloads::{generator, moab, pipeline, s3d};
+
+/// The standard S3D experiment (Figs. 3 & 6).
+pub fn s3d_experiment() -> Experiment {
+    pipeline::build_experiment(
+        &s3d::program(s3d::S3dConfig::default()),
+        &ExecConfig::default(),
+    )
+}
+
+/// The standard MOAB experiment (Figs. 4 & 5).
+pub fn moab_experiment() -> Experiment {
+    pipeline::build_experiment(&moab::program(), &ExecConfig::default())
+}
+
+/// Random experiments of the sizes the scalability benches sweep.
+pub fn sized_experiment(nodes: usize) -> Experiment {
+    generator::random_experiment(0xBEEF ^ nodes as u64, nodes, (nodes / 50).clamp(10, 400))
+}
+
+/// Column 0 is always the first metric's inclusive projection.
+pub const CYC_I: ColumnId = ColumnId(0);

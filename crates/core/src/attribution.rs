@@ -1,0 +1,308 @@
+//! Metric attribution: computing inclusive and exclusive costs over the
+//! canonical CCT (Section IV-A, Equations 1 and 2).
+//!
+//! Three per-node quantities are computed for every raw metric:
+//!
+//! * **inclusive** — Eq. 2: `i(x) = d(x) + Σ_children i(c)` where `d` is the
+//!   direct (sample-point) cost. Computed over direct costs rather than the
+//!   displayed exclusive, because the hybrid exclusive of a procedure frame
+//!   already contains its loops' statements and would double-count (see
+//!   `h`/`l1`/`l2` in Fig. 2a, where `h = (4,4)` *includes* `l2`'s 4).
+//! * **exclusive** — Eq. 1 hybrid: procedure frames (and inlined frames)
+//!   absorb every descendant statement reachable without crossing another
+//!   frame boundary (rule 1, "Dynamic"); loops sum only their direct child
+//!   statements (rule 2, "Static"); statements keep their direct cost; the
+//!   root and other purely dynamic scopes display zero.
+//! * **frame-direct** — the part of a frame's cost attributed to statements
+//!   that are immediate children of the frame (outside any loop or inlined
+//!   frame). The Flat View's call-site nodes display this as their
+//!   exclusive cost: in Fig. 2c, `hy = (4,0)` because all of `h`'s
+//!   statements live inside loops, while `gy/gz/gv` carry `g`'s body cost.
+
+use crate::cct::Cct;
+use crate::ids::{MetricId, NodeId};
+use crate::metrics::{MetricVec, RawMetrics, StorageKind};
+use crate::scope::ScopeKind;
+
+/// Attribution results for a single raw metric over a CCT.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    /// Eq. 2 inclusive costs per node.
+    pub inclusive: MetricVec,
+    /// Eq. 1 hybrid exclusive costs per node.
+    pub exclusive: MetricVec,
+    /// Frame-direct statement costs per frame node.
+    pub frame_direct: MetricVec,
+}
+
+impl Attribution {
+    /// Inclusive cost at `n`.
+    pub fn inclusive_at(&self, n: NodeId) -> f64 {
+        self.inclusive.get(n.0)
+    }
+
+    /// Displayed (hybrid) exclusive cost at `n`.
+    pub fn exclusive_at(&self, n: NodeId) -> f64 {
+        self.exclusive.get(n.0)
+    }
+
+    /// Frame-direct cost at `n`.
+    pub fn frame_direct_at(&self, n: NodeId) -> f64 {
+        self.frame_direct.get(n.0)
+    }
+}
+
+/// Compute inclusive, exclusive and frame-direct costs for metric `m`.
+///
+/// Runs in O(nodes × frame-nesting-depth-of-statics) time and never walks
+/// above the enclosing frame, so deep call chains cost nothing extra.
+pub fn attribute(cct: &Cct, raw: &RawMetrics, m: MetricId, storage: StorageKind) -> Attribution {
+    let n = cct.len();
+    let mk = |()| match storage {
+        StorageKind::Dense => MetricVec::dense(n),
+        StorageKind::Sparse => MetricVec::sparse(),
+    };
+    let mut inclusive = mk(());
+    let mut exclusive = mk(());
+    let mut frame_direct = mk(());
+
+    // Pass 1: inclusive. Arena order is topological (parents precede
+    // children), so a single reverse sweep accumulates child sums.
+    let mut incl: Vec<f64> = (0..n).map(|i| raw.direct(m, NodeId(i as u32))).collect();
+    for i in (1..n).rev() {
+        let node = NodeId(i as u32);
+        if let Some(p) = cct.parent(node) {
+            let v = incl[i];
+            if v != 0.0 {
+                incl[p.index()] += v;
+            }
+        }
+    }
+    for (i, &v) in incl.iter().enumerate() {
+        if v != 0.0 {
+            inclusive.set(i as u32, v);
+        }
+    }
+
+    // Pass 2: exclusive (Eq. 1 hybrid) and frame-direct. A single forward
+    // sweep over nodes with non-zero direct cost attributes each cost to:
+    //   - the node itself, when static (statements keep their own cost);
+    //   - its parent, when the parent is a loop and the node a statement
+    //     (rule 2: loops sum direct child statements);
+    //   - its innermost enclosing frame-like scope (rule 1);
+    //   - the frame-direct bucket of that frame, when nothing but the frame
+    //     itself separates the cost from the frame.
+    for i in 0..n {
+        let node = NodeId(i as u32);
+        let d = raw.direct(m, node);
+        if d == 0.0 {
+            continue;
+        }
+        let kind = cct.kind(node);
+        match kind {
+            ScopeKind::Stmt { .. } | ScopeKind::Loop { .. } => {
+                exclusive.add(node.0, d);
+                if let Some(p) = cct.parent(node) {
+                    if cct.kind(p).is_loop() && kind.is_stmt() {
+                        exclusive.add(p.0, d);
+                    }
+                    // Rule 1: attribute to the innermost frame-like scope.
+                    if let Some(f) = cct.enclosing_frame_like(p) {
+                        exclusive.add(f.0, d);
+                        if f == p {
+                            frame_direct.add(f.0, d);
+                        }
+                    }
+                }
+            }
+            ScopeKind::Frame { .. } | ScopeKind::InlinedFrame { .. } => {
+                // Cost sampled directly at a frame (no statement info):
+                // belongs to the frame's exclusive and frame-direct buckets.
+                exclusive.add(node.0, d);
+                frame_direct.add(node.0, d);
+            }
+            ScopeKind::Root => {
+                // Unattributable cost; keep it out of every exclusive
+                // column (it still shows up in the root's inclusive value).
+            }
+        }
+    }
+
+    Attribution {
+        inclusive,
+        exclusive,
+        frame_direct,
+    }
+}
+
+/// Attribute every metric of `raw`, in metric-id order.
+pub fn attribute_all(cct: &Cct, raw: &RawMetrics, storage: StorageKind) -> Vec<Attribution> {
+    (0..raw.metric_count())
+        .map(|i| attribute(cct, raw, MetricId::from_usize(i), storage))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FileId, LoadModuleId, ProcId};
+    use crate::metrics::MetricDesc;
+    use crate::names::{NameTable, SourceLoc};
+
+    fn frame(proc: u32, call_line: u32) -> ScopeKind {
+        ScopeKind::Frame {
+            proc: ProcId(proc),
+            module: LoadModuleId(0),
+            def: SourceLoc::new(FileId(0), 1),
+            call_site: (call_line != 0).then(|| SourceLoc::new(FileId(0), call_line)),
+        }
+    }
+
+    fn lp(line: u32) -> ScopeKind {
+        ScopeKind::Loop {
+            header: SourceLoc::new(FileId(0), line),
+        }
+    }
+
+    fn stmt(line: u32) -> ScopeKind {
+        ScopeKind::Stmt {
+            loc: SourceLoc::new(FileId(0), line),
+        }
+    }
+
+    /// Build `h` from Fig. 1/2: a frame containing `l1 { l2 { stmts } }`.
+    #[test]
+    fn frame_with_nested_loops_matches_fig2() {
+        let mut cct = Cct::new(NameTable::new());
+        let root = cct.root();
+        let h = cct.add_child(root, frame(0, 0));
+        let l1 = cct.add_child(h, lp(8));
+        let l2 = cct.add_child(l1, lp(9));
+        let s = cct.add_child(l2, stmt(9));
+
+        let mut raw = RawMetrics::new(StorageKind::Dense);
+        let m = raw.add_metric(MetricDesc::new("cyc", "cycles", 1.0));
+        raw.add_cost(m, s, 4.0);
+
+        let a = attribute(&cct, &raw, m, StorageKind::Dense);
+        // Fig 2a: h = (4,4), l1 = (4,0), l2 = (4,4).
+        assert_eq!(a.inclusive_at(h), 4.0);
+        assert_eq!(a.exclusive_at(h), 4.0);
+        assert_eq!(a.inclusive_at(l1), 4.0);
+        assert_eq!(a.exclusive_at(l1), 0.0);
+        assert_eq!(a.inclusive_at(l2), 4.0);
+        assert_eq!(a.exclusive_at(l2), 4.0);
+        // No statement is an immediate child of h.
+        assert_eq!(a.frame_direct_at(h), 0.0);
+    }
+
+    #[test]
+    fn frame_direct_counts_only_body_statements() {
+        let mut cct = Cct::new(NameTable::new());
+        let root = cct.root();
+        let f = cct.add_child(root, frame(0, 0));
+        let body = cct.add_child(f, stmt(3));
+        let l = cct.add_child(f, lp(4));
+        let in_loop = cct.add_child(l, stmt(5));
+
+        let mut raw = RawMetrics::new(StorageKind::Dense);
+        let m = raw.add_metric(MetricDesc::new("cyc", "cycles", 1.0));
+        raw.add_cost(m, body, 2.0);
+        raw.add_cost(m, in_loop, 3.0);
+
+        let a = attribute(&cct, &raw, m, StorageKind::Dense);
+        assert_eq!(a.exclusive_at(f), 5.0, "rule 1: frame absorbs all stmts");
+        assert_eq!(a.frame_direct_at(f), 2.0, "only the body statement");
+        assert_eq!(a.exclusive_at(l), 3.0, "rule 2: direct child statement");
+    }
+
+    #[test]
+    fn rule1_stops_at_inlined_frame_boundary() {
+        let mut cct = Cct::new(NameTable::new());
+        let root = cct.root();
+        let f = cct.add_child(root, frame(0, 0));
+        let inl = cct.add_child(
+            f,
+            ScopeKind::InlinedFrame {
+                proc: ProcId(1),
+                def: SourceLoc::new(FileId(0), 20),
+                call_site: SourceLoc::new(FileId(0), 3),
+            },
+        );
+        let s = cct.add_child(inl, stmt(21));
+
+        let mut raw = RawMetrics::new(StorageKind::Dense);
+        let m = raw.add_metric(MetricDesc::new("cyc", "cycles", 1.0));
+        raw.add_cost(m, s, 7.0);
+
+        let a = attribute(&cct, &raw, m, StorageKind::Dense);
+        assert_eq!(
+            a.exclusive_at(inl),
+            7.0,
+            "inlined frame absorbs its statements"
+        );
+        assert_eq!(
+            a.exclusive_at(f),
+            0.0,
+            "host frame's exclusive must not cross the inline boundary"
+        );
+        assert_eq!(a.inclusive_at(f), 7.0, "inclusive still flows to the host");
+    }
+
+    #[test]
+    fn inclusive_sums_across_call_sites() {
+        let mut cct = Cct::new(NameTable::new());
+        let root = cct.root();
+        let main = cct.add_child(root, frame(0, 0));
+        let callee = cct.add_child(main, frame(1, 7));
+        let s_main = cct.add_child(main, stmt(2));
+        let s_callee = cct.add_child(callee, stmt(30));
+
+        let mut raw = RawMetrics::new(StorageKind::Dense);
+        let m = raw.add_metric(MetricDesc::new("cyc", "cycles", 1.0));
+        raw.add_cost(m, s_main, 1.0);
+        raw.add_cost(m, s_callee, 9.0);
+
+        let a = attribute(&cct, &raw, m, StorageKind::Dense);
+        assert_eq!(a.inclusive_at(main), 10.0);
+        assert_eq!(a.exclusive_at(main), 1.0, "rule 1 does not cross the call");
+        assert_eq!(a.inclusive_at(callee), 9.0);
+        assert_eq!(a.exclusive_at(callee), 9.0);
+        assert_eq!(a.inclusive_at(root), 10.0, "root inclusive = program total");
+        assert_eq!(a.exclusive_at(root), 0.0, "root is dynamic: blank exclusive");
+    }
+
+    #[test]
+    fn sparse_and_dense_attribution_agree() {
+        let mut cct = Cct::new(NameTable::new());
+        let root = cct.root();
+        let f = cct.add_child(root, frame(0, 0));
+        let l = cct.add_child(f, lp(4));
+        let s = cct.add_child(l, stmt(5));
+        let mut raw = RawMetrics::new(StorageKind::Dense);
+        let m = raw.add_metric(MetricDesc::new("cyc", "cycles", 1.0));
+        raw.add_cost(m, s, 11.0);
+        raw.add_cost(m, f, 0.5);
+
+        let dense = attribute(&cct, &raw, m, StorageKind::Dense);
+        let sparse = attribute(&cct, &raw, m, StorageKind::Sparse);
+        for n in cct.all_nodes() {
+            assert_eq!(dense.inclusive_at(n), sparse.inclusive_at(n));
+            assert_eq!(dense.exclusive_at(n), sparse.exclusive_at(n));
+            assert_eq!(dense.frame_direct_at(n), sparse.frame_direct_at(n));
+        }
+    }
+
+    #[test]
+    fn cost_sampled_at_frame_is_frame_direct() {
+        let mut cct = Cct::new(NameTable::new());
+        let root = cct.root();
+        let f = cct.add_child(root, frame(0, 0));
+        let mut raw = RawMetrics::new(StorageKind::Dense);
+        let m = raw.add_metric(MetricDesc::new("cyc", "cycles", 1.0));
+        raw.add_cost(m, f, 3.0);
+        let a = attribute(&cct, &raw, m, StorageKind::Dense);
+        assert_eq!(a.exclusive_at(f), 3.0);
+        assert_eq!(a.frame_direct_at(f), 3.0);
+    }
+}

@@ -1,0 +1,400 @@
+//! The Callers View: a bottom-up view that lets the analyst look upward
+//! along call paths (Section III-B).
+//!
+//! Each top-level entry aggregates one procedure over *all* of its calling
+//! contexts; expanding an entry walks up the call chain, apportioning the
+//! procedure's costs among the contexts in which they were incurred.
+//! Recursion is handled with set-exposed aggregation (Section IV-B): the
+//! top-level entry for a recursive `g` counts only activations with no
+//! `g` ancestor, while the `g←g` child counts the activations whose
+//! *immediate* caller is `g`.
+//!
+//! Construction is **lazy** by default — the paper calls this out as a
+//! scalability feature ("the Callers View is constructed dynamically...
+//! we store and process data only when needed", Section VII). Top-level
+//! entries are built eagerly from one pass over the CCT; children
+//! materialize on first expansion. `CallersView::fully_expand` provides
+//! the eager variant for the ablation bench.
+
+use crate::exposure::exposed;
+use crate::experiment::Experiment;
+use crate::ids::{MetricId, NodeId, ViewNodeId};
+use crate::metrics::StorageKind;
+use crate::scope::ScopeKind;
+use crate::viewtree::{ViewScope, ViewTree};
+use std::collections::HashMap;
+
+/// Bottom-up (callers) view over an experiment.
+#[derive(Debug, Clone)]
+pub struct CallersView {
+    /// The materialized view nodes and their metric columns.
+    pub tree: ViewTree,
+    /// For each view node, one "cursor" per aggregated instance: the CCT
+    /// frame whose caller determines the next grouping level. At the top
+    /// level the cursor is the instance itself; each expansion moves every
+    /// cursor one caller up.
+    cursors: Vec<Vec<NodeId>>,
+}
+
+impl CallersView {
+    /// Build the top-level entries (one per procedure with at least one
+    /// dynamic activation). Children are materialized on demand via
+    /// [`CallersView::expand`].
+    pub fn build(exp: &Experiment, storage: StorageKind) -> Self {
+        let mut view = CallersView {
+            tree: ViewTree::new(storage),
+            cursors: Vec::new(),
+        };
+        // Mirror the experiment's column layout.
+        for d in exp.columns.descs() {
+            view.tree.columns.add_column(d.clone());
+        }
+        // One pass over the CCT: bucket frames by procedure, preserving
+        // first-appearance order for determinism.
+        let mut order: Vec<crate::ids::ProcId> = Vec::new();
+        let mut buckets: HashMap<crate::ids::ProcId, Vec<NodeId>> = HashMap::new();
+        for n in exp.cct.all_nodes() {
+            if let ScopeKind::Frame { proc, .. } = *exp.cct.kind(n) {
+                let b = buckets.entry(proc).or_default();
+                if b.is_empty() {
+                    order.push(proc);
+                }
+                b.push(n);
+            }
+        }
+        for proc in order {
+            let instances = buckets.remove(&proc).unwrap();
+            let node = view.tree.add_root(ViewScope::ProcTop { proc });
+            view.cursors.push(instances.clone());
+            for &i in &instances {
+                view.tree.push_instance(node, i);
+            }
+            view.fill_values(exp, node);
+        }
+        view
+    }
+
+    /// Build and eagerly expand every node (the non-scalable variant, kept
+    /// for the lazy-vs-eager ablation of Section VII).
+    pub fn build_eager(exp: &Experiment, storage: StorageKind) -> Self {
+        let mut view = Self::build(exp, storage);
+        view.fully_expand(exp);
+        view
+    }
+
+    /// Materialize the children of `n` if not yet done.
+    pub fn expand(&mut self, exp: &Experiment, n: ViewNodeId) {
+        if self.tree.is_expanded(n) {
+            return;
+        }
+        self.tree.mark_expanded(n);
+        // Group (instance, cursor) pairs by the cursor's caller frame:
+        // key = (caller procedure, call site of the cursor activation).
+        let instances: Vec<NodeId> = self.tree.instances(n).to_vec();
+        let cursors = self.cursors[n.index()].clone();
+        let mut order: Vec<ViewScope> = Vec::new();
+        let mut groups: HashMap<ViewScope, (Vec<NodeId>, Vec<NodeId>)> = HashMap::new();
+        for (&inst, &cursor) in instances.iter().zip(cursors.iter()) {
+            let Some(caller) = exp.cct.caller_frame(cursor) else {
+                continue; // top-level activation (e.g. main): no caller line
+            };
+            let ScopeKind::Frame {
+                proc: caller_proc, ..
+            } = *exp.cct.kind(caller)
+            else {
+                unreachable!("caller_frame returns dynamic frames only");
+            };
+            let call_site = match *exp.cct.kind(cursor) {
+                ScopeKind::Frame { call_site, .. } => call_site,
+                _ => None,
+            };
+            let key = ViewScope::Caller {
+                proc: caller_proc,
+                call_site,
+            };
+            let entry = groups.entry(key);
+            if let std::collections::hash_map::Entry::Vacant(_) = entry {
+                order.push(key);
+            }
+            let (gi, gc) = groups.entry(key).or_default();
+            gi.push(inst);
+            gc.push(caller);
+        }
+        for key in order {
+            let (gi, gc) = groups.remove(&key).unwrap();
+            let child = self.tree.add_child(n, key);
+            debug_assert_eq!(child.index(), self.cursors.len());
+            self.cursors.push(gc);
+            for i in gi {
+                self.tree.push_instance(child, i);
+            }
+            self.fill_values(exp, child);
+        }
+    }
+
+    /// Expand every reachable node (terminates because each level moves
+    /// every cursor strictly closer to the root).
+    pub fn fully_expand(&mut self, exp: &Experiment) {
+        let mut stack: Vec<ViewNodeId> = self.tree.roots();
+        while let Some(n) = stack.pop() {
+            self.expand(exp, n);
+            stack.extend(self.tree.children(n));
+        }
+    }
+
+    /// Children of `n`, materializing them first if needed.
+    pub fn children_of(&mut self, exp: &Experiment, n: ViewNodeId) -> Vec<ViewNodeId> {
+        self.expand(exp, n);
+        self.tree.children(n)
+    }
+
+    /// A node can expand if any aggregated activation still has a caller.
+    pub fn can_expand(&self, exp: &Experiment, n: ViewNodeId) -> bool {
+        if self.tree.is_expanded(n) {
+            return self.tree.has_children(n);
+        }
+        self.cursors[n.index()]
+            .iter()
+            .any(|&c| exp.cct.caller_frame(c).is_some())
+    }
+
+    /// Compute the node's metric columns from its instance set:
+    /// set-exposed sums of both inclusive and (rule-1 frame) exclusive
+    /// values, then derived formulas over those aggregates.
+    fn fill_values(&mut self, exp: &Experiment, n: ViewNodeId) {
+        let instances = self.tree.instances(n);
+        let keep = exposed(&exp.cct, instances);
+        for mi in 0..exp.raw.metric_count() {
+            let m = MetricId::from_usize(mi);
+            let attr = exp.attribution(m);
+            let (mut incl, mut excl) = (0.0, 0.0);
+            for &i in &keep {
+                incl += attr.inclusive.get(i.0);
+                excl += attr.exclusive.get(i.0);
+            }
+            let ci = exp.inclusive_col(m);
+            let ce = exp.exclusive_col(m);
+            if incl != 0.0 {
+                self.tree.columns.set(ci, n.0, incl);
+            }
+            if excl != 0.0 {
+                self.tree.columns.set(ce, n.0, excl);
+            }
+        }
+        // Derived columns for just this node.
+        let ncols = self.tree.columns.column_count() as u32;
+        for (c, expr) in exp.derived_formulas() {
+            let inputs: Vec<f64> = (0..ncols)
+                .map(|i| self.tree.columns.get(crate::ids::ColumnId(i), n.0))
+                .collect();
+            let v = expr.eval(&crate::derived::SliceContext {
+                columns: &inputs,
+                aggregates: exp.aggregates(),
+            });
+            if v != 0.0 {
+                self.tree.columns.set(*c, n.0, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ColumnId, FileId};
+    use crate::metrics::{MetricDesc, RawMetrics};
+    use crate::names::{NameTable, SourceLoc};
+
+    /// Build the Fig. 1 program's CCT by hand (same shape the golden
+    /// integration test uses; duplicated here in miniature so unit tests
+    /// stay self-contained).
+    fn fig1_experiment() -> (Experiment, Vec<&'static str>) {
+        let mut names = NameTable::new();
+        let file1 = names.file("file1.c");
+        let file2 = names.file("file2.c");
+        let module = names.module("a.out");
+        let p_m = names.proc("m");
+        let p_f = names.proc("f");
+        let p_g = names.proc("g");
+        let p_h = names.proc("h");
+        let mut cct = crate::cct::Cct::new(names);
+        let root = cct.root();
+        let frame = |proc, def: (FileId, u32), cs: Option<(FileId, u32)>| ScopeKind::Frame {
+            proc,
+            module,
+            def: SourceLoc::new(def.0, def.1),
+            call_site: cs.map(|(f, l)| SourceLoc::new(f, l)),
+        };
+        let m = cct.add_child(root, frame(p_m, (file1, 6), None));
+        let f = cct.add_child(m, frame(p_f, (file1, 1), Some((file1, 7))));
+        let g1 = cct.add_child(f, frame(p_g, (file2, 2), Some((file1, 2))));
+        let g2 = cct.add_child(g1, frame(p_g, (file2, 2), Some((file2, 3))));
+        let h = cct.add_child(g2, frame(p_h, (file2, 7), Some((file2, 4))));
+        let l1 = cct.add_child(
+            h,
+            ScopeKind::Loop {
+                header: SourceLoc::new(file2, 8),
+            },
+        );
+        let l2 = cct.add_child(
+            l1,
+            ScopeKind::Loop {
+                header: SourceLoc::new(file2, 9),
+            },
+        );
+        let g3 = cct.add_child(m, frame(p_g, (file2, 2), Some((file1, 8))));
+        let stmt = |cct: &mut crate::cct::Cct, p, file, line| {
+            cct.add_child(
+                p,
+                ScopeKind::Stmt {
+                    loc: SourceLoc::new(file, line),
+                },
+            )
+        };
+        let s_f = stmt(&mut cct, f, file1, 2);
+        let s_g1 = stmt(&mut cct, g1, file2, 3);
+        let s_g2 = stmt(&mut cct, g2, file2, 4);
+        let s_g3 = stmt(&mut cct, g3, file2, 3);
+        let s_l2 = stmt(&mut cct, l2, file2, 9);
+
+        let mut raw = RawMetrics::new(StorageKind::Dense);
+        let cyc = raw.add_metric(MetricDesc::new("cost", "samples", 1.0));
+        raw.add_cost(cyc, s_f, 1.0);
+        raw.add_cost(cyc, s_g1, 1.0);
+        raw.add_cost(cyc, s_g2, 1.0);
+        raw.add_cost(cyc, s_g3, 3.0);
+        raw.add_cost(cyc, s_l2, 4.0);
+        (
+            Experiment::build(cct, raw, StorageKind::Dense),
+            vec!["m", "f", "g", "h"],
+        )
+    }
+
+    fn value(view: &CallersView, n: ViewNodeId, col: u32) -> f64 {
+        view.tree.columns.get(ColumnId(col), n.0)
+    }
+
+    fn find_root(view: &CallersView, exp: &Experiment, name: &str) -> ViewNodeId {
+        view.tree
+            .roots()
+            .into_iter()
+            .find(|&r| view.tree.label(r, &exp.cct.names) == name)
+            .unwrap_or_else(|| panic!("no root named {name}"))
+    }
+
+    #[test]
+    fn top_level_matches_fig2b() {
+        let (exp, _) = fig1_experiment();
+        let view = CallersView::build(&exp, StorageKind::Dense);
+        // Roots: m, f, g, h (first-appearance order in the CCT).
+        let labels: Vec<String> = view
+            .tree
+            .roots()
+            .iter()
+            .map(|&r| view.tree.label(r, &exp.cct.names))
+            .collect();
+        assert_eq!(labels, vec!["m", "f", "g", "h"]);
+
+        let ga = find_root(&view, &exp, "g");
+        assert_eq!(value(&view, ga, 0), 9.0, "ga inclusive: exposed g1+g3");
+        assert_eq!(value(&view, ga, 1), 4.0, "ga exclusive: exposed 1+3");
+        let fa = find_root(&view, &exp, "f");
+        assert_eq!(value(&view, fa, 0), 7.0);
+        assert_eq!(value(&view, fa, 1), 1.0);
+        let ha = find_root(&view, &exp, "h");
+        assert_eq!(value(&view, ha, 0), 4.0);
+        assert_eq!(value(&view, ha, 1), 4.0);
+        let ma = find_root(&view, &exp, "m");
+        assert_eq!(value(&view, ma, 0), 10.0);
+        assert_eq!(value(&view, ma, 1), 0.0);
+    }
+
+    #[test]
+    fn expansion_matches_fig2b_children() {
+        let (exp, _) = fig1_experiment();
+        let mut view = CallersView::build(&exp, StorageKind::Dense);
+        let ga = find_root(&view, &exp, "g");
+        let kids = view.children_of(&exp, ga);
+        let kid_labels: Vec<String> = kids
+            .iter()
+            .map(|&k| view.tree.label(k, &exp.cct.names))
+            .collect();
+        // Callers of g: f (g1), g (g2), m (g3) — first-appearance order.
+        assert_eq!(kid_labels, vec!["f", "g", "m"]);
+        assert_eq!(value(&view, kids[0], 0), 6.0, "g←f = g1 (6,1)");
+        assert_eq!(value(&view, kids[0], 1), 1.0);
+        assert_eq!(value(&view, kids[1], 0), 5.0, "g←g = g2 (5,1)");
+        assert_eq!(value(&view, kids[1], 1), 1.0);
+        assert_eq!(value(&view, kids[2], 0), 3.0, "g←m = g3 (3,3)");
+        assert_eq!(value(&view, kids[2], 1), 3.0);
+
+        // Grandchildren: g←g←f = (5,1), then g←g←f←m = (5,1).
+        let gg = kids[1];
+        let gg_kids = view.children_of(&exp, gg);
+        assert_eq!(gg_kids.len(), 1);
+        assert_eq!(view.tree.label(gg_kids[0], &exp.cct.names), "f");
+        assert_eq!(value(&view, gg_kids[0], 0), 5.0);
+        assert_eq!(value(&view, gg_kids[0], 1), 1.0);
+        let ggf_kids = view.children_of(&exp, gg_kids[0]);
+        assert_eq!(ggf_kids.len(), 1);
+        assert_eq!(view.tree.label(ggf_kids[0], &exp.cct.names), "m");
+        assert_eq!(value(&view, ggf_kids[0], 0), 5.0);
+    }
+
+    #[test]
+    fn m_has_no_callers() {
+        let (exp, _) = fig1_experiment();
+        let mut view = CallersView::build(&exp, StorageKind::Dense);
+        let ma = find_root(&view, &exp, "m");
+        assert!(!view.can_expand(&exp, ma));
+        assert!(view.children_of(&exp, ma).is_empty());
+    }
+
+    #[test]
+    fn lazy_build_creates_only_top_level() {
+        let (exp, procs) = fig1_experiment();
+        let view = CallersView::build(&exp, StorageKind::Dense);
+        assert_eq!(view.tree.len(), procs.len(), "no children materialized");
+        let eager = CallersView::build_eager(&exp, StorageKind::Dense);
+        assert!(eager.tree.len() > procs.len());
+    }
+
+    #[test]
+    fn eager_matches_fig2b_node_count() {
+        let (exp, _) = fig1_experiment();
+        let eager = CallersView::build_eager(&exp, StorageKind::Dense);
+        // Fig. 2b has 15 nodes: ga..gd, fa..fd, ma..me, m, h.
+        assert_eq!(eager.tree.len(), 15);
+    }
+
+    #[test]
+    fn expansion_is_idempotent() {
+        let (exp, _) = fig1_experiment();
+        let mut view = CallersView::build(&exp, StorageKind::Dense);
+        let ga = find_root(&view, &exp, "g");
+        let a = view.children_of(&exp, ga);
+        let b = view.children_of(&exp, ga);
+        assert_eq!(a, b);
+        let len = view.tree.len();
+        view.expand(&exp, ga);
+        assert_eq!(view.tree.len(), len);
+    }
+
+    #[test]
+    fn h_chain_carries_constant_cost() {
+        let (exp, _) = fig1_experiment();
+        let mut view = CallersView::build(&exp, StorageKind::Dense);
+        let ha = find_root(&view, &exp, "h");
+        // h ← g ← g ← f ← m, all (4,4)...(4,4) with exclusive 4 only at h.
+        let mut cur = ha;
+        let expected_callers = ["g", "g", "f", "m"];
+        for name in expected_callers {
+            let kids = view.children_of(&exp, cur);
+            assert_eq!(kids.len(), 1);
+            assert_eq!(view.tree.label(kids[0], &exp.cct.names), name);
+            assert_eq!(value(&view, kids[0], 0), 4.0);
+            cur = kids[0];
+        }
+        assert!(view.children_of(&exp, cur).is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Exposed-instance analysis for recursion-correct aggregation
+//! (Section IV-B).
+//!
+//! When the Callers View or Flat View aggregates the inclusive costs of a
+//! set of CCT instances of the same static object, naively summing them
+//! counts a chain of recursive activations multiple times (the inclusive
+//! cost of an outer activation already contains the inner ones). The paper
+//! defines an instance as **exposed** if it has no ancestor instance of the
+//! same object, and sums only exposed instances.
+//!
+//! Fig. 2b refines this to *set-relative* exposure: the Callers-View node
+//! `g←g` aggregates only `g2`, whose ancestor `g1` is not part of that
+//! node's instance set, so `g2` counts there even though it is not globally
+//! exposed. The primitive here therefore takes an arbitrary instance set
+//! and filters out any instance with a proper ancestor **in the set**.
+
+use crate::cct::Cct;
+use crate::ids::NodeId;
+use crate::metrics::MetricVec;
+use std::collections::HashSet;
+
+/// Return the subset of `instances` that have no proper ancestor also in
+/// `instances`. Order of the result follows the input order.
+pub fn exposed(cct: &Cct, instances: &[NodeId]) -> Vec<NodeId> {
+    if instances.len() <= 1 {
+        return instances.to_vec();
+    }
+    let set: HashSet<NodeId> = instances.iter().copied().collect();
+    instances
+        .iter()
+        .copied()
+        .filter(|&n| !cct.ancestors(n).any(|a| set.contains(&a)))
+        .collect()
+}
+
+/// Sum `values` over the set-exposed subset of `instances`.
+pub fn exposed_sum(cct: &Cct, instances: &[NodeId], values: &MetricVec) -> f64 {
+    exposed(cct, instances)
+        .into_iter()
+        .map(|n| values.get(n.0))
+        .sum()
+}
+
+/// Sum `values` over *all* instances (used for columns where every instance
+/// contributes, e.g. sample counts).
+pub fn plain_sum(instances: &[NodeId], values: &MetricVec) -> f64 {
+    instances.iter().map(|n| values.get(n.0)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FileId, LoadModuleId, ProcId};
+    use crate::names::{NameTable, SourceLoc};
+    use crate::scope::ScopeKind;
+
+    fn frame(proc: u32) -> ScopeKind {
+        ScopeKind::Frame {
+            proc: ProcId(proc),
+            module: LoadModuleId(0),
+            def: SourceLoc::new(FileId(0), 1),
+            call_site: Some(SourceLoc::new(FileId(0), 2)),
+        }
+    }
+
+    /// m → g1 → g2 → g3 (recursive chain) and m → g4 (separate branch).
+    fn recursive_cct() -> (Cct, Vec<NodeId>) {
+        let mut cct = Cct::new(NameTable::new());
+        let root = cct.root();
+        let m = cct.add_child(root, frame(0));
+        let g1 = cct.add_child(m, frame(1));
+        let g2 = cct.add_child(g1, frame(1));
+        let g3 = cct.add_child(g2, frame(1));
+        let g4 = cct.add_child(m, frame(1));
+        (cct, vec![g1, g2, g3, g4])
+    }
+
+    #[test]
+    fn exposed_filters_nested_instances() {
+        let (cct, gs) = recursive_cct();
+        let e = exposed(&cct, &gs);
+        assert_eq!(e, vec![gs[0], gs[3]], "g1 and g4 are exposed");
+    }
+
+    #[test]
+    fn set_relative_exposure() {
+        let (cct, gs) = recursive_cct();
+        // Only {g2, g3}: g2's ancestor g1 is NOT in the set, so g2 counts;
+        // g3's ancestor g2 IS in the set, so g3 does not.
+        let e = exposed(&cct, &[gs[1], gs[2]]);
+        assert_eq!(e, vec![gs[1]]);
+    }
+
+    #[test]
+    fn singleton_always_exposed() {
+        let (cct, gs) = recursive_cct();
+        assert_eq!(exposed(&cct, &[gs[2]]), vec![gs[2]]);
+        assert_eq!(exposed(&cct, &[]), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn exposed_sum_avoids_double_count() {
+        let (cct, gs) = recursive_cct();
+        let mut v = MetricVec::dense(cct.len());
+        // Inclusive-like values: outer contains inner.
+        v.set(gs[0].0, 6.0);
+        v.set(gs[1].0, 5.0);
+        v.set(gs[2].0, 4.0);
+        v.set(gs[3].0, 3.0);
+        assert_eq!(exposed_sum(&cct, &gs, &v), 9.0, "6 (g1) + 3 (g4)");
+        assert_eq!(plain_sum(&gs, &v), 18.0);
+    }
+
+    #[test]
+    fn unrelated_instances_all_exposed() {
+        let mut cct = Cct::new(NameTable::new());
+        let root = cct.root();
+        let a = cct.add_child(root, frame(0));
+        let b = cct.add_child(root, frame(0));
+        let c = cct.add_child(root, frame(0));
+        let e = exposed(&cct, &[a, b, c]);
+        assert_eq!(e.len(), 3);
+    }
+}

@@ -1,0 +1,479 @@
+//! The Flat View: performance data correlated with static program
+//! structure (Section III-C).
+//!
+//! All costs a procedure incurs in any calling context are aggregated onto
+//! its static scope, presented in a hierarchy of load module → file →
+//! procedure → loops / statements / inlined code, plus *dynamic* call-site
+//! nodes that fuse a call site inside the procedure with its callee
+//! (Fig. 2c's `gy/gz/gv/fy/hy` nodes).
+//!
+//! Aggregation is recursion-correct via set-exposed instance sums
+//! (Section IV-B): `gx`'s inclusive cost in Fig. 2c is 9 — the same as the
+//! Callers View top-level entry — not the 14 a naive sum over `g1,g2,g3`
+//! would produce.
+//!
+//! The module also implements **flattening** (Section III-C): eliding a
+//! layer of hierarchy so that, e.g., loops in different routines can be
+//! compared directly.
+
+use crate::exposure::exposed;
+use crate::experiment::Experiment;
+use crate::ids::{MetricId, ViewNodeId};
+use crate::metrics::StorageKind;
+use crate::scope::ScopeKind;
+use crate::viewtree::{ViewScope, ViewTree};
+use std::collections::HashMap;
+
+/// Static (flat) view over an experiment. Construction is eager: one pass
+/// over the CCT builds the whole tree.
+#[derive(Debug, Clone)]
+pub struct FlatView {
+    /// The flat tree and its metric columns.
+    pub tree: ViewTree,
+}
+
+impl FlatView {
+    /// Build the Flat View from an attributed experiment.
+    pub fn build(exp: &Experiment, storage: StorageKind) -> Self {
+        let mut tree = ViewTree::new(storage);
+        for d in exp.columns.descs() {
+            tree.columns.add_column(d.clone());
+        }
+
+        // (parent, scope) -> node index, to avoid quadratic sibling scans.
+        let mut index: HashMap<(Option<ViewNodeId>, ViewScope), ViewNodeId> = HashMap::new();
+        let mut node_at = |tree: &mut ViewTree,
+                           parent: Option<ViewNodeId>,
+                           scope: ViewScope|
+         -> ViewNodeId {
+            *index.entry((parent, scope)).or_insert_with(|| match parent {
+                Some(p) => tree.add_child(p, scope),
+                None => tree.add_root(scope),
+            })
+        };
+
+        // flat_pos[cct_node] = the view node representing that CCT node's
+        // position inside its procedure's static structure.
+        let mut flat_pos: Vec<Option<ViewNodeId>> = vec![None; exp.cct.len()];
+
+        for n in exp.cct.all_nodes() {
+            match *exp.cct.kind(n) {
+                ScopeKind::Root => {}
+                ScopeKind::Frame {
+                    proc,
+                    module,
+                    def,
+                    call_site,
+                } => {
+                    let m_node = node_at(&mut tree, None, ViewScope::Module { module });
+                    let f_node =
+                        node_at(&mut tree, Some(m_node), ViewScope::File { file: def.file });
+                    let p_node =
+                        node_at(&mut tree, Some(f_node), ViewScope::Procedure { proc });
+                    tree.push_instance(m_node, n);
+                    tree.push_instance(f_node, n);
+                    tree.push_instance(p_node, n);
+                    flat_pos[n.index()] = Some(p_node);
+                    // A call-site node under the caller's static position.
+                    if let Some(parent) = exp.cct.parent(n) {
+                        if let Some(host) = flat_pos[parent.index()] {
+                            let cs = node_at(
+                                &mut tree,
+                                Some(host),
+                                ViewScope::CallSite {
+                                    callee: proc,
+                                    loc: call_site,
+                                },
+                            );
+                            tree.push_instance(cs, n);
+                        }
+                    }
+                }
+                ScopeKind::InlinedFrame {
+                    proc, call_site, ..
+                } => {
+                    let parent = exp.cct.parent(n).expect("inlined frame has a parent");
+                    let host = flat_pos[parent.index()]
+                        .expect("inlined frame nested inside a mapped scope");
+                    let node = node_at(
+                        &mut tree,
+                        Some(host),
+                        ViewScope::Inlined {
+                            callee: proc,
+                            call_site,
+                        },
+                    );
+                    tree.push_instance(node, n);
+                    flat_pos[n.index()] = Some(node);
+                }
+                ScopeKind::Loop { header } => {
+                    let parent = exp.cct.parent(n).expect("loop has a parent");
+                    let host =
+                        flat_pos[parent.index()].expect("loop nested inside a mapped scope");
+                    let node = node_at(&mut tree, Some(host), ViewScope::Loop { header });
+                    tree.push_instance(node, n);
+                    flat_pos[n.index()] = Some(node);
+                }
+                ScopeKind::Stmt { loc } => {
+                    let parent = exp.cct.parent(n).expect("statement has a parent");
+                    let host =
+                        flat_pos[parent.index()].expect("statement nested inside a mapped scope");
+                    let node = node_at(&mut tree, Some(host), ViewScope::Stmt { loc });
+                    tree.push_instance(node, n);
+                    flat_pos[n.index()] = Some(node);
+                }
+            }
+        }
+
+        // Fill metric values. Leaf-ish scopes first (instance aggregation),
+        // then containers, whose exclusive column sums their children.
+        let all: Vec<ViewNodeId> = (0..tree.len() as u32).map(ViewNodeId).collect();
+        for &v in &all {
+            match tree.scope(v) {
+                ViewScope::Module { .. } | ViewScope::File { .. } => {}
+                ViewScope::CallSite { .. } => {
+                    Self::fill_from_instances(exp, &mut tree, v, true);
+                }
+                _ => {
+                    Self::fill_from_instances(exp, &mut tree, v, false);
+                }
+            }
+        }
+        // Containers, innermost (files) before modules. Node indices of
+        // children are always larger than their parents' only within one
+        // subtree; iterate explicitly: files then modules.
+        for &v in all.iter() {
+            if matches!(tree.scope(v), ViewScope::File { .. }) {
+                Self::fill_container(exp, &mut tree, v);
+            }
+        }
+        for &v in all.iter() {
+            if matches!(tree.scope(v), ViewScope::Module { .. }) {
+                Self::fill_container(exp, &mut tree, v);
+            }
+        }
+
+        let n_nodes = tree.len();
+        exp.eval_derived_into(&mut tree.columns, n_nodes);
+        FlatView { tree }
+    }
+
+    /// Inclusive = set-exposed instance sum; exclusive = set-exposed sum of
+    /// either the rule-1/rule-2 exclusive (static scopes) or the
+    /// frame-direct cost (dynamic call-site nodes, cf. `hy = (4,0)` in
+    /// Fig. 2c).
+    fn fill_from_instances(exp: &Experiment, tree: &mut ViewTree, v: ViewNodeId, call_site: bool) {
+        let keep = exposed(&exp.cct, tree.instances(v));
+        for mi in 0..exp.raw.metric_count() {
+            let m = MetricId::from_usize(mi);
+            let attr = exp.attribution(m);
+            let (mut incl, mut excl) = (0.0, 0.0);
+            for &i in &keep {
+                incl += attr.inclusive.get(i.0);
+                excl += if call_site {
+                    attr.frame_direct.get(i.0)
+                } else {
+                    attr.exclusive.get(i.0)
+                };
+            }
+            if incl != 0.0 {
+                tree.columns.set(exp.inclusive_col(m), v.0, incl);
+            }
+            if excl != 0.0 {
+                tree.columns.set(exp.exclusive_col(m), v.0, excl);
+            }
+        }
+    }
+
+    /// Containers (file, module): inclusive from set-exposed instances,
+    /// exclusive as the sum of child containers'/procedures' exclusives
+    /// (`file2.e = gx.e + hx.e = 8` in Fig. 2c).
+    fn fill_container(exp: &Experiment, tree: &mut ViewTree, v: ViewNodeId) {
+        let keep = exposed(&exp.cct, tree.instances(v));
+        let children = tree.children(v);
+        for mi in 0..exp.raw.metric_count() {
+            let m = MetricId::from_usize(mi);
+            let attr = exp.attribution(m);
+            let incl: f64 = keep.iter().map(|i| attr.inclusive.get(i.0)).sum();
+            let ce = exp.exclusive_col(m);
+            let excl: f64 = children
+                .iter()
+                .filter(|&&c| {
+                    matches!(
+                        tree.scope(c),
+                        ViewScope::Procedure { .. } | ViewScope::File { .. }
+                    )
+                })
+                .map(|&c| tree.columns.get(ce, c.0))
+                .sum();
+            if incl != 0.0 {
+                tree.columns.set(exp.inclusive_col(m), v.0, incl);
+            }
+            if excl != 0.0 {
+                tree.columns.set(ce, v.0, excl);
+            }
+        }
+    }
+}
+
+/// One flattening step: replace every scope in `current` that has children
+/// with its children; childless scopes stay. Repeated application strips
+/// successive layers of hierarchy so that, e.g., all loops across all
+/// routines end up side by side for direct comparison (Fig. 6).
+pub fn flatten_once(tree: &ViewTree, current: &[ViewNodeId]) -> Vec<ViewNodeId> {
+    let mut out = Vec::with_capacity(current.len());
+    for &n in current {
+        if tree.has_children(n) {
+            out.extend(tree.children(n));
+        } else {
+            out.push(n);
+        }
+    }
+    out
+}
+
+/// Apply `flatten_once` `times` times, stopping early at a fixed point.
+pub fn flatten(tree: &ViewTree, roots: &[ViewNodeId], times: usize) -> Vec<ViewNodeId> {
+    let mut cur = roots.to_vec();
+    for _ in 0..times {
+        let next = flatten_once(tree, &cur);
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ColumnId, FileId};
+    use crate::metrics::{MetricDesc, RawMetrics};
+    use crate::names::{NameTable, SourceLoc};
+
+    /// Same Fig. 1 experiment as the callers tests.
+    fn fig1_experiment() -> Experiment {
+        let mut names = NameTable::new();
+        let file1 = names.file("file1.c");
+        let file2 = names.file("file2.c");
+        let module = names.module("a.out");
+        let p_m = names.proc("m");
+        let p_f = names.proc("f");
+        let p_g = names.proc("g");
+        let p_h = names.proc("h");
+        let mut cct = crate::cct::Cct::new(names);
+        let root = cct.root();
+        let frame = |proc, def: (FileId, u32), cs: Option<(FileId, u32)>| ScopeKind::Frame {
+            proc,
+            module,
+            def: SourceLoc::new(def.0, def.1),
+            call_site: cs.map(|(f, l)| SourceLoc::new(f, l)),
+        };
+        let m = cct.add_child(root, frame(p_m, (file1, 6), None));
+        let f = cct.add_child(m, frame(p_f, (file1, 1), Some((file1, 7))));
+        let g1 = cct.add_child(f, frame(p_g, (file2, 2), Some((file1, 2))));
+        let g2 = cct.add_child(g1, frame(p_g, (file2, 2), Some((file2, 3))));
+        let h = cct.add_child(g2, frame(p_h, (file2, 7), Some((file2, 4))));
+        let l1 = cct.add_child(
+            h,
+            ScopeKind::Loop {
+                header: SourceLoc::new(file2, 8),
+            },
+        );
+        let l2 = cct.add_child(
+            l1,
+            ScopeKind::Loop {
+                header: SourceLoc::new(file2, 9),
+            },
+        );
+        let g3 = cct.add_child(m, frame(p_g, (file2, 2), Some((file1, 8))));
+        let stmt = |cct: &mut crate::cct::Cct, p, file, line| {
+            cct.add_child(
+                p,
+                ScopeKind::Stmt {
+                    loc: SourceLoc::new(file, line),
+                },
+            )
+        };
+        let s_f = stmt(&mut cct, f, file1, 2);
+        let s_g1 = stmt(&mut cct, g1, file2, 3);
+        let s_g2 = stmt(&mut cct, g2, file2, 4);
+        let s_g3 = stmt(&mut cct, g3, file2, 3);
+        let s_l2 = stmt(&mut cct, l2, file2, 9);
+
+        let mut raw = RawMetrics::new(StorageKind::Dense);
+        let cyc = raw.add_metric(MetricDesc::new("cost", "samples", 1.0));
+        raw.add_cost(cyc, s_f, 1.0);
+        raw.add_cost(cyc, s_g1, 1.0);
+        raw.add_cost(cyc, s_g2, 1.0);
+        raw.add_cost(cyc, s_g3, 3.0);
+        raw.add_cost(cyc, s_l2, 4.0);
+        Experiment::build(cct, raw, StorageKind::Dense)
+    }
+
+    fn val(view: &FlatView, n: ViewNodeId, col: u32) -> f64 {
+        view.tree.columns.get(ColumnId(col), n.0)
+    }
+
+    fn find(view: &FlatView, exp: &Experiment, parent: Option<ViewNodeId>, label: &str) -> ViewNodeId {
+        let candidates = match parent {
+            Some(p) => view.tree.children(p),
+            None => view.tree.roots(),
+        };
+        candidates
+            .into_iter()
+            .find(|&n| view.tree.label(n, &exp.cct.names) == label)
+            .unwrap_or_else(|| panic!("no node labelled {label}"))
+    }
+
+    #[test]
+    fn files_match_fig2c() {
+        let exp = fig1_experiment();
+        let view = FlatView::build(&exp, StorageKind::Dense);
+        let module = find(&view, &exp, None, "a.out");
+        let file1 = find(&view, &exp, Some(module), "file1.c");
+        let file2 = find(&view, &exp, Some(module), "file2.c");
+        assert_eq!(val(&view, file1, 0), 10.0, "file1 inclusive");
+        assert_eq!(val(&view, file1, 1), 1.0, "file1 exclusive");
+        assert_eq!(val(&view, file2, 0), 9.0, "file2 inclusive");
+        assert_eq!(val(&view, file2, 1), 8.0, "file2 exclusive = gx.e + hx.e");
+        // The module spans the whole program.
+        assert_eq!(val(&view, module, 0), 10.0);
+        assert_eq!(val(&view, module, 1), 9.0);
+    }
+
+    #[test]
+    fn procedures_match_fig2c() {
+        let exp = fig1_experiment();
+        let view = FlatView::build(&exp, StorageKind::Dense);
+        let module = find(&view, &exp, None, "a.out");
+        let file1 = find(&view, &exp, Some(module), "file1.c");
+        let file2 = find(&view, &exp, Some(module), "file2.c");
+        let gx = find(&view, &exp, Some(file2), "g");
+        let hx = find(&view, &exp, Some(file2), "h");
+        let fx = find(&view, &exp, Some(file1), "f");
+        let mx = find(&view, &exp, Some(file1), "m");
+        assert_eq!((val(&view, gx, 0), val(&view, gx, 1)), (9.0, 4.0), "gx");
+        assert_eq!((val(&view, hx, 0), val(&view, hx, 1)), (4.0, 4.0), "hx");
+        assert_eq!((val(&view, fx, 0), val(&view, fx, 1)), (7.0, 1.0), "fx");
+        assert_eq!((val(&view, mx, 0), val(&view, mx, 1)), (10.0, 0.0), "m");
+    }
+
+    #[test]
+    fn loops_match_fig2c() {
+        let exp = fig1_experiment();
+        let view = FlatView::build(&exp, StorageKind::Dense);
+        let module = find(&view, &exp, None, "a.out");
+        let file2 = find(&view, &exp, Some(module), "file2.c");
+        let hx = find(&view, &exp, Some(file2), "h");
+        let l1 = find(&view, &exp, Some(hx), "loop at file2.c:8");
+        let l2 = find(&view, &exp, Some(l1), "loop at file2.c:9");
+        assert_eq!((val(&view, l1, 0), val(&view, l1, 1)), (4.0, 0.0), "l1");
+        assert_eq!((val(&view, l2, 0), val(&view, l2, 1)), (4.0, 4.0), "l2");
+    }
+
+    #[test]
+    fn call_site_nodes_match_fig2c() {
+        let exp = fig1_experiment();
+        let view = FlatView::build(&exp, StorageKind::Dense);
+        let module = find(&view, &exp, None, "a.out");
+        let file1 = find(&view, &exp, Some(module), "file1.c");
+        let file2 = find(&view, &exp, Some(module), "file2.c");
+        let gx = find(&view, &exp, Some(file2), "g");
+        let fx = find(&view, &exp, Some(file1), "f");
+        let mx = find(&view, &exp, Some(file1), "m");
+
+        // gy: call of g from f = g1 (6,1).
+        let gy = view
+            .tree
+            .children(fx)
+            .into_iter()
+            .find(|&n| view.tree.scope(n).is_call())
+            .expect("fx has a call site child");
+        assert_eq!((val(&view, gy, 0), val(&view, gy, 1)), (6.0, 1.0), "gy");
+
+        // Under m: fy (7,1) and gv (3,3).
+        let m_calls: Vec<ViewNodeId> = view
+            .tree
+            .children(mx)
+            .into_iter()
+            .filter(|&n| view.tree.scope(n).is_call())
+            .collect();
+        assert_eq!(m_calls.len(), 2);
+        let fy = m_calls
+            .iter()
+            .copied()
+            .find(|&n| view.tree.label(n, &exp.cct.names) == "f")
+            .unwrap();
+        let gv = m_calls
+            .iter()
+            .copied()
+            .find(|&n| view.tree.label(n, &exp.cct.names) == "g")
+            .unwrap();
+        assert_eq!((val(&view, fy, 0), val(&view, fy, 1)), (7.0, 1.0), "fy");
+        assert_eq!((val(&view, gv, 0), val(&view, gv, 1)), (3.0, 3.0), "gv");
+
+        // Under gx: gz (5,1) recursive call, hy (4,0) whose statements all
+        // live inside loops.
+        let g_calls: Vec<ViewNodeId> = view
+            .tree
+            .children(gx)
+            .into_iter()
+            .filter(|&n| view.tree.scope(n).is_call())
+            .collect();
+        assert_eq!(g_calls.len(), 2);
+        let gz = g_calls
+            .iter()
+            .copied()
+            .find(|&n| view.tree.label(n, &exp.cct.names) == "g")
+            .unwrap();
+        let hy = g_calls
+            .iter()
+            .copied()
+            .find(|&n| view.tree.label(n, &exp.cct.names) == "h")
+            .unwrap();
+        assert_eq!((val(&view, gz, 0), val(&view, gz, 1)), (5.0, 1.0), "gz");
+        assert_eq!((val(&view, hy, 0), val(&view, hy, 1)), (4.0, 0.0), "hy");
+    }
+
+    #[test]
+    fn flatten_strips_hierarchy_layers() {
+        let exp = fig1_experiment();
+        let view = FlatView::build(&exp, StorageKind::Dense);
+        let roots = view.tree.roots();
+        assert_eq!(roots.len(), 1, "one load module");
+        let files = flatten_once(&view.tree, &roots);
+        assert_eq!(files.len(), 2);
+        let procs = flatten_once(&view.tree, &files);
+        let labels: Vec<String> = procs
+            .iter()
+            .map(|&n| view.tree.label(n, &exp.cct.names))
+            .collect();
+        assert!(labels.contains(&"g".to_owned()));
+        assert!(labels.contains(&"h".to_owned()));
+        assert!(labels.contains(&"f".to_owned()));
+        assert!(labels.contains(&"m".to_owned()));
+    }
+
+    #[test]
+    fn flatten_keeps_leaves() {
+        let exp = fig1_experiment();
+        let view = FlatView::build(&exp, StorageKind::Dense);
+        let deep = flatten(&view.tree, &view.tree.roots(), 100);
+        // Fixed point: every element is a leaf.
+        assert!(deep.iter().all(|&n| !view.tree.has_children(n)));
+        let again = flatten_once(&view.tree, &deep);
+        assert_eq!(again, deep);
+    }
+
+    #[test]
+    fn recursion_does_not_double_count_inclusive() {
+        let exp = fig1_experiment();
+        let view = FlatView::build(&exp, StorageKind::Dense);
+        let module = find(&view, &exp, None, "a.out");
+        // Root-level (module) inclusive equals program total despite the
+        // recursive g chain.
+        assert_eq!(val(&view, module, 0), 10.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Metric-value formatting for the metric pane (Section V-A).
+//!
+//! Two of the paper's presentation rules live here:
+//!
+//! * zero cells render as *blank* — "explicitly representing zeros invites
+//!   the user to gaze upon cells only to find that they contain no useful
+//!   information";
+//! * values render "with scientific notation with simple and intuitively
+//!   readable format" instead of "naively long and painful numbers", and
+//!   each value is accompanied by its percentage of the column aggregate.
+
+/// Format a raw metric value the way hpcviewer's metric pane does:
+/// `1.23e+07` style mantissa/exponent, or blank for zero.
+pub fn metric_value(v: f64) -> String {
+    if v == 0.0 {
+        return String::new();
+    }
+    format!("{v:.2e}")
+}
+
+/// Format a value together with its percentage of `total`:
+/// `1.23e+07 41.4%`. Zero values are blank; a zero total suppresses the
+/// percentage.
+pub fn metric_with_percent(v: f64, total: f64) -> String {
+    if v == 0.0 {
+        return String::new();
+    }
+    if total == 0.0 {
+        return metric_value(v);
+    }
+    format!("{} {:>5.1}%", metric_value(v), 100.0 * v / total)
+}
+
+/// Format a percentage alone (used by derived ratio columns such as
+/// relative efficiency).
+pub fn percent(fraction: f64) -> String {
+    if fraction == 0.0 {
+        return String::new();
+    }
+    format!("{:.1}%", 100.0 * fraction)
+}
+
+/// Right-pad or truncate a label to a fixed display width, appending an
+/// ellipsis when truncated. Keeps the tabular layout aligned without
+/// pulling in a full terminal-width library.
+pub fn fit(label: &str, width: usize) -> String {
+    let chars: Vec<char> = label.chars().collect();
+    if chars.len() <= width {
+        let mut s = String::with_capacity(width);
+        s.push_str(label);
+        for _ in chars.len()..width {
+            s.push(' ');
+        }
+        s
+    } else if width >= 1 {
+        let mut s: String = chars[..width - 1].iter().collect();
+        s.push('…');
+        s
+    } else {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_blank() {
+        assert_eq!(metric_value(0.0), "");
+        assert_eq!(metric_with_percent(0.0, 100.0), "");
+        assert_eq!(percent(0.0), "");
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(metric_value(12_345_678.0), "1.23e7");
+        assert_eq!(metric_value(0.00321), "3.21e-3");
+        assert_eq!(metric_value(-42.0), "-4.20e1");
+    }
+
+    #[test]
+    fn value_with_percent() {
+        let s = metric_with_percent(414.0, 1000.0);
+        assert!(s.starts_with("4.14e2"));
+        assert!(s.ends_with("41.4%"), "{s}");
+    }
+
+    #[test]
+    fn percent_of_zero_total_omitted() {
+        assert_eq!(metric_with_percent(5.0, 0.0), "5.00e0");
+    }
+
+    #[test]
+    fn fit_pads_and_truncates() {
+        assert_eq!(fit("abc", 5), "abc  ");
+        assert_eq!(fit("abcdef", 4), "abc…");
+        assert_eq!(fit("abcd", 4), "abcd");
+        assert_eq!(fit("x", 0), "");
+    }
+
+    #[test]
+    fn fit_handles_multibyte() {
+        assert_eq!(fit("héllo", 5), "héllo");
+        assert_eq!(fit("héllowørld", 6), "héllo…");
+    }
+}

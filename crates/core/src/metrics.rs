@@ -1,0 +1,449 @@
+//! Metric descriptors and per-node metric storage.
+//!
+//! The paper uses *metric* for any measure of work (instructions), resource
+//! consumption (bus transactions) or inefficiency (stall cycles). A raw
+//! metric is what the sampler records; the presentation layer projects each
+//! raw metric into an **inclusive** and an **exclusive** column, and lets
+//! the analyst add **derived** columns computed by formula (Section V-D).
+//!
+//! Performance data is sparse (Section V-A): most CCT nodes have zero for
+//! most metrics. Storage therefore comes in two interchangeable flavors —
+//! dense `Vec<f64>` and a hash-indexed sparse map — so the ablation bench
+//! (`metric_storage`) can compare them; the public API is identical.
+
+use crate::ids::{ColumnId, MetricId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Description of a raw (measured) metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricDesc {
+    /// e.g. `PAPI_TOT_CYC`, `PAPI_L1_DCM`, `PAPI_FP_OPS`, `IDLENESS`.
+    pub name: String,
+    /// Unit label for display, e.g. `cycles`, `misses`, `ops`.
+    pub unit: String,
+    /// Sampling period: one recorded sample represents this many events.
+    /// The paper defines the exclusive value at a sample point as sample
+    /// count × period.
+    pub period: f64,
+}
+
+impl MetricDesc {
+    /// Describe a raw metric.
+    pub fn new(name: &str, unit: &str, period: f64) -> Self {
+        MetricDesc {
+            name: name.to_owned(),
+            unit: unit.to_owned(),
+            period,
+        }
+    }
+}
+
+/// Per-node storage for one metric column. Indices are node ids of whatever
+/// tree the containing table is attached to (CCT or a view tree).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum MetricVec {
+    /// Dense vector indexed by node id.
+    Dense(Vec<f64>),
+    /// Sparse map from node id to value; zeros are absent.
+    Sparse(HashMap<u32, f64>),
+}
+
+impl MetricVec {
+    /// A dense column pre-sized for `len` nodes.
+    pub fn dense(len: usize) -> Self {
+        MetricVec::Dense(vec![0.0; len])
+    }
+
+    /// An empty sparse column.
+    pub fn sparse() -> Self {
+        MetricVec::Sparse(HashMap::new())
+    }
+
+    /// Value at `node` (0.0 when absent).
+    #[inline]
+    pub fn get(&self, node: u32) -> f64 {
+        match self {
+            MetricVec::Dense(v) => v.get(node as usize).copied().unwrap_or(0.0),
+            MetricVec::Sparse(m) => m.get(&node).copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Set the value at `node`; setting 0.0 removes sparse entries.
+    #[inline]
+    pub fn set(&mut self, node: u32, value: f64) {
+        match self {
+            MetricVec::Dense(v) => {
+                if node as usize >= v.len() {
+                    v.resize(node as usize + 1, 0.0);
+                }
+                v[node as usize] = value;
+            }
+            MetricVec::Sparse(m) => {
+                if value == 0.0 {
+                    m.remove(&node);
+                } else {
+                    m.insert(node, value);
+                }
+            }
+        }
+    }
+
+    /// Accumulate `delta` at `node`.
+    #[inline]
+    pub fn add(&mut self, node: u32, delta: f64) {
+        if delta == 0.0 {
+            return;
+        }
+        match self {
+            MetricVec::Dense(v) => {
+                if node as usize >= v.len() {
+                    v.resize(node as usize + 1, 0.0);
+                }
+                v[node as usize] += delta;
+            }
+            MetricVec::Sparse(m) => {
+                *m.entry(node).or_insert(0.0) += delta;
+            }
+        }
+    }
+
+    /// Number of nodes with a non-zero value.
+    pub fn nonzero_count(&self) -> usize {
+        match self {
+            MetricVec::Dense(v) => v.iter().filter(|&&x| x != 0.0).count(),
+            MetricVec::Sparse(m) => m.values().filter(|&&x| x != 0.0).count(),
+        }
+    }
+
+    /// Non-zero entries in ascending node order (deterministic regardless of
+    /// storage flavor).
+    pub fn nonzero_sorted(&self) -> Vec<(u32, f64)> {
+        let mut out: Vec<(u32, f64)> = match self {
+            MetricVec::Dense(v) => v
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| x != 0.0)
+                .map(|(i, &x)| (i as u32, x))
+                .collect(),
+            MetricVec::Sparse(m) => m.iter().filter(|(_, &x)| x != 0.0).map(|(&k, &v)| (k, v)).collect(),
+        };
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+
+    /// Approximate heap footprint in bytes, for the storage ablation bench.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            MetricVec::Dense(v) => v.capacity() * std::mem::size_of::<f64>(),
+            MetricVec::Sparse(m) => m.capacity() * (std::mem::size_of::<(u32, f64)>() + 8),
+        }
+    }
+}
+
+/// Which storage flavor new columns use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageKind {
+    /// One `f64` slot per node; fastest lookups, O(nodes) memory.
+    Dense,
+    /// Hash-indexed non-zero entries; memory proportional to samples.
+    Sparse,
+}
+
+/// Direct (sample-point) costs for every raw metric, attached to a CCT.
+///
+/// `values[m].get(n)` is the cost measured *at* node `n` for metric `m`:
+/// sample count × period, before any inclusive/exclusive attribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RawMetrics {
+    descs: Vec<MetricDesc>,
+    values: Vec<MetricVec>,
+    storage: StorageKind,
+}
+
+impl RawMetrics {
+    /// An empty metric set using the given storage flavor.
+    pub fn new(storage: StorageKind) -> Self {
+        RawMetrics {
+            descs: Vec::new(),
+            values: Vec::new(),
+            storage,
+        }
+    }
+
+    /// The storage flavor new columns use.
+    pub fn storage(&self) -> StorageKind {
+        self.storage
+    }
+
+    /// Register a raw metric, returning its id.
+    pub fn add_metric(&mut self, desc: MetricDesc) -> MetricId {
+        let id = MetricId::from_usize(self.descs.len());
+        self.descs.push(desc);
+        self.values.push(match self.storage {
+            StorageKind::Dense => MetricVec::dense(0),
+            StorageKind::Sparse => MetricVec::sparse(),
+        });
+        id
+    }
+
+    /// Number of registered raw metrics.
+    pub fn metric_count(&self) -> usize {
+        self.descs.len()
+    }
+
+    /// Descriptor of metric `m`.
+    pub fn desc(&self, m: MetricId) -> &MetricDesc {
+        &self.descs[m.index()]
+    }
+
+    /// All metric descriptors, in id order.
+    pub fn descs(&self) -> &[MetricDesc] {
+        &self.descs
+    }
+
+    /// Find a metric by name.
+    pub fn find(&self, name: &str) -> Option<MetricId> {
+        self.descs
+            .iter()
+            .position(|d| d.name == name)
+            .map(MetricId::from_usize)
+    }
+
+    /// Record `count` samples of metric `m` at node `n`.
+    pub fn record_samples(&mut self, m: MetricId, n: crate::ids::NodeId, count: u64) {
+        let period = self.descs[m.index()].period;
+        self.values[m.index()].add(n.0, count as f64 * period);
+    }
+
+    /// Add a pre-scaled cost at node `n`.
+    pub fn add_cost(&mut self, m: MetricId, n: crate::ids::NodeId, cost: f64) {
+        self.values[m.index()].add(n.0, cost);
+    }
+
+    /// Direct (sample-point) cost of metric `m` at node `n`.
+    pub fn direct(&self, m: MetricId, n: crate::ids::NodeId) -> f64 {
+        self.values[m.index()].get(n.0)
+    }
+
+    /// The raw per-node storage of metric `m`.
+    pub fn column(&self, m: MetricId) -> &MetricVec {
+        &self.values[m.index()]
+    }
+
+    /// Total direct cost of metric `m` over all nodes (the whole-program
+    /// cost, which equals the root's inclusive value after attribution).
+    pub fn total(&self, m: MetricId) -> f64 {
+        match &self.values[m.index()] {
+            MetricVec::Dense(v) => v.iter().sum(),
+            MetricVec::Sparse(map) => map.values().sum(),
+        }
+    }
+}
+
+/// How a presentation column derives its values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ColumnFlavor {
+    /// Inclusive projection of a raw metric (Eq. 2).
+    Inclusive(MetricId),
+    /// Exclusive projection of a raw metric (Eq. 1 hybrid rules).
+    Exclusive(MetricId),
+    /// Computed from other columns with a formula (Section V-D); the source
+    /// text of the formula is kept for the experiment database.
+    Derived {
+        /// Source text of the formula (kept for the experiment database).
+        formula: String,
+    },
+    /// A statistic over per-process values (finalization step, Section IV).
+    Summary {
+        /// The raw metric the statistic summarizes.
+        base: MetricId,
+        /// Which statistic over per-process values.
+        stat: crate::summary::Stat,
+    },
+}
+
+/// A presentation column: what the metric pane shows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDesc {
+    /// Column title shown in the metric pane.
+    pub name: String,
+    /// How the column's values are produced.
+    pub flavor: ColumnFlavor,
+    /// Hidden columns take part in derived-metric formulas but are not
+    /// rendered (matches hpcviewer's show/hide metric property).
+    pub visible: bool,
+}
+
+/// A table of presentation columns attached to some tree (CCT or view
+/// tree). Column values are indexed by node id within that tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnSet {
+    descs: Vec<ColumnDesc>,
+    values: Vec<MetricVec>,
+    storage: StorageKind,
+}
+
+impl ColumnSet {
+    /// An empty column table using the given storage flavor.
+    pub fn new(storage: StorageKind) -> Self {
+        ColumnSet {
+            descs: Vec::new(),
+            values: Vec::new(),
+            storage,
+        }
+    }
+
+    /// Append a presentation column, returning its id.
+    pub fn add_column(&mut self, desc: ColumnDesc) -> ColumnId {
+        let id = ColumnId::from_usize(self.descs.len());
+        self.descs.push(desc);
+        self.values.push(match self.storage {
+            StorageKind::Dense => MetricVec::dense(0),
+            StorageKind::Sparse => MetricVec::sparse(),
+        });
+        id
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.descs.len()
+    }
+
+    /// Descriptor of column `c`.
+    pub fn desc(&self, c: ColumnId) -> &ColumnDesc {
+        &self.descs[c.index()]
+    }
+
+    /// All column descriptors, in id order.
+    pub fn descs(&self) -> &[ColumnDesc] {
+        &self.descs
+    }
+
+    /// Every column id, in order.
+    pub fn columns(&self) -> impl Iterator<Item = ColumnId> + '_ {
+        (0..self.descs.len()).map(ColumnId::from_usize)
+    }
+
+    /// Column ids the metric pane renders (visible ones).
+    pub fn visible_columns(&self) -> impl Iterator<Item = ColumnId> + '_ {
+        self.descs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.visible)
+            .map(|(i, _)| ColumnId::from_usize(i))
+    }
+
+    /// Look a column up by its title.
+    pub fn find(&self, name: &str) -> Option<ColumnId> {
+        self.descs
+            .iter()
+            .position(|d| d.name == name)
+            .map(ColumnId::from_usize)
+    }
+
+    /// Value of column `c` at `node` (0.0 when absent).
+    #[inline]
+    pub fn get(&self, c: ColumnId, node: u32) -> f64 {
+        self.values[c.index()].get(node)
+    }
+
+    /// Set column `c` at `node`.
+    #[inline]
+    pub fn set(&mut self, c: ColumnId, node: u32, value: f64) {
+        self.values[c.index()].set(node, value);
+    }
+
+    /// Accumulate into column `c` at `node`.
+    #[inline]
+    pub fn add(&mut self, c: ColumnId, node: u32, delta: f64) {
+        self.values[c.index()].add(node, delta);
+    }
+
+    /// The per-node storage backing column `c`.
+    pub fn vec(&self, c: ColumnId) -> &MetricVec {
+        &self.values[c.index()]
+    }
+
+    /// Approximate heap footprint of all column storage.
+    pub fn heap_bytes(&self) -> usize {
+        self.values.iter().map(MetricVec::heap_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn dense_and_sparse_agree() {
+        let mut d = MetricVec::dense(0);
+        let mut s = MetricVec::sparse();
+        for (n, v) in [(3u32, 1.5), (0, 2.0), (3, 0.5), (10, -1.0)] {
+            d.add(n, v);
+            s.add(n, v);
+        }
+        for n in 0..12 {
+            assert_eq!(d.get(n), s.get(n), "node {n}");
+        }
+        assert_eq!(d.nonzero_sorted(), s.nonzero_sorted());
+    }
+
+    #[test]
+    fn sparse_set_zero_removes_entry() {
+        let mut s = MetricVec::sparse();
+        s.set(5, 3.0);
+        assert_eq!(s.nonzero_count(), 1);
+        s.set(5, 0.0);
+        assert_eq!(s.nonzero_count(), 0);
+        assert_eq!(s.get(5), 0.0);
+    }
+
+    #[test]
+    fn record_samples_scales_by_period() {
+        let mut raw = RawMetrics::new(StorageKind::Dense);
+        let m = raw.add_metric(MetricDesc::new("PAPI_TOT_CYC", "cycles", 1000.0));
+        raw.record_samples(m, NodeId(4), 3);
+        assert_eq!(raw.direct(m, NodeId(4)), 3000.0);
+        assert_eq!(raw.total(m), 3000.0);
+    }
+
+    #[test]
+    fn find_metric_by_name() {
+        let mut raw = RawMetrics::new(StorageKind::Sparse);
+        let cyc = raw.add_metric(MetricDesc::new("cycles", "cycles", 1.0));
+        let l1 = raw.add_metric(MetricDesc::new("l1_dcm", "misses", 1.0));
+        assert_eq!(raw.find("cycles"), Some(cyc));
+        assert_eq!(raw.find("l1_dcm"), Some(l1));
+        assert_eq!(raw.find("nope"), None);
+    }
+
+    #[test]
+    fn column_set_visibility() {
+        let mut cs = ColumnSet::new(StorageKind::Dense);
+        let a = cs.add_column(ColumnDesc {
+            name: "cycles (I)".into(),
+            flavor: ColumnFlavor::Inclusive(MetricId(0)),
+            visible: true,
+        });
+        let b = cs.add_column(ColumnDesc {
+            name: "scratch".into(),
+            flavor: ColumnFlavor::Derived {
+                formula: "$0*2".into(),
+            },
+            visible: false,
+        });
+        let visible: Vec<ColumnId> = cs.visible_columns().collect();
+        assert_eq!(visible, vec![a]);
+        assert_eq!(cs.find("scratch"), Some(b));
+    }
+
+    #[test]
+    fn dense_auto_grows() {
+        let mut d = MetricVec::dense(0);
+        d.add(100, 1.0);
+        assert_eq!(d.get(100), 1.0);
+        assert_eq!(d.get(99), 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Program scopes: the vocabulary shared by the canonical CCT and the three
+//! presentation views.
+//!
+//! The paper distinguishes *dynamic* scopes (procedure activations reached
+//! through a `<call site, callee>` pair) from *static* scopes (load module,
+//! file, procedure, loop, statement, inlined code). The canonical CCT that
+//! `hpcprof` synthesizes interleaves both: procedure frames are dynamic,
+//! while the loops and statements nested inside a frame are static program
+//! structure fused into the dynamic call chain.
+
+use crate::ids::{FileId, LoadModuleId, ProcId};
+use crate::names::{NameTable, SourceLoc};
+use serde::{Deserialize, Serialize};
+
+/// The kind of a node in a canonical calling context tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScopeKind {
+    /// The synthetic root of the experiment (aggregates whole-program cost).
+    Root,
+    /// A procedure activation: dynamic scope. `call_site` is `None` for
+    /// top-level frames (e.g. `main`), and the paper's fused presentation
+    /// shows call site and callee on a single line.
+    Frame {
+        /// The procedure being activated.
+        proc: ProcId,
+        /// Load module housing the procedure.
+        module: LoadModuleId,
+        /// Where the procedure is defined (file + first line); used to place
+        /// the procedure in the Flat View and to navigate the source pane.
+        def: SourceLoc,
+        /// The call site in the *caller* that created this activation.
+        call_site: Option<SourceLoc>,
+    },
+    /// A procedure body inlined into the enclosing frame: static scope, but
+    /// frame-like for attribution (Fig. 5's inlined red-black-tree search).
+    InlinedFrame {
+        /// The procedure whose body was inlined.
+        proc: ProcId,
+        /// Where the inlined procedure is defined.
+        def: SourceLoc,
+        /// Where it was inlined into the host.
+        call_site: SourceLoc,
+    },
+    /// A loop, identified by its header location. Static scope.
+    Loop {
+        /// Loop header location.
+        header: SourceLoc,
+    },
+    /// A source statement. Static scope; samples land here.
+    Stmt {
+        /// Statement location.
+        loc: SourceLoc,
+    },
+}
+
+impl ScopeKind {
+    /// Dynamic scopes represent caller--callee relationships; everything
+    /// else is static program structure (Section IV-A of the paper).
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, ScopeKind::Root | ScopeKind::Frame { .. })
+    }
+
+    /// Procedure frames get the "dynamic" exclusive-metric rule (rule 1 of
+    /// Eq. 1): they absorb every descendant statement reachable without
+    /// crossing a call site. Inlined frames behave the same way for
+    /// attribution purposes.
+    pub fn is_frame(&self) -> bool {
+        matches!(
+            self,
+            ScopeKind::Frame { .. } | ScopeKind::InlinedFrame { .. }
+        )
+    }
+
+    /// True for statement scopes.
+    pub fn is_stmt(&self) -> bool {
+        matches!(self, ScopeKind::Stmt { .. })
+    }
+
+    /// True for loop scopes.
+    pub fn is_loop(&self) -> bool {
+        matches!(self, ScopeKind::Loop { .. })
+    }
+
+    /// The procedure this scope belongs to directly, if it is a frame.
+    pub fn frame_proc(&self) -> Option<ProcId> {
+        match self {
+            ScopeKind::Frame { proc, .. } | ScopeKind::InlinedFrame { proc, .. } => Some(*proc),
+            _ => None,
+        }
+    }
+
+    /// Render a human-readable label, e.g. `loop at file1.c:8` or `g`.
+    pub fn label(&self, names: &NameTable) -> String {
+        match self {
+            ScopeKind::Root => "<program root>".to_owned(),
+            ScopeKind::Frame { proc, .. } => names.proc_name(*proc).to_owned(),
+            ScopeKind::InlinedFrame { proc, .. } => {
+                format!("inlined from {}", names.proc_name(*proc))
+            }
+            ScopeKind::Loop { header } => {
+                format!(
+                    "loop at {}:{}",
+                    names.file_name(header.file),
+                    header.line
+                )
+            }
+            ScopeKind::Stmt { loc } => {
+                format!("{}:{}", names.file_name(loc.file), loc.line)
+            }
+        }
+    }
+}
+
+/// The static object a CCT node is an *instance* of.
+///
+/// Exposure analysis (Section IV-B) and Flat-View aggregation both need to
+/// ask "are these two CCT nodes instances of the same static thing?". The
+/// answer is this key: procedures by id, loops and statements by their
+/// source location qualified with the owning procedure (two procedures may
+/// share a file and overlapping line ranges after inlining).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StaticKey {
+    /// A procedure (all dynamic activations of it).
+    Proc(ProcId),
+    /// An inlined procedure body at one call site within a host.
+    InlinedProc {
+        /// The procedure whose frame hosts the splice.
+        host: ProcId,
+        /// The inlined procedure.
+        callee: ProcId,
+        /// Where it was inlined.
+        call_site: SourceLoc,
+    },
+    /// A loop, qualified by its owning procedure.
+    Loop {
+        /// Procedure whose body contains the loop.
+        proc: ProcId,
+        /// Loop header location.
+        header: SourceLoc,
+    },
+    /// A statement, qualified by its owning procedure.
+    Stmt {
+        /// Procedure whose body contains the statement.
+        proc: ProcId,
+        /// Statement location.
+        loc: SourceLoc,
+    },
+    /// A source file (all frames of procedures defined in it).
+    File(FileId),
+    /// A load module.
+    Module(LoadModuleId),
+    /// The synthetic experiment root.
+    Root,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FileId, LoadModuleId, ProcId};
+
+    fn loc(line: u32) -> SourceLoc {
+        SourceLoc::new(FileId(0), line)
+    }
+
+    #[test]
+    fn dynamic_classification() {
+        assert!(ScopeKind::Root.is_dynamic());
+        let frame = ScopeKind::Frame {
+            proc: ProcId(0),
+            module: LoadModuleId(0),
+            def: loc(1),
+            call_site: None,
+        };
+        assert!(frame.is_dynamic());
+        assert!(frame.is_frame());
+        assert!(!ScopeKind::Loop { header: loc(2) }.is_dynamic());
+        assert!(!ScopeKind::Stmt { loc: loc(3) }.is_dynamic());
+    }
+
+    #[test]
+    fn inlined_frames_are_static_but_frame_like() {
+        let inl = ScopeKind::InlinedFrame {
+            proc: ProcId(1),
+            def: loc(10),
+            call_site: loc(5),
+        };
+        assert!(!inl.is_dynamic());
+        assert!(inl.is_frame());
+        assert_eq!(inl.frame_proc(), Some(ProcId(1)));
+    }
+
+    #[test]
+    fn labels() {
+        let mut names = NameTable::new();
+        let f = names.file("file1.c");
+        let p = names.proc("g");
+        let frame = ScopeKind::Frame {
+            proc: p,
+            module: names.module("a.out"),
+            def: SourceLoc::new(f, 1),
+            call_site: None,
+        };
+        assert_eq!(frame.label(&names), "g");
+        let lp = ScopeKind::Loop {
+            header: SourceLoc::new(f, 8),
+        };
+        assert_eq!(lp.label(&names), "loop at file1.c:8");
+        let st = ScopeKind::Stmt {
+            loc: SourceLoc::new(f, 9),
+        };
+        assert_eq!(st.label(&names), "file1.c:9");
+    }
+
+    #[test]
+    fn static_keys_discriminate_procs() {
+        assert_ne!(StaticKey::Proc(ProcId(0)), StaticKey::Proc(ProcId(1)));
+        assert_ne!(
+            StaticKey::Loop {
+                proc: ProcId(0),
+                header: loc(8)
+            },
+            StaticKey::Loop {
+                proc: ProcId(1),
+                header: loc(8)
+            },
+        );
+    }
+}

@@ -1,0 +1,438 @@
+//! A uniform presentation interface over the three views
+//! (Section III): Calling Context View, Callers View, Flat View.
+//!
+//! The renderer (`callpath-viewer`) and the hot-path driver work against
+//! this one type, so every presentation feature — sorting, hot paths,
+//! flattening, metric formatting — behaves identically across views, which
+//! is the paper's "coherent synthesis" argument.
+
+use crate::callers::CallersView;
+use crate::cct::Cct;
+use crate::experiment::Experiment;
+use crate::flat::FlatView;
+use crate::hotpath::HotPathConfig;
+use crate::ids::{ColumnId, NodeId, ViewNodeId};
+use crate::metrics::ColumnSet;
+use crate::names::SourceLoc;
+use crate::scope::ScopeKind;
+use crate::viewtree::ViewScope;
+
+/// Which of the three complementary perspectives a `View` presents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViewKind {
+    /// Top-down Calling Context View.
+    CallingContext,
+    /// Bottom-up Callers View.
+    Callers,
+    /// Static Flat View.
+    Flat,
+}
+
+impl ViewKind {
+    /// All three views, in the paper's order.
+    pub const ALL: [ViewKind; 3] = [ViewKind::CallingContext, ViewKind::Callers, ViewKind::Flat];
+
+    /// The pane title the paper uses.
+    pub fn title(self) -> &'static str {
+        match self {
+            ViewKind::CallingContext => "Calling Context View",
+            ViewKind::Callers => "Callers View",
+            ViewKind::Flat => "Flat View",
+        }
+    }
+}
+
+/// A presentable view bound to an experiment.
+///
+/// Node handles are plain `u32` indices into the underlying tree (CCT node
+/// ids for the Calling Context View, view-tree ids otherwise).
+pub enum View<'a> {
+    /// The canonical CCT presented directly.
+    CallingContext(&'a Experiment),
+    /// The bottom-up view, owned so lazy expansion can mutate it.
+    Callers {
+        /// The underlying experiment.
+        exp: &'a Experiment,
+        /// The (lazily expanded) callers tree.
+        view: CallersView,
+    },
+    /// The static view.
+    Flat {
+        /// The underlying experiment.
+        exp: &'a Experiment,
+        /// The flat tree.
+        view: FlatView,
+    },
+}
+
+impl<'a> View<'a> {
+    /// The top-down Calling Context View: presents the canonical CCT
+    /// directly.
+    pub fn calling_context(exp: &'a Experiment) -> Self {
+        View::CallingContext(exp)
+    }
+
+    /// The bottom-up Callers View (lazily constructed).
+    pub fn callers(exp: &'a Experiment) -> Self {
+        let storage = exp.raw.storage();
+        View::Callers {
+            exp,
+            view: CallersView::build(exp, storage),
+        }
+    }
+
+    /// The static Flat View.
+    pub fn flat(exp: &'a Experiment) -> Self {
+        let storage = exp.raw.storage();
+        View::Flat {
+            exp,
+            view: FlatView::build(exp, storage),
+        }
+    }
+
+    /// Which perspective this view presents.
+    pub fn kind(&self) -> ViewKind {
+        match self {
+            View::CallingContext(_) => ViewKind::CallingContext,
+            View::Callers { .. } => ViewKind::Callers,
+            View::Flat { .. } => ViewKind::Flat,
+        }
+    }
+
+    /// The experiment the view is bound to.
+    pub fn experiment(&self) -> &Experiment {
+        match self {
+            View::CallingContext(exp) => exp,
+            View::Callers { exp, .. } | View::Flat { exp, .. } => exp,
+        }
+    }
+
+    /// Top-level nodes of the view. The Calling Context View starts at the
+    /// children of the synthetic root; the Callers View at its per-procedure
+    /// entries; the Flat View at load modules.
+    pub fn roots(&self) -> Vec<u32> {
+        match self {
+            View::CallingContext(exp) => {
+                exp.cct.children(exp.cct.root()).map(|n| n.0).collect()
+            }
+            View::Callers { view, .. } => view.tree.roots().iter().map(|r| r.0).collect(),
+            View::Flat { view, .. } => view.tree.roots().iter().map(|r| r.0).collect(),
+        }
+    }
+
+    /// Children of `n`, materializing lazy views as needed. Only scopes
+    /// with a non-zero metric somewhere below them exist at all (sparse
+    /// representation), so no extra filtering is required here.
+    pub fn children(&mut self, n: u32) -> Vec<u32> {
+        match self {
+            View::CallingContext(exp) => exp.cct.children(NodeId(n)).map(|c| c.0).collect(),
+            View::Callers { exp, view } => view
+                .children_of(exp, ViewNodeId(n))
+                .iter()
+                .map(|c| c.0)
+                .collect(),
+            View::Flat { view, .. } => {
+                view.tree.children(ViewNodeId(n)).iter().map(|c| c.0).collect()
+            }
+        }
+    }
+
+    /// Children without materializing anything (may be incomplete for the
+    /// lazy Callers View; used by renderers that only show expanded state).
+    pub fn children_if_built(&self, n: u32) -> Vec<u32> {
+        match self {
+            View::CallingContext(exp) => exp.cct.children(NodeId(n)).map(|c| c.0).collect(),
+            View::Callers { view, .. } => view
+                .tree
+                .children(ViewNodeId(n))
+                .iter()
+                .map(|c| c.0)
+                .collect(),
+            View::Flat { view, .. } => {
+                view.tree.children(ViewNodeId(n)).iter().map(|c| c.0).collect()
+            }
+        }
+    }
+
+    /// Navigation-pane label of scope `n`.
+    pub fn label(&self, n: u32) -> String {
+        match self {
+            View::CallingContext(exp) => exp.cct.kind(NodeId(n)).label(&exp.cct.names),
+            View::Callers { exp, view } => view.tree.label(ViewNodeId(n), &exp.cct.names),
+            View::Flat { exp, view } => view.tree.label(ViewNodeId(n), &exp.cct.names),
+        }
+    }
+
+    /// Whether the navigation pane should draw the call-site arrow icon on
+    /// this line (fused call-site/callee presentation, Section V-B).
+    pub fn is_call(&self, n: u32) -> bool {
+        match self {
+            View::CallingContext(exp) => matches!(
+                exp.cct.kind(NodeId(n)),
+                ScopeKind::Frame {
+                    call_site: Some(_),
+                    ..
+                }
+            ),
+            View::Callers { view, .. } => view.tree.scope(ViewNodeId(n)).is_call(),
+            View::Flat { view, .. } => view.tree.scope(ViewNodeId(n)).is_call(),
+        }
+    }
+
+    /// Whether the scope has source code the viewer can navigate to. The
+    /// paper renders binary-only routines (no line map) in plain black
+    /// instead of as hyperlinks.
+    pub fn has_source(&self, n: u32) -> bool {
+        match self {
+            View::CallingContext(exp) => match *exp.cct.kind(NodeId(n)) {
+                ScopeKind::Frame { def, .. } | ScopeKind::InlinedFrame { def, .. } => {
+                    def.is_known()
+                }
+                ScopeKind::Loop { header } => header.is_known(),
+                ScopeKind::Stmt { loc } => loc.is_known(),
+                ScopeKind::Root => false,
+            },
+            View::Callers { .. } => true,
+            View::Flat { view, .. } => !matches!(
+                view.tree.scope(ViewNodeId(n)),
+                ViewScope::Module { .. }
+            ),
+        }
+    }
+
+    /// The call site (in the caller) associated with this line, if any —
+    /// what clicking the call-site icon navigates to.
+    pub fn call_site(&self, n: u32) -> Option<SourceLoc> {
+        match self {
+            View::CallingContext(exp) => match *exp.cct.kind(NodeId(n)) {
+                ScopeKind::Frame { call_site, .. } => call_site,
+                ScopeKind::InlinedFrame { call_site, .. } => Some(call_site),
+                _ => None,
+            },
+            View::Callers { view, .. } => match *view.tree.scope(ViewNodeId(n)) {
+                ViewScope::Caller { call_site, .. } => call_site,
+                _ => None,
+            },
+            View::Flat { view, .. } => match *view.tree.scope(ViewNodeId(n)) {
+                ViewScope::CallSite { loc, .. } => loc,
+                ViewScope::Inlined { call_site, .. } => Some(call_site),
+                _ => None,
+            },
+        }
+    }
+
+    /// The source location the scope itself navigates to (procedure
+    /// definition, loop header, statement line), if known.
+    pub fn source_of(&self, n: u32) -> Option<SourceLoc> {
+        let loc = match self {
+            View::CallingContext(exp) => match *exp.cct.kind(NodeId(n)) {
+                ScopeKind::Frame { def, .. } | ScopeKind::InlinedFrame { def, .. } => Some(def),
+                ScopeKind::Loop { header } => Some(header),
+                ScopeKind::Stmt { loc } => Some(loc),
+                ScopeKind::Root => None,
+            },
+            View::Callers { .. } => None,
+            View::Flat { view, .. } => match *view.tree.scope(ViewNodeId(n)) {
+                ViewScope::Loop { header } => Some(header),
+                ViewScope::Stmt { loc } => Some(loc),
+                _ => None,
+            },
+        };
+        loc.filter(|l| l.is_known())
+    }
+
+    /// The metric columns of this view's tree.
+    pub fn columns(&self) -> &ColumnSet {
+        match self {
+            View::CallingContext(exp) => &exp.columns,
+            View::Callers { view, .. } => &view.tree.columns,
+            View::Flat { view, .. } => &view.tree.columns,
+        }
+    }
+
+    /// Value of column `c` at scope `n`.
+    pub fn value(&self, c: ColumnId, n: u32) -> f64 {
+        self.columns().get(c, n)
+    }
+
+    /// Hot path analysis (Eq. 3) starting at `start` for column `c`,
+    /// materializing lazy children along the way.
+    ///
+    /// This re-runs the generic [`crate::hotpath::hot_path`] descent inline because lazy
+    /// expansion needs `&mut self` while value lookups need `&self`; the
+    /// semantics (including deterministic tie-breaking to the first child)
+    /// are covered by shared tests against the generic implementation.
+    pub fn hot_path(&mut self, start: u32, c: ColumnId, config: HotPathConfig) -> Vec<u32> {
+        let mut path = vec![start];
+        let mut cur = start;
+        let mut cur_value = self.value(c, cur);
+        for _ in 0..config.max_depth {
+            let kids = self.children(cur);
+            let mut best: Option<(u32, f64)> = None;
+            for k in kids {
+                let v = self.value(c, k);
+                match best {
+                    Some((_, bv)) if v <= bv => {}
+                    _ => best = Some((k, v)),
+                }
+            }
+            match best {
+                Some((k, v)) if cur_value > 0.0 && v >= config.threshold * cur_value => {
+                    path.push(k);
+                    cur = k;
+                    cur_value = v;
+                }
+                _ => break,
+            }
+        }
+        path
+    }
+
+    /// Number of nodes currently materialized (CCT size for the Calling
+    /// Context View).
+    pub fn node_count(&self) -> usize {
+        match self {
+            View::CallingContext(exp) => exp.cct.len(),
+            View::Callers { view, .. } => view.tree.len(),
+            View::Flat { view, .. } => view.tree.len(),
+        }
+    }
+}
+
+/// Rank `nodes` by a column in descending order (the navigation pane's
+/// sort, Section V-A). Ties break by label so results are deterministic.
+pub fn sort_by_column(view: &View<'_>, nodes: &mut [u32], c: ColumnId) {
+    nodes.sort_by(|&a, &b| {
+        let va = view.value(c, a);
+        let vb = view.value(c, b);
+        vb.partial_cmp(&va)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| view.label(a).cmp(&view.label(b)))
+    });
+}
+
+/// Helper used by tests and the CCT presenter: borrow the underlying CCT.
+pub fn cct_of<'e>(view: &'e View<'_>) -> &'e Cct {
+    &view.experiment().cct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LoadModuleId, ProcId};
+    use crate::metrics::{MetricDesc, RawMetrics, StorageKind};
+    use crate::names::{NameTable, SourceLoc};
+
+    fn exp_with_chain() -> Experiment {
+        let mut names = NameTable::new();
+        let file = names.file("x.c");
+        let module = names.module("x");
+        let pa = names.proc("a");
+        let pb = names.proc("b");
+        let pc = names.proc("c");
+        let mut cct = Cct::new(names);
+        let root = cct.root();
+        let fr = |proc: ProcId, line: u32, cs: Option<u32>| ScopeKind::Frame {
+            proc,
+            module,
+            def: SourceLoc::new(file, line),
+            call_site: cs.map(|l| SourceLoc::new(file, l)),
+        };
+        let a = cct.add_child(root, fr(pa, 1, None));
+        let b = cct.add_child(a, fr(pb, 10, Some(2)));
+        let c = cct.add_child(b, fr(pc, 20, Some(11)));
+        let s = cct.add_child(
+            c,
+            ScopeKind::Stmt {
+                loc: SourceLoc::new(file, 21),
+            },
+        );
+        let s2 = cct.add_child(
+            a,
+            ScopeKind::Stmt {
+                loc: SourceLoc::new(file, 3),
+            },
+        );
+        let mut raw = RawMetrics::new(StorageKind::Dense);
+        let m = raw.add_metric(MetricDesc::new("cyc", "cycles", 1.0));
+        raw.add_cost(m, s, 90.0);
+        raw.add_cost(m, s2, 10.0);
+        let _ = LoadModuleId(0);
+        Experiment::build(cct, raw, StorageKind::Dense)
+    }
+
+    #[test]
+    fn three_views_share_one_interface() {
+        let exp = exp_with_chain();
+        for kind in ViewKind::ALL {
+            let mut view = match kind {
+                ViewKind::CallingContext => View::calling_context(&exp),
+                ViewKind::Callers => View::callers(&exp),
+                ViewKind::Flat => View::flat(&exp),
+            };
+            assert_eq!(view.kind(), kind);
+            let roots = view.roots();
+            assert!(!roots.is_empty(), "{}", kind.title());
+            // Children of the first root must be reachable.
+            let _ = view.children(roots[0]);
+        }
+    }
+
+    #[test]
+    fn cct_hot_path_descends_to_the_statement() {
+        let exp = exp_with_chain();
+        let mut view = View::calling_context(&exp);
+        let roots = view.roots();
+        let path = view.hot_path(roots[0], ColumnId(0), HotPathConfig::default());
+        let labels: Vec<String> = path.iter().map(|&n| view.label(n)).collect();
+        assert_eq!(labels, vec!["a", "b", "c", "x.c:21"]);
+    }
+
+    #[test]
+    fn callers_hot_path_expands_lazily() {
+        let exp = exp_with_chain();
+        let mut view = View::callers(&exp);
+        let roots = view.roots();
+        // Find the "c" entry; its hot caller chain is b then a.
+        let c_entry = roots
+            .into_iter()
+            .find(|&r| view.label(r) == "c")
+            .unwrap();
+        let before = view.node_count();
+        let path = view.hot_path(c_entry, ColumnId(0), HotPathConfig::default());
+        let labels: Vec<String> = path.iter().map(|&n| view.label(n)).collect();
+        assert_eq!(labels, vec!["c", "b", "a"]);
+        assert!(view.node_count() > before, "expansion materialized nodes");
+    }
+
+    #[test]
+    fn sorting_is_descending_with_label_ties() {
+        let exp = exp_with_chain();
+        let mut view = View::calling_context(&exp);
+        let roots = view.roots();
+        let mut kids = view.children(roots[0]);
+        sort_by_column(&view, &mut kids, ColumnId(0));
+        let labels: Vec<String> = kids.iter().map(|&n| view.label(n)).collect();
+        assert_eq!(labels, vec!["b", "x.c:3"]);
+    }
+
+    #[test]
+    fn call_markers_only_on_called_frames() {
+        let exp = exp_with_chain();
+        let mut view = View::calling_context(&exp);
+        let roots = view.roots();
+        assert!(!view.is_call(roots[0]), "a is a top-level frame");
+        let kids = view.children(roots[0]);
+        assert!(view.is_call(kids[0]), "b was called from a");
+    }
+
+    #[test]
+    fn flat_view_has_module_roots() {
+        let exp = exp_with_chain();
+        let view = View::flat(&exp);
+        let roots = view.roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(view.label(roots[0]), "x");
+        assert!(!view.has_source(roots[0]), "modules have no source link");
+    }
+}

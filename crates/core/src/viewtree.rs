@@ -1,0 +1,351 @@
+//! Arena tree for derived presentation views (Callers View, Flat View).
+//!
+//! Unlike the canonical CCT, whose nodes are *instances* (one node per
+//! calling context), a view node *aggregates* a set of CCT instances; the
+//! set is kept on the node so that lazy expansion and recursion-correct
+//! (set-exposed) metric aggregation can be computed on demand.
+
+use crate::ids::{FileId, LoadModuleId, NodeId, ProcId, ViewNodeId};
+use crate::metrics::{ColumnSet, StorageKind};
+use crate::names::{NameTable, SourceLoc};
+use serde::{Deserialize, Serialize};
+
+const NONE: u32 = u32::MAX;
+
+/// What a view node presents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ViewScope {
+    /// Callers View top-level entry: a procedure aggregated over all its
+    /// calling contexts.
+    ProcTop {
+        /// The aggregated procedure.
+        proc: ProcId,
+    },
+    /// Callers View interior node: a caller one step further up the chain.
+    /// `call_site` is where the *callee one level down* was called.
+    Caller {
+        /// The caller procedure at this level of the chain.
+        proc: ProcId,
+        /// Call site of the activation one level below.
+        call_site: Option<SourceLoc>,
+    },
+    /// Flat View containers.
+    Module {
+        /// The load module.
+        module: LoadModuleId,
+    },
+    /// Flat View file container.
+    File {
+        /// The source file.
+        file: FileId,
+    },
+    /// Flat View procedure (all activations aggregated).
+    Procedure {
+        /// The procedure.
+        proc: ProcId,
+    },
+    /// Flat View static structure inside a procedure.
+    Loop {
+        /// Loop header location.
+        header: SourceLoc,
+    },
+    /// A statement within a procedure's static structure.
+    Stmt {
+        /// Statement location.
+        loc: SourceLoc,
+    },
+    /// An inlined procedure body within the host's static structure.
+    Inlined {
+        /// The inlined procedure.
+        callee: ProcId,
+        /// Where it was inlined.
+        call_site: SourceLoc,
+    },
+    /// Flat View dynamic node: a call site within a procedure, fused with
+    /// its callee (Fig. 2c's `gy`, `gz`, `gv`, `fy`, `hy`).
+    CallSite {
+        /// The procedure called from this site.
+        callee: ProcId,
+        /// The call-site location in the host procedure.
+        loc: Option<SourceLoc>,
+    },
+}
+
+impl ViewScope {
+    /// Human-readable label (procedure/file/module name, `loop at …`, …).
+    pub fn label(&self, names: &NameTable) -> String {
+        match self {
+            ViewScope::ProcTop { proc } | ViewScope::Procedure { proc } => {
+                names.proc_name(*proc).to_owned()
+            }
+            ViewScope::Caller { proc, .. } => names.proc_name(*proc).to_owned(),
+            ViewScope::Module { module } => names.module_name(*module).to_owned(),
+            ViewScope::File { file } => names.file_name(*file).to_owned(),
+            ViewScope::Loop { header } => format!(
+                "loop at {}:{}",
+                names.file_name(header.file),
+                header.line
+            ),
+            ViewScope::Stmt { loc } => format!("{}:{}", names.file_name(loc.file), loc.line),
+            ViewScope::Inlined { callee, .. } => {
+                format!("inlined from {}", names.proc_name(*callee))
+            }
+            ViewScope::CallSite { callee, .. } => names.proc_name(*callee).to_owned(),
+        }
+    }
+
+    /// Should the navigation pane draw the call-site arrow icon?
+    pub fn is_call(&self) -> bool {
+        matches!(
+            self,
+            ViewScope::CallSite { .. } | ViewScope::Caller { .. }
+        )
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ViewNode {
+    scope: ViewScope,
+    parent: u32,
+    first_child: u32,
+    last_child: u32,
+    next_sibling: u32,
+    /// CCT instances this node aggregates.
+    instances: Vec<NodeId>,
+    /// Lazy views: whether children have been materialized yet.
+    expanded: bool,
+}
+
+/// A forest of view nodes plus their metric columns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ViewTree {
+    nodes: Vec<ViewNode>,
+    roots: Vec<u32>,
+    /// Metric columns indexed by view node id.
+    pub columns: ColumnSet,
+}
+
+impl ViewTree {
+    /// An empty forest whose columns use the given storage flavor.
+    pub fn new(storage: StorageKind) -> Self {
+        ViewTree {
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            columns: ColumnSet::new(storage),
+        }
+    }
+
+    /// Number of materialized view nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been materialized.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Top-level nodes, in creation order.
+    pub fn roots(&self) -> Vec<ViewNodeId> {
+        self.roots.iter().map(|&r| ViewNodeId(r)).collect()
+    }
+
+    /// Append a new top-level node.
+    pub fn add_root(&mut self, scope: ViewScope) -> ViewNodeId {
+        let id = u32::try_from(self.nodes.len()).expect("view tree overflow");
+        self.nodes.push(ViewNode {
+            scope,
+            parent: NONE,
+            first_child: NONE,
+            last_child: NONE,
+            next_sibling: NONE,
+            instances: Vec::new(),
+            expanded: false,
+        });
+        self.roots.push(id);
+        ViewNodeId(id)
+    }
+
+    /// Append a child under `parent` (insertion order preserved).
+    pub fn add_child(&mut self, parent: ViewNodeId, scope: ViewScope) -> ViewNodeId {
+        let id = u32::try_from(self.nodes.len()).expect("view tree overflow");
+        self.nodes.push(ViewNode {
+            scope,
+            parent: parent.0,
+            first_child: NONE,
+            last_child: NONE,
+            next_sibling: NONE,
+            instances: Vec::new(),
+            expanded: false,
+        });
+        let p = &mut self.nodes[parent.index()];
+        if p.first_child == NONE {
+            p.first_child = id;
+        } else {
+            let last = p.last_child;
+            self.nodes[last as usize].next_sibling = id;
+        }
+        self.nodes[parent.index()].last_child = id;
+        ViewNodeId(id)
+    }
+
+    /// Find a child of `parent` with this exact scope, or create it.
+    pub fn find_or_add_child(&mut self, parent: ViewNodeId, scope: ViewScope) -> ViewNodeId {
+        let mut cur = self.nodes[parent.index()].first_child;
+        while cur != NONE {
+            if self.nodes[cur as usize].scope == scope {
+                return ViewNodeId(cur);
+            }
+            cur = self.nodes[cur as usize].next_sibling;
+        }
+        self.add_child(parent, scope)
+    }
+
+    /// Find a root with this exact scope, or create it.
+    pub fn find_or_add_root(&mut self, scope: ViewScope) -> ViewNodeId {
+        if let Some(&r) = self
+            .roots
+            .iter()
+            .find(|&&r| self.nodes[r as usize].scope == scope)
+        {
+            return ViewNodeId(r);
+        }
+        self.add_root(scope)
+    }
+
+    /// What node `n` presents.
+    pub fn scope(&self, n: ViewNodeId) -> &ViewScope {
+        &self.nodes[n.index()].scope
+    }
+
+    /// Parent of `n` (`None` for roots).
+    pub fn parent(&self, n: ViewNodeId) -> Option<ViewNodeId> {
+        let p = self.nodes[n.index()].parent;
+        (p != NONE).then_some(ViewNodeId(p))
+    }
+
+    /// Children of `n`, in insertion order.
+    pub fn children(&self, n: ViewNodeId) -> Vec<ViewNodeId> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[n.index()].first_child;
+        while cur != NONE {
+            out.push(ViewNodeId(cur));
+            cur = self.nodes[cur as usize].next_sibling;
+        }
+        out
+    }
+
+    /// True when `n` has at least one materialized child.
+    pub fn has_children(&self, n: ViewNodeId) -> bool {
+        self.nodes[n.index()].first_child != NONE
+    }
+
+    /// Record that `n` aggregates the CCT instance `inst`.
+    pub fn push_instance(&mut self, n: ViewNodeId, inst: NodeId) {
+        self.nodes[n.index()].instances.push(inst);
+    }
+
+    /// The CCT instances node `n` aggregates.
+    pub fn instances(&self, n: ViewNodeId) -> &[NodeId] {
+        &self.nodes[n.index()].instances
+    }
+
+    /// Lazy views: whether `n`'s children have been materialized.
+    pub fn is_expanded(&self, n: ViewNodeId) -> bool {
+        self.nodes[n.index()].expanded
+    }
+
+    /// Mark `n`'s children as materialized.
+    pub fn mark_expanded(&mut self, n: ViewNodeId) {
+        self.nodes[n.index()].expanded = true;
+    }
+
+    /// Human-readable label of `n`.
+    pub fn label(&self, n: ViewNodeId, names: &NameTable) -> String {
+        self.nodes[n.index()].scope.label(names)
+    }
+
+    /// Approximate heap footprint, for the lazy-vs-eager ablation bench.
+    pub fn heap_bytes(&self) -> usize {
+        let nodes = self.nodes.capacity() * std::mem::size_of::<ViewNode>();
+        let instances: usize = self
+            .nodes
+            .iter()
+            .map(|n| n.instances.capacity() * std::mem::size_of::<NodeId>())
+            .sum();
+        nodes + instances + self.columns.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forest_roots_and_children() {
+        let mut t = ViewTree::new(StorageKind::Dense);
+        let a = t.add_root(ViewScope::ProcTop { proc: ProcId(0) });
+        let b = t.add_root(ViewScope::ProcTop { proc: ProcId(1) });
+        let c = t.add_child(
+            a,
+            ViewScope::Caller {
+                proc: ProcId(2),
+                call_site: None,
+            },
+        );
+        assert_eq!(t.roots(), vec![a, b]);
+        assert_eq!(t.children(a), vec![c]);
+        assert_eq!(t.parent(c), Some(a));
+        assert_eq!(t.parent(a), None);
+        assert!(t.has_children(a));
+        assert!(!t.has_children(b));
+    }
+
+    #[test]
+    fn find_or_add_deduplicates_children_and_roots() {
+        let mut t = ViewTree::new(StorageKind::Dense);
+        let r1 = t.find_or_add_root(ViewScope::Module {
+            module: LoadModuleId(0),
+        });
+        let r2 = t.find_or_add_root(ViewScope::Module {
+            module: LoadModuleId(0),
+        });
+        assert_eq!(r1, r2);
+        let c1 = t.find_or_add_child(r1, ViewScope::File { file: FileId(3) });
+        let c2 = t.find_or_add_child(r1, ViewScope::File { file: FileId(3) });
+        assert_eq!(c1, c2);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn instances_accumulate() {
+        let mut t = ViewTree::new(StorageKind::Sparse);
+        let a = t.add_root(ViewScope::Procedure { proc: ProcId(0) });
+        t.push_instance(a, NodeId(5));
+        t.push_instance(a, NodeId(9));
+        assert_eq!(t.instances(a), &[NodeId(5), NodeId(9)]);
+    }
+
+    #[test]
+    fn labels_and_call_icons() {
+        let mut names = NameTable::new();
+        let g = names.proc("g");
+        let f = names.file("file2.c");
+        let mut t = ViewTree::new(StorageKind::Dense);
+        let top = t.add_root(ViewScope::ProcTop { proc: g });
+        assert_eq!(t.label(top, &names), "g");
+        assert!(!t.scope(top).is_call());
+        let cs = t.add_child(
+            top,
+            ViewScope::CallSite {
+                callee: g,
+                loc: Some(SourceLoc::new(f, 3)),
+            },
+        );
+        assert!(t.scope(cs).is_call());
+        let lp = t.add_child(top, ViewScope::Loop {
+            header: SourceLoc::new(f, 8),
+        });
+        assert_eq!(t.label(lp, &names), "loop at file2.c:8");
+    }
+}

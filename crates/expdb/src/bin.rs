@@ -1,0 +1,378 @@
+//! The compact binary format (the paper's Section IX future-work item).
+//!
+//! Layout: magic `CPDB`, version varint, then sections in fixed order.
+//! All integers are LEB128 varints; node ids within a cost list are
+//! delta-coded (ascending), which is where most of the size win over XML
+//! comes from; floats are IEEE-754 LE.
+
+use crate::model::{DbError, DbMetric, DbModel, DbNode, DbScope};
+use bytes::{Buf, BufMut};
+
+const MAGIC: &[u8; 4] = b"CPDB";
+const VERSION: u64 = 1;
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.put_u8(byte);
+            return;
+        }
+        out.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut &[u8]) -> Result<u64, DbError> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DbError::new("truncated varint"));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(DbError::new("varint overflow"));
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String, DbError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(DbError::new("truncated string"));
+    }
+    let bytes = buf[..len].to_vec();
+    buf.advance(len);
+    String::from_utf8(bytes).map_err(|_| DbError::new("invalid utf-8 in string"))
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.put_f64_le(v);
+}
+
+fn get_f64(buf: &mut &[u8]) -> Result<f64, DbError> {
+    if buf.remaining() < 8 {
+        return Err(DbError::new("truncated f64"));
+    }
+    Ok(buf.get_f64_le())
+}
+
+fn put_strings(out: &mut Vec<u8>, items: &[String]) {
+    put_varint(out, items.len() as u64);
+    for s in items {
+        put_string(out, s);
+    }
+}
+
+fn get_strings(buf: &mut &[u8]) -> Result<Vec<String>, DbError> {
+    let n = get_varint(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(get_string(buf)?);
+    }
+    Ok(out)
+}
+
+// Scope tags.
+const TAG_FRAME: u64 = 0;
+const TAG_FRAME_TOP: u64 = 1; // frame without a call site
+const TAG_INLINED: u64 = 2;
+const TAG_LOOP: u64 = 3;
+const TAG_STMT: u64 = 4;
+
+/// Encode a model.
+pub fn write(model: &DbModel) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.put_slice(MAGIC);
+    put_varint(&mut out, VERSION);
+    out.put_u8(model.sparse as u8);
+
+    put_strings(&mut out, &model.procs);
+    put_strings(&mut out, &model.files);
+    put_strings(&mut out, &model.modules);
+
+    put_varint(&mut out, model.nodes.len() as u64);
+    for n in &model.nodes {
+        match &n.scope {
+            DbScope::Frame {
+                proc,
+                module,
+                def_file,
+                def_line,
+                call_site,
+            } => {
+                match call_site {
+                    Some((csf, csl)) => {
+                        put_varint(&mut out, TAG_FRAME);
+                        put_varint(&mut out, n.parent as u64);
+                        put_varint(&mut out, *proc as u64);
+                        put_varint(&mut out, *module as u64);
+                        put_varint(&mut out, *def_file as u64);
+                        put_varint(&mut out, *def_line as u64);
+                        put_varint(&mut out, *csf as u64);
+                        put_varint(&mut out, *csl as u64);
+                    }
+                    None => {
+                        put_varint(&mut out, TAG_FRAME_TOP);
+                        put_varint(&mut out, n.parent as u64);
+                        put_varint(&mut out, *proc as u64);
+                        put_varint(&mut out, *module as u64);
+                        put_varint(&mut out, *def_file as u64);
+                        put_varint(&mut out, *def_line as u64);
+                    }
+                }
+            }
+            DbScope::Inlined {
+                proc,
+                def_file,
+                def_line,
+                cs_file,
+                cs_line,
+            } => {
+                put_varint(&mut out, TAG_INLINED);
+                put_varint(&mut out, n.parent as u64);
+                put_varint(&mut out, *proc as u64);
+                put_varint(&mut out, *def_file as u64);
+                put_varint(&mut out, *def_line as u64);
+                put_varint(&mut out, *cs_file as u64);
+                put_varint(&mut out, *cs_line as u64);
+            }
+            DbScope::Loop { file, line } => {
+                put_varint(&mut out, TAG_LOOP);
+                put_varint(&mut out, n.parent as u64);
+                put_varint(&mut out, *file as u64);
+                put_varint(&mut out, *line as u64);
+            }
+            DbScope::Stmt { file, line } => {
+                put_varint(&mut out, TAG_STMT);
+                put_varint(&mut out, n.parent as u64);
+                put_varint(&mut out, *file as u64);
+                put_varint(&mut out, *line as u64);
+            }
+        }
+    }
+
+    put_varint(&mut out, model.metrics.len() as u64);
+    for m in &model.metrics {
+        put_string(&mut out, &m.name);
+        put_string(&mut out, &m.unit);
+        put_f64(&mut out, m.period);
+        put_varint(&mut out, m.costs.len() as u64);
+        let mut prev = 0u32;
+        for &(node, v) in &m.costs {
+            // Delta coding relies on ascending node ids.
+            debug_assert!(node >= prev);
+            put_varint(&mut out, (node - prev) as u64);
+            put_f64(&mut out, v);
+            prev = node;
+        }
+    }
+
+    put_varint(&mut out, model.derived.len() as u64);
+    for (name, formula) in &model.derived {
+        put_string(&mut out, name);
+        put_string(&mut out, formula);
+    }
+    out
+}
+
+fn get_u32(buf: &mut &[u8], what: &str) -> Result<u32, DbError> {
+    let v = get_varint(buf)?;
+    u32::try_from(v).map_err(|_| DbError::new(format!("{what} out of u32 range")))
+}
+
+/// Decode a model.
+pub fn read(data: &[u8]) -> Result<DbModel, DbError> {
+    let mut buf = data;
+    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        return Err(DbError::new("bad magic"));
+    }
+    buf.advance(4);
+    let version = get_varint(&mut buf)?;
+    if version != VERSION {
+        return Err(DbError::new(format!("unsupported version {version}")));
+    }
+    if !buf.has_remaining() {
+        return Err(DbError::new("truncated header"));
+    }
+    let sparse = buf.get_u8() != 0;
+
+    let procs = get_strings(&mut buf)?;
+    let files = get_strings(&mut buf)?;
+    let modules = get_strings(&mut buf)?;
+
+    let n_nodes = get_varint(&mut buf)? as usize;
+    let mut nodes = Vec::with_capacity(n_nodes.min(1 << 24));
+    for _ in 0..n_nodes {
+        let tag = get_varint(&mut buf)?;
+        let parent = get_u32(&mut buf, "parent")?;
+        let scope = match tag {
+            TAG_FRAME | TAG_FRAME_TOP => {
+                let proc = get_u32(&mut buf, "proc")?;
+                let module = get_u32(&mut buf, "module")?;
+                let def_file = get_u32(&mut buf, "def_file")?;
+                let def_line = get_u32(&mut buf, "def_line")?;
+                let call_site = if tag == TAG_FRAME {
+                    Some((get_u32(&mut buf, "csf")?, get_u32(&mut buf, "csl")?))
+                } else {
+                    None
+                };
+                DbScope::Frame {
+                    proc,
+                    module,
+                    def_file,
+                    def_line,
+                    call_site,
+                }
+            }
+            TAG_INLINED => DbScope::Inlined {
+                proc: get_u32(&mut buf, "proc")?,
+                def_file: get_u32(&mut buf, "def_file")?,
+                def_line: get_u32(&mut buf, "def_line")?,
+                cs_file: get_u32(&mut buf, "cs_file")?,
+                cs_line: get_u32(&mut buf, "cs_line")?,
+            },
+            TAG_LOOP => DbScope::Loop {
+                file: get_u32(&mut buf, "file")?,
+                line: get_u32(&mut buf, "line")?,
+            },
+            TAG_STMT => DbScope::Stmt {
+                file: get_u32(&mut buf, "file")?,
+                line: get_u32(&mut buf, "line")?,
+            },
+            other => return Err(DbError::new(format!("unknown scope tag {other}"))),
+        };
+        nodes.push(DbNode { parent, scope });
+    }
+
+    let n_metrics = get_varint(&mut buf)? as usize;
+    let mut metrics = Vec::with_capacity(n_metrics.min(64));
+    for _ in 0..n_metrics {
+        let name = get_string(&mut buf)?;
+        let unit = get_string(&mut buf)?;
+        let period = get_f64(&mut buf)?;
+        let n_costs = get_varint(&mut buf)? as usize;
+        let mut costs = Vec::with_capacity(n_costs.min(1 << 24));
+        let mut prev = 0u32;
+        for _ in 0..n_costs {
+            let delta = get_u32(&mut buf, "node delta")?;
+            let node = prev
+                .checked_add(delta)
+                .ok_or_else(|| DbError::new("node id overflow"))?;
+            let v = get_f64(&mut buf)?;
+            costs.push((node, v));
+            prev = node;
+        }
+        metrics.push(DbMetric {
+            name,
+            unit,
+            period,
+            costs,
+        });
+    }
+
+    let n_derived = get_varint(&mut buf)? as usize;
+    let mut derived = Vec::with_capacity(n_derived.min(256));
+    for _ in 0..n_derived {
+        let name = get_string(&mut buf)?;
+        let formula = get_string(&mut buf)?;
+        derived.push((name, formula));
+    }
+
+    if buf.has_remaining() {
+        return Err(DbError::new(format!(
+            "{} trailing bytes after experiment",
+            buf.remaining()
+        )));
+    }
+
+    Ok(DbModel {
+        procs,
+        files,
+        modules,
+        nodes,
+        metrics,
+        derived,
+        sparse,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::sample_experiment;
+    use crate::DbModel;
+
+    #[test]
+    fn roundtrip() {
+        let exp = sample_experiment();
+        let model = DbModel::from_experiment(&exp);
+        let bytes = write(&model);
+        let parsed = read(&bytes).unwrap();
+        assert_eq!(parsed, model);
+    }
+
+    #[test]
+    fn full_experiment_roundtrip() {
+        let exp = sample_experiment();
+        let bytes = crate::to_binary(&exp);
+        let rebuilt = crate::from_binary(&bytes).unwrap();
+        assert_eq!(crate::to_binary(&rebuilt), bytes);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_xml() {
+        let exp = sample_experiment();
+        let xml = crate::to_xml(&exp);
+        let bin = crate::to_binary(&exp);
+        assert!(
+            bin.len() * 2 < xml.len(),
+            "binary {} vs xml {}",
+            bin.len(),
+            xml.len()
+        );
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            let mut buf = out.as_slice();
+            assert_eq!(get_varint(&mut buf).unwrap(), v);
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let exp = sample_experiment();
+        let bytes = crate::to_binary(&exp);
+        assert!(read(&bytes[..3]).is_err(), "truncated magic");
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(read(&bad).is_err(), "bad magic");
+        assert!(read(&bytes[..bytes.len() / 2]).is_err(), "truncated body");
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(read(&extended).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let mut bytes = crate::to_binary(&sample_experiment());
+        bytes[4] = 99; // version varint
+        assert!(read(&bytes).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # callpath-expdb
+//!
+//! Experiment database formats: the bridge between `hpcprof` and
+//! `hpcviewer`.
+//!
+//! Two encodings of the same [`model::DbModel`]:
+//!
+//! * [`xml`] — a human-readable XML-like text format, mirroring
+//!   HPCToolkit's `experiment.xml`;
+//! * [`bin`] — the *compact binary format* the paper's Section IX lists as
+//!   future work ("replacing our XML format for profiles with a more
+//!   compact binary format"), with LEB128 varints and delta-coded node
+//!   ids. The `expdb_formats` bench quantifies the size and speed gap.
+//!
+//! Both round-trip losslessly: name tables, the canonical CCT, metric
+//! descriptors, sparse direct costs, and derived-metric definitions.
+//! Attribution (Eq. 1/Eq. 2) is recomputed on load, so the files carry
+//! only irreducible measurement data.
+
+pub mod bin;
+pub mod model;
+pub mod xml;
+
+pub use model::{DbError, DbModel};
+
+use callpath_core::prelude::Experiment;
+
+/// Serialize to the XML-like text format.
+pub fn to_xml(exp: &Experiment) -> String {
+    xml::write(&DbModel::from_experiment(exp))
+}
+
+/// Parse the XML-like text format.
+pub fn from_xml(text: &str) -> Result<Experiment, DbError> {
+    xml::read(text)?.into_experiment()
+}
+
+/// Serialize to the compact binary format.
+pub fn to_binary(exp: &Experiment) -> Vec<u8> {
+    bin::write(&DbModel::from_experiment(exp))
+}
+
+/// Parse the compact binary format.
+pub fn from_binary(data: &[u8]) -> Result<Experiment, DbError> {
+    bin::read(data)?.into_experiment()
+}

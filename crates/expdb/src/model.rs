@@ -1,0 +1,424 @@
+//! The format-independent database model: everything needed to
+//! reconstruct an [`Experiment`], and nothing that can be recomputed.
+
+use callpath_core::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Database error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl DbError {
+    /// Wrap a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DbError {
+            message: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "experiment db error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// A CCT node in serialized form. `parent` indices refer to arena order,
+/// which always places parents before children.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DbScope {
+    /// A dynamic procedure frame.
+    Frame {
+        /// Procedure name index.
+        proc: u32,
+        /// Load-module name index.
+        module: u32,
+        /// Defining file index.
+        def_file: u32,
+        /// First line of the definition.
+        def_line: u32,
+        /// Call site as (file index, line), absent for top-level frames.
+        call_site: Option<(u32, u32)>,
+    },
+    /// An inlined procedure body.
+    Inlined {
+        /// Inlined procedure name index.
+        proc: u32,
+        /// Defining file index.
+        def_file: u32,
+        /// First line of the definition.
+        def_line: u32,
+        /// Call-site file index.
+        cs_file: u32,
+        /// Call-site line.
+        cs_line: u32,
+    },
+    /// A loop, identified by its header location.
+    Loop {
+        /// Header file index.
+        file: u32,
+        /// Header line.
+        line: u32,
+    },
+    /// A source statement.
+    Stmt {
+        /// File index.
+        file: u32,
+        /// Line number.
+        line: u32,
+    },
+}
+
+/// One serialized CCT node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbNode {
+    /// Arena index of the parent (parents always precede children).
+    pub parent: u32,
+    /// The scope this node represents.
+    pub scope: DbScope,
+}
+
+/// One serialized raw metric with its sparse costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbMetric {
+    /// Metric name, e.g. `PAPI_TOT_CYC`.
+    pub name: String,
+    /// Display unit.
+    pub unit: String,
+    /// Sampling period (events per sample).
+    pub period: f64,
+    /// Sparse direct costs: (node id, value), ascending by node id.
+    pub costs: Vec<(u32, f64)>,
+}
+
+/// The complete serializable experiment model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DbModel {
+    /// Procedure names, index = id.
+    pub procs: Vec<String>,
+    /// File names, index = id.
+    pub files: Vec<String>,
+    /// Load-module names, index = id.
+    pub modules: Vec<String>,
+    /// Non-root CCT nodes in arena order (node id = index + 1).
+    pub nodes: Vec<DbNode>,
+    /// Raw metrics with their costs.
+    pub metrics: Vec<DbMetric>,
+    /// Derived metric definitions: (column name, formula source).
+    pub derived: Vec<(String, String)>,
+    /// Storage flavor to rebuild with.
+    pub sparse: bool,
+}
+
+impl DbModel {
+    /// Extract the model from an attributed experiment.
+    pub fn from_experiment(exp: &Experiment) -> DbModel {
+        let names = &exp.cct.names;
+        let procs = (0..names.proc_count())
+            .map(|i| names.proc_name(ProcId(i as u32)).to_owned())
+            .collect();
+        let files = (0..names.file_count())
+            .map(|i| names.file_name(FileId(i as u32)).to_owned())
+            .collect();
+        let modules = (0..names.module_count())
+            .map(|i| names.module_name(LoadModuleId(i as u32)).to_owned())
+            .collect();
+
+        let mut nodes = Vec::with_capacity(exp.cct.len() - 1);
+        for n in exp.cct.all_nodes().skip(1) {
+            let parent = exp.cct.parent(n).expect("non-root has parent").0;
+            let scope = match *exp.cct.kind(n) {
+                ScopeKind::Root => unreachable!("root is implicit"),
+                ScopeKind::Frame {
+                    proc,
+                    module,
+                    def,
+                    call_site,
+                } => DbScope::Frame {
+                    proc: proc.0,
+                    module: module.0,
+                    def_file: def.file.0,
+                    def_line: def.line,
+                    call_site: call_site.map(|c| (c.file.0, c.line)),
+                },
+                ScopeKind::InlinedFrame {
+                    proc,
+                    def,
+                    call_site,
+                } => DbScope::Inlined {
+                    proc: proc.0,
+                    def_file: def.file.0,
+                    def_line: def.line,
+                    cs_file: call_site.file.0,
+                    cs_line: call_site.line,
+                },
+                ScopeKind::Loop { header } => DbScope::Loop {
+                    file: header.file.0,
+                    line: header.line,
+                },
+                ScopeKind::Stmt { loc } => DbScope::Stmt {
+                    file: loc.file.0,
+                    line: loc.line,
+                },
+            };
+            nodes.push(DbNode { parent, scope });
+        }
+
+        let metrics = (0..exp.raw.metric_count())
+            .map(|mi| {
+                let m = MetricId::from_usize(mi);
+                let d = exp.raw.desc(m);
+                DbMetric {
+                    name: d.name.clone(),
+                    unit: d.unit.clone(),
+                    period: d.period,
+                    costs: exp.raw.column(m).nonzero_sorted(),
+                }
+            })
+            .collect();
+
+        let derived = exp
+            .columns
+            .descs()
+            .iter()
+            .filter_map(|d| match &d.flavor {
+                ColumnFlavor::Derived { formula } => Some((d.name.clone(), formula.clone())),
+                _ => None,
+            })
+            .collect();
+
+        DbModel {
+            procs,
+            files,
+            modules,
+            nodes,
+            metrics,
+            derived,
+            sparse: exp.raw.storage() == StorageKind::Sparse,
+        }
+    }
+
+    /// Rebuild a fully attributed experiment.
+    pub fn into_experiment(self) -> Result<Experiment, DbError> {
+        let mut names = NameTable::new();
+        let procs: Vec<ProcId> = self.procs.iter().map(|s| names.proc(s)).collect();
+        let files: Vec<FileId> = self.files.iter().map(|s| names.file(s)).collect();
+        let modules: Vec<LoadModuleId> = self.modules.iter().map(|s| names.module(s)).collect();
+
+        let proc_id = |i: u32| -> Result<ProcId, DbError> {
+            procs
+                .get(i as usize)
+                .copied()
+                .ok_or_else(|| DbError::new(format!("proc index {i} out of range")))
+        };
+        let file_id = |i: u32| -> Result<FileId, DbError> {
+            files
+                .get(i as usize)
+                .copied()
+                .ok_or_else(|| DbError::new(format!("file index {i} out of range")))
+        };
+        let module_id = |i: u32| -> Result<LoadModuleId, DbError> {
+            modules
+                .get(i as usize)
+                .copied()
+                .ok_or_else(|| DbError::new(format!("module index {i} out of range")))
+        };
+
+        let mut cct = Cct::new(names);
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = i as u32 + 1;
+            if node.parent >= id {
+                return Err(DbError::new(format!(
+                    "node {id}: parent {} does not precede it",
+                    node.parent
+                )));
+            }
+            let kind = match &node.scope {
+                DbScope::Frame {
+                    proc,
+                    module,
+                    def_file,
+                    def_line,
+                    call_site,
+                } => ScopeKind::Frame {
+                    proc: proc_id(*proc)?,
+                    module: module_id(*module)?,
+                    def: SourceLoc::new(file_id(*def_file)?, *def_line),
+                    call_site: match call_site {
+                        Some((f, l)) => Some(SourceLoc::new(file_id(*f)?, *l)),
+                        None => None,
+                    },
+                },
+                DbScope::Inlined {
+                    proc,
+                    def_file,
+                    def_line,
+                    cs_file,
+                    cs_line,
+                } => ScopeKind::InlinedFrame {
+                    proc: proc_id(*proc)?,
+                    def: SourceLoc::new(file_id(*def_file)?, *def_line),
+                    call_site: SourceLoc::new(file_id(*cs_file)?, *cs_line),
+                },
+                DbScope::Loop { file, line } => ScopeKind::Loop {
+                    header: SourceLoc::new(file_id(*file)?, *line),
+                },
+                DbScope::Stmt { file, line } => ScopeKind::Stmt {
+                    loc: SourceLoc::new(file_id(*file)?, *line),
+                },
+            };
+            let added = cct.add_child(NodeId(node.parent), kind);
+            debug_assert_eq!(added.0, id);
+        }
+        cct.validate().map_err(DbError::new)?;
+
+        let storage = if self.sparse {
+            StorageKind::Sparse
+        } else {
+            StorageKind::Dense
+        };
+        let mut raw = RawMetrics::new(storage);
+        let n_nodes = cct.len() as u32;
+        for m in &self.metrics {
+            let id = raw.add_metric(MetricDesc::new(&m.name, &m.unit, m.period));
+            for &(node, v) in &m.costs {
+                if node >= n_nodes {
+                    return Err(DbError::new(format!(
+                        "cost references node {node} beyond CCT size {n_nodes}"
+                    )));
+                }
+                raw.add_cost(id, NodeId(node), v);
+            }
+        }
+
+        let mut exp = Experiment::build(cct, raw, storage);
+        for (name, formula) in &self.derived {
+            exp.add_derived(name, formula)
+                .map_err(|e| DbError::new(format!("derived metric '{name}': {e}")))?;
+        }
+        Ok(exp)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    pub(crate) fn sample_experiment() -> Experiment {
+        let mut names = NameTable::new();
+        let file = names.file("a.c");
+        let module = names.module("a.out");
+        let p_main = names.proc("main");
+        let p_g = names.proc("g");
+        let mut cct = Cct::new(names);
+        let root = cct.root();
+        let main = cct.add_child(
+            root,
+            ScopeKind::Frame {
+                proc: p_main,
+                module,
+                def: SourceLoc::new(file, 1),
+                call_site: None,
+            },
+        );
+        let lp = cct.add_child(
+            main,
+            ScopeKind::Loop {
+                header: SourceLoc::new(file, 3),
+            },
+        );
+        let g = cct.add_child(
+            lp,
+            ScopeKind::Frame {
+                proc: p_g,
+                module,
+                def: SourceLoc::new(file, 10),
+                call_site: Some(SourceLoc::new(file, 4)),
+            },
+        );
+        let inl = cct.add_child(
+            g,
+            ScopeKind::InlinedFrame {
+                proc: p_main,
+                def: SourceLoc::new(file, 1),
+                call_site: SourceLoc::new(file, 11),
+            },
+        );
+        let s = cct.add_child(
+            inl,
+            ScopeKind::Stmt {
+                loc: SourceLoc::new(file, 12),
+            },
+        );
+        let mut raw = RawMetrics::new(StorageKind::Dense);
+        let cyc = raw.add_metric(MetricDesc::new("cycles", "cycles", 1000.0));
+        let fp = raw.add_metric(MetricDesc::new("fp", "ops", 500.0));
+        raw.add_cost(cyc, s, 42_000.0);
+        raw.add_cost(fp, s, 8_000.0);
+        let mut exp = Experiment::build(cct, raw, StorageKind::Dense);
+        exp.add_derived("waste", "$0 * 4 - $2").unwrap();
+        exp
+    }
+
+    #[test]
+    fn model_roundtrip_preserves_everything() {
+        let exp = sample_experiment();
+        let model = DbModel::from_experiment(&exp);
+        let rebuilt = model.clone().into_experiment().unwrap();
+        assert_eq!(rebuilt.cct.len(), exp.cct.len());
+        assert_eq!(rebuilt.raw.metric_count(), exp.raw.metric_count());
+        assert_eq!(rebuilt.columns.column_count(), exp.columns.column_count());
+        for n in exp.cct.all_nodes() {
+            assert_eq!(rebuilt.cct.kind(n), exp.cct.kind(n));
+            for c in 0..exp.columns.column_count() as u32 {
+                assert_eq!(
+                    rebuilt.columns.get(ColumnId(c), n.0),
+                    exp.columns.get(ColumnId(c), n.0),
+                    "node {n:?} column {c}"
+                );
+            }
+        }
+        // A second extraction is identical (stable encoding).
+        assert_eq!(DbModel::from_experiment(&rebuilt), model);
+    }
+
+    #[test]
+    fn rejects_dangling_indices() {
+        let exp = sample_experiment();
+        let mut model = DbModel::from_experiment(&exp);
+        if let DbScope::Frame { proc, .. } = &mut model.nodes[0].scope {
+            *proc = 99;
+        }
+        assert!(model.into_experiment().is_err());
+    }
+
+    #[test]
+    fn rejects_forward_parent() {
+        let exp = sample_experiment();
+        let mut model = DbModel::from_experiment(&exp);
+        model.nodes[0].parent = 5;
+        assert!(model.into_experiment().is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_cost_node() {
+        let exp = sample_experiment();
+        let mut model = DbModel::from_experiment(&exp);
+        model.metrics[0].costs.push((1000, 1.0));
+        assert!(model.into_experiment().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_derived_formula() {
+        let exp = sample_experiment();
+        let mut model = DbModel::from_experiment(&exp);
+        model.derived.push(("bad".into(), "$$$".into()));
+        assert!(model.into_experiment().is_err());
+    }
+}

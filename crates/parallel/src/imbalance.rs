@@ -1,0 +1,214 @@
+//! Load-imbalance presentation: Fig. 7's three per-process charts
+//! (scatter, sorted, histogram) as deterministic ASCII, plus scalar
+//! statistics.
+
+use callpath_core::prelude::Welford;
+
+/// Scalar imbalance signals for a per-rank value series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImbalanceStats {
+    /// Mean per-rank value.
+    pub mean: f64,
+    /// Fastest rank's value.
+    pub min: f64,
+    /// Slowest rank's value.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Coefficient of variation (stddev / mean).
+    pub cov: f64,
+    /// `max / mean - 1`: the classic "percent of time the slowest rank
+    /// makes everyone wait".
+    pub imbalance_factor: f64,
+}
+
+impl ImbalanceStats {
+    /// Compute the statistics of a per-rank series.
+    pub fn of(values: &[f64]) -> ImbalanceStats {
+        let mut w = Welford::new();
+        for &v in values {
+            w.push(v);
+        }
+        let mean = w.mean();
+        ImbalanceStats {
+            mean,
+            min: w.min(),
+            max: w.max(),
+            std_dev: w.std_dev(),
+            cov: w.coeff_of_variation(),
+            imbalance_factor: if mean == 0.0 { 0.0 } else { w.max() / mean - 1.0 },
+        }
+    }
+}
+
+/// Bin a value series: returns `(lo, hi, count)` per bin.
+pub fn histogram(values: &[f64], bins: usize) -> Vec<(f64, f64, usize)> {
+    assert!(bins > 0);
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let width = if max > min { (max - min) / bins as f64 } else { 1.0 };
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let mut b = ((v - min) / width) as usize;
+        if b >= bins {
+            b = bins - 1;
+        }
+        counts[b] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (min + i as f64 * width, min + (i + 1) as f64 * width, c))
+        .collect()
+}
+
+fn scale_to_rows(v: f64, lo: f64, hi: f64, rows: usize) -> usize {
+    if hi <= lo {
+        return 0;
+    }
+    let t = (v - lo) / (hi - lo);
+    ((t * (rows - 1) as f64).round() as usize).min(rows - 1)
+}
+
+/// Fig. 7 top chart: per-rank values in rank order (a scatter showing the
+/// "scattered inclusive total cycles").
+pub fn ascii_scatter(values: &[f64], width: usize, height: usize) -> String {
+    chart(values, width, height, false)
+}
+
+/// Fig. 7 middle chart: the same values sorted ascending, making the
+/// bimodal step visible.
+pub fn ascii_sorted(values: &[f64], width: usize, height: usize) -> String {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    chart(&sorted, width, height, true)
+}
+
+fn chart(values: &[f64], width: usize, height: usize, line: bool) -> String {
+    assert!(width >= 2 && height >= 2);
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut grid = vec![vec![' '; width]; height];
+    let n = values.len();
+    for (i, &v) in values.iter().enumerate() {
+        let x = if n == 1 { 0 } else { i * (width - 1) / (n - 1) };
+        let y = scale_to_rows(v, lo, hi, height);
+        let row = height - 1 - y;
+        grid[row][x] = if line { '▪' } else { '·' };
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:>10.3e} ")
+        } else if r == height - 1 {
+            format!("{lo:>10.3e} ")
+        } else {
+            " ".repeat(11)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{}+{}\n{} ranks 0..{}\n",
+        " ".repeat(11),
+        "-".repeat(width),
+        " ".repeat(12),
+        n - 1
+    ));
+    out
+}
+
+/// Fig. 7 bottom chart: histogram of per-rank values.
+pub fn ascii_histogram(values: &[f64], bins: usize, bar_width: usize) -> String {
+    let h = histogram(values, bins);
+    let max_count = h.iter().map(|&(_, _, c)| c).max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    for (lo, hi, count) in h {
+        let bar = "#".repeat(count * bar_width / max_count);
+        out.push_str(&format!("[{lo:>10.3e}, {hi:>10.3e})  {bar} {count}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bimodal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| if i % 2 == 0 { 100.0 } else { 160.0 })
+            .collect()
+    }
+
+    #[test]
+    fn stats_capture_imbalance() {
+        let s = ImbalanceStats::of(&bimodal(64));
+        assert_eq!(s.min, 100.0);
+        assert_eq!(s.max, 160.0);
+        assert_eq!(s.mean, 130.0);
+        assert!((s.imbalance_factor - (160.0 / 130.0 - 1.0)).abs() < 1e-12);
+        assert!(s.cov > 0.2);
+    }
+
+    #[test]
+    fn balanced_series_has_zero_factor() {
+        let s = ImbalanceStats::of(&[42.0; 16]);
+        assert_eq!(s.imbalance_factor, 0.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn histogram_is_bimodal_for_bimodal_data() {
+        let h = histogram(&bimodal(64), 6);
+        assert_eq!(h.len(), 6);
+        let total: usize = h.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, 64);
+        assert_eq!(h[0].2, 32, "low mode in first bin");
+        assert_eq!(h[5].2, 32, "high mode in last bin");
+        assert!(h[2].2 == 0 && h[3].2 == 0, "empty middle");
+    }
+
+    #[test]
+    fn histogram_handles_constant_data() {
+        let h = histogram(&[5.0; 10], 4);
+        let total: usize = h.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn charts_render_and_are_deterministic() {
+        let vals = bimodal(32);
+        let a = ascii_scatter(&vals, 40, 8);
+        let b = ascii_scatter(&vals, 40, 8);
+        assert_eq!(a, b);
+        assert!(a.contains('·'));
+        let s = ascii_sorted(&vals, 40, 8);
+        assert!(s.contains('▪'));
+        let h = ascii_histogram(&vals, 5, 30);
+        assert!(h.contains('#'));
+        // Sorted chart: first plotted row (max label) appears at top.
+        assert!(s.starts_with(&format!("{:>10.3e} ", 160.0)));
+    }
+
+    #[test]
+    fn sorted_chart_shows_a_step() {
+        // In the sorted chart of a bimodal series, the left half sits on
+        // the bottom row and the right half on the top row.
+        let vals = bimodal(32);
+        let s = ascii_sorted(&vals, 32, 4);
+        let lines: Vec<&str> = s.lines().collect();
+        let top = lines[0];
+        let bottom = lines[3];
+        let top_marks = top.matches('▪').count();
+        let bottom_marks = bottom.matches('▪').count();
+        assert!(top_marks >= 14 && bottom_marks >= 14, "{s}");
+    }
+}

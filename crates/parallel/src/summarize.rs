@@ -1,0 +1,420 @@
+//! Streaming summarization of per-rank metrics (the `hpcprof` finalization
+//! step, Section IV, and the scalability requirement of Section VII).
+//!
+//! For every CCT node and metric, the summarizer folds each rank's
+//! *inclusive* value into a [`Welford`] accumulator. Ranks stream through
+//! one at a time (per worker), so memory is O(nodes × metrics), not
+//! O(nodes × metrics × ranks). Partial accumulators from worker threads
+//! merge associatively — exactly the paper's "assembles intermediate
+//! summary metric values into final values".
+
+use callpath_core::attribution::attribute;
+use callpath_core::prelude::*;
+use callpath_prof::PerNodeCosts;
+use callpath_profiler::Counter;
+
+/// Per-node, per-metric summary statistics across ranks.
+pub struct Summaries {
+    /// `stats[node * n_metrics + metric]`.
+    stats: Vec<Welford>,
+    n_metrics: usize,
+}
+
+impl Summaries {
+    /// Statistics of `metric` at CCT node `node`.
+    pub fn get(&self, node: NodeId, metric: MetricId) -> &Welford {
+        &self.stats[node.index() * self.n_metrics + metric.index()]
+    }
+
+    /// Number of summarized metrics.
+    pub fn n_metrics(&self) -> usize {
+        self.n_metrics
+    }
+
+    /// Append chosen statistics as new columns on the experiment's CCT
+    /// metric table (named e.g. `PAPI_TOT_CYC (I) mean`).
+    pub fn append_columns(&self, exp: &mut Experiment, stats: &[Stat]) -> Vec<ColumnId> {
+        let mut out = Vec::new();
+        for mi in 0..self.n_metrics {
+            let m = MetricId::from_usize(mi);
+            let base = exp.raw.desc(m).name.clone();
+            for &st in stats {
+                let col = exp.columns.add_column(ColumnDesc {
+                    name: format!("{} (I) {}", base, st.label()),
+                    flavor: ColumnFlavor::Summary { base: m, stat: st },
+                    visible: true,
+                });
+                for n in exp.cct.all_nodes() {
+                    let v = self.get(n, m).stat(st);
+                    if v != 0.0 {
+                        exp.columns.set(col, n.0, v);
+                    }
+                }
+                out.push(col);
+            }
+        }
+        out
+    }
+}
+
+/// Map a rank's sparse direct costs to per-node inclusive values and fold
+/// them into `into`.
+fn fold_rank(
+    exp: &Experiment,
+    counters: &[Counter],
+    costs: &PerNodeCosts,
+    into: &mut [Welford],
+) {
+    let n_metrics = counters.len();
+    // Build a temporary RawMetrics carrying this rank's direct costs, then
+    // attribute inclusives. Dense storage: one f64 per node per metric,
+    // freed right after.
+    let mut raw = RawMetrics::new(StorageKind::Dense);
+    let ids: Vec<MetricId> = counters
+        .iter()
+        .map(|c| raw.add_metric(MetricDesc::new(c.papi_name(), c.unit(), 1.0)))
+        .collect();
+    for (node, per_counter) in costs {
+        for (mi, &c) in counters.iter().enumerate() {
+            let v = per_counter[c as usize];
+            if v != 0.0 {
+                raw.add_cost(ids[mi], *node, v);
+            }
+        }
+    }
+    for (mi, &id) in ids.iter().enumerate() {
+        let attr = attribute(&exp.cct, &raw, id, StorageKind::Dense);
+        for n in exp.cct.all_nodes() {
+            into[n.index() * n_metrics + mi].push(attr.inclusive.get(n.0));
+        }
+    }
+}
+
+/// Summarize per-rank inclusive values over the shared CCT.
+///
+/// `rank_costs[r]` is rank r's sparse per-node direct costs (from
+/// [`callpath_prof::Correlator::add`]); `counters` selects and orders the
+/// metrics (matching the experiment's metric ids). Work is split across
+/// `threads` workers whose partial accumulators are merged.
+pub fn summarize_ranks(
+    exp: &Experiment,
+    counters: &[Counter],
+    rank_costs: &[PerNodeCosts],
+    threads: usize,
+) -> Summaries {
+    let n_metrics = counters.len();
+    let n_nodes = exp.cct.len();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get().min(8))
+            .unwrap_or(4)
+    } else {
+        threads
+    };
+    let chunk = rank_costs.len().div_ceil(threads).max(1);
+    let partials: Vec<Vec<Welford>> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for batch in rank_costs.chunks(chunk) {
+            handles.push(s.spawn(move |_| {
+                let mut acc = vec![Welford::new(); n_nodes * n_metrics];
+                for costs in batch {
+                    fold_rank(exp, counters, costs, &mut acc);
+                }
+                acc
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("summarization threads panicked");
+
+    let mut stats = vec![Welford::new(); n_nodes * n_metrics];
+    for p in partials {
+        for (a, b) in stats.iter_mut().zip(p.iter()) {
+            a.merge(b);
+        }
+    }
+    Summaries { stats, n_metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmd::{run_spmd, SpmdConfig};
+    use callpath_profiler::{Costs, ExecConfig, Op, ProgramBuilder};
+
+    /// Exact sampling (period 1, no jitter) so assertions are integral.
+    fn exact_cfg() -> ExecConfig {
+        ExecConfig {
+            jitter_seed: None,
+            ..ExecConfig::single(callpath_profiler::Counter::Cycles, 1)
+        }
+    }
+
+    fn simple_run(scales: Vec<f64>) -> crate::spmd::SpmdRun {
+        let mut b = ProgramBuilder::new("x");
+        let f = b.file("x.c");
+        let main = b.declare("main", f, 1);
+        b.body(main, vec![Op::work(2, Costs::cycles(10_000))]);
+        b.entry(main);
+        run_spmd(&b.build(), &SpmdConfig::new(scales, exact_cfg()))
+    }
+
+    #[test]
+    fn mean_min_max_match_partition() {
+        let run = simple_run(vec![1.0, 1.0, 2.0, 2.0]);
+        let s = summarize_ranks(
+            &run.experiment,
+            &[Counter::Cycles],
+            &run.rank_direct,
+            2,
+        );
+        let root = run.experiment.cct.root();
+        let w = s.get(root, MetricId(0));
+        assert_eq!(w.count(), 4);
+        assert_eq!(w.min(), 10_000.0);
+        assert_eq!(w.max(), 20_000.0);
+        assert_eq!(w.mean(), 15_000.0);
+        assert!(w.std_dev() > 0.0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let run = simple_run(vec![1.0, 1.3, 1.7, 2.0, 2.3]);
+        let a = summarize_ranks(&run.experiment, &[Counter::Cycles], &run.rank_direct, 1);
+        let b = summarize_ranks(&run.experiment, &[Counter::Cycles], &run.rank_direct, 4);
+        let root = run.experiment.cct.root();
+        let (wa, wb) = (a.get(root, MetricId(0)), b.get(root, MetricId(0)));
+        assert_eq!(wa.count(), wb.count());
+        assert!((wa.mean() - wb.mean()).abs() < 1e-9);
+        assert!((wa.variance() - wb.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_columns_append_and_fill() {
+        let run = simple_run(vec![1.0, 3.0]);
+        let s = summarize_ranks(&run.experiment, &[Counter::Cycles], &run.rank_direct, 1);
+        let mut exp = run.experiment;
+        let before = exp.columns.column_count();
+        let cols = s.append_columns(&mut exp, &[Stat::Mean, Stat::Max, Stat::StdDev]);
+        assert_eq!(exp.columns.column_count(), before + 3);
+        let root = exp.cct.root();
+        assert_eq!(exp.columns.get(cols[0], root.0), 20_000.0, "mean");
+        assert_eq!(exp.columns.get(cols[1], root.0), 30_000.0, "max");
+        assert!(exp.columns.desc(cols[2]).name.ends_with("stddev"));
+    }
+
+    #[test]
+    fn interior_nodes_summarize_inclusively() {
+        // main -> work: the summary at `main` must reflect inclusive
+        // per-rank values, not just direct ones.
+        let mut b = ProgramBuilder::new("x");
+        let f = b.file("x.c");
+        let work = b.declare("work", f, 10);
+        let main = b.declare("main", f, 1);
+        b.body(work, vec![Op::work(11, Costs::cycles(10_000))]);
+        b.body(main, vec![Op::call(2, work)]);
+        b.entry(main);
+        let run = run_spmd(&b.build(), &SpmdConfig::new(vec![1.0, 2.0], exact_cfg()));
+        let s = summarize_ranks(&run.experiment, &[Counter::Cycles], &run.rank_direct, 1);
+        let root = run.experiment.cct.root();
+        let main_node = run.experiment.cct.children(root).next().unwrap();
+        let w = s.get(main_node, MetricId(0));
+        assert_eq!(w.mean(), 15_000.0);
+        assert_eq!(w.max(), 20_000.0);
+    }
+}
+
+/// Summarize per-rank values over the nodes of a *derived view*
+/// (Callers or Flat), using each view node's aggregated CCT instance set
+/// with the same set-exposed rule the view's own columns use — so the
+/// mean/min/max/stddev columns are consistent with the inclusive column
+/// they summarize.
+///
+/// Returns one [`Welford`] per (view node, metric), indexed by view node
+/// id.
+pub fn summarize_view_nodes(
+    exp: &Experiment,
+    tree: &callpath_core::viewtree::ViewTree,
+    counters: &[Counter],
+    rank_costs: &[PerNodeCosts],
+    threads: usize,
+) -> Summaries {
+    use callpath_core::exposure::exposed;
+    let n_metrics = counters.len();
+    let n_nodes = tree.len();
+    // Precompute each node's exposed instance set once.
+    let keep: Vec<Vec<callpath_core::prelude::NodeId>> = (0..n_nodes as u32)
+        .map(|i| exposed(&exp.cct, tree.instances(callpath_core::prelude::ViewNodeId(i))))
+        .collect();
+
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get().min(8))
+            .unwrap_or(4)
+    } else {
+        threads
+    };
+    let chunk = rank_costs.len().div_ceil(threads).max(1);
+    let partials: Vec<Vec<Welford>> = crossbeam::thread::scope(|s| {
+        let keep = &keep;
+        let mut handles = Vec::new();
+        for batch in rank_costs.chunks(chunk) {
+            handles.push(s.spawn(move |_| {
+                let mut acc = vec![Welford::new(); n_nodes * n_metrics];
+                for costs in batch {
+                    // Per-rank inclusive values on the CCT, then view-node
+                    // aggregation via the exposed sets.
+                    let mut raw = RawMetrics::new(StorageKind::Dense);
+                    let ids: Vec<MetricId> = counters
+                        .iter()
+                        .map(|c| raw.add_metric(MetricDesc::new(c.papi_name(), c.unit(), 1.0)))
+                        .collect();
+                    for (node, per_counter) in costs {
+                        for (mi, &c) in counters.iter().enumerate() {
+                            let v = per_counter[c as usize];
+                            if v != 0.0 {
+                                raw.add_cost(ids[mi], *node, v);
+                            }
+                        }
+                    }
+                    for (mi, &id) in ids.iter().enumerate() {
+                        let attr = attribute(&exp.cct, &raw, id, StorageKind::Dense);
+                        for (vi, set) in keep.iter().enumerate() {
+                            let v: f64 = set.iter().map(|n| attr.inclusive.get(n.0)).sum();
+                            acc[vi * n_metrics + mi].push(v);
+                        }
+                    }
+                }
+                acc
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("view summarization threads panicked");
+
+    let mut stats = vec![Welford::new(); n_nodes * n_metrics];
+    for p in partials {
+        for (a, b) in stats.iter_mut().zip(p.iter()) {
+            a.merge(b);
+        }
+    }
+    Summaries { stats, n_metrics }
+}
+
+impl Summaries {
+    /// Access by view node id (same layout as [`Summaries::get`], just a
+    /// different index type).
+    pub fn get_view(
+        &self,
+        node: callpath_core::prelude::ViewNodeId,
+        metric: MetricId,
+    ) -> &Welford {
+        &self.stats[node.index() * self.n_metrics + metric.index()]
+    }
+
+    /// Append chosen statistics as columns on a view tree.
+    pub fn append_view_columns(
+        &self,
+        exp: &Experiment,
+        tree: &mut callpath_core::viewtree::ViewTree,
+        stats: &[Stat],
+    ) -> Vec<ColumnId> {
+        let mut out = Vec::new();
+        let n_nodes = tree.len();
+        for mi in 0..self.n_metrics {
+            let m = MetricId::from_usize(mi);
+            let base = exp.raw.desc(m).name.clone();
+            for &st in stats {
+                let col = tree.columns.add_column(ColumnDesc {
+                    name: format!("{} (I) {}", base, st.label()),
+                    flavor: ColumnFlavor::Summary { base: m, stat: st },
+                    visible: true,
+                });
+                for i in 0..n_nodes as u32 {
+                    let v = self.stats[i as usize * self.n_metrics + mi].stat(st);
+                    if v != 0.0 {
+                        tree.columns.set(col, i, v);
+                    }
+                }
+                out.push(col);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod view_summary_tests {
+    use super::*;
+    use crate::spmd::{run_spmd, SpmdConfig};
+    use callpath_profiler::{Costs, ExecConfig, Op, ProgramBuilder};
+
+    /// Recursive g called from two places, two ranks with different
+    /// scales: exercises exposed aggregation inside the summaries.
+    fn run() -> crate::spmd::SpmdRun {
+        let mut b = ProgramBuilder::new("x");
+        let f = b.file("x.c");
+        let g = b.declare("g", f, 10);
+        let main = b.declare("main", f, 1);
+        b.body(
+            g,
+            vec![Op::work(11, Costs::cycles(1_000)), Op::call_recursive(12, g, 2)],
+        );
+        b.body(main, vec![Op::call(3, g)]);
+        b.entry(main);
+        let exec = ExecConfig {
+            jitter_seed: None,
+            ..ExecConfig::single(callpath_profiler::Counter::Cycles, 1)
+        };
+        run_spmd(&b.build(), &SpmdConfig::new(vec![1.0, 3.0], exec))
+    }
+
+    #[test]
+    fn callers_view_summaries_use_exposed_aggregation() {
+        let run = run();
+        let exp = &run.experiment;
+        let callers = CallersView::build_eager(exp, StorageKind::Dense);
+        let s = summarize_view_nodes(
+            exp,
+            &callers.tree,
+            &[callpath_profiler::Counter::Cycles],
+            &run.rank_direct,
+            0,
+        );
+        // Top-level g: exposed inclusive per rank = 2000 (rank 0) and
+        // 6000 (rank 1, scale 3).
+        let g_top = callers
+            .tree
+            .roots()
+            .into_iter()
+            .find(|&r| callers.tree.label(r, &exp.cct.names) == "g")
+            .unwrap();
+        let w = s.get_view(g_top, MetricId(0));
+        assert_eq!(w.count(), 2);
+        assert_eq!(w.min(), 2_000.0);
+        assert_eq!(w.max(), 6_000.0);
+        // Consistency: mean × ranks == the view's own (summed) inclusive.
+        let summed = callers.tree.columns.get(ColumnId(0), g_top.0);
+        assert_eq!(w.sum(), summed);
+    }
+
+    #[test]
+    fn flat_view_summary_columns_append() {
+        let run = run();
+        let exp = &run.experiment;
+        let mut flat = FlatView::build(exp, StorageKind::Dense);
+        let s = summarize_view_nodes(
+            exp,
+            &flat.tree,
+            &[callpath_profiler::Counter::Cycles],
+            &run.rank_direct,
+            2,
+        );
+        let before = flat.tree.columns.column_count();
+        let cols = s.append_view_columns(exp, &mut flat.tree, &[Stat::Mean, Stat::Max]);
+        assert_eq!(flat.tree.columns.column_count(), before + 2);
+        let module = flat.tree.roots()[0];
+        assert_eq!(flat.tree.columns.get(cols[0], module.0), 4_000.0, "mean");
+        assert_eq!(flat.tree.columns.get(cols[1], module.0), 6_000.0, "max");
+    }
+}

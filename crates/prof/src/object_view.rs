@@ -1,0 +1,249 @@
+//! Object-code presentation: metrics correlated with instructions
+//! (the paper's Section IX ongoing work — "effectively presenting
+//! metrics correlated with object code. Although HPCTOOLKIT supports a
+//! simple text-based presentation of such information, it is cumbersome
+//! to use").
+//!
+//! Samples in a raw profile land on instruction addresses; this module
+//! aggregates them per address (across all calling contexts) and renders
+//! a disassembly-style listing for a procedure: address, mnemonic-ish
+//! text, source line, and per-counter sample costs. The viewer-level
+//! discipline carries over: zero cells are blank and the listing is
+//! sorted by address (object code reads in address order, not metric
+//! order).
+
+use callpath_profiler::{Addr, Binary, Counter, InstrKind, RawProfile};
+use std::collections::HashMap;
+
+/// Aggregated per-instruction costs for one procedure.
+#[derive(Debug, Clone)]
+pub struct ObjectLine {
+    /// Instruction address.
+    pub addr: Addr,
+    /// Rendered instruction text.
+    pub text: String,
+    /// Source file name + line.
+    pub file: String,
+    /// Source line.
+    pub line: u32,
+    /// Sample counts per counter, summed over all calling contexts.
+    pub counts: [f64; Counter::COUNT],
+}
+
+/// The object-level view of one procedure.
+#[derive(Debug, Clone)]
+pub struct ObjectView {
+    /// The procedure presented.
+    pub proc_name: String,
+    /// One row per instruction, in address order.
+    pub lines: Vec<ObjectLine>,
+}
+
+fn mnemonic(binary: &Binary, kind: &InstrKind) -> String {
+    match kind {
+        InstrKind::Work { costs, scalable } => {
+            let mut parts = Vec::new();
+            if costs[Counter::FpOps] > 0 {
+                parts.push("fp");
+            }
+            if costs[Counter::L1DcMisses] > 0 {
+                parts.push("mem");
+            }
+            if parts.is_empty() {
+                parts.push("alu");
+            }
+            if !*scalable {
+                parts.push("serial");
+            }
+            format!("work.{}", parts.join("."))
+        }
+        InstrKind::Call { callee, max_active } => {
+            let guard = if max_active.is_some() { " (guarded)" } else { "" };
+            format!("call {}{guard}", binary.procs[*callee].name)
+        }
+        InstrKind::Branch { target, trips } => format!("loop.b {target} x{trips}"),
+        InstrKind::Barrier { id } => format!("barrier {id}"),
+        InstrKind::Ret => "ret".to_owned(),
+    }
+}
+
+/// Build the object view of the procedure named `proc_name`.
+///
+/// Returns `None` when the binary has no such procedure. Sample counts
+/// are folded over every context in the profile (the flat-view semantics,
+/// at instruction granularity).
+pub fn object_view(binary: &Binary, profile: &RawProfile, proc_name: &str) -> Option<ObjectView> {
+    let pi = binary.procs.iter().position(|p| p.name == proc_name)?;
+    let bounds = &binary.procs[pi];
+
+    // Fold all sample leaves by address.
+    let mut by_addr: HashMap<Addr, [f64; Counter::COUNT]> = HashMap::new();
+    let mut stack = vec![profile.root()];
+    while let Some(n) = stack.pop() {
+        for leaf in profile.leaves(n) {
+            if leaf.addr >= bounds.lo && leaf.addr < bounds.hi {
+                let acc = by_addr.entry(leaf.addr).or_insert([0.0; Counter::COUNT]);
+                for c in Counter::ALL {
+                    acc[c as usize] += leaf.counts[c as usize];
+                }
+            }
+        }
+        stack.extend(profile.children(n));
+    }
+
+    let lines = (bounds.lo..bounds.hi)
+        .map(|addr| {
+            let instr = binary.instr(addr);
+            ObjectLine {
+                addr,
+                text: mnemonic(binary, &instr.kind),
+                file: binary.files[instr.loc.file].clone(),
+                line: instr.loc.line,
+                counts: by_addr.get(&addr).copied().unwrap_or([0.0; Counter::COUNT]),
+            }
+        })
+        .collect();
+    Some(ObjectView {
+        proc_name: proc_name.to_owned(),
+        lines,
+    })
+}
+
+/// Render the listing with the counters that have any samples.
+pub fn render_object_view(view: &ObjectView, periods: &[u64; Counter::COUNT]) -> String {
+    // Only show counters with samples somewhere in the procedure.
+    let active: Vec<Counter> = Counter::ALL
+        .iter()
+        .copied()
+        .filter(|&c| view.lines.iter().any(|l| l.counts[c as usize] != 0.0))
+        .collect();
+    let mut out = format!("object view of {}\n", view.proc_name);
+    out.push_str(&format!("{:>8}  {:<28} {:<22}", "addr", "instruction", "source"));
+    for &c in &active {
+        out.push_str(&format!(" {:>14}", c.papi_name()));
+    }
+    out.push('\n');
+    for l in &view.lines {
+        out.push_str(&format!(
+            "{:>8}  {:<28} {:<22}",
+            format!("0x{:04x}", l.addr),
+            l.text,
+            format!("{}:{}", l.file, l.line)
+        ));
+        for &c in &active {
+            let events = l.counts[c as usize] * periods[c as usize] as f64;
+            let cell = if events == 0.0 {
+                String::new()
+            } else {
+                format!("{events:.2e}")
+            };
+            out.push_str(&format!(" {cell:>14}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use callpath_profiler::{execute, lower, Costs, ExecConfig, Op, ProgramBuilder};
+
+    fn setup() -> (Binary, callpath_profiler::ExecResult) {
+        let mut b = ProgramBuilder::new("app");
+        let f = b.file("a.c");
+        let work = b.declare("hotproc", f, 10);
+        let main = b.declare("main", f, 1);
+        b.body(
+            work,
+            vec![
+                Op::work(11, Costs::compute(40_000, 4.0, 0.5)),
+                Op::looped(12, 8, vec![Op::work(13, Costs::memory(5_000, 300))]),
+            ],
+        );
+        b.body(main, vec![Op::call(3, work)]);
+        b.entry(main);
+        let bin = lower(&b.build());
+        let cfg = ExecConfig {
+            jitter_seed: None,
+            ..ExecConfig::single(Counter::Cycles, 100)
+        };
+        let res = execute(&bin, &cfg).unwrap();
+        (bin, res)
+    }
+
+    #[test]
+    fn samples_fold_onto_instructions() {
+        let (bin, res) = setup();
+        let view = object_view(&bin, &res.profile, "hotproc").unwrap();
+        // hotproc: work, work(loop body), branch, ret = 4 instructions.
+        assert_eq!(view.lines.len(), 4);
+        let total: f64 = view
+            .lines
+            .iter()
+            .map(|l| l.counts[Counter::Cycles as usize])
+            .sum();
+        // 20k cycles + 8*5k = 60k cycles at period 100 => 600 samples.
+        assert_eq!(total, 600.0);
+        // The loop-body instruction carries 40k/100 = 400 of them.
+        let body = view.lines.iter().find(|l| l.line == 13).unwrap();
+        assert_eq!(body.counts[Counter::Cycles as usize], 400.0);
+        assert!(body.text.starts_with("work.mem"));
+    }
+
+    #[test]
+    fn rendering_is_address_ordered_with_blank_zeros() {
+        let (bin, res) = setup();
+        let view = object_view(&bin, &res.profile, "hotproc").unwrap();
+        let cfg = ExecConfig {
+            jitter_seed: None,
+            ..ExecConfig::single(Counter::Cycles, 100)
+        };
+        let text = render_object_view(&view, &cfg.periods);
+        assert!(text.contains("object view of hotproc"));
+        // Address order: the work at line 11 precedes the loop body.
+        let l11 = text.find("a.c:11").unwrap();
+        let l13 = text.find("a.c:13").unwrap();
+        assert!(l11 < l13);
+        // Control instructions show but have no samples (blank cells).
+        let ret_row = text.lines().find(|l| l.contains("ret")).unwrap();
+        assert!(!ret_row.contains("e+"), "blank, not zero: {ret_row}");
+        // Unsampled counters are not shown as columns.
+        assert!(!text.contains("PAPI_L1_DCM"), "{text}");
+    }
+
+    #[test]
+    fn unknown_procedure_is_none() {
+        let (bin, res) = setup();
+        assert!(object_view(&bin, &res.profile, "nope").is_none());
+    }
+
+    #[test]
+    fn context_folding_spans_multiple_callers() {
+        // A procedure called from two places: its object view sums both.
+        let mut b = ProgramBuilder::new("app");
+        let f = b.file("a.c");
+        let shared = b.declare("shared", f, 10);
+        let a = b.declare("a", f, 20);
+        let c = b.declare("c", f, 30);
+        let main = b.declare("main", f, 1);
+        b.body(shared, vec![Op::work(11, Costs::cycles(10_000))]);
+        b.body(a, vec![Op::call(21, shared)]);
+        b.body(c, vec![Op::call(31, shared)]);
+        b.body(main, vec![Op::call(2, a), Op::call(3, c)]);
+        b.entry(main);
+        let bin = lower(&b.build());
+        let cfg = ExecConfig {
+            jitter_seed: None,
+            ..ExecConfig::single(Counter::Cycles, 100)
+        };
+        let res = execute(&bin, &cfg).unwrap();
+        let view = object_view(&bin, &res.profile, "shared").unwrap();
+        let total: f64 = view
+            .lines
+            .iter()
+            .map(|l| l.counts[Counter::Cycles as usize])
+            .sum();
+        assert_eq!(total, 200.0, "both contexts folded");
+    }
+}

@@ -1,0 +1,655 @@
+//! A small text language for program models (`.cps` — "call path
+//! scenario"), so workloads can be written as files and fed to
+//! `callpath-record --program` without recompiling.
+//!
+//! ```text
+//! # comments run to end of line
+//! program myapp
+//!
+//! proc main @ app.c:1
+//!   work @ 2 cycles=1000
+//!   loop @ 3 trips=8
+//!     call work_fn @ 4
+//!   end
+//! end
+//!
+//! proc work_fn @ app.c:10
+//!   compute @ 11 flops=100000 eff=0.5        # cycles from flops/(peak*eff)
+//!   memory  @ 12 cycles=2000 misses=64
+//! end
+//!
+//! proc fast_memset in libirc.so nosource
+//!   memory @ 0 cycles=400 misses=96
+//! end
+//!
+//! entry main
+//! ```
+//!
+//! Statements inside a `proc`:
+//!
+//! | form | meaning |
+//! |---|---|
+//! | `work @ L cycles=N [instr=N] [flops=N] [l1=N] [fixed]` | raw counter costs; `fixed` = serial section (ignores per-rank scale) |
+//! | `compute @ L flops=N eff=F [peak=F]` | FP work at a relative efficiency (default peak 4 flops/cycle) |
+//! | `memory @ L cycles=N misses=N` | memory-bound streaming work |
+//! | `loop @ L trips=N ... end` | counted loop |
+//! | `call NAME @ L [inline] [recurse=N]` | call; `inline` splices, `recurse` bounds active frames |
+//! | `barrier @ L id=N` | SPMD synchronization point |
+//!
+//! Procedures may be referenced before their definition; `entry` selects
+//! the start procedure. Every error carries its source line number.
+
+use crate::counters::{Costs, Counter};
+use crate::program::{Op, Program, ProgramBuilder};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse error with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    /// 1-based line in the `.cps` source.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+fn err(line: usize, message: impl Into<String>) -> DslError {
+    DslError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One meaningful source line, pre-tokenized.
+struct Line {
+    no: usize,
+    tokens: Vec<String>,
+}
+
+fn tokenize(src: &str) -> Vec<Line> {
+    src.lines()
+        .enumerate()
+        .filter_map(|(i, raw)| {
+            let text = raw.split('#').next().unwrap_or("").trim();
+            if text.is_empty() {
+                return None;
+            }
+            Some(Line {
+                no: i + 1,
+                tokens: text.split_whitespace().map(str::to_owned).collect(),
+            })
+        })
+        .collect()
+}
+
+/// `key=value` options after the positional part of a statement.
+struct Opts {
+    line: usize,
+    map: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Opts {
+    fn parse(line: usize, tokens: &[String]) -> Result<Opts, DslError> {
+        let mut map = HashMap::new();
+        let mut flags = Vec::new();
+        for t in tokens {
+            match t.split_once('=') {
+                Some((k, v)) => {
+                    if map.insert(k.to_owned(), v.to_owned()).is_some() {
+                        return Err(err(line, format!("duplicate option '{k}'")));
+                    }
+                }
+                None => flags.push(t.clone()),
+            }
+        }
+        Ok(Opts { line, map, flags })
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, DslError> {
+        match self.map.get(key) {
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| err(self.line, format!("bad number for '{key}': '{v}'"))),
+            None => Ok(None),
+        }
+    }
+
+    fn req_num<T: std::str::FromStr>(&self, key: &str) -> Result<T, DslError> {
+        self.num(key)?
+            .ok_or_else(|| err(self.line, format!("missing required option '{key}='")))
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    fn check_known(&self, known_opts: &[&str], known_flags: &[&str]) -> Result<(), DslError> {
+        for k in self.map.keys() {
+            if !known_opts.contains(&k.as_str()) {
+                return Err(err(self.line, format!("unknown option '{k}='")));
+            }
+        }
+        for f in &self.flags {
+            if !known_flags.contains(&f.as_str()) {
+                return Err(err(self.line, format!("unknown flag '{f}'")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Split `file:line`.
+fn parse_loc(line_no: usize, text: &str) -> Result<(String, u32), DslError> {
+    let (file, l) = text
+        .rsplit_once(':')
+        .ok_or_else(|| err(line_no, format!("expected file:line, got '{text}'")))?;
+    let l = l
+        .parse()
+        .map_err(|_| err(line_no, format!("bad line number in '{text}'")))?;
+    Ok((file.to_owned(), l))
+}
+
+/// Expect `@` then a line number as the next two tokens; returns (line
+/// number value, rest).
+fn parse_at(line_no: usize, tokens: &[String]) -> Result<(u32, &[String]), DslError> {
+    if tokens.first().map(String::as_str) != Some("@") {
+        return Err(err(line_no, "expected '@ <line>'"));
+    }
+    let l = tokens
+        .get(1)
+        .ok_or_else(|| err(line_no, "expected a line number after '@'"))?
+        .parse()
+        .map_err(|_| err(line_no, "bad line number after '@'"))?;
+    Ok((l, &tokens[2..]))
+}
+
+struct ProcHeader {
+    name: String,
+    module: Option<String>,
+    file: Option<String>,
+    def_line: u32,
+    nosource: bool,
+    body_start: usize, // index into lines
+    body_end: usize,   // exclusive, of the matching `end`
+}
+
+/// Parse a `.cps` source into a [`Program`].
+pub fn parse(src: &str) -> Result<Program, DslError> {
+    let lines = tokenize(src);
+    if lines.is_empty() {
+        return Err(err(1, "empty program"));
+    }
+
+    // Header: `program <name>`.
+    let mut i = 0;
+    if lines[0].tokens[0] != "program" || lines[0].tokens.len() != 2 {
+        return Err(err(lines[0].no, "expected 'program <name>' first"));
+    }
+    let module_name = lines[0].tokens[1].clone();
+    i += 1;
+
+    // Pass 1: find proc headers and their body spans; find entry.
+    let mut headers: Vec<ProcHeader> = Vec::new();
+    let mut entry: Option<(usize, String)> = None;
+    while i < lines.len() {
+        let line = &lines[i];
+        match line.tokens[0].as_str() {
+            "proc" => {
+                let mut toks = &line.tokens[1..];
+                let name = toks
+                    .first()
+                    .ok_or_else(|| err(line.no, "proc needs a name"))?
+                    .clone();
+                toks = &toks[1..];
+                let mut module = None;
+                let mut file = None;
+                let mut def_line = 0;
+                let mut nosource = false;
+                while let Some(t) = toks.first() {
+                    match t.as_str() {
+                        "in" => {
+                            module = Some(
+                                toks.get(1)
+                                    .ok_or_else(|| err(line.no, "'in' needs a module name"))?
+                                    .clone(),
+                            );
+                            toks = &toks[2..];
+                        }
+                        "@" => {
+                            let loc = toks
+                                .get(1)
+                                .ok_or_else(|| err(line.no, "'@' needs file:line"))?;
+                            let (f, l) = parse_loc(line.no, loc)?;
+                            file = Some(f);
+                            def_line = l;
+                            toks = &toks[2..];
+                        }
+                        "nosource" => {
+                            nosource = true;
+                            toks = &toks[1..];
+                        }
+                        other => {
+                            return Err(err(line.no, format!("unexpected '{other}' in proc header")))
+                        }
+                    }
+                }
+                if file.is_none() && !nosource {
+                    return Err(err(
+                        line.no,
+                        format!("proc {name} needs '@ file:line' or 'nosource'"),
+                    ));
+                }
+                // Find the matching `end`, accounting for nested loops.
+                let body_start = i + 1;
+                let mut depth = 0usize;
+                let mut j = body_start;
+                let body_end = loop {
+                    let l = lines
+                        .get(j)
+                        .ok_or_else(|| err(line.no, format!("proc {name}: missing 'end'")))?;
+                    match l.tokens[0].as_str() {
+                        "loop" => depth += 1,
+                        "end" if depth == 0 => break j,
+                        "end" => depth -= 1,
+                        "proc" | "entry" | "program" => {
+                            return Err(err(l.no, format!("proc {name}: missing 'end'")))
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                };
+                headers.push(ProcHeader {
+                    name,
+                    module,
+                    file,
+                    def_line,
+                    nosource,
+                    body_start,
+                    body_end,
+                });
+                i = body_end + 1;
+            }
+            "entry" => {
+                if line.tokens.len() != 2 {
+                    return Err(err(line.no, "expected 'entry <proc>'"));
+                }
+                if entry.is_some() {
+                    return Err(err(line.no, "duplicate 'entry'"));
+                }
+                entry = Some((line.no, line.tokens[1].clone()));
+                i += 1;
+            }
+            other => return Err(err(line.no, format!("expected 'proc' or 'entry', got '{other}'"))),
+        }
+    }
+
+    // Declare all procs (forward references resolved).
+    let mut b = ProgramBuilder::new(&module_name);
+    let mut proc_ids: HashMap<String, usize> = HashMap::new();
+    for h in &headers {
+        if proc_ids.contains_key(&h.name) {
+            return Err(err(
+                lines[h.body_start - 1].no,
+                format!("duplicate proc '{}'", h.name),
+            ));
+        }
+        let idx = if h.nosource {
+            b.declare_binary_only(&h.name)
+        } else {
+            let file = b.file(h.file.as_deref().unwrap());
+            b.declare(&h.name, file, h.def_line)
+        };
+        proc_ids.insert(h.name.clone(), idx);
+    }
+    // Module overrides (applies to sourced and nosource procs alike).
+    for h in &headers {
+        if let Some(m) = &h.module {
+            b.set_module(proc_ids[&h.name], m);
+        }
+    }
+
+    // Pass 2: bodies.
+    for h in &headers {
+        let (body, consumed) = parse_body(&lines, h.body_start, h.body_end, &proc_ids)?;
+        debug_assert_eq!(consumed, h.body_end);
+        b.body(proc_ids[&h.name], body);
+    }
+
+    let (entry_line, entry_name) =
+        entry.ok_or_else(|| err(lines.last().unwrap().no, "missing 'entry <proc>'"))?;
+    let entry_idx = *proc_ids
+        .get(&entry_name)
+        .ok_or_else(|| err(entry_line, format!("entry proc '{entry_name}' not defined")))?;
+    b.entry(entry_idx);
+    b.try_build().map_err(|e| err(entry_line, e))
+}
+
+/// Parse statements in `lines[start..end)`; returns ops and the index of
+/// the terminating `end` (== `end` argument for proc bodies, or the index
+/// of the loop's `end` for nested bodies).
+fn parse_body(
+    lines: &[Line],
+    start: usize,
+    end: usize,
+    procs: &HashMap<String, usize>,
+) -> Result<(Vec<Op>, usize), DslError> {
+    let mut ops = Vec::new();
+    let mut i = start;
+    while i < end {
+        let line = &lines[i];
+        let t = &line.tokens;
+        match t[0].as_str() {
+            "work" => {
+                let (l, rest) = parse_at(line.no, &t[1..])?;
+                let opts = Opts::parse(line.no, rest)?;
+                opts.check_known(&["cycles", "instr", "flops", "l1", "idle"], &["fixed"])?;
+                let cycles: u64 = opts.req_num("cycles")?;
+                let mut costs = Costs::ZERO;
+                costs[Counter::Cycles] = cycles;
+                costs[Counter::Instructions] = opts.num("instr")?.unwrap_or(cycles);
+                costs[Counter::FpOps] = opts.num("flops")?.unwrap_or(0);
+                costs[Counter::L1DcMisses] = opts.num("l1")?.unwrap_or(0);
+                costs[Counter::Idleness] = opts.num("idle")?.unwrap_or(0);
+                ops.push(if opts.flag("fixed") {
+                    Op::work_fixed(l, costs)
+                } else {
+                    Op::work(l, costs)
+                });
+                i += 1;
+            }
+            "compute" => {
+                let (l, rest) = parse_at(line.no, &t[1..])?;
+                let opts = Opts::parse(line.no, rest)?;
+                opts.check_known(&["flops", "eff", "peak", "l1"], &["fixed"])?;
+                let flops: u64 = opts.req_num("flops")?;
+                let eff: f64 = opts.req_num("eff")?;
+                if !(eff > 0.0 && eff <= 1.0) {
+                    return Err(err(line.no, "eff must be in (0, 1]"));
+                }
+                let peak: f64 = opts.num("peak")?.unwrap_or(4.0);
+                let mut costs = Costs::compute(flops, peak, eff);
+                if let Some(l1) = opts.num("l1")? {
+                    costs[Counter::L1DcMisses] = l1;
+                }
+                ops.push(if opts.flag("fixed") {
+                    Op::work_fixed(l, costs)
+                } else {
+                    Op::work(l, costs)
+                });
+                i += 1;
+            }
+            "memory" => {
+                let (l, rest) = parse_at(line.no, &t[1..])?;
+                let opts = Opts::parse(line.no, rest)?;
+                opts.check_known(&["cycles", "misses"], &["fixed"])?;
+                let costs =
+                    Costs::memory(opts.req_num("cycles")?, opts.req_num("misses")?);
+                ops.push(if opts.flag("fixed") {
+                    Op::work_fixed(l, costs)
+                } else {
+                    Op::work(l, costs)
+                });
+                i += 1;
+            }
+            "loop" => {
+                let (l, rest) = parse_at(line.no, &t[1..])?;
+                let opts = Opts::parse(line.no, rest)?;
+                opts.check_known(&["trips"], &[])?;
+                let trips: u32 = opts.req_num("trips")?;
+                // Find this loop's `end`.
+                let mut depth = 0usize;
+                let mut j = i + 1;
+                let close = loop {
+                    if j >= end {
+                        return Err(err(line.no, "loop: missing 'end'"));
+                    }
+                    match lines[j].tokens[0].as_str() {
+                        "loop" => depth += 1,
+                        "end" if depth == 0 => break j,
+                        "end" => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                };
+                let (body, _) = parse_body(lines, i + 1, close, procs)?;
+                ops.push(Op::looped(l, trips, body));
+                i = close + 1;
+            }
+            "call" => {
+                let name = t
+                    .get(1)
+                    .ok_or_else(|| err(line.no, "call needs a procedure name"))?;
+                let callee = *procs
+                    .get(name)
+                    .ok_or_else(|| err(line.no, format!("unknown procedure '{name}'")))?;
+                let (l, rest) = parse_at(line.no, &t[2..])?;
+                let opts = Opts::parse(line.no, rest)?;
+                opts.check_known(&["recurse"], &["inline"])?;
+                let recurse: Option<u32> = opts.num("recurse")?;
+                ops.push(match (opts.flag("inline"), recurse) {
+                    (true, Some(_)) => {
+                        return Err(err(line.no, "a call cannot be both inline and recursive"))
+                    }
+                    (true, None) => Op::call_inline(l, callee),
+                    (false, Some(n)) => Op::call_recursive(l, callee, n),
+                    (false, None) => Op::call(l, callee),
+                });
+                i += 1;
+            }
+            "barrier" => {
+                let (l, rest) = parse_at(line.no, &t[1..])?;
+                let opts = Opts::parse(line.no, rest)?;
+                opts.check_known(&["id"], &[])?;
+                ops.push(Op::Barrier {
+                    line: l,
+                    id: opts.req_num("id")?,
+                });
+                i += 1;
+            }
+            other => return Err(err(line.no, format!("unknown statement '{other}'"))),
+        }
+    }
+    Ok((ops, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, ExecConfig};
+    use crate::lower::lower;
+
+    const SAMPLE: &str = "\
+# a tiny app
+program demo
+
+proc helper @ app.c:10
+  compute @ 11 flops=4000 eff=0.5   # 2000 cycles at peak 4
+end
+
+proc main @ app.c:1
+  work @ 2 cycles=100
+  loop @ 3 trips=5
+    call helper @ 4
+  end
+end
+
+entry main
+";
+
+    #[test]
+    fn parses_and_runs() {
+        let program = parse(SAMPLE).unwrap();
+        assert_eq!(program.name, "demo");
+        assert_eq!(program.procs.len(), 2);
+        let bin = lower(&program);
+        let res = execute(&bin, &ExecConfig::default()).unwrap();
+        // 100 + 5 × 2000 cycles.
+        assert_eq!(res.totals[Counter::Cycles], 100 + 5 * 2000);
+        assert_eq!(res.totals[Counter::FpOps], 5 * 4000);
+    }
+
+    #[test]
+    fn forward_references_and_recursion() {
+        let src = "\
+program rec
+proc main @ r.c:1
+  call g @ 2
+end
+proc g @ r.c:10
+  work @ 11 cycles=50
+  call g @ 12 recurse=3
+end
+entry main
+";
+        let program = parse(src).unwrap();
+        let res = execute(&lower(&program), &ExecConfig::default()).unwrap();
+        assert_eq!(res.totals[Counter::Cycles], 150, "three activations");
+    }
+
+    #[test]
+    fn modules_inline_and_fixed() {
+        let src = "\
+program multi
+proc fastset in libirc.so nosource
+  memory @ 0 cycles=400 misses=96
+end
+proc io @ io.c:5
+  work @ 6 cycles=1000 fixed
+end
+proc main @ m.c:1
+  call fastset @ 2
+  call io @ 3
+  work @ 4 cycles=500 flops=200 l1=7
+end
+entry main
+";
+        let program = parse(src).unwrap();
+        assert_eq!(program.procs[0].module.as_deref(), Some("libirc.so"));
+        assert!(!program.procs[0].has_source);
+        // The fixed section ignores scaling.
+        let base = execute(&lower(&program), &ExecConfig::default()).unwrap();
+        let scaled = execute(
+            &lower(&program),
+            &ExecConfig {
+                work_scale: 2.0,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        let delta = scaled.totals[Counter::Cycles] - base.totals[Counter::Cycles];
+        assert_eq!(delta, 400 + 500, "only the scalable work doubled");
+    }
+
+    #[test]
+    fn nested_loops() {
+        let src = "\
+program nest
+proc main @ n.c:1
+  loop @ 2 trips=3
+    loop @ 3 trips=4
+      work @ 4 cycles=2
+    end
+    work @ 5 cycles=1
+  end
+end
+entry main
+";
+        let program = parse(src).unwrap();
+        let res = execute(&lower(&program), &ExecConfig::default()).unwrap();
+        assert_eq!(res.totals[Counter::Cycles], 3 * (4 * 2 + 1));
+    }
+
+    #[test]
+    fn barriers_parse() {
+        let src = "\
+program spmd
+proc main @ s.c:1
+  work @ 2 cycles=10
+  barrier @ 3 id=0
+end
+entry main
+";
+        let program = parse(src).unwrap();
+        let res = execute(&lower(&program), &ExecConfig::default()).unwrap();
+        assert_eq!(res.barrier_arrivals.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("", 1, "empty"),
+            ("proc x @ a.c:1\nend\nentry x", 1, "expected 'program"),
+            ("program p\nproc x\nend\nentry x", 2, "needs '@ file:line'"),
+            (
+                "program p\nproc x @ a.c:1\n  work @ 2\nend\nentry x",
+                3,
+                "missing required option 'cycles='",
+            ),
+            (
+                "program p\nproc x @ a.c:1\n  work @ 2 cycles=ten\nend\nentry x",
+                3,
+                "bad number",
+            ),
+            (
+                "program p\nproc x @ a.c:1\n  call nope @ 2\nend\nentry x",
+                3,
+                "unknown procedure 'nope'",
+            ),
+            (
+                "program p\nproc x @ a.c:1\n  loop @ 2 trips=3\n  work @ 3 cycles=1\nend\nentry x",
+                6,
+                "missing 'end'",
+            ),
+            (
+                "program p\nproc x @ a.c:1\n  work @ 2 cycles=1 bogus=3\nend\nentry x",
+                3,
+                "unknown option 'bogus='",
+            ),
+            ("program p\nproc x @ a.c:1\nend", 3, "missing 'entry"),
+            (
+                "program p\nproc x @ a.c:1\nend\nentry zz",
+                4,
+                "entry proc 'zz' not defined",
+            ),
+            (
+                "program p\nproc x @ a.c:1\nend\nproc x @ a.c:9\nend\nentry x",
+                4,
+                "duplicate proc",
+            ),
+            (
+                "program p\nproc x @ a.c:1\n  compute @ 2 flops=10 eff=1.5\nend\nentry x",
+                3,
+                "eff must be in",
+            ),
+        ];
+        for (src, line, needle) in cases {
+            let e = parse(src).expect_err(src);
+            assert_eq!(e.line, *line, "{src} => {e}");
+            assert!(e.message.contains(needle), "{src} => {e}");
+        }
+    }
+
+    #[test]
+    fn unguarded_recursion_is_rejected_semantically() {
+        let src = "\
+program p
+proc x @ a.c:1
+  work @ 2 cycles=1
+  call x @ 3
+end
+entry x
+";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("unguarded call cycle"), "{e}");
+    }
+}

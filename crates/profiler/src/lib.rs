@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # callpath-profiler
+//!
+//! The measurement substrate: a deterministic program-execution simulator
+//! with asynchronous statistical sampling — this repository's stand-in for
+//! HPCToolkit's `hpcrun` running on real hardware.
+//!
+//! The pipeline mirrors the real toolchain:
+//!
+//! 1. describe an application as a [`program::Program`] (procedures, loops,
+//!    calls, inlining, guarded recursion, barriers);
+//! 2. [`lower::lower`] compiles it to a [`binary::Binary`] — a linear
+//!    instruction stream with addresses, a line map and DWARF-style inline
+//!    records (loops exist only as backward branches, exactly like a real
+//!    binary);
+//! 3. [`exec::execute`] runs the binary on a simulated CPU with virtual
+//!    hardware counters ([`counters::Counter`]), taking samples on counter
+//!    overflow into a [`rawprofile::RawProfile`] — a trie of call-site
+//!    addresses with per-instruction sample counts.
+//!
+//! Everything downstream (`callpath-structure`, `callpath-prof`) consumes
+//! only the binary image and the raw profile, never the high-level program,
+//! so the presentation layer is exercised end-to-end the way the paper's
+//! tools are.
+
+pub mod binary;
+pub mod counters;
+pub mod dsl;
+pub mod exec;
+pub mod listing;
+pub mod lower;
+pub mod program;
+pub mod rawprofile;
+
+pub use binary::{Addr, BinProc, Binary, InlineRange, Instr, InstrKind, LineInfo};
+pub use counters::{metric_descs, Costs, Counter};
+pub use dsl::{parse as parse_program, DslError};
+pub use exec::{execute, BarrierArrival, ExecConfig, ExecResult};
+pub use listing::generate as generate_listings;
+pub use lower::lower;
+pub use program::{Op, ProcDef, ProcIdx, Program, ProgramBuilder};
+pub use rawprofile::{LeafSamples, RawNodeId, RawProfile, NO_CALL};

@@ -1,0 +1,278 @@
+//! Lowering: compile a high-level [`Program`] to a [`Binary`] image.
+//!
+//! The pass linearizes procedure bodies into a dense instruction stream,
+//! turns counted loops into backward branches, expands `inline` calls by
+//! splicing the callee's lowered body into the caller (emitting a
+//! DWARF-style [`crate::binary::InlineRange`] record per splice,
+//! nested splices included), and appends a `Ret` to every procedure.
+
+use crate::binary::{Addr, BinProc, Binary, InlineRange, Instr, InstrKind, LineInfo};
+use crate::program::{Op, Program};
+
+/// Lower `program` to a binary image. Panics on invalid programs (call
+/// [`Program::validate`] first if the program is untrusted).
+pub fn lower(program: &Program) -> Binary {
+    program
+        .validate()
+        .unwrap_or_else(|e| panic!("lowering invalid program: {e}"));
+    let mut ctx = Lowering {
+        program,
+        code: Vec::new(),
+        inline_ranges: Vec::new(),
+    };
+    let mut procs = Vec::with_capacity(program.procs.len());
+    for p in program.procs.iter() {
+        let lo = ctx.code.len() as Addr;
+        ctx.lower_body(&p.body, p.file);
+        // Every procedure ends in Ret; the Ret inherits the definition
+        // line so stackless samples attribute somewhere sensible.
+        ctx.code.push(Instr {
+            kind: InstrKind::Ret,
+            loc: LineInfo {
+                file: p.file,
+                line: p.def_line,
+            },
+        });
+        procs.push(BinProc {
+            name: p.name.clone(),
+            file: p.file,
+            def_line: p.def_line,
+            lo,
+            hi: ctx.code.len() as Addr,
+            has_source: p.has_source,
+            module: p.module.clone(),
+        });
+    }
+    let bin = Binary {
+        module: program.name.clone(),
+        files: program.files.clone(),
+        procs,
+        code: ctx.code,
+        inline_ranges: ctx.inline_ranges,
+        entry: program.entry,
+    };
+    debug_assert!(bin.validate().is_ok(), "lowering produced invalid binary");
+    bin
+}
+
+struct Lowering<'p> {
+    program: &'p Program,
+    code: Vec<Instr>,
+    inline_ranges: Vec<InlineRange>,
+}
+
+impl Lowering<'_> {
+    /// Lower one body. `file` is the source file of the code being lowered
+    /// (the *callee's* file inside an inline splice).
+    fn lower_body(&mut self, body: &[Op], file: usize) {
+        for op in body {
+            match op {
+                Op::Work {
+                    line,
+                    costs,
+                    scalable,
+                } => {
+                    self.code.push(Instr {
+                        kind: InstrKind::Work {
+                            costs: *costs,
+                            scalable: *scalable,
+                        },
+                        loc: LineInfo { file, line: *line },
+                    });
+                }
+                Op::Loop { line, trips, body } => {
+                    let top = self.code.len() as Addr;
+                    self.lower_body(body, file);
+                    self.code.push(Instr {
+                        kind: InstrKind::Branch {
+                            target: top,
+                            trips: *trips,
+                        },
+                        loc: LineInfo { file, line: *line },
+                    });
+                }
+                Op::Call {
+                    line,
+                    callee,
+                    inline: false,
+                    max_active,
+                } => {
+                    self.code.push(Instr {
+                        kind: InstrKind::Call {
+                            callee: *callee,
+                            max_active: *max_active,
+                        },
+                        loc: LineInfo { file, line: *line },
+                    });
+                }
+                Op::Call {
+                    line,
+                    callee,
+                    inline: true,
+                    ..
+                } => {
+                    let callee_def = &self.program.procs[*callee];
+                    let lo = self.code.len() as Addr;
+                    // Splice the callee body; its ops carry the callee's
+                    // file. Nested inline calls recurse here, producing
+                    // properly nested ranges.
+                    self.lower_body(&callee_def.body, callee_def.file);
+                    let hi = self.code.len() as Addr;
+                    if hi > lo {
+                        self.inline_ranges.push(InlineRange {
+                            lo,
+                            hi,
+                            callee_name: callee_def.name.clone(),
+                            callee_file: callee_def.file,
+                            callee_def_line: callee_def.def_line,
+                            call_site: LineInfo { file, line: *line },
+                        });
+                    }
+                }
+                Op::Barrier { line, id } => {
+                    self.code.push(Instr {
+                        kind: InstrKind::Barrier { id: *id },
+                        loc: LineInfo { file, line: *line },
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Costs;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn inline_call_leaves_no_call_instruction() {
+        let mut b = ProgramBuilder::new("app");
+        let f1 = b.file("host.c");
+        let f2 = b.file("lib.c");
+        let main = b.declare("main", f1, 1);
+        let memset = b.declare("fast_memset", f2, 100);
+        b.body(memset, vec![Op::work(101, Costs::memory(50, 10))]);
+        b.body(main, vec![Op::call_inline(5, memset)]);
+        b.entry(main);
+        let bin = lower(&b.build());
+        let main_range = &bin.procs[main];
+        let has_call = (main_range.lo..main_range.hi)
+            .any(|a| matches!(bin.instr(a).kind, InstrKind::Call { .. }));
+        assert!(!has_call, "inlined call must vanish from the stream");
+        // But an inline record exists, pointing back at the call site.
+        assert_eq!(bin.inline_ranges.len(), 1);
+        let r = &bin.inline_ranges[0];
+        assert_eq!(r.callee_name, "fast_memset");
+        assert_eq!(r.call_site.line, 5);
+        assert_eq!(r.call_site.file, f1);
+        // The spliced instruction carries the callee's line info.
+        assert_eq!(bin.instr(r.lo).loc.file, f2);
+        assert_eq!(bin.instr(r.lo).loc.line, 101);
+    }
+
+    #[test]
+    fn nested_inlining_produces_nested_ranges() {
+        let mut b = ProgramBuilder::new("app");
+        let f = b.file("a.c");
+        let inner = b.declare("inner", f, 30);
+        let outer = b.declare("outer", f, 20);
+        let main = b.declare("main", f, 1);
+        b.body(inner, vec![Op::work(31, Costs::cycles(3))]);
+        b.body(
+            outer,
+            vec![Op::work(21, Costs::cycles(2)), Op::call_inline(22, inner)],
+        );
+        b.body(main, vec![Op::call_inline(2, outer)]);
+        b.entry(main);
+        let bin = lower(&b.build());
+        // Three ranges: inner-in-outer inside outer's own body, plus the
+        // outer splice in main and the inner splice nested within it.
+        assert_eq!(bin.inline_ranges.len(), 3);
+        let main_bounds = &bin.procs[main];
+        let in_main: Vec<&InlineRange> = bin
+            .inline_ranges
+            .iter()
+            .filter(|r| r.lo >= main_bounds.lo && r.hi <= main_bounds.hi)
+            .collect();
+        assert_eq!(in_main.len(), 2);
+        let outer_r = in_main.iter().find(|r| r.callee_name == "outer").unwrap();
+        let inner_r = in_main.iter().find(|r| r.callee_name == "inner").unwrap();
+        assert!(
+            outer_r.lo <= inner_r.lo && inner_r.hi <= outer_r.hi,
+            "inner range nested in outer"
+        );
+        // inline_chain_at on the inner instruction reports innermost first.
+        let chain = bin.inline_chain_at(inner_r.lo);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain[0].callee_name, "inner");
+        assert_eq!(chain[1].callee_name, "outer");
+    }
+
+    #[test]
+    fn nested_loops_lower_to_nested_branch_ranges() {
+        let mut b = ProgramBuilder::new("app");
+        let f = b.file("a.c");
+        let main = b.declare("h", f, 7);
+        b.body(
+            main,
+            vec![Op::looped(
+                8,
+                2,
+                vec![Op::looped(9, 4, vec![Op::work(9, Costs::cycles(1))])],
+            )],
+        );
+        b.entry(main);
+        let bin = lower(&b.build());
+        let branches: Vec<(Addr, Addr)> = bin
+            .code
+            .iter()
+            .enumerate()
+            .filter_map(|(a, i)| match i.kind {
+                InstrKind::Branch { target, .. } => Some((target, a as Addr)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(branches.len(), 2);
+        // The inner loop's range is strictly inside the outer one.
+        let (inner, outer) = (branches[0], branches[1]);
+        assert!(outer.0 <= inner.0 && inner.1 <= outer.1);
+    }
+
+    #[test]
+    fn lowering_is_deterministic() {
+        let mut b = ProgramBuilder::new("app");
+        let f = b.file("a.c");
+        let main = b.declare("main", f, 1);
+        b.body(main, vec![Op::work(2, Costs::cycles(7))]);
+        b.entry(main);
+        let p = b.build();
+        assert_eq!(lower(&p), lower(&p));
+    }
+
+    #[test]
+    fn recursion_guard_survives_lowering() {
+        let mut b = ProgramBuilder::new("app");
+        let f = b.file("a.c");
+        let g = b.declare("g", f, 2);
+        b.body(
+            g,
+            vec![
+                Op::work(3, Costs::cycles(1)),
+                Op::call_recursive(4, g, 3),
+            ],
+        );
+        b.entry(g);
+        let bin = lower(&b.build());
+        let call = bin
+            .code
+            .iter()
+            .find_map(|i| match i.kind {
+                InstrKind::Call { max_active, .. } => Some(max_active),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(call, Some(3));
+    }
+}

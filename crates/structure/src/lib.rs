@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! # callpath-structure
+//!
+//! Static program-structure recovery from a lowered binary image — the
+//! `hpcstruct` substitute.
+//!
+//! Given only what a real binary exposes — instruction stream, procedure
+//! bounds, line map, DWARF-style inline records — this crate rebuilds the
+//! static structure `hpcprof` needs to fuse with dynamic call chains:
+//!
+//! * **loops**, rediscovered from backward branches (a counted loop leaves
+//!   no other trace in the image);
+//! * **inline trees**, from the nesting of inline ranges;
+//! * a per-instruction **scope chain** query ([`Structure::scope_chain`])
+//!   that answers "which loops and inlined bodies contain this address?" —
+//!   the fact the paper uses to show call sites nested within loops in the
+//!   Calling Context View (Section III-D).
+
+pub mod recover;
+
+pub use recover::{recover, ProcStructure, Scope, ScopeNode, Structure};

@@ -1,0 +1,549 @@
+//! The tree-table renderer: navigation pane + metric pane as plain text.
+
+use callpath_core::prelude::*;
+
+/// How far to expand the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpandMode {
+    /// Expand everything to `max_depth`.
+    All,
+    /// Expand only the top `n` levels.
+    Levels(usize),
+}
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct RenderConfig {
+    /// Column to sort scopes by at every level (descending). `None` keeps
+    /// tree order.
+    pub sort: Option<ColumnId>,
+    /// Sort by scope name instead of a metric (the paper's footnote 2:
+    /// "the user can sort according to the source scopes in the
+    /// navigation pane itself"). Overrides `sort`.
+    pub sort_by_name: bool,
+    /// Columns to show, in order. Empty = all visible columns.
+    pub columns: Vec<ColumnId>,
+    /// How deep the tree expands.
+    pub expand: ExpandMode,
+    /// Hard depth cap.
+    pub max_depth: usize,
+    /// Show at most this many children per scope (the rest summarized as
+    /// `… k more`). Keeps huge fan-outs readable.
+    pub max_children: usize,
+    /// Label column width.
+    pub label_width: usize,
+    /// Fused call-site/callee lines (Section V-B). With `false`, each
+    /// called frame is preceded by a separate `called from <loc>` line —
+    /// the paper's earlier design, kept for the ablation.
+    pub fused: bool,
+    /// Append `value%-of-aggregate` to each metric cell.
+    pub show_percent: bool,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        RenderConfig {
+            sort: Some(ColumnId(0)),
+            sort_by_name: false,
+            columns: Vec::new(),
+            expand: ExpandMode::All,
+            max_depth: 64,
+            max_children: 100,
+            label_width: 44,
+            fused: true,
+            show_percent: true,
+        }
+    }
+}
+
+/// The call-site icon: the paper uses a box with a right-facing arrow;
+/// we use a two-character arrow marker.
+const CALL_ICON: &str = "↪ ";
+/// Marker for scopes on a rendered hot path.
+const HOT_ICON: &str = "🔥";
+/// Marker for binary-only scopes (no source: rendered "in plain black").
+const NO_SOURCE_MARK: &str = " †";
+
+struct Renderer<'v, 'e> {
+    view: &'v mut View<'e>,
+    cfg: RenderConfig,
+    cols: Vec<ColumnId>,
+    aggregates: Vec<f64>,
+    out: String,
+    hot: Vec<u32>,
+}
+
+impl Renderer<'_, '_> {
+    fn header(&mut self) {
+        let mut line = format!("{:width$}", "scope", width = self.cfg.label_width + 4);
+        let descs = self.view.columns().descs().to_vec();
+        for &c in &self.cols {
+            // Long derived-metric names are truncated so the table stays
+            // aligned; the full name is available via --list-columns /
+            // the column descriptor.
+            let name = &descs[c.index()].name;
+            let chars: Vec<char> = name.chars().collect();
+            let shown: String = if chars.len() > 18 {
+                // Keep head and tail: the tail usually carries the
+                // distinguishing part (metric flavor, summary statistic).
+                let head: String = chars[..9].iter().collect();
+                let tail: String = chars[chars.len() - 8..].iter().collect();
+                format!("{head}…{tail}")
+            } else {
+                name.clone()
+            };
+            line.push_str(&format!(" {shown:>18}"));
+        }
+        self.out.push_str(line.trim_end());
+        self.out.push('\n');
+        self.out
+            .push_str(&"-".repeat(self.cfg.label_width + 4 + self.cols.len() * 19));
+        self.out.push('\n');
+    }
+
+    fn metric_cells(&self, n: u32) -> String {
+        let mut s = String::new();
+        for (i, &c) in self.cols.iter().enumerate() {
+            let v = self.view.value(c, n);
+            let cell = if self.cfg.show_percent {
+                format::metric_with_percent(v, self.aggregates[i])
+            } else {
+                format::metric_value(v)
+            };
+            s.push_str(&std::format!(" {cell:>18}"));
+        }
+        s
+    }
+
+    fn node(&mut self, n: u32, depth: usize, remaining: usize) {
+        if depth >= self.cfg.max_depth {
+            return;
+        }
+        let is_call = self.view.is_call(n);
+        if !self.cfg.fused && is_call {
+            // Separate-lines mode: the call site gets its own row.
+            if let Some(cs) = self.view.call_site(n) {
+                let names = &self.view.experiment().cct.names;
+                let label = std::format!(
+                    "call at {}:{}",
+                    names.file_name(cs.file),
+                    cs.line
+                );
+                let indent = "  ".repeat(depth);
+                self.out.push_str(&std::format!(
+                    "{}{}\n",
+                    indent,
+                    format::fit(&label, self.cfg.label_width)
+                ));
+            }
+        }
+        let indent = "  ".repeat(depth);
+        let mut label = String::new();
+        if self.hot.contains(&n) {
+            label.push_str(HOT_ICON);
+        }
+        if is_call && self.cfg.fused {
+            label.push_str(CALL_ICON);
+        }
+        label.push_str(&self.view.label(n));
+        if !self.view.has_source(n) {
+            label.push_str(NO_SOURCE_MARK);
+        }
+        let width = self.cfg.label_width.saturating_sub(indent.chars().count());
+        let cells = self.metric_cells(n);
+        self.out
+            .push_str(&std::format!("{}{}    {}\n", indent, format::fit(&label, width), cells.trim_end()));
+
+        if remaining == 0 {
+            return;
+        }
+        let mut kids = self.view.children(n);
+        self.sort_nodes(&mut kids);
+        let shown = kids.len().min(self.cfg.max_children);
+        let hidden = kids.len() - shown;
+        for &k in kids.iter().take(shown) {
+            self.node(k, depth + 1, remaining - 1);
+        }
+        if hidden > 0 {
+            let indent = "  ".repeat(depth + 1);
+            self.out
+                .push_str(&std::format!("{indent}… {hidden} more\n"));
+        }
+    }
+
+    fn sort_nodes(&mut self, nodes: &mut [u32]) {
+        if self.cfg.sort_by_name {
+            nodes.sort_by_key(|&n| self.view.label(n));
+        } else if let Some(c) = self.cfg.sort {
+            sort_by_column(self.view, nodes, c);
+        }
+    }
+
+    fn run(&mut self, roots: &[u32]) {
+        self.header();
+        let mut roots = roots.to_vec();
+        self.sort_nodes(&mut roots);
+        let levels = match self.cfg.expand {
+            ExpandMode::All => usize::MAX,
+            ExpandMode::Levels(n) => n,
+        };
+        let shown = roots.len().min(self.cfg.max_children);
+        for &r in roots.iter().take(shown) {
+            self.node(r, 0, levels.saturating_sub(1));
+        }
+        if roots.len() > shown {
+            self.out
+                .push_str(&std::format!("… {} more\n", roots.len() - shown));
+        }
+    }
+}
+
+fn make_renderer<'v, 'e>(view: &'v mut View<'e>, cfg: &RenderConfig) -> Renderer<'v, 'e> {
+    let available = view.columns().column_count();
+    let cols: Vec<ColumnId> = if cfg.columns.is_empty() {
+        view.columns().visible_columns().collect()
+    } else {
+        // Out-of-range requests are dropped rather than panicking; the
+        // header simply omits them.
+        cfg.columns
+            .iter()
+            .copied()
+            .filter(|c| c.index() < available)
+            .collect()
+    };
+    let aggregates: Vec<f64> = cols
+        .iter()
+        .map(|&c| view.experiment().aggregate(c))
+        .collect();
+    Renderer {
+        view,
+        cfg: cfg.clone(),
+        cols,
+        aggregates,
+        out: String::new(),
+        hot: Vec::new(),
+    }
+}
+
+/// Render a whole view.
+pub fn render(view: &mut View<'_>, cfg: &RenderConfig) -> String {
+    let roots = view.roots();
+    let mut r = make_renderer(view, cfg);
+    r.run(&roots);
+    r.out
+}
+
+/// Render a zoomed subtree rooted at `start`.
+pub fn render_subtree(view: &mut View<'_>, start: u32, cfg: &RenderConfig) -> String {
+    let mut r = make_renderer(view, cfg);
+    r.run(&[start]);
+    r.out
+}
+
+/// Render starting from an explicit root list — used with
+/// [`callpath_core::flat::flatten`] to present a flattened Flat View.
+pub fn render_flattened(view: &mut View<'_>, roots: &[u32], cfg: &RenderConfig) -> String {
+    let mut r = make_renderer(view, cfg);
+    r.run(roots);
+    r.out
+}
+
+/// Run hot-path analysis from `start` on column `col` and render only the
+/// path (plus each path scope's immediate children for context), marking
+/// path members with the flame icon.
+pub fn render_hot_path(
+    view: &mut View<'_>,
+    start: u32,
+    col: ColumnId,
+    hot_cfg: HotPathConfig,
+    cfg: &RenderConfig,
+) -> String {
+    let path = view.hot_path(start, col, hot_cfg);
+    let mut r = make_renderer(view, cfg);
+    r.hot = path.clone();
+    r.header();
+    for (depth, &n) in path.iter().enumerate() {
+        // Render the path node, then (unless it continues) stop.
+        let is_last = depth + 1 == path.len();
+        let indent = "  ".repeat(depth);
+        let mut label = String::from(HOT_ICON);
+        if r.view.is_call(n) && r.cfg.fused {
+            label.push_str(CALL_ICON);
+        }
+        label.push_str(&r.view.label(n));
+        if !r.view.has_source(n) {
+            label.push_str(NO_SOURCE_MARK);
+        }
+        let width = r.cfg.label_width.saturating_sub(indent.chars().count());
+        let cells = r.metric_cells(n);
+        r.out
+            .push_str(&std::format!("{}{}    {}\n", indent, format::fit(&label, width), cells.trim_end()));
+        if is_last {
+            // Show where the path went cold: the children that each fell
+            // below the threshold.
+            let mut kids = r.view.children(n);
+            if let Some(c) = r.cfg.sort {
+                sort_by_column(r.view, &mut kids, c);
+            }
+            for k in kids.into_iter().take(r.cfg.max_children.min(5)) {
+                let indent = "  ".repeat(depth + 1);
+                let mut label = String::new();
+                if r.view.is_call(k) && r.cfg.fused {
+                    label.push_str(CALL_ICON);
+                }
+                label.push_str(&r.view.label(k));
+                let width = r.cfg.label_width.saturating_sub(indent.chars().count());
+                let cells = r.metric_cells(k);
+                r.out.push_str(&std::format!(
+                    "{}{}    {}\n",
+                    indent,
+                    format::fit(&label, width),
+                    cells.trim_end()
+                ));
+            }
+        }
+    }
+    r.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny experiment: main -> {hot (90), cold (10)}.
+    fn sample() -> Experiment {
+        let mut names = NameTable::new();
+        let file = names.file("app.c");
+        let module = names.module("app");
+        let p_main = names.proc("main");
+        let p_hot = names.proc("hot");
+        let p_cold = names.proc("cold");
+        let mut cct = Cct::new(names);
+        let root = cct.root();
+        let fr = |proc, line, cs: Option<u32>| ScopeKind::Frame {
+            proc,
+            module,
+            def: SourceLoc::new(file, line),
+            call_site: cs.map(|l| SourceLoc::new(file, l)),
+        };
+        let main = cct.add_child(root, fr(p_main, 1, None));
+        let hot = cct.add_child(main, fr(p_hot, 10, Some(2)));
+        let cold = cct.add_child(main, fr(p_cold, 20, Some(3)));
+        let sh = cct.add_child(
+            hot,
+            ScopeKind::Stmt {
+                loc: SourceLoc::new(file, 11),
+            },
+        );
+        let sc = cct.add_child(
+            cold,
+            ScopeKind::Stmt {
+                loc: SourceLoc::new(file, 21),
+            },
+        );
+        let mut raw = RawMetrics::new(StorageKind::Dense);
+        let cyc = raw.add_metric(MetricDesc::new("cycles", "cycles", 1.0));
+        raw.add_cost(cyc, sh, 90.0);
+        raw.add_cost(cyc, sc, 10.0);
+        Experiment::build(cct, raw, StorageKind::Dense)
+    }
+
+    #[test]
+    fn renders_sorted_tree_with_columns() {
+        let exp = sample();
+        let mut view = View::calling_context(&exp);
+        let text = render(&mut view, &RenderConfig::default());
+        assert!(text.contains("cycles (I)"));
+        let hot_pos = text.find("hot").unwrap();
+        let cold_pos = text.find("cold").unwrap();
+        assert!(hot_pos < cold_pos, "sorted descending:\n{text}");
+        // Percentages of the aggregate appear.
+        assert!(text.contains("90.0%"), "{text}");
+    }
+
+    #[test]
+    fn zero_cells_are_blank() {
+        let exp = sample();
+        let mut view = View::calling_context(&exp);
+        let text = render(&mut view, &RenderConfig::default());
+        // main's exclusive is zero: its row must contain exactly one
+        // numeric cell (the inclusive one).
+        let main_line = text.lines().find(|l| l.trim_start().starts_with("main")).unwrap();
+        let numbers = main_line.matches("e").count();
+        // "1.00e2" appears once for the inclusive column only.
+        assert_eq!(main_line.matches("1.00e2").count(), 1);
+        assert!(numbers >= 1);
+        assert!(!main_line.contains("0.00e0"), "zeros must be blank: {main_line}");
+    }
+
+    #[test]
+    fn call_icon_marks_called_frames() {
+        let exp = sample();
+        let mut view = View::calling_context(&exp);
+        let text = render(&mut view, &RenderConfig::default());
+        let hot_line = text.lines().find(|l| l.contains("hot")).unwrap();
+        assert!(hot_line.contains("↪"), "{hot_line}");
+        let main_line = text.lines().find(|l| l.trim_start().starts_with("main")).unwrap();
+        assert!(!main_line.contains("↪"));
+    }
+
+    #[test]
+    fn separate_lines_mode_doubles_call_rows() {
+        let exp = sample();
+        let mut view = View::calling_context(&exp);
+        let fused = render(&mut view, &RenderConfig::default());
+        let mut view2 = View::calling_context(&exp);
+        let separate = render(
+            &mut view2,
+            &RenderConfig {
+                fused: false,
+                ..Default::default()
+            },
+        );
+        let fused_rows = fused.lines().count();
+        let separate_rows = separate.lines().count();
+        // Two called frames => two extra "call at" rows.
+        assert_eq!(separate_rows, fused_rows + 2, "{separate}");
+        assert!(separate.contains("call at app.c:2"));
+    }
+
+    #[test]
+    fn expansion_levels_limit_depth() {
+        let exp = sample();
+        let mut view = View::calling_context(&exp);
+        let text = render(
+            &mut view,
+            &RenderConfig {
+                expand: ExpandMode::Levels(1),
+                ..Default::default()
+            },
+        );
+        assert!(text.contains("main"));
+        assert!(!text.contains("hot"), "children must stay collapsed:\n{text}");
+    }
+
+    #[test]
+    fn hot_path_rendering_marks_the_path() {
+        let exp = sample();
+        let mut view = View::calling_context(&exp);
+        let roots = view.roots();
+        let text = render_hot_path(
+            &mut view,
+            roots[0],
+            ColumnId(0),
+            HotPathConfig::default(),
+            &RenderConfig::default(),
+        );
+        assert!(text.contains("🔥"));
+        let flames = text.matches("🔥").count();
+        assert_eq!(flames, 3, "main -> hot -> stmt:\n{text}");
+        assert!(!text.lines().any(|l| l.contains("cold") && l.contains("🔥")));
+    }
+
+    #[test]
+    fn max_children_truncates_fanout() {
+        // Build a root with many children.
+        let mut names = NameTable::new();
+        let file = names.file("x.c");
+        let module = names.module("x");
+        let procs: Vec<ProcId> = (0..30).map(|i| names.proc(&std::format!("p{i}"))).collect();
+        let p_main = names.proc("main");
+        let mut cct = Cct::new(names);
+        let root = cct.root();
+        let main = cct.add_child(
+            root,
+            ScopeKind::Frame {
+                proc: p_main,
+                module,
+                def: SourceLoc::new(file, 1),
+                call_site: None,
+            },
+        );
+        let mut raw = RawMetrics::new(StorageKind::Dense);
+        let cyc = raw.add_metric(MetricDesc::new("cycles", "cycles", 1.0));
+        for (i, &p) in procs.iter().enumerate() {
+            let f = cct.add_child(
+                main,
+                ScopeKind::Frame {
+                    proc: p,
+                    module,
+                    def: SourceLoc::new(file, 10 + i as u32),
+                    call_site: Some(SourceLoc::new(file, 2)),
+                },
+            );
+            let s = cct.add_child(
+                f,
+                ScopeKind::Stmt {
+                    loc: SourceLoc::new(file, 100 + i as u32),
+                },
+            );
+            raw.add_cost(cyc, s, 1.0 + i as f64);
+        }
+        let exp = Experiment::build(cct, raw, StorageKind::Dense);
+        let mut view = View::calling_context(&exp);
+        let text = render(
+            &mut view,
+            &RenderConfig {
+                max_children: 5,
+                expand: ExpandMode::Levels(2),
+                ..Default::default()
+            },
+        );
+        assert!(text.contains("… 25 more"), "{text}");
+    }
+
+    #[test]
+    fn flattened_render_uses_custom_roots() {
+        let exp = sample();
+        let flat = FlatView::build(&exp, StorageKind::Dense);
+        let roots = flat.tree.roots();
+        let once = flatten_once(&flat.tree, &roots);
+        let ids: Vec<u32> = once.iter().map(|n| n.0).collect();
+        let mut view = View::Flat { exp: &exp, view: flat };
+        let text = render_flattened(&mut view, &ids, &RenderConfig::default());
+        // Flattening the module level exposes the file directly.
+        assert!(text.starts_with("scope"));
+        assert!(text.contains("app.c"));
+        assert!(!text.lines().nth(2).unwrap().contains("app "), "module row elided");
+    }
+
+    #[test]
+    fn binary_only_scopes_are_marked() {
+        let mut names = NameTable::new();
+        let file = names.file("<unknown>");
+        let module = names.module("rt");
+        let p = names.proc("__libc_start_main");
+        let mut cct = Cct::new(names);
+        let root = cct.root();
+        let f = cct.add_child(
+            root,
+            ScopeKind::Frame {
+                proc: p,
+                module,
+                def: SourceLoc::new(file, 0), // line 0 = no source
+                call_site: None,
+            },
+        );
+        let s = cct.add_child(
+            f,
+            ScopeKind::Stmt {
+                loc: SourceLoc::new(file, 0),
+            },
+        );
+        let mut raw = RawMetrics::new(StorageKind::Dense);
+        let cyc = raw.add_metric(MetricDesc::new("cycles", "cycles", 1.0));
+        raw.add_cost(cyc, s, 5.0);
+        let exp = Experiment::build(cct, raw, StorageKind::Dense);
+        let mut view = View::calling_context(&exp);
+        let text = render(&mut view, &RenderConfig::default());
+        assert!(text.contains("__libc_start_main †"), "{text}");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let exp = sample();
+        let a = render(&mut View::calling_context(&exp), &RenderConfig::default());
+        let b = render(&mut View::calling_context(&exp), &RenderConfig::default());
+        assert_eq!(a, b);
+    }
+}

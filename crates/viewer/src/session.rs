@@ -1,0 +1,786 @@
+//! An interactive viewer session: the hpcviewer UX as a deterministic
+//! state machine (Section V).
+//!
+//! The session owns the paper's interaction model:
+//!
+//! * **top-down enforcement**: everything starts collapsed at the top
+//!   level; the only way to see a scope is to expand its parent (or run
+//!   hot-path analysis, which expands for you);
+//! * per-view **expansion state**, **selection**, and **sort column**;
+//! * **hot path** from the selected scope (or the view's top) at the
+//!   configurable threshold (the preferences-dialog knob);
+//! * **zoom** into a subtree and back;
+//! * **flatten/unflatten** for the Flat View;
+//! * **source navigation** for the selected scope — the only route to
+//!   source, per Section V-A.
+//!
+//! Commands return `Err` with a message instead of panicking, so a shell
+//! or test can drive the session blindly.
+
+use crate::render::{render_flattened, RenderConfig};
+use callpath_core::flat::flatten_once;
+use callpath_core::prelude::*;
+use callpath_core::source::SourceStore;
+use std::collections::HashSet;
+
+/// A user action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Switch between the three views (each keeps its own state).
+    SwitchView(ViewKind),
+    /// Expand a visible scope (children become visible).
+    Expand(u32),
+    /// Collapse a scope (its subtree disappears).
+    Collapse(u32),
+    /// Select a visible scope (shows its source pane).
+    Select(u32),
+    /// Sort scopes by this metric column.
+    SortBy(ColumnId),
+    /// Run hot-path analysis from the selection (or each top-level scope's
+    /// maximum when nothing is selected), expanding along the path.
+    HotPath,
+    /// Set the hot-path threshold (the preferences-dialog knob).
+    SetThreshold(f64),
+    /// Restrict the view to one subtree.
+    Zoom(u32),
+    /// Undo a zoom.
+    Unzoom,
+    /// Flat View only.
+    Flatten,
+    /// Restore one flattened hierarchy layer.
+    Unflatten,
+    /// Metric-properties dialog: hide/show a column (hidden columns still
+    /// feed derived formulas, they just don't render).
+    HideColumn(ColumnId),
+    /// Show a previously hidden column.
+    ShowColumn(ColumnId),
+    /// Sort scopes by name instead of a metric (footnote 2).
+    SortByName(bool),
+    /// Search: find the first scope whose label contains the needle
+    /// (case-sensitive), expand its ancestors so it becomes visible, and
+    /// select it.
+    Find(String),
+}
+
+/// Per-view interaction state.
+#[derive(Debug, Default, Clone)]
+struct ViewState {
+    expanded: HashSet<u32>,
+    selected: Option<u32>,
+    zoom: Option<u32>,
+    flatten_level: usize,
+    hot: Vec<u32>,
+}
+
+/// An interactive session over one experiment.
+pub struct Session<'e> {
+    exp: &'e Experiment,
+    store: SourceStore,
+    kind: ViewKind,
+    views: [Option<View<'e>>; 3],
+    states: [ViewState; 3],
+    sort: ColumnId,
+    sort_by_name: bool,
+    threshold: f64,
+    hidden: HashSet<u32>,
+    cfg: RenderConfig,
+}
+
+fn idx(kind: ViewKind) -> usize {
+    match kind {
+        ViewKind::CallingContext => 0,
+        ViewKind::Callers => 1,
+        ViewKind::Flat => 2,
+    }
+}
+
+impl<'e> Session<'e> {
+    /// Start a session on the Calling Context View with everything
+    /// collapsed (the top-down discipline).
+    pub fn new(exp: &'e Experiment, store: SourceStore) -> Self {
+        Session {
+            exp,
+            store,
+            kind: ViewKind::CallingContext,
+            views: [None, None, None],
+            states: Default::default(),
+            sort: ColumnId(0),
+            sort_by_name: false,
+            threshold: 0.5,
+            hidden: HashSet::new(),
+            cfg: RenderConfig::default(),
+        }
+    }
+
+    /// Which view is active.
+    pub fn view_kind(&self) -> ViewKind {
+        self.kind
+    }
+
+    /// The currently selected scope, if any.
+    pub fn selected(&self) -> Option<u32> {
+        self.states[idx(self.kind)].selected
+    }
+
+    /// The hot-path threshold in effect.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn view(&mut self) -> &mut View<'e> {
+        let i = idx(self.kind);
+        if self.views[i].is_none() {
+            self.views[i] = Some(match self.kind {
+                ViewKind::CallingContext => View::calling_context(self.exp),
+                ViewKind::Callers => View::callers(self.exp),
+                ViewKind::Flat => View::flat(self.exp),
+            });
+        }
+        self.views[i].as_mut().unwrap()
+    }
+
+    /// Scopes currently visible at the top of the view (zoom target, or
+    /// flattened roots, or the view's natural roots).
+    fn top_level(&mut self) -> Vec<u32> {
+        let state = self.states[idx(self.kind)].clone();
+        if let Some(z) = state.zoom {
+            return vec![z];
+        }
+        let kind = self.kind;
+        let view = self.view();
+        let mut roots = view.roots();
+        if let (ViewKind::Flat, level) = (kind, state.flatten_level) {
+            if level > 0 {
+                if let View::Flat { view: flat, .. } = view {
+                    let mut cur: Vec<ViewNodeId> =
+                        roots.iter().map(|&r| ViewNodeId(r)).collect();
+                    for _ in 0..level {
+                        cur = flatten_once(&flat.tree, &cur);
+                    }
+                    roots = cur.iter().map(|n| n.0).collect();
+                }
+            }
+        }
+        roots
+    }
+
+    /// Is `node` currently visible (reachable from the top level through
+    /// expanded scopes)? Commands that address invisible scopes are
+    /// rejected — the top-down discipline.
+    fn is_visible(&mut self, node: u32) -> bool {
+        let tops = self.top_level();
+        if tops.contains(&node) {
+            return true;
+        }
+        let expanded = self.states[idx(self.kind)].expanded.clone();
+        let mut stack = tops;
+        while let Some(n) = stack.pop() {
+            if expanded.contains(&n) {
+                for c in self.view().children(n) {
+                    if c == node {
+                        return true;
+                    }
+                    stack.push(c);
+                }
+            }
+        }
+        false
+    }
+
+    /// Apply one command.
+    pub fn apply(&mut self, cmd: Command) -> Result<(), String> {
+        match cmd {
+            Command::SwitchView(kind) => {
+                self.kind = kind;
+                Ok(())
+            }
+            Command::Expand(n) => {
+                if !self.is_visible(n) {
+                    return Err(format!("scope {n} is not visible; expand its parents first"));
+                }
+                if self.view().children(n).is_empty() {
+                    return Err(format!("scope {n} has no children"));
+                }
+                self.states[idx(self.kind)].expanded.insert(n);
+                Ok(())
+            }
+            Command::Collapse(n) => {
+                self.states[idx(self.kind)].expanded.remove(&n);
+                Ok(())
+            }
+            Command::Select(n) => {
+                if !self.is_visible(n) {
+                    return Err(format!("scope {n} is not visible"));
+                }
+                self.states[idx(self.kind)].selected = Some(n);
+                Ok(())
+            }
+            Command::SortBy(c) => {
+                if c.index() >= self.exp.columns.column_count() {
+                    return Err(format!("no column {c:?}"));
+                }
+                self.sort = c;
+                Ok(())
+            }
+            Command::SetThreshold(t) => {
+                if !(t > 0.0 && t <= 1.0) {
+                    return Err("threshold must be in (0, 1]".into());
+                }
+                self.threshold = t;
+                Ok(())
+            }
+            Command::HotPath => {
+                let start = match self.selected() {
+                    Some(s) => s,
+                    None => {
+                        let mut tops = self.top_level();
+                        if tops.is_empty() {
+                            return Err("empty view".into());
+                        }
+                        let sort = self.sort;
+                        {
+                            let view = self.view();
+                            tops.sort_by(|&a, &b| {
+                                view.value(sort, b)
+                                    .partial_cmp(&view.value(sort, a))
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                            });
+                        }
+                        tops[0]
+                    }
+                };
+                let cfg = HotPathConfig {
+                    threshold: self.threshold,
+                    ..Default::default()
+                };
+                let sort = self.sort;
+                let path = self.view().hot_path(start, sort, cfg);
+                let state = &mut self.states[idx(self.kind)];
+                for &n in &path {
+                    state.expanded.insert(n);
+                }
+                state.selected = path.last().copied();
+                state.hot = path;
+                Ok(())
+            }
+            Command::Zoom(n) => {
+                if !self.is_visible(n) {
+                    return Err(format!("scope {n} is not visible"));
+                }
+                self.states[idx(self.kind)].zoom = Some(n);
+                Ok(())
+            }
+            Command::Unzoom => {
+                self.states[idx(self.kind)].zoom = None;
+                Ok(())
+            }
+            Command::Flatten => {
+                if self.kind != ViewKind::Flat {
+                    return Err("flattening applies to the Flat View".into());
+                }
+                self.states[idx(self.kind)].flatten_level += 1;
+                Ok(())
+            }
+            Command::Unflatten => {
+                if self.kind != ViewKind::Flat {
+                    return Err("flattening applies to the Flat View".into());
+                }
+                let s = &mut self.states[idx(self.kind)];
+                if s.flatten_level == 0 {
+                    return Err("not flattened".into());
+                }
+                s.flatten_level -= 1;
+                Ok(())
+            }
+            Command::HideColumn(c) => {
+                if c.index() >= self.exp.columns.column_count() {
+                    return Err(format!("no column {c:?}"));
+                }
+                self.hidden.insert(c.0);
+                Ok(())
+            }
+            Command::ShowColumn(c) => {
+                self.hidden.remove(&c.0);
+                Ok(())
+            }
+            Command::SortByName(on) => {
+                self.sort_by_name = on;
+                Ok(())
+            }
+            Command::Find(needle) => {
+                // BFS from the top level so the shallowest match wins, and
+                // record the path for ancestor expansion.
+                let tops = self.top_level();
+                let mut queue: std::collections::VecDeque<(u32, Vec<u32>)> =
+                    tops.into_iter().map(|t| (t, vec![t])).collect();
+                let mut seen = HashSet::new();
+                while let Some((n, path)) = queue.pop_front() {
+                    if !seen.insert(n) {
+                        continue;
+                    }
+                    if self.view().label(n).contains(&needle) {
+                        let state = &mut self.states[idx(self.kind)];
+                        for &a in &path[..path.len() - 1] {
+                            state.expanded.insert(a);
+                        }
+                        state.selected = Some(n);
+                        return Ok(());
+                    }
+                    for c in self.view().children(n) {
+                        let mut p = path.clone();
+                        p.push(c);
+                        queue.push_back((c, p));
+                    }
+                }
+                Err(format!("no scope matching '{needle}'"))
+            }
+        }
+    }
+
+    /// Render the current view: only expanded scopes show children; the
+    /// selection is marked with `»` and the last hot path with flames.
+    pub fn render(&mut self) -> String {
+        self.render_impl(false).0
+    }
+
+    /// Render with a `[row]` prefix on every scope line and return the
+    /// node id of each row, so an interactive shell can address scopes by
+    /// row number (`expand 3`, `select 0`, ...).
+    pub fn render_numbered(&mut self) -> (String, Vec<u32>) {
+        self.render_impl(true)
+    }
+
+    fn render_impl(&mut self, numbered: bool) -> (String, Vec<u32>) {
+        let tops = self.top_level();
+        let state = self.states[idx(self.kind)].clone();
+        let sort = self.sort;
+        let cfg = self.cfg.clone();
+        let title = self.kind.title();
+        let hidden = self.hidden.clone();
+        let by_name = self.sort_by_name;
+        let view = self.view();
+
+        let mut out = format!("[{title}]\n");
+        let cols: Vec<ColumnId> = view
+            .columns()
+            .visible_columns()
+            .filter(|c| !hidden.contains(&c.0))
+            .collect();
+        let mut header = format!("{:width$}", "scope", width = cfg.label_width + 4);
+        let descs = view.columns().descs().to_vec();
+        for &c in &cols {
+            // Same head…tail truncation as the plain renderer, so the
+            // statistic/flavor suffix of long names stays readable.
+            let name = &descs[c.index()].name;
+            let chars: Vec<char> = name.chars().collect();
+            let shown: String = if chars.len() > 18 {
+                let head: String = chars[..9].iter().collect();
+                let tail: String = chars[chars.len() - 8..].iter().collect();
+                format!("{head}…{tail}")
+            } else {
+                name.clone()
+            };
+            header.push_str(&format!(" {shown:>18}"));
+        }
+        out.push_str(header.trim_end());
+        out.push('\n');
+
+        let aggregates: Vec<f64> = cols
+            .iter()
+            .map(|&c| view.experiment().aggregate(c))
+            .collect();
+
+        fn emit(
+            view: &mut View<'_>,
+            n: u32,
+            depth: usize,
+            state: &super::session::SessionRenderCtx<'_>,
+            out: &mut String,
+            rows: &mut Vec<u32>,
+            numbered: bool,
+        ) {
+            if numbered {
+                out.push_str(&format!("[{:>3}] ", rows.len()));
+            }
+            rows.push(n);
+            let indent = "  ".repeat(depth);
+            let mut label = String::new();
+            if state.selected == Some(n) {
+                label.push('»');
+            }
+            if state.hot.contains(&n) {
+                label.push('🔥');
+            }
+            let expandable = !view.children_if_built(n).is_empty()
+                || matches!(view, View::Callers { .. });
+            let marker = if state.expanded.contains(&n) {
+                "▼ "
+            } else if expandable {
+                "▶ "
+            } else {
+                "  "
+            };
+            label.push_str(marker);
+            if view.is_call(n) {
+                label.push_str("↪ ");
+            }
+            label.push_str(&view.label(n));
+            if !view.has_source(n) {
+                label.push_str(" †");
+            }
+            let width = state.cfg.label_width.saturating_sub(indent.chars().count());
+            let mut cells = String::new();
+            for (i, &c) in state.cols.iter().enumerate() {
+                let v = view.value(c, n);
+                cells.push_str(&format!(
+                    " {:>18}",
+                    format::metric_with_percent(v, state.aggregates[i])
+                ));
+            }
+            out.push_str(&format!(
+                "{}{}    {}\n",
+                indent,
+                format::fit(&label, width),
+                cells.trim_end()
+            ));
+            if state.expanded.contains(&n) {
+                let mut kids = view.children(n);
+                if state.by_name {
+                    kids.sort_by_key(|&k| view.label(k));
+                } else {
+                    kids.sort_by(|&a, &b| {
+                        view.value(state.sort, b)
+                            .partial_cmp(&view.value(state.sort, a))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then_with(|| view.label(a).cmp(&view.label(b)))
+                    });
+                }
+                for k in kids {
+                    emit(view, k, depth + 1, state, out, rows, numbered);
+                }
+            }
+        }
+
+        let ctx = SessionRenderCtx {
+            selected: state.selected,
+            hot: &state.hot,
+            expanded: &state.expanded,
+            cols: &cols,
+            aggregates: &aggregates,
+            sort,
+            by_name,
+            cfg: &cfg,
+        };
+        let mut sorted_tops = tops;
+        if by_name {
+            sorted_tops.sort_by_key(|&t| view.label(t));
+        } else {
+            sorted_tops.sort_by(|&a, &b| {
+                view.value(sort, b)
+                    .partial_cmp(&view.value(sort, a))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| view.label(a).cmp(&view.label(b)))
+            });
+        }
+        let mut rows: Vec<u32> = Vec::new();
+        for t in sorted_tops {
+            emit(view, t, 0, &ctx, &mut out, &mut rows, numbered);
+        }
+
+        // Source pane for the selection. Re-borrow view immutably so the
+        // store can be read alongside it.
+        if let Some(sel) = state.selected {
+            let i = idx(self.kind);
+            let view = self.views[i].as_ref().expect("view materialized above");
+            out.push('\n');
+            out.push_str(&crate::source_pane::render_selection(
+                view,
+                sel,
+                &self.store,
+                2,
+            ));
+        }
+        (out, rows)
+    }
+
+    /// Convenience for tests and shells: render from flattened roots using
+    /// the plain renderer (no interaction state).
+    pub fn render_plain(&mut self) -> String {
+        let tops = self.top_level();
+        let cfg = self.cfg.clone();
+        render_flattened(self.view(), &tops, &cfg)
+    }
+}
+
+/// Borrowed context for the recursive renderer (kept out of the closure to
+/// satisfy the borrow checker).
+struct SessionRenderCtx<'a> {
+    selected: Option<u32>,
+    hot: &'a [u32],
+    expanded: &'a HashSet<u32>,
+    cols: &'a [ColumnId],
+    aggregates: &'a [f64],
+    sort: ColumnId,
+    by_name: bool,
+    cfg: &'a RenderConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use callpath_profiler::{generate_listings, Costs, ExecConfig, Op, ProgramBuilder};
+    use callpath_workloads::pipeline;
+
+    fn experiment() -> (Experiment, SourceStore) {
+        let mut b = ProgramBuilder::new("app");
+        let f = b.file("app.c");
+        let hot = b.declare("hot", f, 10);
+        let cold = b.declare("cold", f, 20);
+        let main = b.declare("main", f, 1);
+        b.body(hot, vec![Op::work(11, Costs::cycles(90_000))]);
+        b.body(cold, vec![Op::work(21, Costs::cycles(10_000))]);
+        b.body(main, vec![Op::call(3, hot), Op::call(4, cold)]);
+        b.entry(main);
+        let program = b.build();
+        let listings = generate_listings(&program);
+        let exp = pipeline::build_experiment(&program, &ExecConfig::default());
+        let store = SourceStore::from_texts(
+            &exp.cct.names,
+            listings.iter().map(|(n, t)| (n.as_str(), t.as_str())),
+        );
+        (exp, store)
+    }
+
+    #[test]
+    fn starts_collapsed_at_top_level() {
+        let (exp, store) = experiment();
+        let mut s = Session::new(&exp, store);
+        let text = s.render();
+        assert!(text.contains("main"));
+        assert!(!text.contains("hot\n"), "children hidden until expanded:\n{text}");
+        assert!(text.contains("▶"), "expandable marker");
+    }
+
+    #[test]
+    fn top_down_discipline_rejects_deep_access() {
+        let (exp, store) = experiment();
+        let mut s = Session::new(&exp, store);
+        // Find main's id and a grandchild id.
+        let main = {
+            let v = View::calling_context(&exp);
+            v.roots()[0]
+        };
+        let grandchild = {
+            let mut v = View::calling_context(&exp);
+            let kid = v.children(main)[0];
+            v.children(kid)[0]
+        };
+        assert!(s.apply(Command::Select(grandchild)).is_err());
+        assert!(s.apply(Command::Expand(main)).is_ok());
+        // Grandchild still invisible (its parent not expanded).
+        assert!(s.apply(Command::Select(grandchild)).is_err());
+        let child = {
+            let mut v = View::calling_context(&exp);
+            v.children(main)[0]
+        };
+        assert!(s.apply(Command::Expand(child)).is_ok());
+        assert!(s.apply(Command::Select(grandchild)).is_ok());
+    }
+
+    #[test]
+    fn hot_path_expands_and_selects() {
+        let (exp, store) = experiment();
+        let mut s = Session::new(&exp, store);
+        s.apply(Command::HotPath).unwrap();
+        let text = s.render();
+        assert!(text.contains("🔥"), "{text}");
+        assert!(text.contains("hot"), "hot subtree expanded:\n{text}");
+        assert!(s.selected().is_some());
+        // The selection's source shows in the pane.
+        assert!(text.contains("--- app.c:"), "{text}");
+    }
+
+    #[test]
+    fn threshold_preference_changes_hot_path() {
+        let (exp, store) = experiment();
+        let mut s = Session::new(&exp, store);
+        assert!(s.apply(Command::SetThreshold(1.5)).is_err());
+        s.apply(Command::SetThreshold(0.95)).unwrap();
+        s.apply(Command::HotPath).unwrap();
+        // With t=0.95, main(100%) -> hot(90%) fails the threshold: path
+        // stops at main.
+        let text = s.render();
+        let flames = text.matches("🔥").count();
+        assert_eq!(flames, 1, "{text}");
+    }
+
+    #[test]
+    fn zoom_and_unzoom() {
+        let (exp, store) = experiment();
+        let mut s = Session::new(&exp, store);
+        let main = {
+            let v = View::calling_context(&exp);
+            v.roots()[0]
+        };
+        let hot_frame = {
+            let mut v = View::calling_context(&exp);
+            v.children(main)[0]
+        };
+        s.apply(Command::Expand(main)).unwrap();
+        s.apply(Command::Zoom(hot_frame)).unwrap();
+        let text = s.render();
+        assert!(!text.lines().any(|l| l.trim_start().starts_with("▶ main")), "{text}");
+        s.apply(Command::Unzoom).unwrap();
+        assert!(s.render().contains("main"));
+    }
+
+    #[test]
+    fn flatten_only_in_flat_view() {
+        let (exp, store) = experiment();
+        let mut s = Session::new(&exp, store);
+        assert!(s.apply(Command::Flatten).is_err());
+        s.apply(Command::SwitchView(ViewKind::Flat)).unwrap();
+        s.apply(Command::Flatten).unwrap();
+        let text = s.render();
+        // One flatten strips the module: files at top level.
+        assert!(text.lines().nth(2).unwrap().contains("app.c"), "{text}");
+        s.apply(Command::Unflatten).unwrap();
+        assert!(s.apply(Command::Unflatten).is_err());
+    }
+
+    #[test]
+    fn view_state_is_independent_per_view() {
+        let (exp, store) = experiment();
+        let mut s = Session::new(&exp, store);
+        s.apply(Command::HotPath).unwrap();
+        assert!(s.selected().is_some());
+        s.apply(Command::SwitchView(ViewKind::Callers)).unwrap();
+        assert!(s.selected().is_none(), "fresh state in the callers view");
+        s.apply(Command::SwitchView(ViewKind::CallingContext)).unwrap();
+        assert!(s.selected().is_some(), "CCV state preserved");
+    }
+
+    #[test]
+    fn collapse_hides_subtree_again() {
+        let (exp, store) = experiment();
+        let mut s = Session::new(&exp, store);
+        let main = {
+            let v = View::calling_context(&exp);
+            v.roots()[0]
+        };
+        s.apply(Command::Expand(main)).unwrap();
+        assert!(s.render().contains("hot"));
+        s.apply(Command::Collapse(main)).unwrap();
+        assert!(!s.render().contains("hot"));
+    }
+
+    #[test]
+    fn sort_by_invalid_column_is_rejected() {
+        let (exp, store) = experiment();
+        let mut s = Session::new(&exp, store);
+        assert!(s.apply(Command::SortBy(ColumnId(999))).is_err());
+        assert!(s.apply(Command::SortBy(ColumnId(1))).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use callpath_profiler::{Costs, ExecConfig, Op, ProgramBuilder};
+    use callpath_workloads::pipeline;
+
+    fn experiment() -> Experiment {
+        let mut b = ProgramBuilder::new("app");
+        let f = b.file("app.c");
+        let alpha = b.declare("alpha", f, 10);
+        let beta = b.declare("beta", f, 20);
+        let main = b.declare("main", f, 1);
+        b.body(alpha, vec![Op::work(11, Costs::cycles(10_000))]);
+        b.body(beta, vec![Op::work(21, Costs::cycles(90_000))]);
+        b.body(main, vec![Op::call(3, beta), Op::call(4, alpha)]);
+        b.entry(main);
+        pipeline::build_experiment(&b.build(), &ExecConfig::default())
+    }
+
+    #[test]
+    fn hidden_columns_disappear_from_the_pane() {
+        let exp = experiment();
+        let mut s = Session::new(&exp, callpath_core::source::SourceStore::new());
+        assert!(s.render().contains("PAPI_TOT_CYC (E)"));
+        s.apply(Command::HideColumn(ColumnId(1))).unwrap();
+        let text = s.render();
+        assert!(!text.contains("PAPI_TOT_CYC (E)"), "{text}");
+        assert!(text.contains("PAPI_TOT_CYC (I)"));
+        s.apply(Command::ShowColumn(ColumnId(1))).unwrap();
+        assert!(s.render().contains("PAPI_TOT_CYC (E)"));
+        assert!(s.apply(Command::HideColumn(ColumnId(99))).is_err());
+    }
+
+    #[test]
+    fn name_sorting_orders_alphabetically() {
+        let exp = experiment();
+        let mut s = Session::new(&exp, callpath_core::source::SourceStore::new());
+        let main = {
+            let v = View::calling_context(&exp);
+            v.roots()[0]
+        };
+        s.apply(Command::Expand(main)).unwrap();
+        // Metric sort: beta (90%) before alpha (10%).
+        let text = s.render();
+        assert!(text.find("beta").unwrap() < text.find("alpha").unwrap());
+        // Name sort: alpha before beta.
+        s.apply(Command::SortByName(true)).unwrap();
+        let text = s.render();
+        assert!(text.find("alpha").unwrap() < text.find("beta").unwrap(), "{text}");
+    }
+}
+
+#[cfg(test)]
+mod find_tests {
+    use super::*;
+    use callpath_profiler::{Costs, ExecConfig, Op, ProgramBuilder};
+    use callpath_workloads::pipeline;
+
+    fn experiment() -> Experiment {
+        let mut b = ProgramBuilder::new("app");
+        let f = b.file("app.c");
+        let inner = b.declare("deeply_nested_target", f, 30);
+        let mid = b.declare("mid", f, 20);
+        let main = b.declare("main", f, 1);
+        b.body(inner, vec![Op::work(31, Costs::cycles(1_000))]);
+        b.body(mid, vec![Op::call(21, inner)]);
+        b.body(main, vec![Op::call(3, mid)]);
+        b.entry(main);
+        pipeline::build_experiment(&b.build(), &ExecConfig::default())
+    }
+
+    #[test]
+    fn find_expands_ancestors_and_selects() {
+        let exp = experiment();
+        let mut s = Session::new(&exp, callpath_core::source::SourceStore::new());
+        assert!(!s.render().contains("deeply_nested_target"));
+        s.apply(Command::Find("nested_target".into())).unwrap();
+        let text = s.render();
+        assert!(text.contains("deeply_nested_target"), "{text}");
+        assert!(text.contains("»"), "selection marker: {text}");
+        assert!(s.selected().is_some());
+    }
+
+    #[test]
+    fn find_misses_report_an_error() {
+        let exp = experiment();
+        let mut s = Session::new(&exp, callpath_core::source::SourceStore::new());
+        let err = s.apply(Command::Find("no_such_scope".into())).unwrap_err();
+        assert!(err.contains("no_such_scope"));
+        assert!(s.selected().is_none());
+    }
+
+    #[test]
+    fn find_works_in_the_callers_view_too() {
+        let exp = experiment();
+        let mut s = Session::new(&exp, callpath_core::source::SourceStore::new());
+        s.apply(Command::SwitchView(ViewKind::Callers)).unwrap();
+        s.apply(Command::Find("deeply".into())).unwrap();
+        assert!(s.render().contains("deeply_nested_target"));
+    }
+}

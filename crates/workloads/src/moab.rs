@@ -1,0 +1,226 @@
+//! A MOAB/mbperf-shaped mesh benchmark workload (Figs. 4 and 5).
+//!
+//! The paper's two MOAB observations are:
+//!
+//! * **Fig. 4 (Callers View)**: the Intel compiler replaced `memset` calls
+//!   with `_intel_fast_memset.A`; it accounts for ≈9.7% of total L1 data
+//!   cache misses, of which ≈9.6% come from the call in
+//!   `Sequence_data::create` (the other caller is negligible);
+//! * **Fig. 5 (Flat View)**: all of `MBCore::get_coords`'s cycles (≈18.9%
+//!   of the program) are in one loop, inside which an inlined red-black
+//!   tree search (`find` on the `sequence_manager`, STL `stl_tree.h`)
+//!   contains an inlined `SequenceCompare` operator accounting for ≈19.8%
+//!   of total L1 misses.
+//!
+//! The synthetic program reproduces those shares with explicit inline
+//! splices (so structure recovery must rebuild the inline hierarchy) and
+//! two distinct dynamic callers for the memset routine.
+
+use callpath_profiler::{Costs, Counter, Op, Program, ProgramBuilder};
+
+/// Scale knob: total cycles ≈ 100 × this.
+pub const CYCLES_PER_PERCENT: u64 = 1_000_000;
+
+/// L1 miss budget: total misses ≈ 100 × this.
+pub const MISSES_PER_PERCENT: u64 = 100_000;
+
+/// Build the mbperf_IMesh-shaped benchmark program.
+///
+/// Budget (percent of cycles / percent of L1 misses):
+///
+/// ```text
+/// main -> mbperf_main
+///   Sequence_data::create ................ 5.0c / 10.0m
+///     _intel_fast_memset.A  (real call) ..   4.0c /  9.6m
+///   init_buffers ......................... 1.0c /  0.2m
+///     _intel_fast_memset.A  (real call) ..   0.1c /  0.1m
+///   query loop (calls get_coords) ........ 18.9c / 30.0m   <- Fig. 5
+///     MBCore::get_coords: loop @ 685
+///       inlined rb-tree find (stl_tree.h)
+///         inlined search loop @ 201
+///           inlined SequenceCompare ......   10.0c / 19.8m
+///           other search body ............    4.0c /  8.0m
+///       coordinate extraction ............    4.9c /  2.2m
+///   element iteration / eval ............. 75.1c / 59.8m (several procs)
+/// ```
+pub fn program() -> Program {
+    let cyc = |pct: f64| (pct * CYCLES_PER_PERCENT as f64) as u64;
+    let msk = |pct: f64| (pct * MISSES_PER_PERCENT as f64) as u64;
+    // Per-trip cost with rounding (plain integer division truncates badly
+    // for high trip counts and would silently shrink the miss budget).
+    let per = |total: u64, trips: u64| ((total as f64 / trips as f64).round() as u64).max(1);
+
+    let mut b = ProgramBuilder::new("mbperf_IMesh");
+    let f_core = b.file("MBCore.cpp");
+    let f_seq = b.file("SequenceManager.cpp");
+    let f_tree = b.file("stl_tree.h");
+    let f_main = b.file("mbperf.cpp");
+    let f_libirc = b.file("<libirc>");
+
+    // The compiler's memset replacement ships in Intel's libirc.
+    let memset = b.declare_in_module("_intel_fast_memset.A", "libirc.so", f_libirc, 0);
+    let compare = b.declare("SequenceCompare", f_seq, 310);
+    let rb_find = b.declare("_Rb_tree::find", f_tree, 195);
+    let get_coords = b.declare("MBCore::get_coords", f_core, 680);
+    let create = b.declare("Sequence_data::create", f_seq, 40);
+    let init_buffers = b.declare("init_buffers", f_main, 20);
+    let query = b.declare("query_coords_loop", f_main, 60);
+    let eval_elems = b.declare("eval_elements", f_main, 100);
+    let mb_main = b.declare("mbperf_main", f_main, 10);
+    let runtime = b.declare_binary_only("main");
+
+    // The compiler-provided memset: pure streaming stores. Per-call work
+    // is set by the *callers* via loop trip counts, so give it one unit.
+    b.body(
+        memset,
+        vec![Op::work(
+            0,
+            Costs::memory(cyc(0.004), msk(0.0096)),
+        )],
+    );
+
+    // SequenceCompare: pointer-chasing comparison, miss-heavy. One call's
+    // worth of work; always inlined into the search loop.
+    b.body(
+        compare,
+        vec![Op::work(
+            312,
+            Costs::memory(per(cyc(10.0), 131_072), per(msk(19.8), 131_072)),
+        )],
+    );
+
+    // The red-black-tree find: a search loop whose body is the inlined
+    // compare plus link traversal. Inlined into get_coords.
+    b.body(
+        rb_find,
+        vec![Op::looped(
+            201,
+            16,
+            vec![
+                Op::call_inline(202, compare),
+                Op::work(
+                    203,
+                    Costs::memory(per(cyc(4.0), 131_072), per(msk(8.0), 131_072)),
+                ),
+            ],
+        )],
+    );
+
+    // get_coords: one big query loop; per iteration an inlined tree find
+    // plus coordinate extraction. 8192 iterations × 16 searches = 131072
+    // compare executions.
+    b.body(
+        get_coords,
+        vec![Op::looped(
+            685,
+            8192,
+            vec![
+                Op::call_inline(686, rb_find),
+                Op::work(
+                    690,
+                    Costs::memory(per(cyc(4.9), 8192), per(msk(2.2), 8192)),
+                ),
+            ],
+        )],
+    );
+
+    // Sequence_data::create: allocates then memsets (a real call — the
+    // paper's Fig. 4 shows it as the dominant caller).
+    b.body(
+        create,
+        vec![
+            Op::work(42, Costs::memory(cyc(1.0), msk(0.4))),
+            Op::looped(44, 1000, vec![Op::call(45, memset)]),
+        ],
+    );
+
+    // A second, minor memset caller.
+    b.body(
+        init_buffers,
+        vec![
+            Op::work(21, Costs::memory(cyc(0.9), msk(0.1))),
+            Op::looped(23, 25, vec![Op::call(24, memset)]),
+        ],
+    );
+
+    // The query driver calls get_coords once (all iteration is inside).
+    b.body(query, vec![Op::call(62, get_coords)]);
+
+    // Bulk element evaluation: cycle-heavy, moderate misses.
+    b.body(
+        eval_elems,
+        vec![
+            Op::looped(
+                102,
+                4096,
+                vec![Op::work(
+                    103,
+                    Costs::memory(per(cyc(40.0), 4096), per(msk(30.0), 4096)),
+                )],
+            ),
+            Op::looped(
+                110,
+                4096,
+                vec![Op::work(
+                    111,
+                    Costs::compute(per(cyc(35.1) * 2, 4096), 4.0, 0.5)
+                        .with(Counter::L1DcMisses, per(msk(29.8), 4096)),
+                )],
+            ),
+        ],
+    );
+
+    b.body(
+        mb_main,
+        vec![
+            Op::call(12, create),
+            Op::call(13, init_buffers),
+            Op::call(14, query),
+            Op::call(15, eval_elems),
+        ],
+    );
+    b.body(runtime, vec![Op::call(0, mb_main)]);
+    b.entry(runtime);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use callpath_profiler::{execute, lower, ExecConfig};
+
+    #[test]
+    fn program_validates() {
+        assert!(program().validate().is_ok());
+    }
+
+    #[test]
+    fn miss_budget_roughly_matches() {
+        let bin = lower(&program());
+        let res = execute(&bin, &ExecConfig::default()).unwrap();
+        let total_m = res.totals[Counter::L1DcMisses] as f64 / MISSES_PER_PERCENT as f64;
+        assert!(
+            (total_m - 100.0).abs() < 10.0,
+            "L1 miss budget {total_m} units"
+        );
+    }
+
+    #[test]
+    fn memset_runs_from_two_contexts() {
+        let bin = lower(&program());
+        let res = execute(&bin, &ExecConfig::default()).unwrap();
+        // The raw profile must contain two distinct frames for memset
+        // (different call sites).
+        let mut memset_frames = 0;
+        let mut stack = vec![res.profile.root()];
+        while let Some(n) = stack.pop() {
+            for c in res.profile.children(n) {
+                if bin.procs[res.profile.callee(c)].name == "_intel_fast_memset.A" {
+                    memset_frames += 1;
+                }
+                stack.push(c);
+            }
+        }
+        assert_eq!(memset_frames, 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! A PFLOTRAN-shaped SPMD workload for load-imbalance analysis (Fig. 7,
+//! Section VI-C).
+//!
+//! The paper's case study ran PFLOTRAN (multi-phase subsurface flow) on a
+//! Cray XT5 and identified load imbalance by summing inclusive idleness
+//! over all MPI processes, then hot-pathing into the main iteration loop
+//! at `timestepper.F90:384`. Its Fig. 7 shows three per-process charts:
+//! scattered inclusive cycles, the same values sorted, and a histogram —
+//! all visibly bimodal.
+//!
+//! The synthetic rank program runs a time-step loop (at line 384!) whose
+//! flow-solve and reactive-transport work is scaled per rank by an uneven
+//! domain partition: a fraction of ranks own heavier cells. Every step
+//! ends at a barrier, where the SPMD harness (in `callpath-parallel`)
+//! turns waiting time into IDLENESS samples attributed to the barrier's
+//! calling context.
+
+use callpath_profiler::{Costs, Op, Program, ProgramBuilder};
+
+/// Per-step cycle budget for a baseline (light) rank.
+pub const STEP_CYCLES: u64 = 2_000_000;
+
+/// Number of simulated time steps.
+pub const TIME_STEPS: u32 = 8;
+
+/// The uneven domain partition: `heavy_fraction` of ranks carry
+/// `heavy_scale`× the work of the others.
+#[derive(Debug, Clone, Copy)]
+pub struct Partition {
+    /// Fraction of ranks that are heavy.
+    pub heavy_fraction: f64,
+    /// Work multiplier of a heavy rank.
+    pub heavy_scale: f64,
+}
+
+impl Default for Partition {
+    fn default() -> Self {
+        Partition {
+            heavy_fraction: 0.5,
+            heavy_scale: 1.6,
+        }
+    }
+}
+
+impl Partition {
+    /// Work multiplier for `rank` of `n_ranks`. Heavy ranks are the low
+    /// block — in a real domain decomposition they would be a spatial
+    /// region of the subsurface model with more active chemistry.
+    pub fn scale(&self, rank: usize, n_ranks: usize) -> f64 {
+        let heavy = (self.heavy_fraction * n_ranks as f64).round() as usize;
+        if rank < heavy {
+            self.heavy_scale
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Build the per-rank program. The same program runs on every rank; the
+/// imbalance comes from the per-rank `work_scale` in
+/// [`ExecConfig`](callpath_profiler::ExecConfig), set from
+/// [`Partition::scale`].
+pub fn program() -> Program {
+    let mut b = ProgramBuilder::new("pflotran");
+    let f_step = b.file("timestepper.F90");
+    let f_flow = b.file("flow.F90");
+    let f_tran = b.file("rtransport.F90");
+    let f_main = b.file("pflotran.F90");
+
+    let flow_solve = b.declare("flow_solve", f_flow, 100);
+    let transport = b.declare("rt_step", f_tran, 200);
+    let stepper = b.declare("timestepper_run", f_step, 380);
+    let pf_main = b.declare("pflotran_main", f_main, 10);
+    let runtime = b.declare_binary_only("main");
+
+    // Flow solve: linear solver iterations, memory-bound.
+    b.body(
+        flow_solve,
+        vec![Op::looped(
+            105,
+            64,
+            vec![Op::work(
+                106,
+                Costs::memory(STEP_CYCLES * 6 / 10 / 64, STEP_CYCLES / 100 / 64),
+            )],
+        )],
+    );
+
+    // Reactive transport: compute-bound chemistry per cell.
+    b.body(
+        transport,
+        vec![Op::looped(
+            205,
+            64,
+            vec![Op::work(
+                206,
+                Costs::compute(STEP_CYCLES * 4 / 10 * 2 / 64, 4.0, 0.5),
+            )],
+        )],
+    );
+
+    // The main iteration loop at timestepper.F90:384 — each step solves
+    // flow + transport and then synchronizes at a barrier.
+    b.body(
+        stepper,
+        vec![Op::looped(
+            384,
+            TIME_STEPS,
+            vec![
+                Op::call(386, flow_solve),
+                Op::call(387, transport),
+                Op::Barrier { line: 390, id: 0 },
+            ],
+        )],
+    );
+
+    b.body(pf_main, vec![Op::call(12, stepper)]);
+    b.body(runtime, vec![Op::call(0, pf_main)]);
+    b.entry(runtime);
+    b.build()
+}
+
+/// A strong-scaling variant: the same *total* problem divided across
+/// ranks, plus a serial section that does not shrink — the classic
+/// Amdahl bottleneck the paper's §VI-A methodology (expectations /
+/// scaling loss) is designed to expose.
+///
+/// Run at `n` ranks with `work_scale = strong_scale(n)`: the domain-
+/// decomposed solve shrinks as 1/n, while `checkpoint_io` (declared with
+/// fixed work) costs the same at every rank count.
+pub fn strong_scaling_program() -> Program {
+    let mut b = ProgramBuilder::new("pflotran-strong");
+    let f_step = b.file("timestepper.F90");
+    let f_flow = b.file("flow.F90");
+    let f_io = b.file("checkpoint.F90");
+    let f_main = b.file("pflotran.F90");
+
+    let flow_solve = b.declare("flow_solve", f_flow, 100);
+    let checkpoint = b.declare("checkpoint_io", f_io, 50);
+    let stepper = b.declare("timestepper_run", f_step, 380);
+    let pf_main = b.declare("pflotran_main", f_main, 10);
+    let runtime = b.declare_binary_only("main");
+
+    // Domain-decomposed solve: scales with 1/ranks.
+    b.body(
+        flow_solve,
+        vec![Op::looped(
+            105,
+            64,
+            vec![Op::work(106, Costs::memory(STEP_CYCLES / 64, STEP_CYCLES / 100 / 64))],
+        )],
+    );
+    // Serial checkpoint: every rank writes the same metadata — fixed cost.
+    b.body(
+        checkpoint,
+        vec![Op::work_fixed(55, Costs::memory(STEP_CYCLES / 5, STEP_CYCLES / 500))],
+    );
+    b.body(
+        stepper,
+        vec![Op::looped(
+            384,
+            TIME_STEPS,
+            vec![
+                Op::call(386, flow_solve),
+                Op::call(388, checkpoint),
+                Op::Barrier { line: 390, id: 0 },
+            ],
+        )],
+    );
+    b.body(pf_main, vec![Op::call(12, stepper)]);
+    b.body(runtime, vec![Op::call(0, pf_main)]);
+    b.entry(runtime);
+    b.build()
+}
+
+/// Per-rank work multiplier for a strong-scaling run on `n` ranks.
+pub fn strong_scale(n_ranks: usize) -> f64 {
+    1.0 / n_ranks as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use callpath_profiler::{execute, lower, Counter, ExecConfig};
+
+    #[test]
+    fn program_validates() {
+        assert!(program().validate().is_ok());
+    }
+
+    #[test]
+    fn partition_is_bimodal() {
+        let p = Partition::default();
+        let scales: Vec<f64> = (0..64).map(|r| p.scale(r, 64)).collect();
+        let heavy = scales.iter().filter(|&&s| s > 1.0).count();
+        assert_eq!(heavy, 32);
+        assert_eq!(scales[0], 1.6);
+        assert_eq!(scales[63], 1.0);
+    }
+
+    #[test]
+    fn ranks_arrive_at_barriers_at_different_times() {
+        let bin = lower(&program());
+        let light = execute(&bin, &ExecConfig::default()).unwrap();
+        let heavy = execute(
+            &bin,
+            &ExecConfig {
+                work_scale: 1.6,
+                ..ExecConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(light.barrier_arrivals.len(), TIME_STEPS as usize);
+        assert_eq!(heavy.barrier_arrivals.len(), TIME_STEPS as usize);
+        assert!(
+            heavy.barrier_arrivals[0].time_cycles > light.barrier_arrivals[0].time_cycles
+        );
+        // Barrier context runs through the time-step loop's procedure.
+        let path = &light.barrier_arrivals[0].path;
+        let names: Vec<&str> = path
+            .iter()
+            .map(|&(_, callee)| bin.procs[callee].name.as_str())
+            .collect();
+        assert_eq!(names, vec!["main", "pflotran_main", "timestepper_run"]);
+    }
+
+    #[test]
+    fn per_step_cost_is_near_budget() {
+        let bin = lower(&program());
+        let res = execute(&bin, &ExecConfig::default()).unwrap();
+        let per_step = res.totals[Counter::Cycles] / TIME_STEPS as u64;
+        let budget = STEP_CYCLES;
+        assert!(
+            (per_step as f64 - budget as f64).abs() / (budget as f64) < 0.05,
+            "per-step {per_step} vs budget {budget}"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Scaling & differencing a pair of executions (Section VI-A, after the
+//! paper's reference [3]).
+//!
+//! ```sh
+//! cargo run --example diff_runs
+//! ```
+//!
+//! Profiles the untuned and tuned S3D variants, merges the two call path
+//! profiles into one experiment, derives a *scaling loss* column
+//! (`base - tuned`), and hot-paths it: the analysis drills straight into
+//! the flux-diffusion loop, the exact scope the paper's transformation
+//! sped up 2.9×.
+
+use callpath_core::prelude::*;
+use callpath_profiler::ExecConfig;
+use callpath_viewer::{render_hot_path, RenderConfig};
+use callpath_workloads::{pipeline, s3d};
+
+fn main() {
+    let tuned = pipeline::build_experiment(
+        &s3d::program(s3d::S3dConfig::tuned()),
+        &ExecConfig::default(),
+    );
+    let base = pipeline::build_experiment(
+        &s3d::program(s3d::S3dConfig::default()),
+        &ExecConfig::default(),
+    );
+
+    let analysis =
+        scaling_loss(&tuned, "tuned", &base, "base", "PAPI_TOT_CYC", 1.0).expect("diff");
+    let exp = &analysis.experiment;
+    let root = exp.cct.root();
+    println!(
+        "base cycles:  {:.4e}",
+        exp.columns.get(analysis.peer_incl, root.0)
+    );
+    println!(
+        "tuned cycles: {:.4e}",
+        exp.columns.get(analysis.base_incl, root.0)
+    );
+    println!(
+        "total loss (base vs tuned): {:.4e} cycles ({:.1}% of the base run)\n",
+        exp.columns.get(analysis.loss_incl, root.0),
+        100.0 * exp.columns.get(analysis.loss_frac, root.0)
+    );
+
+    let mut view = View::calling_context(exp);
+    let roots = view.roots();
+    println!("=== hot path on the scaling-loss column ===");
+    println!(
+        "{}",
+        render_hot_path(
+            &mut view,
+            roots[0],
+            analysis.loss_incl,
+            HotPathConfig::default(),
+            &RenderConfig {
+                columns: vec![analysis.loss_incl, analysis.base_incl, analysis.peer_incl],
+                show_percent: false,
+                ..Default::default()
+            },
+        )
+    );
+}

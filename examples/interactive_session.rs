@@ -1,0 +1,60 @@
+//! A scripted interactive viewer session: the hpcviewer UX driven by
+//! commands, including the source pane (Section V).
+//!
+//! ```sh
+//! cargo run --example interactive_session
+//! ```
+//!
+//! The script follows the paper's Section VI-B workflow: start in the
+//! Calling Context View, run hot path analysis, inspect the selection's
+//! source; switch to the Callers View to see who is responsible; finish
+//! in the Flat View and flatten to compare loops.
+
+use callpath_core::prelude::*;
+use callpath_core::source::SourceStore;
+use callpath_profiler::{generate_listings, ExecConfig};
+use callpath_viewer::{Command, Session};
+use callpath_workloads::{pipeline, s3d};
+
+fn step(session: &mut Session<'_>, what: &str, cmds: &[Command]) {
+    println!("\n##### {what}");
+    for c in cmds {
+        if let Err(e) = session.apply(c.clone()) {
+            println!("(rejected: {e})");
+        }
+    }
+    println!("{}", session.render());
+}
+
+fn main() {
+    let program = s3d::program(s3d::S3dConfig::default());
+    let listings = generate_listings(&program);
+    let exp = pipeline::build_experiment(&program, &ExecConfig::default());
+    let store = SourceStore::from_texts(
+        &exp.cct.names,
+        listings.iter().map(|(n, t)| (n.as_str(), t.as_str())),
+    );
+    let mut s = Session::new(&exp, store);
+
+    step(&mut s, "1. initial view: collapsed at the top (top-down discipline)", &[]);
+    step(
+        &mut s,
+        "2. hot path analysis (flame button): expands and selects the bottleneck",
+        &[Command::HotPath],
+    );
+    step(
+        &mut s,
+        "3. Callers View: who is responsible?",
+        &[Command::SwitchView(ViewKind::Callers), Command::HotPath],
+    );
+    step(
+        &mut s,
+        "4. Flat View, flattened twice: loops side by side",
+        &[
+            Command::SwitchView(ViewKind::Flat),
+            Command::Flatten,
+            Command::Flatten,
+            Command::Flatten,
+        ],
+    );
+}

@@ -1,0 +1,88 @@
+//! Quickstart: profile a small program end-to-end and present it in all
+//! three views.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! The pipeline mirrors HPCToolkit's: describe a program → compile it to
+//! a binary image → execute it on the simulated CPU with asynchronous
+//! sampling (`hpcrun`) → recover static structure from the image
+//! (`hpcstruct`) → correlate samples with structure into a canonical CCT
+//! (`hpcprof`) → present (`hpcviewer`).
+
+use callpath_core::prelude::*;
+use callpath_profiler::{Costs, Counter, ExecConfig, Op, ProgramBuilder};
+use callpath_viewer::{render, render_hot_path, RenderConfig};
+use callpath_workloads::pipeline;
+
+fn main() {
+    // 1. Describe an application: main calls `compress` (loop-heavy) and
+    //    `checksum`, and `compress` calls a shared `copy_block` helper.
+    let mut b = ProgramBuilder::new("quickstart");
+    let file = b.file("quick.c");
+    let copy_block = b.declare("copy_block", file, 40);
+    let compress = b.declare("compress", file, 10);
+    let checksum = b.declare("checksum", file, 25);
+    let main_p = b.declare("main", file, 1);
+    b.body(
+        copy_block,
+        vec![Op::work(41, Costs::memory(2_000, 120))],
+    );
+    b.body(
+        compress,
+        vec![Op::looped(
+            12,
+            64,
+            vec![
+                Op::work(13, Costs::compute(6_000, 4.0, 0.6)),
+                Op::call(14, copy_block),
+            ],
+        )],
+    );
+    b.body(
+        checksum,
+        vec![Op::looped(
+            26,
+            32,
+            vec![Op::work(27, Costs::cycles(1_500))],
+        )],
+    );
+    b.body(
+        main_p,
+        vec![Op::call(3, compress), Op::call(4, checksum)],
+    );
+    b.entry(main_p);
+    let program = b.build();
+
+    // 2-4. Measure and correlate.
+    let exp = pipeline::build_experiment(&program, &ExecConfig::default());
+    let cycles_incl = exp.inclusive_col(exp.raw.find(Counter::Cycles.papi_name()).unwrap());
+
+    // 5. Present. Calling Context View: top-down costs in full context.
+    let cfg = RenderConfig::default();
+    let mut ccv = View::calling_context(&exp);
+    println!("=== {} ===\n{}", ViewKind::CallingContext.title(), render(&mut ccv, &cfg));
+
+    // Callers View: who is responsible for copy_block's cost?
+    let mut callers = View::callers(&exp);
+    println!("=== {} ===\n{}", ViewKind::Callers.title(), render(&mut callers, &cfg));
+
+    // Flat View: static structure with loops.
+    let mut flat = View::flat(&exp);
+    println!("=== {} ===\n{}", ViewKind::Flat.title(), render(&mut flat, &cfg));
+
+    // Hot path analysis from the program root (Eq. 3, t = 50%).
+    let mut ccv = View::calling_context(&exp);
+    let roots = ccv.roots();
+    println!(
+        "=== Hot path (cycles, t = 50%) ===\n{}",
+        render_hot_path(
+            &mut ccv,
+            roots[0],
+            cycles_incl,
+            HotPathConfig::default(),
+            &cfg
+        )
+    );
+}

@@ -1,0 +1,50 @@
+# A synthetic image-processing pipeline written in the .cps scenario
+# language: decode -> per-tile filter chain -> encode, with a runtime
+# memcpy in its own load module and a serial metadata-write section.
+program imagepipe
+
+proc fast_memcpy in libc.so nosource
+  memory @ 0 cycles=800 misses=120
+end
+
+proc decode @ decode.c:10
+  loop @ 12 trips=64
+    memory @ 13 cycles=4000 misses=250
+    call fast_memcpy @ 14
+  end
+end
+
+proc blur @ filters.c:20
+  loop @ 22 trips=256
+    compute @ 23 flops=6000 eff=0.7
+  end
+end
+
+proc sharpen @ filters.c:40
+  loop @ 42 trips=256
+    compute @ 43 flops=3000 eff=0.35
+  end
+end
+
+proc filter_tile @ filters.c:5
+  call blur @ 7
+  call sharpen @ 8
+end
+
+proc encode @ encode.c:10
+  loop @ 12 trips=64
+    compute @ 13 flops=8000 eff=0.6 l1=40
+  end
+  # serial metadata write: does not shrink with more workers
+  work @ 20 cycles=120000 fixed
+end
+
+proc main @ main.c:1
+  call decode @ 3
+  loop @ 5 trips=16
+    call filter_tile @ 6
+  end
+  call encode @ 8
+end
+
+entry main

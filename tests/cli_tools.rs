@@ -1,0 +1,243 @@
+//! End-to-end tests of the command-line tools: `callpath-record` writes a
+//! database, `callpath-view` presents it.
+
+use std::process::Command;
+
+fn record() -> &'static str {
+    env!("CARGO_BIN_EXE_callpath-record")
+}
+
+fn view() -> &'static str {
+    env!("CARGO_BIN_EXE_callpath-view")
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("callpath-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn record_then_view_hot_path() {
+    let db = tmp("s3d.cpdb");
+    let out = Command::new(record())
+        .args(["--workload", "s3d", "-o", db.to_str().unwrap()])
+        .output()
+        .expect("run callpath-record");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(db.exists());
+
+    let out = Command::new(view())
+        .args([db.to_str().unwrap(), "--hot", "--columns", "0,1"])
+        .output()
+        .expect("run callpath-view");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("chemkin_m_reaction_rate_"), "{text}");
+    assert!(text.contains("41."), "{text}");
+    std::fs::remove_file(&db).ok();
+}
+
+#[test]
+fn xml_format_and_callers_view() {
+    let db = tmp("fig1.xml");
+    let out = Command::new(record())
+        .args([
+            "--workload",
+            "fig1",
+            "--format",
+            "xml",
+            "-o",
+            db.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let content = std::fs::read_to_string(&db).unwrap();
+    assert!(content.starts_with("<Experiment"));
+
+    let out = Command::new(view())
+        .args([db.to_str().unwrap(), "--view", "callers", "--levels", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("g"), "{text}");
+    std::fs::remove_file(&db).ok();
+}
+
+#[test]
+fn derived_metric_and_flatten_via_cli() {
+    let db = tmp("s3d2.cpdb");
+    assert!(Command::new(record())
+        .args(["--workload", "s3d", "-o", db.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = Command::new(view())
+        .args([
+            db.to_str().unwrap(),
+            "--derived",
+            "waste=$1*4-$3",
+            "--view",
+            "flat",
+            "--flatten",
+            "3",
+            "--sort-name",
+            "waste",
+            "--levels",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let first_data_row = text.lines().nth(2).unwrap();
+    assert!(
+        first_data_row.contains("diffflux.f90"),
+        "waste sort leads with the flux loop:\n{text}"
+    );
+    std::fs::remove_file(&db).ok();
+}
+
+#[test]
+fn list_columns() {
+    let db = tmp("moab.cpdb");
+    assert!(Command::new(record())
+        .args(["--workload", "moab", "-o", db.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = Command::new(view())
+        .args([db.to_str().unwrap(), "--list-columns"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("PAPI_TOT_CYC (I)"));
+    assert!(text.contains("PAPI_L1_DCM (E)"));
+    std::fs::remove_file(&db).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    // Unknown workload.
+    let out = Command::new(record())
+        .args(["--workload", "nope", "-o", "/tmp/x"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+
+    // Missing file.
+    let out = Command::new(view()).args(["/no/such/file"]).output().unwrap();
+    assert!(!out.status.success());
+
+    // Bad derived formula.
+    let db = tmp("err.cpdb");
+    assert!(Command::new(record())
+        .args(["--workload", "fig1", "-o", db.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = Command::new(view())
+        .args([db.to_str().unwrap(), "--derived", "bad=$$$"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad"));
+    std::fs::remove_file(&db).ok();
+}
+
+#[test]
+fn diff_tool_finds_the_regression() {
+    let base = tmp("diff-tuned.cpdb");
+    let peer = tmp("diff-base.cpdb");
+    assert!(Command::new(record())
+        .args(["--workload", "s3d-tuned", "-o", base.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(Command::new(record())
+        .args(["--workload", "s3d", "-o", peer.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = Command::new(env!("CARGO_BIN_EXE_callpath-diff"))
+        .args([base.to_str().unwrap(), peer.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("diffusive_flux_"), "{text}");
+    assert!(text.contains("loss:"), "{text}");
+    std::fs::remove_file(&base).ok();
+    std::fs::remove_file(&peer).ok();
+}
+
+#[test]
+fn record_profiles_a_cps_scenario_file() {
+    let db = tmp("imagepipe.cpdb");
+    let scenario = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/scenarios/imagepipe.cps");
+    let out = Command::new(record())
+        .args(["--program", scenario, "-o", db.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = Command::new(view())
+        .args([db.to_str().unwrap(), "--hot"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The low-efficiency sharpen filter dominates the pipeline.
+    assert!(text.contains("sharpen"), "{text}");
+    std::fs::remove_file(&db).ok();
+}
+
+#[test]
+fn record_reports_scenario_parse_errors_with_lines() {
+    let bad = tmp("bad.cps");
+    std::fs::write(&bad, "program p\nproc x @ a.c:1\n  work @ 2\nend\nentry x\n").unwrap();
+    let db = tmp("bad.cpdb");
+    let out = Command::new(record())
+        .args(["--program", bad.to_str().unwrap(), "-o", db.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 3"), "{err}");
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
+fn interactive_mode_drives_a_session() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let db = tmp("repl.cpdb");
+    assert!(Command::new(record())
+        .args(["--workload", "s3d", "-o", db.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let mut child = Command::new(view())
+        .args([db.to_str().unwrap(), "-i"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"hot\nfind transport\nbogus\nexpand 9999\nquit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[  0]"), "numbered rows: {text}");
+    assert!(text.contains("🔥"), "hot path ran");
+    assert!(text.contains("transport_m_computecoefficients_"), "find revealed it");
+    assert!(text.contains("error: unknown command 'bogus'"));
+    assert!(text.contains("error: no row 9999"));
+    std::fs::remove_file(&db).ok();
+}

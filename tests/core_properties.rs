@@ -1,0 +1,265 @@
+//! Property-based tests of the core invariants, over randomly generated
+//! experiments (recursion, loops, arbitrary fan-out).
+//!
+//! These pin down the algebra the paper relies on:
+//!
+//! * conservation: the root's inclusive cost equals the sum of all direct
+//!   (sample) costs — nothing is lost or double-counted by attribution;
+//! * exclusive costs partition inclusive cost at statement level;
+//! * the Callers View's top-level entry and the Flat View's procedure
+//!   node agree for every procedure (set-exposed aggregation is
+//!   view-independent);
+//! * the root inclusive matches the whole-program cost in every view;
+//! * hot paths are genuine root-to-descendant chains that never visit a
+//!   scope twice and respect the threshold at every step;
+//! * exposure filtering is idempotent and order-insensitive.
+
+use callpath_core::prelude::*;
+use callpath_workloads::generator::random_experiment;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const CYC: ColumnId = ColumnId(0);
+
+fn total_direct(exp: &Experiment) -> f64 {
+    exp.raw.total(MetricId(0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn root_inclusive_conserves_all_samples(seed in 0u64..10_000, size in 5usize..600) {
+        let exp = random_experiment(seed, size, 15);
+        let root = exp.cct.root();
+        let incl = exp.columns.get(CYC, root.0);
+        let direct = total_direct(&exp);
+        prop_assert!((incl - direct).abs() < 1e-6 * direct.max(1.0));
+    }
+
+    #[test]
+    fn inclusive_is_monotone_down_paths(seed in 0u64..10_000, size in 5usize..400) {
+        let exp = random_experiment(seed, size, 15);
+        for n in exp.cct.all_nodes() {
+            if let Some(p) = exp.cct.parent(n) {
+                prop_assert!(
+                    exp.columns.get(CYC, p.0) >= exp.columns.get(CYC, n.0) - 1e-9,
+                    "parent inclusive >= child inclusive"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn statement_exclusives_partition_the_total(seed in 0u64..10_000, size in 5usize..400) {
+        let exp = random_experiment(seed, size, 15);
+        let excl = ColumnId(1);
+        let stmt_sum: f64 = exp
+            .cct
+            .all_nodes()
+            .filter(|&n| exp.cct.kind(n).is_stmt())
+            .map(|n| exp.columns.get(excl, n.0))
+            .sum();
+        let direct = total_direct(&exp);
+        prop_assert!((stmt_sum - direct).abs() < 1e-6 * direct.max(1.0));
+    }
+
+    #[test]
+    fn callers_and_flat_agree_per_procedure(seed in 0u64..10_000, size in 5usize..400) {
+        let exp = random_experiment(seed, size, 10);
+        let callers = View::callers(&exp);
+        let mut flat = View::flat(&exp);
+        // Collect callers-view top-level values by name.
+        let mut top: HashMap<String, (f64, f64)> = HashMap::new();
+        for r in callers.roots() {
+            top.insert(
+                callers.label(r),
+                (callers.value(CYC, r), callers.value(ColumnId(1), r)),
+            );
+        }
+        // Walk the flat view down to procedures.
+        let modules = flat.roots();
+        for m in modules {
+            for file in flat.children(m) {
+                for proc in flat.children(file) {
+                    let label = flat.label(proc);
+                    let (ci, ce) = top[&label];
+                    prop_assert!(
+                        (flat.value(CYC, proc) - ci).abs() < 1e-9,
+                        "{label} inclusive: flat {} vs callers {}",
+                        flat.value(CYC, proc), ci
+                    );
+                    prop_assert!(
+                        (flat.value(ColumnId(1), proc) - ce).abs() < 1e-9,
+                        "{label} exclusive"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_module_inclusive_is_program_total(seed in 0u64..10_000, size in 5usize..400) {
+        let exp = random_experiment(seed, size, 10);
+        let flat = View::flat(&exp);
+        let roots = flat.roots();
+        prop_assert_eq!(roots.len(), 1);
+        let direct = total_direct(&exp);
+        prop_assert!((flat.value(CYC, roots[0]) - direct).abs() < 1e-6 * direct.max(1.0));
+    }
+
+    #[test]
+    fn hot_path_is_a_descending_chain(seed in 0u64..10_000, size in 5usize..400, t in 0.2f64..0.9) {
+        let exp = random_experiment(seed, size, 10);
+        let mut view = View::calling_context(&exp);
+        let roots = view.roots();
+        prop_assume!(!roots.is_empty());
+        let cfg = HotPathConfig::with_threshold(t);
+        let path = view.hot_path(roots[0], CYC, cfg);
+        // Distinct nodes, parent-child related, threshold respected.
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            prop_assert!(view.children(a).contains(&b));
+            prop_assert!(view.value(CYC, b) >= t * view.value(CYC, a) - 1e-9);
+            // And b is the (first) maximum among a's children.
+            let max = view
+                .children(a)
+                .iter()
+                .map(|&k| view.value(CYC, k))
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((view.value(CYC, b) - max).abs() < 1e-12);
+        }
+        let mut sorted = path.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), path.len(), "no repeats");
+    }
+
+    #[test]
+    fn exposure_is_idempotent_and_order_insensitive(seed in 0u64..10_000, size in 5usize..300) {
+        let exp = random_experiment(seed, size, 6);
+        // Gather all frames of the most common procedure.
+        let mut by_proc: HashMap<ProcId, Vec<NodeId>> = HashMap::new();
+        for n in exp.cct.all_nodes() {
+            if let ScopeKind::Frame { proc, .. } = exp.cct.kind(n) {
+                by_proc.entry(*proc).or_default().push(n);
+            }
+        }
+        let Some((_, instances)) = by_proc.iter().max_by_key(|(_, v)| v.len()) else {
+            return Ok(());
+        };
+        let once = exposed(&exp.cct, instances);
+        let twice = exposed(&exp.cct, &once);
+        prop_assert_eq!(&once, &twice, "idempotent");
+        let mut reversed: Vec<NodeId> = instances.iter().rev().copied().collect();
+        let mut exp_rev = exposed(&exp.cct, &reversed);
+        exp_rev.sort_unstable();
+        let mut exp_fwd = once.clone();
+        exp_fwd.sort_unstable();
+        prop_assert_eq!(exp_fwd, exp_rev, "order-insensitive as a set");
+        reversed.clear();
+    }
+
+    #[test]
+    fn lazy_and_eager_callers_views_agree(seed in 0u64..10_000, size in 5usize..250) {
+        let exp = random_experiment(seed, size, 8);
+        let mut lazy = CallersView::build(&exp, StorageKind::Dense);
+        lazy.fully_expand(&exp);
+        let eager = CallersView::build_eager(&exp, StorageKind::Dense);
+        prop_assert_eq!(lazy.tree.len(), eager.tree.len());
+        for i in 0..lazy.tree.len() as u32 {
+            let n = ViewNodeId(i);
+            prop_assert_eq!(lazy.tree.scope(n), eager.tree.scope(n));
+            prop_assert_eq!(
+                lazy.tree.columns.get(CYC, i),
+                eager.tree.columns.get(CYC, i)
+            );
+        }
+    }
+
+    #[test]
+    fn derived_formula_algebra(seed in 0u64..10_000, size in 5usize..200, k in 1.0f64..16.0) {
+        let mut exp = random_experiment(seed, size, 8);
+        let scaled = exp.add_derived("scaled", &format!("$0 * {k}")).unwrap();
+        let identity = exp.add_derived("identity", &format!("${} / {k}", scaled.0)).unwrap();
+        for n in exp.cct.all_nodes() {
+            let orig = exp.columns.get(CYC, n.0);
+            let back = exp.columns.get(identity, n.0);
+            prop_assert!((orig - back).abs() < 1e-9 * orig.abs().max(1.0));
+        }
+    }
+}
+
+#[test]
+fn dense_and_sparse_experiments_agree_end_to_end() {
+    // Same CCT + costs attributed under both storage flavors: identical
+    // values in all three views.
+    let exp_dense = random_experiment(99, 300, 10);
+    // Rebuild sparse via the expdb model (which preserves everything).
+    let mut model = callpath_expdb::DbModel::from_experiment(&exp_dense);
+    model.sparse = true;
+    let exp_sparse = model.into_experiment().unwrap();
+    for n in exp_dense.cct.all_nodes() {
+        for c in 0..exp_dense.columns.column_count() as u32 {
+            assert_eq!(
+                exp_dense.columns.get(ColumnId(c), n.0),
+                exp_sparse.columns.get(ColumnId(c), n.0),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Formula pretty-printer: parse ∘ to_string is the identity on the AST.
+// ---------------------------------------------------------------------
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    use callpath_core::derived::Func;
+    let leaf = prop_oneof![
+        // Non-negative finite literals: a leading '-' re-parses as Neg.
+        (0.0f64..1e6).prop_map(Expr::Num),
+        (0u32..16).prop_map(Expr::Col),
+        (0u32..16).prop_map(Expr::Agg),
+    ];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Pow(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Expr::Call(Func::Sqrt, vec![e])),
+            inner.clone().prop_map(|e| Expr::Call(Func::Abs, vec![e])),
+            proptest::collection::vec(inner.clone(), 1..4)
+                .prop_map(|args| Expr::Call(Func::Min, args)),
+            proptest::collection::vec(inner, 1..4)
+                .prop_map(|args| Expr::Call(Func::Max, args)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn formula_print_parse_roundtrip(e in arb_expr()) {
+        let printed = e.to_string();
+        let reparsed = Expr::parse(&printed)
+            .unwrap_or_else(|err| panic!("printed '{printed}' failed to parse: {err}"));
+        prop_assert_eq!(reparsed, e, "{}", printed);
+    }
+
+    #[test]
+    fn formula_eval_is_total(e in arb_expr(), cols in proptest::collection::vec(-1e6f64..1e6, 16)) {
+        // No panics, whatever the inputs; NaN can arise from pow of
+        // negatives, but evaluation itself must always return.
+        let ctx = SliceContext { columns: &cols, aggregates: &cols };
+        let _ = e.eval(&ctx);
+    }
+}

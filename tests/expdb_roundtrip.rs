@@ -1,0 +1,127 @@
+//! E9 — experiment-database round trips, on real pipeline output and on
+//! randomly generated experiments (property-based).
+//!
+//! Section IX lists "replacing our XML format for profiles with a more
+//! compact binary format" as future work; both formats exist here, must
+//! round-trip losslessly, and the binary one must actually be compact.
+
+use callpath_core::prelude::*;
+use callpath_expdb::{from_binary, from_xml, to_binary, to_xml};
+use callpath_profiler::ExecConfig;
+use callpath_workloads::{generator, moab, pipeline, s3d};
+use proptest::prelude::*;
+
+fn views_agree(a: &Experiment, b: &Experiment) {
+    assert_eq!(a.cct.len(), b.cct.len());
+    assert_eq!(a.columns.column_count(), b.columns.column_count());
+    for n in a.cct.all_nodes() {
+        assert_eq!(a.cct.kind(n), b.cct.kind(n), "{n:?}");
+        for c in 0..a.columns.column_count() as u32 {
+            let (va, vb) = (
+                a.columns.get(ColumnId(c), n.0),
+                b.columns.get(ColumnId(c), n.0),
+            );
+            assert!(
+                (va - vb).abs() <= 1e-9 * va.abs().max(1.0),
+                "{n:?} col {c}: {va} vs {vb}"
+            );
+        }
+    }
+}
+
+#[test]
+fn s3d_database_roundtrips_in_both_formats() {
+    let exp = pipeline::build_experiment(
+        &s3d::program(s3d::S3dConfig::default()),
+        &ExecConfig::default(),
+    );
+    let xml = to_xml(&exp);
+    let from_x = from_xml(&xml).unwrap();
+    views_agree(&exp, &from_x);
+
+    let bin = to_binary(&exp);
+    let from_b = from_binary(&bin).unwrap();
+    views_agree(&exp, &from_b);
+}
+
+#[test]
+fn binary_format_is_substantially_smaller() {
+    let exp = pipeline::build_experiment(&moab::program(), &ExecConfig::default());
+    let xml = to_xml(&exp);
+    let bin = to_binary(&exp);
+    let ratio = xml.len() as f64 / bin.len() as f64;
+    assert!(
+        ratio > 2.5,
+        "binary must be much smaller: xml {} bin {} (ratio {ratio:.2})",
+        xml.len(),
+        bin.len()
+    );
+}
+
+#[test]
+fn derived_metrics_survive_the_database() {
+    let mut exp = pipeline::build_experiment(
+        &s3d::program(s3d::S3dConfig::default()),
+        &ExecConfig::default(),
+    );
+    let cyc_e = exp.exclusive_col(exp.raw.find("PAPI_TOT_CYC").unwrap());
+    let fp_e = exp.exclusive_col(exp.raw.find("PAPI_FP_OPS").unwrap());
+    let waste = exp
+        .add_derived("fp waste", &format!("${} * 4 - ${}", cyc_e.0, fp_e.0))
+        .unwrap();
+    let loaded = from_xml(&to_xml(&exp)).unwrap();
+    let col = loaded.columns.find("fp waste").expect("derived column kept");
+    assert_eq!(col, waste);
+    for n in exp.cct.all_nodes().take(500) {
+        assert_eq!(
+            loaded.columns.get(col, n.0),
+            exp.columns.get(waste, n.0),
+            "{n:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_experiments_roundtrip_xml(seed in 0u64..1000, size in 10usize..400) {
+        let exp = generator::random_experiment(seed, size, 12);
+        let text = to_xml(&exp);
+        let back = from_xml(&text).unwrap();
+        views_agree(&exp, &back);
+        // Fixed point.
+        prop_assert_eq!(to_xml(&back), text);
+    }
+
+    #[test]
+    fn random_experiments_roundtrip_binary(seed in 0u64..1000, size in 10usize..400) {
+        let exp = generator::random_experiment(seed, size, 12);
+        let bytes = to_binary(&exp);
+        let back = from_binary(&bytes).unwrap();
+        views_agree(&exp, &back);
+        prop_assert_eq!(to_binary(&back), bytes);
+    }
+
+    #[test]
+    fn truncated_binary_never_panics(seed in 0u64..50, cut in 0usize..100) {
+        let exp = generator::random_experiment(seed, 50, 6);
+        let bytes = to_binary(&exp);
+        let cut = cut.min(bytes.len());
+        // Must return Err, not panic.
+        let _ = from_binary(&bytes[..cut]);
+    }
+
+    #[test]
+    fn mangled_xml_never_panics(seed in 0u64..50, victim in 0usize..200) {
+        let exp = generator::random_experiment(seed, 30, 6);
+        let mut text = to_xml(&exp).into_bytes();
+        if !text.is_empty() {
+            let i = victim % text.len();
+            text[i] = b'#';
+        }
+        if let Ok(s) = String::from_utf8(text) {
+            let _ = from_xml(&s); // any Result is fine; panics are not
+        }
+    }
+}

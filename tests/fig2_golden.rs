@@ -1,0 +1,205 @@
+//! E1 — the paper's normative example: Figure 1's program and Figure 2's
+//! three views, reproduced number-for-number.
+//!
+//! Fig. 2a (CCT), Fig. 2b (callers tree) and Fig. 2c (flat tree) each
+//! annotate every scope with (inclusive, exclusive) costs. This test
+//! builds the canonical CCT from `callpath_workloads::fig1` and checks
+//! every value in all three figures, plus the renderer's presentation of
+//! them.
+
+use callpath_core::prelude::*;
+use callpath_viewer::{render, RenderConfig};
+use callpath_workloads::fig1;
+
+const I: ColumnId = ColumnId(0);
+const E: ColumnId = ColumnId(1);
+
+fn assert_cell(view: &View<'_>, n: u32, label: &str, incl: f64, excl: f64) {
+    assert_eq!(view.value(I, n), incl, "{label} inclusive");
+    assert_eq!(view.value(E, n), excl, "{label} exclusive");
+}
+
+/// Find the unique child of `parent` (or root when None) with this label;
+/// panics (with context) when absent.
+fn child(view: &mut View<'_>, parent: Option<u32>, label: &str) -> u32 {
+    let candidates = match parent {
+        Some(p) => view.children(p),
+        None => view.roots(),
+    };
+    let found: Vec<u32> = candidates
+        .into_iter()
+        .filter(|&n| view.label(n) == label)
+        .collect();
+    assert_eq!(found.len(), 1, "expected exactly one '{label}'");
+    found[0]
+}
+
+#[test]
+fn fig2a_calling_context_view() {
+    let (exp, n) = fig1::experiment();
+    let view = View::calling_context(&exp);
+    assert_cell(&view, n.m.0, "m", 10.0, 0.0);
+    assert_cell(&view, n.f.0, "f", 7.0, 1.0);
+    assert_cell(&view, n.g1.0, "g1", 6.0, 1.0);
+    assert_cell(&view, n.g2.0, "g2", 5.0, 1.0);
+    assert_cell(&view, n.g3.0, "g3", 3.0, 3.0);
+    assert_cell(&view, n.h.0, "h", 4.0, 4.0);
+    assert_cell(&view, n.l1.0, "l1", 4.0, 0.0);
+    assert_cell(&view, n.l2.0, "l2", 4.0, 4.0);
+}
+
+#[test]
+fn fig2b_callers_view() {
+    let (exp, _) = fig1::experiment();
+    let mut view = View::callers(&exp);
+
+    // Top-level forest: ga (9,4), fa (7,1), h (4,4), m (10,0).
+    let ga = child(&mut view, None, "g");
+    let fa = child(&mut view, None, "f");
+    let ha = child(&mut view, None, "h");
+    let ma = child(&mut view, None, "m");
+    assert_cell(&view, ga, "ga", 9.0, 4.0);
+    assert_cell(&view, fa, "fa", 7.0, 1.0);
+    assert_cell(&view, ha, "h", 4.0, 4.0);
+    assert_cell(&view, ma, "m", 10.0, 0.0);
+
+    // ga's callers: fb (g←f: 6,1), gb (g←g: 5,1), ma' (g←m: 3,3).
+    let fb = child(&mut view, Some(ga), "f");
+    let gb = child(&mut view, Some(ga), "g");
+    let ma2 = child(&mut view, Some(ga), "m");
+    assert_cell(&view, fb, "fb", 6.0, 1.0);
+    assert_cell(&view, gb, "gb", 5.0, 1.0);
+    assert_cell(&view, ma2, "ma", 3.0, 3.0);
+
+    // Under fb: mc (g←f←m: 6,1).
+    let mc = child(&mut view, Some(fb), "m");
+    assert_cell(&view, mc, "mc", 6.0, 1.0);
+
+    // Under gb: fc (g←g←f: 5,1), then md (g←g←f←m: 5,1).
+    let fc = child(&mut view, Some(gb), "f");
+    assert_cell(&view, fc, "fc", 5.0, 1.0);
+    let md = child(&mut view, Some(fc), "m");
+    assert_cell(&view, md, "md", 5.0, 1.0);
+
+    // fa's caller: mb (f←m: 7,1).
+    let mb = child(&mut view, Some(fa), "m");
+    assert_cell(&view, mb, "mb", 7.0, 1.0);
+
+    // h's chain: gc, gd, fd, me — all (4,4).
+    let gc = child(&mut view, Some(ha), "g");
+    assert_cell(&view, gc, "gc", 4.0, 4.0);
+    let gd = child(&mut view, Some(gc), "g");
+    assert_cell(&view, gd, "gd", 4.0, 4.0);
+    let fd = child(&mut view, Some(gd), "f");
+    assert_cell(&view, fd, "fd", 4.0, 4.0);
+    let me = child(&mut view, Some(fd), "m");
+    assert_cell(&view, me, "me", 4.0, 4.0);
+
+    // m has no callers; the chains end exactly where Fig. 2b ends.
+    assert!(view.children(ma).is_empty());
+    assert!(view.children(me).is_empty());
+    assert!(view.children(md).is_empty());
+    assert!(view.children(mc).is_empty());
+    assert!(view.children(mb).is_empty());
+    assert!(view.children(ma2).is_empty());
+}
+
+#[test]
+fn fig2c_flat_view() {
+    let (exp, _) = fig1::experiment();
+    let mut view = View::flat(&exp);
+
+    let module = child(&mut view, None, "a.out");
+    let file1 = child(&mut view, Some(module), "file1.c");
+    let file2 = child(&mut view, Some(module), "file2.c");
+    assert_cell(&view, file1, "file1", 10.0, 1.0);
+    assert_cell(&view, file2, "file2", 9.0, 8.0);
+
+    let fx = child(&mut view, Some(file1), "f");
+    let mx = child(&mut view, Some(file1), "m");
+    let gx = child(&mut view, Some(file2), "g");
+    let hx = child(&mut view, Some(file2), "h");
+    assert_cell(&view, fx, "fx", 7.0, 1.0);
+    assert_cell(&view, mx, "m", 10.0, 0.0);
+    assert_cell(&view, gx, "gx", 9.0, 4.0);
+    assert_cell(&view, hx, "hx", 4.0, 4.0);
+
+    // Loops under hx: l1 (4,0) containing l2 (4,4).
+    let l1 = child(&mut view, Some(hx), "loop at file2.c:8");
+    let l2 = child(&mut view, Some(l1), "loop at file2.c:9");
+    assert_cell(&view, l1, "l1", 4.0, 0.0);
+    assert_cell(&view, l2, "l2", 4.0, 4.0);
+
+    // Dynamic call-site nodes: gy under fx (6,1); fy (7,1) and gv (3,3)
+    // under m; gz (5,1) and hy (4,0) under gx.
+    let gy = child(&mut view, Some(fx), "g");
+    assert_cell(&view, gy, "gy", 6.0, 1.0);
+    let fy = child(&mut view, Some(mx), "f");
+    let gv = child(&mut view, Some(mx), "g");
+    assert_cell(&view, fy, "fy", 7.0, 1.0);
+    assert_cell(&view, gv, "gv", 3.0, 3.0);
+    let gz = child(&mut view, Some(gx), "g");
+    let hy = child(&mut view, Some(gx), "h");
+    assert_cell(&view, gz, "gz", 5.0, 1.0);
+    assert_cell(&view, hy, "hy", 4.0, 0.0);
+
+    // Node count sanity: Fig. 2c shows 13 scopes; we add the module root
+    // and the statement leaves the figure elides.
+    assert!(view.node_count() >= 13);
+}
+
+#[test]
+fn consistency_across_views() {
+    // The paper stresses that gx's inclusive 9 in the Flat View "is
+    // consistently the same as the cost in Callers View" (ga = 9).
+    let (exp, _) = fig1::experiment();
+    let mut callers = View::callers(&exp);
+    let mut flat = View::flat(&exp);
+    let ga = child(&mut callers, None, "g");
+    let module = child(&mut flat, None, "a.out");
+    let file2 = child(&mut flat, Some(module), "file2.c");
+    let gx = child(&mut flat, Some(file2), "g");
+    assert_eq!(callers.value(I, ga), flat.value(I, gx));
+    assert_eq!(callers.value(E, ga), flat.value(E, gx));
+}
+
+#[test]
+fn rendered_calling_context_matches_figure_values() {
+    let (exp, _) = fig1::experiment();
+    let mut view = View::calling_context(&exp);
+    let text = render(&mut view, &RenderConfig::default());
+    // Spot-check a few rendered rows: m's inclusive 10 at 100%, h's 4 at
+    // 40%.
+    let m_row = text
+        .lines()
+        .find(|l| l.trim_start().starts_with("m "))
+        .unwrap();
+    assert!(m_row.contains("1.00e1"), "{m_row}");
+    assert!(m_row.contains("100.0%"), "{m_row}");
+    let h_row = text.lines().find(|l| l.contains("h ")).unwrap();
+    assert!(h_row.contains("4.00e0"), "{h_row}");
+    assert!(h_row.contains("40.0%"), "{h_row}");
+}
+
+#[test]
+fn hot_path_of_fig1_follows_the_recursion() {
+    // Hot path from m: f (7) >= 50% of 10, g1 (6) >= 50% of 7, g2 (5),
+    // h (4), l1 (4), l2 (4), stmt (4).
+    let (exp, n) = fig1::experiment();
+    let mut view = View::calling_context(&exp);
+    let path = view.hot_path(n.m.0, I, HotPathConfig::default());
+    let labels: Vec<String> = path.iter().map(|&x| view.label(x)).collect();
+    assert_eq!(
+        labels,
+        vec![
+            "m",
+            "f",
+            "g",
+            "g",
+            "h",
+            "loop at file2.c:8",
+            "loop at file2.c:9",
+            "file2.c:9"
+        ]
+    );
+}

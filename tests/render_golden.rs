@@ -1,0 +1,49 @@
+//! Byte-exact golden snapshot of the rendered Calling Context View for the
+//! Fig. 1 experiment: pins the whole presentation stack — sorting, fused
+//! call-site lines, scientific notation, blank zero cells, percentage
+//! formatting — in one assertion.
+
+use callpath_core::prelude::*;
+use callpath_viewer::{render, RenderConfig};
+use callpath_workloads::fig1;
+
+const EXPECTED_CCV: &str = include_str!("data/fig1_ccv.golden");
+const EXPECTED_CALLERS: &str = include_str!("data/fig1_callers.golden");
+const EXPECTED_FLAT: &str = include_str!("data/fig1_flat.golden");
+
+#[test]
+fn fig1_calling_context_renders_byte_exact() {
+    let (exp, _) = fig1::experiment();
+    let mut view = View::calling_context(&exp);
+    let text = render(&mut view, &RenderConfig::default());
+    // Normalize: the header's separator width depends on column count
+    // only, so compare the whole thing directly.
+    assert_eq!(text, EXPECTED_CCV, "rendered:\n{text}");
+}
+
+#[test]
+fn fig1_callers_view_renders_byte_exact() {
+    let (exp, _) = fig1::experiment();
+    let mut view = View::callers(&exp);
+    let text = render(&mut view, &RenderConfig::default());
+    assert_eq!(text, EXPECTED_CALLERS, "rendered:\n{text}");
+}
+
+#[test]
+fn fig1_flat_view_renders_byte_exact() {
+    let (exp, _) = fig1::experiment();
+    let mut view = View::flat(&exp);
+    let text = render(&mut view, &RenderConfig::default());
+    assert_eq!(text, EXPECTED_FLAT, "rendered:\n{text}");
+}
+
+#[test]
+fn rendering_the_same_view_twice_is_identical() {
+    let (exp, _) = fig1::experiment();
+    let a = render(&mut View::callers(&exp), &RenderConfig::default());
+    let b = render(&mut View::callers(&exp), &RenderConfig::default());
+    assert_eq!(a, b);
+    let fa = render(&mut View::flat(&exp), &RenderConfig::default());
+    let fb = render(&mut View::flat(&exp), &RenderConfig::default());
+    assert_eq!(fa, fb);
+}
