@@ -63,6 +63,20 @@ fn bench(c: &mut Criterion) {
                 })
             },
         );
+        // Repeated-query path: refreshing an already-built view is served
+        // from the per-callee memo cache (no re-aggregation) as long as
+        // the raw metrics haven't mutated.
+        group.bench_with_input(
+            BenchmarkId::new("refresh_memoized", size),
+            &exp,
+            |b, exp| {
+                let mut view = CallersView::build(exp, StorageKind::Dense);
+                b.iter(|| {
+                    view.refresh(exp);
+                    view.cache_stats().0
+                })
+            },
+        );
     }
 
     // The Fig. 4 workflow itself: find memset's callers.

@@ -13,7 +13,7 @@ use std::time::Duration;
 fn print_footprints() {
     println!("--- metric storage footprint (one column, 100k-node CCT) ---");
     let exp = sized_experiment(100_000);
-    for kind in [StorageKind::Dense, StorageKind::Sparse] {
+    for kind in [StorageKind::Dense, StorageKind::Sparse, StorageKind::Csr] {
         let attr = attribute(&exp.cct, &exp.raw, MetricId(0), kind);
         println!(
             "{:?}: inclusive {} bytes ({} nonzero), exclusive {} bytes",
@@ -35,42 +35,49 @@ fn bench(c: &mut Criterion) {
 
     for &size in &[10_000usize, 100_000] {
         let exp = sized_experiment(size);
-        for kind in [StorageKind::Dense, StorageKind::Sparse] {
+        for kind in [StorageKind::Dense, StorageKind::Sparse, StorageKind::Csr] {
             group.bench_with_input(
                 BenchmarkId::new(format!("attribute_{kind:?}"), size),
                 &exp,
                 |b, exp| b.iter(|| attribute(&exp.cct, &exp.raw, MetricId(0), kind)),
             );
+            // Point lookups: linear scan (Sparse) vs direct index (Dense)
+            // vs binary search (Csr).
+            let attr = attribute(&exp.cct, &exp.raw, MetricId(0), kind);
+            group.bench_with_input(
+                BenchmarkId::new(format!("lookup_{kind:?}"), size),
+                &attr,
+                |b, attr| {
+                    b.iter(|| {
+                        let mut acc = 0.0;
+                        for i in (0..size as u32).step_by(7) {
+                            acc += attr.inclusive.get(i);
+                        }
+                        acc
+                    })
+                },
+            );
         }
-        // Point lookups over both flavors.
-        let dense = attribute(&exp.cct, &exp.raw, MetricId(0), StorageKind::Dense);
-        let sparse = attribute(&exp.cct, &exp.raw, MetricId(0), StorageKind::Sparse);
-        group.bench_with_input(
-            BenchmarkId::new("lookup_dense", size),
-            &dense,
-            |b, attr| {
-                b.iter(|| {
-                    let mut acc = 0.0;
-                    for i in (0..size as u32).step_by(7) {
-                        acc += attr.inclusive.get(i);
-                    }
-                    acc
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("lookup_sparse", size),
-            &sparse,
-            |b, attr| {
-                b.iter(|| {
-                    let mut acc = 0.0;
-                    for i in (0..size as u32).step_by(7) {
-                        acc += attr.inclusive.get(i);
-                    }
-                    acc
-                })
-            },
-        );
+        // Batched ingestion: per-sample scalar `add` vs one `add_costs`
+        // sweep in ascending node order (the CSR append fast path).
+        let entries: Vec<(NodeId, f64)> = (0..size as u32)
+            .step_by(3)
+            .map(|i| (NodeId(i), 1.5))
+            .collect();
+        for kind in [StorageKind::Dense, StorageKind::Sparse, StorageKind::Csr] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("add_costs_batched_{kind:?}"), size),
+                &entries,
+                |b, entries| {
+                    b.iter(|| {
+                        let mut raw = RawMetrics::new(kind);
+                        let m = raw.add_metric(MetricDesc::new("cycles", "cycles", 1.0));
+                        raw.add_costs(m, entries);
+                        raw.generation()
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

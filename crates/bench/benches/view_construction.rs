@@ -7,6 +7,9 @@
 
 use callpath_bench::sized_experiment;
 use callpath_core::prelude::*;
+use callpath_prof::{Correlator, ParallelCorrelator};
+use callpath_profiler::{execute, lower, Counter, ExecConfig, RawProfile};
+use callpath_workloads::generator::{random_program, GenConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -40,6 +43,55 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("flat_view", size), &exp, |b, exp| {
             b.iter(|| FlatView::build(exp, StorageKind::Dense))
         });
+    }
+
+    // Profile ingestion: one correlator fed rank-by-rank vs the sharded
+    // parallel correlator (identical output, see callpath-prof tests).
+    let program = random_program(GenConfig {
+        n_procs: 60,
+        ..GenConfig::default()
+    });
+    let bin = lower(&program);
+    let base = ExecConfig::single(Counter::Cycles, 509);
+    let structure = callpath_structure::recover(&bin).unwrap();
+    for &n_ranks in &[16usize, 64] {
+        let profiles: Vec<RawProfile> = (0..n_ranks)
+            .map(|r| {
+                let cfg = ExecConfig {
+                    work_scale: 1.0 + (r % 4) as f64 * 0.5,
+                    jitter_seed: Some(7 + r as u64),
+                    ..base.clone()
+                };
+                execute(&bin, &cfg).unwrap().profile
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("ingest_sequential", n_ranks),
+            &profiles,
+            |b, profiles| {
+                b.iter(|| {
+                    let mut corr = Correlator::new(&structure, base.periods);
+                    for p in profiles {
+                        corr.add(p);
+                    }
+                    corr.finish(StorageKind::Dense).cct.len()
+                })
+            },
+        );
+        for threads in [2usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ingest_parallel_t{threads}"), n_ranks),
+                &profiles,
+                |b, profiles| {
+                    b.iter(|| {
+                        let (exp, _) = ParallelCorrelator::new(&structure, base.periods)
+                            .with_threads(threads)
+                            .correlate(profiles, StorageKind::Dense);
+                        exp.cct.len()
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

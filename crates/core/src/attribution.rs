@@ -61,6 +61,9 @@ pub fn attribute(cct: &Cct, raw: &RawMetrics, m: MetricId, storage: StorageKind)
     let mk = |()| match storage {
         StorageKind::Dense => MetricVec::dense(n),
         StorageKind::Sparse => MetricVec::sparse(),
+        // Attribution writes non-zeros in ascending node order, which is
+        // exactly the columnar store's O(1) append fast path.
+        StorageKind::Csr => MetricVec::csr(),
     };
     let mut inclusive = mk(());
     let mut exclusive = mk(());

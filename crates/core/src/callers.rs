@@ -18,14 +18,24 @@
 
 use crate::exposure::exposed;
 use crate::experiment::Experiment;
-use crate::ids::{MetricId, NodeId, ViewNodeId};
+use crate::ids::{ColumnId, MetricId, NodeId, ProcId, ViewNodeId};
 use crate::metrics::StorageKind;
 use crate::scope::ScopeKind;
 use crate::viewtree::{ViewScope, ViewTree};
+use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Memoized per-callee aggregation results: column values for one
+/// top-level procedure entry, keyed by `(procedure, metrics generation)`.
+/// The generation key makes mutation-safety automatic — after the raw
+/// metrics change, lookups miss and the entry is recomputed; until then,
+/// repeated view constructions and refreshes share one computation.
+type CalleeCache = HashMap<(ProcId, u64), Arc<Vec<f64>>>;
 
 /// Bottom-up (callers) view over an experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CallersView {
     /// The materialized view nodes and their metric columns.
     pub tree: ViewTree,
@@ -34,6 +44,24 @@ pub struct CallersView {
     /// level the cursor is the instance itself; each expansion moves every
     /// cursor one caller up.
     cursors: Vec<Vec<NodeId>>,
+    /// Memoized top-level aggregation, shared across refreshes.
+    agg_cache: RwLock<CalleeCache>,
+    /// Cache hit counter (observable via [`CallersView::cache_stats`]).
+    hits: AtomicU64,
+    /// Cache miss counter.
+    misses: AtomicU64,
+}
+
+impl Clone for CallersView {
+    fn clone(&self) -> Self {
+        CallersView {
+            tree: self.tree.clone(),
+            cursors: self.cursors.clone(),
+            agg_cache: RwLock::new(self.agg_cache.read().clone()),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl CallersView {
@@ -44,6 +72,9 @@ impl CallersView {
         let mut view = CallersView {
             tree: ViewTree::new(storage),
             cursors: Vec::new(),
+            agg_cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         };
         // Mirror the experiment's column layout.
         for d in exp.columns.descs() {
@@ -158,42 +189,88 @@ impl CallersView {
             .any(|&c| exp.cct.caller_frame(c).is_some())
     }
 
-    /// Compute the node's metric columns from its instance set:
+    /// Compute one node's column values from its instance set:
     /// set-exposed sums of both inclusive and (rule-1 frame) exclusive
-    /// values, then derived formulas over those aggregates.
-    fn fill_values(&mut self, exp: &Experiment, n: ViewNodeId) {
-        let instances = self.tree.instances(n);
+    /// values, then derived formulas over those aggregates. Pure in the
+    /// experiment — this is the unit the per-callee cache memoizes.
+    fn compute_values(exp: &Experiment, instances: &[NodeId], ncols: usize) -> Vec<f64> {
         let keep = exposed(&exp.cct, instances);
+        let mut vals = vec![0.0; ncols];
+        let attrs = exp.attributions();
         for mi in 0..exp.raw.metric_count() {
             let m = MetricId::from_usize(mi);
-            let attr = exp.attribution(m);
+            let attr = &attrs[m.index()];
             let (mut incl, mut excl) = (0.0, 0.0);
             for &i in &keep {
                 incl += attr.inclusive.get(i.0);
                 excl += attr.exclusive.get(i.0);
             }
-            let ci = exp.inclusive_col(m);
-            let ce = exp.exclusive_col(m);
-            if incl != 0.0 {
-                self.tree.columns.set(ci, n.0, incl);
-            }
-            if excl != 0.0 {
-                self.tree.columns.set(ce, n.0, excl);
-            }
+            vals[exp.inclusive_col(m).index()] = incl;
+            vals[exp.exclusive_col(m).index()] = excl;
         }
-        // Derived columns for just this node.
-        let ncols = self.tree.columns.column_count() as u32;
         for (c, expr) in exp.derived_formulas() {
-            let inputs: Vec<f64> = (0..ncols)
-                .map(|i| self.tree.columns.get(crate::ids::ColumnId(i), n.0))
-                .collect();
-            let v = expr.eval(&crate::derived::SliceContext {
-                columns: &inputs,
+            vals[c.index()] = expr.eval(&crate::derived::SliceContext {
+                columns: &vals,
                 aggregates: exp.aggregates(),
             });
-            if v != 0.0 {
-                self.tree.columns.set(*c, n.0, v);
+        }
+        vals
+    }
+
+    /// Aggregated column values for top-level callee `proc`, memoized by
+    /// `(proc, metrics generation)` so repeated view constructions and
+    /// refreshes over unchanged metrics share one aggregation pass.
+    fn callee_totals(&self, exp: &Experiment, proc: ProcId, instances: &[NodeId]) -> Arc<Vec<f64>> {
+        let key = (proc, exp.raw.generation());
+        if let Some(v) = self.agg_cache.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let vals = Arc::new(Self::compute_values(
+            exp,
+            instances,
+            self.tree.columns.column_count(),
+        ));
+        self.agg_cache.write().insert(key, vals.clone());
+        vals
+    }
+
+    /// `(hits, misses)` of the per-callee aggregation cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Recompute every materialized node's column values against the
+    /// experiment's current metrics. Top-level entries go through the
+    /// `(proc, generation)` cache: a refresh over unchanged metrics is
+    /// pure cache hits, while one after mutation recomputes (and caches)
+    /// fresh aggregates.
+    pub fn refresh(&mut self, exp: &Experiment) {
+        for i in 0..self.tree.len() as u32 {
+            self.fill_values(exp, ViewNodeId(i));
+        }
+    }
+
+    /// Write a node's column values, routing top-level procedure entries
+    /// through the memoized per-callee aggregation.
+    fn fill_values(&mut self, exp: &Experiment, n: ViewNodeId) {
+        let vals: Arc<Vec<f64>> = match *self.tree.scope(n) {
+            ViewScope::ProcTop { proc } => {
+                let instances = self.tree.instances(n).to_vec();
+                self.callee_totals(exp, proc, &instances)
             }
+            _ => Arc::new(Self::compute_values(
+                exp,
+                self.tree.instances(n),
+                self.tree.columns.column_count(),
+            )),
+        };
+        for (i, &v) in vals.iter().enumerate() {
+            self.tree.columns.set(ColumnId(i as u32), n.0, v);
         }
     }
 }
@@ -378,6 +455,39 @@ mod tests {
         let len = view.tree.len();
         view.expand(&exp, ga);
         assert_eq!(view.tree.len(), len);
+    }
+
+    #[test]
+    fn refresh_hits_cache_until_metrics_mutate() {
+        let (exp, procs) = fig1_experiment();
+        let mut view = CallersView::build(&exp, StorageKind::Dense);
+        let (h0, m0) = view.cache_stats();
+        assert_eq!(h0, 0);
+        assert_eq!(m0, procs.len() as u64, "one miss per top-level entry");
+
+        // Same generation: a refresh is pure cache hits.
+        view.refresh(&exp);
+        let (h1, m1) = view.cache_stats();
+        assert_eq!(m1, m0, "no new misses");
+        assert_eq!(h1, procs.len() as u64);
+
+        // Mutate the raw metrics: the generation key changes, so the next
+        // refresh recomputes every top-level aggregate.
+        let mut exp = exp;
+        let g_root = view
+            .tree
+            .roots()
+            .into_iter()
+            .find(|&r| view.tree.label(r, &exp.cct.names) == "g")
+            .unwrap();
+        let before = value(&view, g_root, 0);
+        // Node 12 is s_g3, a statement under the exposed g3 activation.
+        exp.raw.add_cost(MetricId(0), NodeId(12), 2.0);
+        view.refresh(&exp);
+        let (_, m2) = view.cache_stats();
+        assert_eq!(m2, m1 + procs.len() as u64, "every entry recomputed");
+        let after = value(&view, g_root, 0);
+        assert_eq!(after, before + 2.0, "g's exposed inclusive grew");
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Generic chunked fan-out over crossbeam scoped threads.
+//!
+//! Several pipeline stages share the same shape: split a slice of
+//! per-rank items into contiguous chunks, hand each chunk to a scoped
+//! worker thread that folds it into a partial accumulator, then combine
+//! the partials **in chunk order** so results are deterministic no
+//! matter how many threads ran. This module is that shape, written
+//! once: the streaming summarizer and the parallel correlator both
+//! build on it instead of each carrying their own scope/spawn/join
+//! block.
+
+/// Resolve a requested worker count: `0` means "pick for me" (available
+/// parallelism, capped at 8 so oversubscribed CI machines don't spawn a
+/// thread mob), anything else is used as given.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get().min(8))
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+}
+
+/// Split `items` into at most `threads` contiguous chunks, run `map`
+/// on each chunk in its own scoped thread, and return the partial
+/// results **in chunk order** (ascending item index), independent of
+/// thread scheduling.
+///
+/// `map` receives `(chunk_index, chunk)`; chunk 0 starts at item 0.
+/// With `threads == 0` the worker count is chosen automatically
+/// ([`resolve_threads`]). An empty `items` yields an empty vec without
+/// spawning.
+pub fn chunked_map<T, A, F>(items: &[T], threads: usize, map: F) -> Vec<A>
+where
+    T: Sync,
+    A: Send,
+    F: Fn(usize, &[T]) -> A + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = resolve_threads(threads);
+    let chunk = items.len().div_ceil(threads).max(1);
+    if threads == 1 || items.len() <= chunk {
+        return vec![map(0, items)];
+    }
+    crossbeam::thread::scope(|s| {
+        let map = &map;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, batch)| s.spawn(move |_| map(ci, batch)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("chunked worker thread panicked")
+}
+
+/// [`chunked_map`] followed by a left fold of the partials in chunk
+/// order: `reduce(acc, partial)` sees partials for items `0..k` before
+/// the partial for items `k..`. Returns `None` when `items` is empty.
+pub fn chunked_reduce<T, A, F, R>(items: &[T], threads: usize, map: F, mut reduce: R) -> Option<A>
+where
+    T: Sync,
+    A: Send,
+    F: Fn(usize, &[T]) -> A + Sync,
+    R: FnMut(A, A) -> A,
+{
+    let mut partials = chunked_map(items, threads, map).into_iter();
+    let first = partials.next()?;
+    Some(partials.fold(first, |acc, p| reduce(acc, p)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_every_item_exactly_once_in_order() {
+        let items: Vec<u32> = (0..103).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let parts = chunked_map(&items, threads, |_ci, c| c.to_vec());
+            let flat: Vec<u32> = parts.into_iter().flatten().collect();
+            assert_eq!(flat, items, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_is_deterministic_across_thread_counts() {
+        let items: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let sum = |t| {
+            chunked_reduce(&items, t, |_ci, c| c.iter().sum::<f64>(), |a, b| a + b).unwrap()
+        };
+        let expect = sum(1);
+        for t in [2, 4, 7] {
+            assert_eq!(sum(t), expect);
+        }
+    }
+
+    #[test]
+    fn chunk_indices_are_contiguous_from_zero() {
+        let items: Vec<u8> = vec![0; 10];
+        let parts = chunked_map(&items, 3, |ci, c| (ci, c.len()));
+        let mut seen: Vec<usize> = parts.iter().map(|&(ci, _)| ci).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..parts.len()).collect::<Vec<_>>());
+        assert_eq!(parts.iter().map(|&(_, n)| n).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let items: Vec<u32> = Vec::new();
+        assert!(chunked_map(&items, 4, |_, c| c.len()).is_empty());
+        assert_eq!(chunked_reduce(&items, 4, |_, c| c.len(), |a, b| a + b), None);
+    }
+}

@@ -1,21 +1,55 @@
 //! The in-memory experiment database: a canonical CCT plus attributed
 //! metric columns — what `hpcprof` hands to `hpcviewer`.
+//!
+//! Attribution results (the Eq. 2 inclusive and Eq. 1 exclusive columns)
+//! are **cached per metrics generation**: they are computed once, shared
+//! by every view that asks, and transparently recomputed after the raw
+//! metrics mutate (e.g. a late-arriving rank folded in with
+//! [`RawMetrics::add_cost`]). Callers never observe stale sums.
 
 use crate::attribution::{attribute_all, Attribution};
 use crate::cct::Cct;
 use crate::derived::{Expr, FormulaError, SliceContext};
 use crate::ids::{ColumnId, MetricId, NodeId};
 use crate::metrics::{ColumnDesc, ColumnFlavor, ColumnSet, RawMetrics, StorageKind};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Generation-stamped attribution results shared behind the cache lock.
+#[derive(Debug)]
+struct AttrCache {
+    /// [`RawMetrics::generation`] at compute time.
+    generation: u64,
+    /// One [`Attribution`] per raw metric, in metric-id order.
+    attributions: Arc<Vec<Attribution>>,
+}
+
+/// Shared handle to one metric's cached attribution; derefs to
+/// [`Attribution`] so call sites read `handle.inclusive` directly.
+#[derive(Debug, Clone)]
+pub struct AttributionHandle {
+    attrs: Arc<Vec<Attribution>>,
+    index: usize,
+}
+
+impl std::ops::Deref for AttributionHandle {
+    type Target = Attribution;
+
+    fn deref(&self) -> &Attribution {
+        &self.attrs[self.index]
+    }
+}
 
 /// A fully attributed experiment: the input to every presentation view.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Experiment {
     /// The canonical calling context tree.
     pub cct: Cct,
     /// Direct (sample-point) costs per raw metric.
     pub raw: RawMetrics,
-    /// Per-metric attribution results (indexed by `MetricId`).
-    pub attributions: Vec<Attribution>,
+    /// Cached per-metric attribution results, keyed by the raw metrics
+    /// generation they were computed at.
+    attr_cache: RwLock<AttrCache>,
     /// Presentation columns over CCT nodes: two per raw metric (inclusive,
     /// exclusive) followed by any derived columns.
     pub columns: ColumnSet,
@@ -23,12 +57,33 @@ pub struct Experiment {
     derived: Vec<(ColumnId, Expr)>,
     /// Root (whole-program) value per column; the `@n` aggregate.
     aggregates: Vec<f64>,
+    /// Storage flavor for freshly computed attribution columns.
+    storage: StorageKind,
+}
+
+impl Clone for Experiment {
+    fn clone(&self) -> Self {
+        let cache = self.attr_cache.read();
+        Experiment {
+            cct: self.cct.clone(),
+            raw: self.raw.clone(),
+            attr_cache: RwLock::new(AttrCache {
+                generation: cache.generation,
+                attributions: cache.attributions.clone(),
+            }),
+            columns: self.columns.clone(),
+            derived: self.derived.clone(),
+            aggregates: self.aggregates.clone(),
+            storage: self.storage,
+        }
+    }
 }
 
 impl Experiment {
     /// Attribute all metrics of `raw` over `cct` and set up the standard
     /// inclusive/exclusive column pair per metric.
     pub fn build(cct: Cct, raw: RawMetrics, storage: StorageKind) -> Self {
+        let generation = raw.generation();
         let attributions = attribute_all(&cct, &raw, storage);
         let mut columns = ColumnSet::new(storage);
         let mut aggregates = Vec::new();
@@ -66,10 +121,14 @@ impl Experiment {
         Experiment {
             cct,
             raw,
-            attributions,
+            attr_cache: RwLock::new(AttrCache {
+                generation,
+                attributions: Arc::new(attributions),
+            }),
             columns,
             derived: Vec::new(),
             aggregates,
+            storage,
         }
     }
 
@@ -83,9 +142,49 @@ impl Experiment {
         ColumnId(m.0 * 2 + 1)
     }
 
-    /// Attribution results of metric `m`.
-    pub fn attribution(&self, m: MetricId) -> &Attribution {
-        &self.attributions[m.index()]
+    /// All cached attribution results, revalidated against the raw
+    /// metrics generation: if `raw` has mutated since the cache was
+    /// filled, every metric is re-attributed once (under the write lock)
+    /// and the fresh results are shared from then on.
+    pub fn attributions(&self) -> Arc<Vec<Attribution>> {
+        let generation = self.raw.generation();
+        {
+            let cache = self.attr_cache.read();
+            if cache.generation == generation {
+                return cache.attributions.clone();
+            }
+        }
+        let mut cache = self.attr_cache.write();
+        // Another thread may have refreshed while we waited for the lock.
+        if cache.generation != generation {
+            cache.attributions = Arc::new(attribute_all(&self.cct, &self.raw, self.storage));
+            cache.generation = generation;
+        }
+        cache.attributions.clone()
+    }
+
+    /// Attribution results of metric `m` (from the generation-validated
+    /// cache; cheap to call repeatedly).
+    pub fn attribution(&self, m: MetricId) -> AttributionHandle {
+        AttributionHandle {
+            attrs: self.attributions(),
+            index: m.index(),
+        }
+    }
+
+    /// Cached Eq. 2 inclusive cost of metric `m` at node `n`.
+    pub fn inclusive(&self, m: MetricId, n: NodeId) -> f64 {
+        self.attribution(m).inclusive.get(n.0)
+    }
+
+    /// Cached Eq. 1 exclusive cost of metric `m` at node `n`.
+    pub fn exclusive(&self, m: MetricId, n: NodeId) -> f64 {
+        self.attribution(m).exclusive.get(n.0)
+    }
+
+    /// The storage flavor this experiment's columns use.
+    pub fn storage(&self) -> StorageKind {
+        self.storage
     }
 
     /// Whole-program (`@n`) value of a column.
@@ -268,6 +367,83 @@ mod tests {
     fn derived_rejects_forward_references() {
         let mut exp = tiny_experiment();
         assert!(exp.add_derived("bad", "$99").is_err());
+    }
+
+    #[test]
+    fn attribution_cache_is_shared_until_mutation() {
+        let exp = tiny_experiment();
+        let a = exp.attributions();
+        let b = exp.attributions();
+        assert!(Arc::ptr_eq(&a, &b), "unchanged raw must share the cache");
+    }
+
+    #[test]
+    fn inclusive_cache_invalidates_after_add_cost() {
+        let mut exp = tiny_experiment();
+        let cyc = MetricId(0);
+        let root = exp.cct.root();
+        let stale = exp.attributions();
+        assert_eq!(exp.inclusive(cyc, root), 1000.0);
+        // A late-arriving cost at the statement node (id 3 in the tiny
+        // tree) must show up in freshly queried inclusive sums.
+        let stmt = NodeId(3);
+        exp.raw.add_cost(cyc, stmt, 500.0);
+        let fresh = exp.attributions();
+        assert!(
+            !Arc::ptr_eq(&stale, &fresh),
+            "mutation must invalidate the attribution cache"
+        );
+        assert_eq!(exp.inclusive(cyc, root), 1500.0);
+        assert_eq!(exp.inclusive(cyc, stmt), 1500.0);
+        assert_eq!(exp.exclusive(cyc, stmt), 1500.0);
+        // And the refreshed cache is stable until the next mutation.
+        assert!(Arc::ptr_eq(&fresh, &exp.attributions()));
+    }
+
+    #[test]
+    fn csr_storage_builds_identical_columns() {
+        // Same tiny experiment content in Dense and Csr storage: every
+        // presentation column must agree.
+        let build = |kind: StorageKind| {
+            let mut names = NameTable::new();
+            let file = names.file("a.c");
+            let module = names.module("a.out");
+            let p_main = names.proc("main");
+            let mut cct = Cct::new(names);
+            let root = cct.root();
+            let main = cct.add_child(
+                root,
+                ScopeKind::Frame {
+                    proc: p_main,
+                    module,
+                    def: SourceLoc::new(file, 1),
+                    call_site: None,
+                },
+            );
+            let s = cct.add_child(
+                main,
+                ScopeKind::Stmt {
+                    loc: SourceLoc::new(file, 2),
+                },
+            );
+            let mut raw = RawMetrics::new(kind);
+            let cyc = raw.add_metric(MetricDesc::new("cycles", "cycles", 1.0));
+            raw.add_cost(cyc, s, 750.0);
+            Experiment::build(cct, raw, kind)
+        };
+        let dense = build(StorageKind::Dense);
+        let csr = build(StorageKind::Csr);
+        assert_eq!(dense.columns.column_count(), csr.columns.column_count());
+        for c in dense.columns.columns() {
+            for n in 0..dense.cct.len() as u32 {
+                assert_eq!(
+                    dense.columns.get(c, n),
+                    csr.columns.get(c, n),
+                    "column {c:?} node {n}"
+                );
+            }
+        }
+        assert_eq!(dense.aggregates(), csr.aggregates());
     }
 
     #[test]

@@ -9,26 +9,42 @@
 //!   readable format" instead of "naively long and painful numbers", and
 //!   each value is accompanied by its percentage of the column aggregate.
 
+use std::fmt::Write as _;
+
 /// Format a raw metric value the way hpcviewer's metric pane does:
 /// `1.23e+07` style mantissa/exponent, or blank for zero.
 pub fn metric_value(v: f64) -> String {
-    if v == 0.0 {
-        return String::new();
+    let mut s = String::new();
+    write_metric_value(v, &mut s);
+    s
+}
+
+/// [`metric_value`] writing into an existing buffer — the renderer's
+/// per-row hot path reuses one buffer instead of allocating per cell.
+pub fn write_metric_value(v: f64, out: &mut String) {
+    if v != 0.0 {
+        let _ = write!(out, "{v:.2e}");
     }
-    format!("{v:.2e}")
 }
 
 /// Format a value together with its percentage of `total`:
 /// `1.23e+07 41.4%`. Zero values are blank; a zero total suppresses the
 /// percentage.
 pub fn metric_with_percent(v: f64, total: f64) -> String {
+    let mut s = String::new();
+    write_metric_with_percent(v, total, &mut s);
+    s
+}
+
+/// [`metric_with_percent`] writing into an existing buffer.
+pub fn write_metric_with_percent(v: f64, total: f64, out: &mut String) {
     if v == 0.0 {
-        return String::new();
+        return;
     }
     if total == 0.0 {
-        return metric_value(v);
+        return write_metric_value(v, out);
     }
-    format!("{} {:>5.1}%", metric_value(v), 100.0 * v / total)
+    let _ = write!(out, "{v:.2e} {:>5.1}%", 100.0 * v / total);
 }
 
 /// Format a percentage alone (used by derived ratio columns such as
@@ -44,20 +60,22 @@ pub fn percent(fraction: f64) -> String {
 /// ellipsis when truncated. Keeps the tabular layout aligned without
 /// pulling in a full terminal-width library.
 pub fn fit(label: &str, width: usize) -> String {
-    let chars: Vec<char> = label.chars().collect();
-    if chars.len() <= width {
-        let mut s = String::with_capacity(width);
-        s.push_str(label);
-        for _ in chars.len()..width {
-            s.push(' ');
+    let mut s = String::with_capacity(width);
+    write_fit(label, width, &mut s);
+    s
+}
+
+/// [`fit`] writing into an existing buffer.
+pub fn write_fit(label: &str, width: usize, out: &mut String) {
+    let n = label.chars().count();
+    if n <= width {
+        out.push_str(label);
+        for _ in n..width {
+            out.push(' ');
         }
-        s
     } else if width >= 1 {
-        let mut s: String = chars[..width - 1].iter().collect();
-        s.push('…');
-        s
-    } else {
-        String::new()
+        out.extend(label.chars().take(width - 1));
+        out.push('…');
     }
 }
 

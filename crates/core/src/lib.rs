@@ -68,6 +68,7 @@
 pub mod attribution;
 pub mod callers;
 pub mod cct;
+pub mod chunked;
 pub mod derived;
 pub mod diff;
 pub mod experiment;
@@ -89,6 +90,7 @@ pub mod prelude {
     pub use crate::attribution::{attribute, attribute_all, Attribution};
     pub use crate::callers::CallersView;
     pub use crate::cct::Cct;
+    pub use crate::chunked::{chunked_map, chunked_reduce, resolve_threads};
     pub use crate::derived::{EvalContext, Expr, FormulaError, SliceContext};
     pub use crate::diff::{merge_experiments, scaling_loss, ScalingAnalysis};
     pub use crate::experiment::Experiment;
@@ -98,7 +100,8 @@ pub mod prelude {
     pub use crate::hotpath::{hot_path, HotPathConfig};
     pub use crate::ids::{ColumnId, FileId, LoadModuleId, MetricId, NodeId, ProcId, ViewNodeId};
     pub use crate::metrics::{
-        ColumnDesc, ColumnFlavor, ColumnSet, MetricDesc, MetricVec, RawMetrics, StorageKind,
+        ColumnBuilder, ColumnDesc, ColumnFlavor, ColumnSet, CsrColumn, MetricDesc, MetricVec,
+        NonzeroSorted, RawMetrics, StorageKind,
     };
     pub use crate::names::{NameTable, SourceLoc};
     pub use crate::scope::{ScopeKind, StaticKey};

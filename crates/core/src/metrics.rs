@@ -7,9 +7,17 @@
 //! the analyst add **derived** columns computed by formula (Section V-D).
 //!
 //! Performance data is sparse (Section V-A): most CCT nodes have zero for
-//! most metrics. Storage therefore comes in two interchangeable flavors —
-//! dense `Vec<f64>` and a hash-indexed sparse map — so the ablation bench
-//! (`metric_storage`) can compare them; the public API is identical.
+//! most metrics. Storage therefore comes in three interchangeable flavors —
+//! dense `Vec<f64>`, a hash-indexed sparse map, and a sorted columnar
+//! (CSR-style) layout ([`CsrColumn`]) whose non-zeros live in two parallel
+//! arrays ordered by node id — so the ablation bench (`metric_storage`)
+//! can compare them; the public API is identical. The columnar flavor is
+//! the parallel-ingestion workhorse: workers accumulate into
+//! [`ColumnBuilder`]s and the reduction merges frozen columns in O(nnz).
+//!
+//! [`RawMetrics`] additionally carries a **generation counter** bumped by
+//! every mutation; derived caches (attribution results, callers-view
+//! aggregates) key on it to revalidate instead of serving stale values.
 
 use crate::ids::{ColumnId, MetricId};
 use serde::{Deserialize, Serialize};
@@ -39,6 +47,265 @@ impl MetricDesc {
     }
 }
 
+/// A frozen-plus-overlay sorted columnar store for one metric: non-zero
+/// values live in two parallel arrays (`keys` ascending node ids, `vals`
+/// their values), looked up by binary search. Out-of-order mutations land
+/// in a small unsorted `pending` delta overlay that is folded back into
+/// the sorted arrays once it grows past a threshold, keeping amortized
+/// cost near O(log nnz) per operation while ordered scans stay a plain
+/// slice walk.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CsrColumn {
+    /// Node ids with (potentially) non-zero values, strictly ascending.
+    keys: Vec<u32>,
+    /// `vals[i]` is the value at `keys[i]`.
+    vals: Vec<f64>,
+    /// Unsorted `(node, delta)` overlay absorbed on the next compaction.
+    pending: Vec<(u32, f64)>,
+}
+
+impl CsrColumn {
+    /// An empty column.
+    pub fn new() -> Self {
+        CsrColumn::default()
+    }
+
+    /// Value at `node` (0.0 when absent).
+    #[inline]
+    pub fn get(&self, node: u32) -> f64 {
+        let mut v = match self.keys.binary_search(&node) {
+            Ok(i) => self.vals[i],
+            Err(_) => 0.0,
+        };
+        for &(k, d) in &self.pending {
+            if k == node {
+                v += d;
+            }
+        }
+        v
+    }
+
+    /// Accumulate `delta` at `node`. Ascending appends (the common case:
+    /// attribution sweeps and view fills walk nodes in id order) are O(1);
+    /// anything else goes through the pending overlay.
+    #[inline]
+    pub fn add(&mut self, node: u32, delta: f64) {
+        if delta == 0.0 {
+            return;
+        }
+        if self.pending.is_empty() {
+            match self.keys.last() {
+                Some(&last) if node == last => {
+                    *self.vals.last_mut().unwrap() += delta;
+                    return;
+                }
+                Some(&last) if node > last => {
+                    self.keys.push(node);
+                    self.vals.push(delta);
+                    return;
+                }
+                None => {
+                    self.keys.push(node);
+                    self.vals.push(delta);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.pending.push((node, delta));
+        if self.pending.len() >= 32 + self.keys.len() / 4 {
+            self.compact();
+        }
+    }
+
+    /// Set the value at `node`, replacing any accumulated value.
+    pub fn set(&mut self, node: u32, value: f64) {
+        if !self.pending.is_empty() {
+            self.compact();
+        }
+        match self.keys.binary_search(&node) {
+            Ok(i) => self.vals[i] = value,
+            Err(i) => {
+                if value != 0.0 {
+                    self.keys.insert(i, node);
+                    self.vals.insert(i, value);
+                }
+            }
+        }
+    }
+
+    /// Fold the pending overlay back into the sorted arrays, summing
+    /// duplicates and dropping entries that cancelled to exactly zero.
+    pub fn compact(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut overlay = std::mem::take(&mut self.pending);
+        overlay.sort_unstable_by_key(|&(k, _)| k);
+        let mut keys = Vec::with_capacity(self.keys.len() + overlay.len());
+        let mut vals = Vec::with_capacity(self.keys.len() + overlay.len());
+        let mut oi = 0;
+        let mut push = |k: u32, v: f64| {
+            if v != 0.0 {
+                keys.push(k);
+                vals.push(v);
+            }
+        };
+        for (i, &k) in self.keys.iter().enumerate() {
+            while oi < overlay.len() && overlay[oi].0 < k {
+                let key = overlay[oi].0;
+                let mut v = 0.0;
+                while oi < overlay.len() && overlay[oi].0 == key {
+                    v += overlay[oi].1;
+                    oi += 1;
+                }
+                push(key, v);
+            }
+            let mut v = self.vals[i];
+            while oi < overlay.len() && overlay[oi].0 == k {
+                v += overlay[oi].1;
+                oi += 1;
+            }
+            push(k, v);
+        }
+        while oi < overlay.len() {
+            let key = overlay[oi].0;
+            let mut v = 0.0;
+            while oi < overlay.len() && overlay[oi].0 == key {
+                v += overlay[oi].1;
+                oi += 1;
+            }
+            push(key, v);
+        }
+        self.keys = keys;
+        self.vals = vals;
+    }
+
+    /// Accumulate every entry of `other` into `self` with a single
+    /// two-pointer merge: O(nnz(self) + nnz(other)), no binary searches.
+    pub fn merge(&mut self, other: &CsrColumn) {
+        self.compact();
+        let compacted_other;
+        let (okeys, ovals): (&[u32], &[f64]) = if other.pending.is_empty() {
+            (&other.keys, &other.vals)
+        } else {
+            let mut c = other.clone();
+            c.compact();
+            compacted_other = c;
+            (&compacted_other.keys, &compacted_other.vals)
+        };
+        let mut keys = Vec::with_capacity(self.keys.len() + okeys.len());
+        let mut vals = Vec::with_capacity(self.keys.len() + okeys.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.keys.len() || j < okeys.len() {
+            let (k, v) = if j >= okeys.len()
+                || (i < self.keys.len() && self.keys[i] < okeys[j])
+            {
+                let e = (self.keys[i], self.vals[i]);
+                i += 1;
+                e
+            } else if i >= self.keys.len() || okeys[j] < self.keys[i] {
+                let e = (okeys[j], ovals[j]);
+                j += 1;
+                e
+            } else {
+                let e = (self.keys[i], self.vals[i] + ovals[j]);
+                i += 1;
+                j += 1;
+                e
+            };
+            if v != 0.0 {
+                keys.push(k);
+                vals.push(v);
+            }
+        }
+        self.keys = keys;
+        self.vals = vals;
+    }
+
+    /// Number of stored entries (after folding the overlay in).
+    pub fn nnz(&mut self) -> usize {
+        self.compact();
+        self.vals.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    fn merged_entries(&self) -> Vec<(u32, f64)> {
+        let mut c = self.clone();
+        c.compact();
+        c.keys.into_iter().zip(c.vals).collect()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<u32>()
+            + self.vals.capacity() * std::mem::size_of::<f64>()
+            + self.pending.capacity() * std::mem::size_of::<(u32, f64)>()
+    }
+}
+
+/// Accumulates `(node, value)` pairs in any order — e.g. from one
+/// ingestion worker — and freezes them into a sorted [`CsrColumn`].
+/// Builders from different workers concatenate cheaply before freezing,
+/// so a parallel reduction is "append all, sort once".
+#[derive(Debug, Clone, Default)]
+pub struct ColumnBuilder {
+    entries: Vec<(u32, f64)>,
+}
+
+impl ColumnBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ColumnBuilder::default()
+    }
+
+    /// Accumulate `value` at `node` (duplicates are summed at freeze).
+    #[inline]
+    pub fn push(&mut self, node: u32, value: f64) {
+        if value != 0.0 {
+            self.entries.push((node, value));
+        }
+    }
+
+    /// Move every entry of `other` into this builder.
+    pub fn append(&mut self, other: &mut ColumnBuilder) {
+        self.entries.append(&mut other.entries);
+    }
+
+    /// Number of accumulated (pre-dedup) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sort, sum duplicates, drop zeros: the frozen immutable column.
+    pub fn freeze(mut self) -> CsrColumn {
+        self.entries.sort_unstable_by_key(|&(k, _)| k);
+        let mut keys: Vec<u32> = Vec::new();
+        let mut vals: Vec<f64> = Vec::new();
+        for (k, v) in self.entries {
+            if keys.last() == Some(&k) {
+                *vals.last_mut().unwrap() += v;
+                // Duplicates may cancel to exactly zero; drop the slot.
+                if *vals.last().unwrap() == 0.0 {
+                    keys.pop();
+                    vals.pop();
+                }
+            } else {
+                keys.push(k);
+                vals.push(v);
+            }
+        }
+        CsrColumn {
+            keys,
+            vals,
+            pending: Vec::new(),
+        }
+    }
+}
+
 /// Per-node storage for one metric column. Indices are node ids of whatever
 /// tree the containing table is attached to (CCT or a view tree).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -47,6 +314,8 @@ pub enum MetricVec {
     Dense(Vec<f64>),
     /// Sparse map from node id to value; zeros are absent.
     Sparse(HashMap<u32, f64>),
+    /// Sorted columnar non-zeros; see [`CsrColumn`].
+    Csr(CsrColumn),
 }
 
 impl MetricVec {
@@ -60,12 +329,18 @@ impl MetricVec {
         MetricVec::Sparse(HashMap::new())
     }
 
+    /// An empty sorted columnar column.
+    pub fn csr() -> Self {
+        MetricVec::Csr(CsrColumn::new())
+    }
+
     /// Value at `node` (0.0 when absent).
     #[inline]
     pub fn get(&self, node: u32) -> f64 {
         match self {
             MetricVec::Dense(v) => v.get(node as usize).copied().unwrap_or(0.0),
             MetricVec::Sparse(m) => m.get(&node).copied().unwrap_or(0.0),
+            MetricVec::Csr(c) => c.get(node),
         }
     }
 
@@ -86,6 +361,7 @@ impl MetricVec {
                     m.insert(node, value);
                 }
             }
+            MetricVec::Csr(c) => c.set(node, value),
         }
     }
 
@@ -105,6 +381,7 @@ impl MetricVec {
             MetricVec::Sparse(m) => {
                 *m.entry(node).or_insert(0.0) += delta;
             }
+            MetricVec::Csr(c) => c.add(node, delta),
         }
     }
 
@@ -113,23 +390,41 @@ impl MetricVec {
         match self {
             MetricVec::Dense(v) => v.iter().filter(|&&x| x != 0.0).count(),
             MetricVec::Sparse(m) => m.values().filter(|&&x| x != 0.0).count(),
+            MetricVec::Csr(_) => self.nonzero_sorted().count(),
         }
     }
 
     /// Non-zero entries in ascending node order (deterministic regardless of
     /// storage flavor).
-    pub fn nonzero_sorted(&self) -> Vec<(u32, f64)> {
-        let mut out: Vec<(u32, f64)> = match self {
-            MetricVec::Dense(v) => v
-                .iter()
-                .enumerate()
-                .filter(|(_, &x)| x != 0.0)
-                .map(|(i, &x)| (i as u32, x))
-                .collect(),
-            MetricVec::Sparse(m) => m.iter().filter(|(_, &x)| x != 0.0).map(|(&k, &v)| (k, v)).collect(),
-        };
-        out.sort_unstable_by_key(|&(k, _)| k);
-        out
+    ///
+    /// Returns a borrowed iterator: the dense and compacted-columnar
+    /// flavors walk their storage in place with no per-call allocation;
+    /// only the hash-indexed flavor (and a columnar store with unmerged
+    /// pending deltas) must materialize a sorted buffer first.
+    pub fn nonzero_sorted(&self) -> NonzeroSorted<'_> {
+        match self {
+            MetricVec::Dense(v) => NonzeroSorted::Dense { v, i: 0 },
+            MetricVec::Sparse(m) => {
+                let mut out: Vec<(u32, f64)> = m
+                    .iter()
+                    .filter(|(_, &x)| x != 0.0)
+                    .map(|(&k, &v)| (k, v))
+                    .collect();
+                out.sort_unstable_by_key(|&(k, _)| k);
+                NonzeroSorted::Owned(out.into_iter())
+            }
+            MetricVec::Csr(c) => {
+                if c.pending.is_empty() {
+                    NonzeroSorted::Csr {
+                        keys: &c.keys,
+                        vals: &c.vals,
+                        i: 0,
+                    }
+                } else {
+                    NonzeroSorted::Owned(c.merged_entries().into_iter())
+                }
+            }
+        }
     }
 
     /// Approximate heap footprint in bytes, for the storage ablation bench.
@@ -137,6 +432,62 @@ impl MetricVec {
         match self {
             MetricVec::Dense(v) => v.capacity() * std::mem::size_of::<f64>(),
             MetricVec::Sparse(m) => m.capacity() * (std::mem::size_of::<(u32, f64)>() + 8),
+            MetricVec::Csr(c) => c.heap_bytes(),
+        }
+    }
+}
+
+/// Borrowed iterator over non-zero `(node, value)` entries in ascending
+/// node order; see [`MetricVec::nonzero_sorted`].
+#[derive(Debug)]
+pub enum NonzeroSorted<'a> {
+    /// Walks a dense vector, skipping zeros.
+    Dense {
+        /// The dense values.
+        v: &'a [f64],
+        /// Next index to inspect.
+        i: usize,
+    },
+    /// Walks a compacted columnar store's parallel arrays.
+    Csr {
+        /// Sorted node ids.
+        keys: &'a [u32],
+        /// Values parallel to `keys`.
+        vals: &'a [f64],
+        /// Next index to inspect.
+        i: usize,
+    },
+    /// A materialized sorted buffer (hash-indexed storage, or a columnar
+    /// store with pending deltas).
+    Owned(std::vec::IntoIter<(u32, f64)>),
+}
+
+impl Iterator for NonzeroSorted<'_> {
+    type Item = (u32, f64);
+
+    fn next(&mut self) -> Option<(u32, f64)> {
+        match self {
+            NonzeroSorted::Dense { v, i } => {
+                while *i < v.len() {
+                    let at = *i;
+                    *i += 1;
+                    if v[at] != 0.0 {
+                        return Some((at as u32, v[at]));
+                    }
+                }
+                None
+            }
+            NonzeroSorted::Csr { keys, vals, i } => {
+                while *i < keys.len() {
+                    let at = *i;
+                    *i += 1;
+                    if vals[at] != 0.0 {
+                        return Some((keys[at], vals[at]));
+                    }
+                }
+                None
+            }
+            NonzeroSorted::Owned(it) => it.next(),
         }
     }
 }
@@ -148,6 +499,19 @@ pub enum StorageKind {
     Dense,
     /// Hash-indexed non-zero entries; memory proportional to samples.
     Sparse,
+    /// Sorted columnar non-zero entries ([`CsrColumn`]); binary-search
+    /// lookups, allocation-free ordered scans, O(nnz) merges. In-memory
+    /// only: the experiment database serializes it as the dense flavor.
+    Csr,
+}
+
+/// Pick the empty column matching a storage flavor.
+fn empty_vec(storage: StorageKind) -> MetricVec {
+    match storage {
+        StorageKind::Dense => MetricVec::dense(0),
+        StorageKind::Sparse => MetricVec::sparse(),
+        StorageKind::Csr => MetricVec::csr(),
+    }
 }
 
 /// Direct (sample-point) costs for every raw metric, attached to a CCT.
@@ -159,6 +523,8 @@ pub struct RawMetrics {
     descs: Vec<MetricDesc>,
     values: Vec<MetricVec>,
     storage: StorageKind,
+    /// Bumped by every mutation; caches key on it ([`RawMetrics::generation`]).
+    generation: u64,
 }
 
 impl RawMetrics {
@@ -168,6 +534,7 @@ impl RawMetrics {
             descs: Vec::new(),
             values: Vec::new(),
             storage,
+            generation: 0,
         }
     }
 
@@ -176,14 +543,23 @@ impl RawMetrics {
         self.storage
     }
 
+    /// Mutation counter: incremented by every operation that can change
+    /// metric values ([`RawMetrics::add_metric`],
+    /// [`RawMetrics::record_samples`], [`RawMetrics::add_cost`],
+    /// [`RawMetrics::add_costs`]). Derived caches — attribution results on
+    /// [`crate::experiment::Experiment`], callers-view per-callee
+    /// aggregates — store the generation they were computed at and
+    /// recompute when it no longer matches.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Register a raw metric, returning its id.
     pub fn add_metric(&mut self, desc: MetricDesc) -> MetricId {
         let id = MetricId::from_usize(self.descs.len());
         self.descs.push(desc);
-        self.values.push(match self.storage {
-            StorageKind::Dense => MetricVec::dense(0),
-            StorageKind::Sparse => MetricVec::sparse(),
-        });
+        self.values.push(empty_vec(self.storage));
+        self.generation += 1;
         id
     }
 
@@ -214,11 +590,34 @@ impl RawMetrics {
     pub fn record_samples(&mut self, m: MetricId, n: crate::ids::NodeId, count: u64) {
         let period = self.descs[m.index()].period;
         self.values[m.index()].add(n.0, count as f64 * period);
+        self.generation += 1;
     }
 
     /// Add a pre-scaled cost at node `n`.
     pub fn add_cost(&mut self, m: MetricId, n: crate::ids::NodeId, cost: f64) {
         self.values[m.index()].add(n.0, cost);
+        self.generation += 1;
+    }
+
+    /// Batched [`RawMetrics::add_cost`]: one generation bump for the whole
+    /// slice and a tight loop over one column, which keeps columnar
+    /// storage on its O(1) append fast path when `costs` is sorted by
+    /// node (the order correlation reductions produce).
+    pub fn add_costs(&mut self, m: MetricId, costs: &[(crate::ids::NodeId, f64)]) {
+        let col = &mut self.values[m.index()];
+        for &(n, v) in costs {
+            col.add(n.0, v);
+        }
+        self.generation += 1;
+    }
+
+    /// Replace the storage of metric `m` with a frozen columnar column
+    /// (used by the parallel correlator's reduction; the metric must use
+    /// [`StorageKind::Csr`]).
+    pub fn install_csr(&mut self, m: MetricId, column: CsrColumn) {
+        debug_assert_eq!(self.storage, StorageKind::Csr);
+        self.values[m.index()] = MetricVec::Csr(column);
+        self.generation += 1;
     }
 
     /// Direct (sample-point) cost of metric `m` at node `n`.
@@ -237,6 +636,10 @@ impl RawMetrics {
         match &self.values[m.index()] {
             MetricVec::Dense(v) => v.iter().sum(),
             MetricVec::Sparse(map) => map.values().sum(),
+            // Pending entries are deltas, so they sum in directly.
+            MetricVec::Csr(c) => {
+                c.vals.iter().sum::<f64>() + c.pending.iter().map(|&(_, d)| d).sum::<f64>()
+            }
         }
     }
 }
@@ -298,10 +701,7 @@ impl ColumnSet {
     pub fn add_column(&mut self, desc: ColumnDesc) -> ColumnId {
         let id = ColumnId::from_usize(self.descs.len());
         self.descs.push(desc);
-        self.values.push(match self.storage {
-            StorageKind::Dense => MetricVec::dense(0),
-            StorageKind::Sparse => MetricVec::sparse(),
-        });
+        self.values.push(empty_vec(self.storage));
         id
     }
 
@@ -377,17 +777,142 @@ mod tests {
     use crate::ids::NodeId;
 
     #[test]
-    fn dense_and_sparse_agree() {
+    fn dense_sparse_and_csr_agree() {
         let mut d = MetricVec::dense(0);
         let mut s = MetricVec::sparse();
+        let mut c = MetricVec::csr();
         for (n, v) in [(3u32, 1.5), (0, 2.0), (3, 0.5), (10, -1.0)] {
             d.add(n, v);
             s.add(n, v);
+            c.add(n, v);
         }
         for n in 0..12 {
             assert_eq!(d.get(n), s.get(n), "node {n}");
+            assert_eq!(d.get(n), c.get(n), "node {n}");
         }
-        assert_eq!(d.nonzero_sorted(), s.nonzero_sorted());
+        let dv: Vec<_> = d.nonzero_sorted().collect();
+        let sv: Vec<_> = s.nonzero_sorted().collect();
+        let cv: Vec<_> = c.nonzero_sorted().collect();
+        assert_eq!(dv, sv);
+        assert_eq!(dv, cv);
+    }
+
+    #[test]
+    fn csr_set_overwrites_and_handles_out_of_order() {
+        let mut c = CsrColumn::new();
+        // Ascending appends stay on the fast path...
+        for n in [1u32, 4, 9] {
+            c.add(n, 1.0);
+        }
+        // ...then an out-of-order burst lands in the overlay.
+        c.add(2, 5.0);
+        c.add(4, -1.0);
+        c.set(9, 7.0);
+        c.set(3, 2.5);
+        c.set(1, 0.0);
+        assert_eq!(c.get(1), 0.0);
+        assert_eq!(c.get(2), 5.0);
+        assert_eq!(c.get(3), 2.5);
+        assert_eq!(c.get(4), 0.0);
+        assert_eq!(c.get(9), 7.0);
+        let mv = MetricVec::Csr(c);
+        let nz: Vec<_> = mv.nonzero_sorted().collect();
+        assert_eq!(nz, vec![(2, 5.0), (3, 2.5), (9, 7.0)]);
+    }
+
+    #[test]
+    fn csr_compaction_preserves_values_past_threshold() {
+        let mut c = CsrColumn::new();
+        let mut expect = std::collections::HashMap::new();
+        // Alternate high/low nodes so every other add is out of order,
+        // forcing several compactions.
+        for i in 0..500u32 {
+            let n = if i % 2 == 0 { i } else { 1000 - i };
+            c.add(n, 1.0 + i as f64);
+            *expect.entry(n).or_insert(0.0) += 1.0 + i as f64;
+        }
+        for (&n, &v) in &expect {
+            assert_eq!(c.get(n), v, "node {n}");
+        }
+        c.compact();
+        assert_eq!(c.nnz(), expect.len());
+    }
+
+    #[test]
+    fn builder_freeze_and_merge_match_scalar_adds() {
+        let mut b0 = ColumnBuilder::new();
+        let mut b1 = ColumnBuilder::new();
+        b0.push(7, 1.0);
+        b0.push(2, 3.0);
+        b0.push(7, 2.0);
+        b1.push(0, 4.0);
+        b1.push(2, -3.0);
+        // Concatenate-then-freeze (the parallel reduction path)...
+        let mut cat = ColumnBuilder::new();
+        cat.append(&mut b0.clone());
+        cat.append(&mut b1.clone());
+        let frozen = cat.freeze();
+        // ...equals freeze-then-merge...
+        let mut merged = b0.freeze();
+        merged.merge(&b1.freeze());
+        // ...equals scalar adds into one column.
+        let mut scalar = CsrColumn::new();
+        for (n, v) in [(7u32, 1.0), (2, 3.0), (7, 2.0), (0, 4.0), (2, -3.0)] {
+            scalar.add(n, v);
+        }
+        scalar.compact();
+        for n in 0..10 {
+            assert_eq!(frozen.get(n), scalar.get(n), "node {n}");
+            assert_eq!(merged.get(n), scalar.get(n), "node {n}");
+        }
+        // The entry at node 2 cancelled exactly; it must not linger.
+        let mut f = frozen;
+        assert_eq!(f.nnz(), 2);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut raw = RawMetrics::new(StorageKind::Csr);
+        let g0 = raw.generation();
+        let m = raw.add_metric(MetricDesc::new("cycles", "cycles", 10.0));
+        assert!(raw.generation() > g0);
+        let g1 = raw.generation();
+        raw.record_samples(m, NodeId(3), 2);
+        assert!(raw.generation() > g1);
+        let g2 = raw.generation();
+        raw.add_cost(m, NodeId(1), 5.0);
+        assert!(raw.generation() > g2);
+        let g3 = raw.generation();
+        raw.add_costs(m, &[(NodeId(2), 1.0), (NodeId(4), 2.0)]);
+        assert!(raw.generation() > g3);
+        assert_eq!(raw.total(m), 28.0);
+        assert_eq!(raw.direct(m, NodeId(3)), 20.0);
+    }
+
+    #[test]
+    fn add_costs_matches_scalar_adds_across_flavors() {
+        let costs: Vec<(NodeId, f64)> =
+            [(0u32, 1.0), (5, 2.0), (3, 4.0), (5, 0.5)]
+                .iter()
+                .map(|&(n, v)| (NodeId(n), v))
+                .collect();
+        for kind in [StorageKind::Dense, StorageKind::Sparse, StorageKind::Csr] {
+            let mut batched = RawMetrics::new(kind);
+            let mb = batched.add_metric(MetricDesc::new("m", "u", 1.0));
+            batched.add_costs(mb, &costs);
+            let mut scalar = RawMetrics::new(kind);
+            let ms = scalar.add_metric(MetricDesc::new("m", "u", 1.0));
+            for &(n, v) in &costs {
+                scalar.add_cost(ms, n, v);
+            }
+            for n in 0..8 {
+                assert_eq!(
+                    batched.direct(mb, NodeId(n)),
+                    scalar.direct(ms, NodeId(n)),
+                    "{kind:?} node {n}"
+                );
+            }
+        }
     }
 
     #[test]

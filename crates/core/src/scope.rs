@@ -91,21 +91,33 @@ impl ScopeKind {
 
     /// Render a human-readable label, e.g. `loop at file1.c:8` or `g`.
     pub fn label(&self, names: &NameTable) -> String {
+        let mut s = String::new();
+        self.write_label(names, &mut s);
+        s
+    }
+
+    /// [`ScopeKind::label`] writing into an existing buffer: the renderer's
+    /// per-row hot path borrows the interned names straight out of the
+    /// name table instead of allocating a fresh `String` per row.
+    pub fn write_label(&self, names: &NameTable, out: &mut String) {
+        use std::fmt::Write as _;
         match self {
-            ScopeKind::Root => "<program root>".to_owned(),
-            ScopeKind::Frame { proc, .. } => names.proc_name(*proc).to_owned(),
+            ScopeKind::Root => out.push_str("<program root>"),
+            ScopeKind::Frame { proc, .. } => out.push_str(names.proc_name(*proc)),
             ScopeKind::InlinedFrame { proc, .. } => {
-                format!("inlined from {}", names.proc_name(*proc))
+                out.push_str("inlined from ");
+                out.push_str(names.proc_name(*proc));
             }
             ScopeKind::Loop { header } => {
-                format!(
+                let _ = write!(
+                    out,
                     "loop at {}:{}",
                     names.file_name(header.file),
                     header.line
-                )
+                );
             }
             ScopeKind::Stmt { loc } => {
-                format!("{}:{}", names.file_name(loc.file), loc.line)
+                let _ = write!(out, "{}:{}", names.file_name(loc.file), loc.line);
             }
         }
     }

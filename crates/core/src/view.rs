@@ -156,10 +156,19 @@ impl<'a> View<'a> {
 
     /// Navigation-pane label of scope `n`.
     pub fn label(&self, n: u32) -> String {
+        let mut s = String::new();
+        self.write_label(n, &mut s);
+        s
+    }
+
+    /// [`View::label`] writing into an existing buffer: renderers reuse
+    /// one buffer per row and borrow interned names directly from the
+    /// experiment's name table.
+    pub fn write_label(&self, n: u32, out: &mut String) {
         match self {
-            View::CallingContext(exp) => exp.cct.kind(NodeId(n)).label(&exp.cct.names),
-            View::Callers { exp, view } => view.tree.label(ViewNodeId(n), &exp.cct.names),
-            View::Flat { exp, view } => view.tree.label(ViewNodeId(n), &exp.cct.names),
+            View::CallingContext(exp) => exp.cct.kind(NodeId(n)).write_label(&exp.cct.names, out),
+            View::Callers { exp, view } => view.tree.write_label(ViewNodeId(n), &exp.cct.names, out),
+            View::Flat { exp, view } => view.tree.write_label(ViewNodeId(n), &exp.cct.names, out),
         }
     }
 

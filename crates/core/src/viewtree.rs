@@ -74,23 +74,38 @@ pub enum ViewScope {
 impl ViewScope {
     /// Human-readable label (procedure/file/module name, `loop at …`, …).
     pub fn label(&self, names: &NameTable) -> String {
+        let mut s = String::new();
+        self.write_label(names, &mut s);
+        s
+    }
+
+    /// [`ViewScope::label`] writing into an existing buffer (the
+    /// renderer's hot path reuses one buffer across rows).
+    pub fn write_label(&self, names: &NameTable, out: &mut String) {
+        use std::fmt::Write as _;
         match self {
             ViewScope::ProcTop { proc } | ViewScope::Procedure { proc } => {
-                names.proc_name(*proc).to_owned()
+                out.push_str(names.proc_name(*proc))
             }
-            ViewScope::Caller { proc, .. } => names.proc_name(*proc).to_owned(),
-            ViewScope::Module { module } => names.module_name(*module).to_owned(),
-            ViewScope::File { file } => names.file_name(*file).to_owned(),
-            ViewScope::Loop { header } => format!(
-                "loop at {}:{}",
-                names.file_name(header.file),
-                header.line
-            ),
-            ViewScope::Stmt { loc } => format!("{}:{}", names.file_name(loc.file), loc.line),
+            ViewScope::Caller { proc, .. } => out.push_str(names.proc_name(*proc)),
+            ViewScope::Module { module } => out.push_str(names.module_name(*module)),
+            ViewScope::File { file } => out.push_str(names.file_name(*file)),
+            ViewScope::Loop { header } => {
+                let _ = write!(
+                    out,
+                    "loop at {}:{}",
+                    names.file_name(header.file),
+                    header.line
+                );
+            }
+            ViewScope::Stmt { loc } => {
+                let _ = write!(out, "{}:{}", names.file_name(loc.file), loc.line);
+            }
             ViewScope::Inlined { callee, .. } => {
-                format!("inlined from {}", names.proc_name(*callee))
+                out.push_str("inlined from ");
+                out.push_str(names.proc_name(*callee));
             }
-            ViewScope::CallSite { callee, .. } => names.proc_name(*callee).to_owned(),
+            ViewScope::CallSite { callee, .. } => out.push_str(names.proc_name(*callee)),
         }
     }
 
@@ -263,6 +278,12 @@ impl ViewTree {
     /// Human-readable label of `n`.
     pub fn label(&self, n: ViewNodeId, names: &NameTable) -> String {
         self.nodes[n.index()].scope.label(names)
+    }
+
+    /// Write node `n`'s label into an existing buffer (allocation-free
+    /// when the label is an interned name).
+    pub fn write_label(&self, n: ViewNodeId, names: &NameTable, out: &mut String) {
+        self.nodes[n.index()].scope.write_label(names, out)
     }
 
     /// Approximate heap footprint, for the lazy-vs-eager ablation bench.

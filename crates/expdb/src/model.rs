@@ -178,7 +178,7 @@ impl DbModel {
                     name: d.name.clone(),
                     unit: d.unit.clone(),
                     period: d.period,
-                    costs: exp.raw.column(m).nonzero_sorted(),
+                    costs: exp.raw.column(m).nonzero_sorted().collect(),
                 }
             })
             .collect();

@@ -1,8 +1,8 @@
 //! SPMD execution harness: N ranks, barrier semantics, idleness
 //! attribution, shared-CCT correlation.
 
-use callpath_core::prelude::{Experiment, NodeId, StorageKind};
-use callpath_prof::{Correlator, PerNodeCosts};
+use callpath_core::prelude::{chunked_map, Experiment, NodeId, StorageKind};
+use callpath_prof::{ParallelCorrelator, PerNodeCosts};
 use callpath_profiler::{
     execute, lower, Counter, ExecConfig, ExecResult, Program, RawProfile,
 };
@@ -87,39 +87,26 @@ pub fn run_spmd(program: &Program, cfg: &SpmdConfig) -> SpmdRun {
     assert!(n_ranks > 0, "need at least one rank");
 
     // --- Phase 1: simulate all ranks (parallel, deterministic results).
-    let mut results: Vec<Option<ExecResult>> = Vec::new();
-    results.resize_with(n_ranks, || None);
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get().min(8))
-            .unwrap_or(4)
-    } else {
-        cfg.threads
-    };
-    {
-        let chunk = n_ranks.div_ceil(threads).max(1);
-        let binary = &binary;
-        crossbeam::thread::scope(|s| {
-            for (ci, batch) in results.chunks_mut(chunk).enumerate() {
-                s.spawn(move |_| {
-                    for (i, out) in batch.iter_mut().enumerate() {
-                        let rank = ci * chunk + i;
-                        let rank_cfg = ExecConfig {
-                            work_scale: cfg.scales[rank],
-                            jitter_seed: cfg
-                                .exec
-                                .jitter_seed
-                                .map(|sd| sd.wrapping_add(rank as u64)),
-                            ..cfg.exec.clone()
-                        };
-                        *out = Some(execute(binary, &rank_cfg).expect("rank execution failed"));
-                    }
-                });
-            }
-        })
-        .expect("rank simulation threads panicked");
-    }
-    let mut results: Vec<ExecResult> = results.into_iter().map(|r| r.unwrap()).collect();
+    let ranks: Vec<usize> = (0..n_ranks).collect();
+    let mut results: Vec<ExecResult> = chunked_map(&ranks, cfg.threads, |_ci, batch| {
+        batch
+            .iter()
+            .map(|&rank| {
+                let rank_cfg = ExecConfig {
+                    work_scale: cfg.scales[rank],
+                    jitter_seed: cfg
+                        .exec
+                        .jitter_seed
+                        .map(|sd| sd.wrapping_add(rank as u64)),
+                    ..cfg.exec.clone()
+                };
+                execute(&binary, &rank_cfg).expect("rank execution failed")
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     // --- Phases 2+3: barrier wall-clock reconciliation and idleness
     // injection. A rank's virtual clock only counts its own work, but
@@ -160,21 +147,18 @@ pub fn run_spmd(program: &Program, cfg: &SpmdConfig) -> SpmdRun {
         }
     }
 
-    // --- Phase 4: correlate every rank into one canonical CCT.
+    // --- Phase 4: correlate every rank into one canonical CCT. The
+    // sharded correlator's deterministic journal replay produces the
+    // same experiment — node ids included — as a sequential `add` loop.
     let structure = recover(&binary).expect("structure recovery failed");
     let mut periods = cfg.exec.periods;
     periods[Counter::Idleness as usize] = 1; // injected as raw cycles
-    let mut corr = Correlator::new(&structure, periods);
-    let mut rank_direct = Vec::with_capacity(if cfg.keep_rank_data { n_ranks } else { 0 });
-    let mut rank_cycles = Vec::with_capacity(n_ranks);
-    for res in &results {
-        let costs = corr.add(&res.profile);
-        if cfg.keep_rank_data {
-            rank_direct.push(costs);
-        }
-        rank_cycles.push(res.totals[Counter::Cycles]);
-    }
-    let experiment = corr.finish(StorageKind::Dense);
+    let rank_cycles: Vec<u64> = results.iter().map(|r| r.totals[Counter::Cycles]).collect();
+    let profiles: Vec<RawProfile> = results.into_iter().map(|r| r.profile).collect();
+    let (experiment, costs) = ParallelCorrelator::new(&structure, periods)
+        .with_threads(cfg.threads)
+        .correlate(&profiles, StorageKind::Dense);
+    let rank_direct = if cfg.keep_rank_data { costs } else { Vec::new() };
 
     SpmdRun {
         experiment,

@@ -57,18 +57,9 @@ impl Summaries {
     }
 }
 
-/// Map a rank's sparse direct costs to per-node inclusive values and fold
-/// them into `into`.
-fn fold_rank(
-    exp: &Experiment,
-    counters: &[Counter],
-    costs: &PerNodeCosts,
-    into: &mut [Welford],
-) {
-    let n_metrics = counters.len();
-    // Build a temporary RawMetrics carrying this rank's direct costs, then
-    // attribute inclusives. Dense storage: one f64 per node per metric,
-    // freed right after.
+/// Build a temporary [`RawMetrics`] carrying one rank's direct costs.
+/// Dense storage: one f64 per node per metric, freed right after use.
+fn rank_raw(counters: &[Counter], costs: &PerNodeCosts) -> (RawMetrics, Vec<MetricId>) {
     let mut raw = RawMetrics::new(StorageKind::Dense);
     let ids: Vec<MetricId> = counters
         .iter()
@@ -82,12 +73,35 @@ fn fold_rank(
             }
         }
     }
+    (raw, ids)
+}
+
+/// Map a rank's sparse direct costs to per-node inclusive values and fold
+/// them into `into`.
+fn fold_rank(
+    exp: &Experiment,
+    counters: &[Counter],
+    costs: &PerNodeCosts,
+    into: &mut [Welford],
+) {
+    let n_metrics = counters.len();
+    let (raw, ids) = rank_raw(counters, costs);
     for (mi, &id) in ids.iter().enumerate() {
         let attr = attribute(&exp.cct, &raw, id, StorageKind::Dense);
         for n in exp.cct.all_nodes() {
             into[n.index() * n_metrics + mi].push(attr.inclusive.get(n.0));
         }
     }
+}
+
+/// Merge two equally-sized partial accumulator vectors element-wise
+/// (the associative reduction both summarizers hand to
+/// [`chunked_reduce`]).
+fn merge_partials(mut a: Vec<Welford>, b: Vec<Welford>) -> Vec<Welford> {
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        x.merge(y);
+    }
+    a
 }
 
 /// Summarize per-rank inclusive values over the shared CCT.
@@ -104,35 +118,19 @@ pub fn summarize_ranks(
 ) -> Summaries {
     let n_metrics = counters.len();
     let n_nodes = exp.cct.len();
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get().min(8))
-            .unwrap_or(4)
-    } else {
-        threads
-    };
-    let chunk = rank_costs.len().div_ceil(threads).max(1);
-    let partials: Vec<Vec<Welford>> = crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for batch in rank_costs.chunks(chunk) {
-            handles.push(s.spawn(move |_| {
-                let mut acc = vec![Welford::new(); n_nodes * n_metrics];
-                for costs in batch {
-                    fold_rank(exp, counters, costs, &mut acc);
-                }
-                acc
-            }));
-        }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("summarization threads panicked");
-
-    let mut stats = vec![Welford::new(); n_nodes * n_metrics];
-    for p in partials {
-        for (a, b) in stats.iter_mut().zip(p.iter()) {
-            a.merge(b);
-        }
-    }
+    let stats = chunked_reduce(
+        rank_costs,
+        threads,
+        |_ci, batch| {
+            let mut acc = vec![Welford::new(); n_nodes * n_metrics];
+            for costs in batch {
+                fold_rank(exp, counters, costs, &mut acc);
+            }
+            acc
+        },
+        merge_partials,
+    )
+    .unwrap_or_else(|| vec![Welford::new(); n_nodes * n_metrics]);
     Summaries { stats, n_metrics }
 }
 
@@ -247,57 +245,28 @@ pub fn summarize_view_nodes(
         .map(|i| exposed(&exp.cct, tree.instances(callpath_core::prelude::ViewNodeId(i))))
         .collect();
 
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get().min(8))
-            .unwrap_or(4)
-    } else {
-        threads
-    };
-    let chunk = rank_costs.len().div_ceil(threads).max(1);
-    let partials: Vec<Vec<Welford>> = crossbeam::thread::scope(|s| {
-        let keep = &keep;
-        let mut handles = Vec::new();
-        for batch in rank_costs.chunks(chunk) {
-            handles.push(s.spawn(move |_| {
-                let mut acc = vec![Welford::new(); n_nodes * n_metrics];
-                for costs in batch {
-                    // Per-rank inclusive values on the CCT, then view-node
-                    // aggregation via the exposed sets.
-                    let mut raw = RawMetrics::new(StorageKind::Dense);
-                    let ids: Vec<MetricId> = counters
-                        .iter()
-                        .map(|c| raw.add_metric(MetricDesc::new(c.papi_name(), c.unit(), 1.0)))
-                        .collect();
-                    for (node, per_counter) in costs {
-                        for (mi, &c) in counters.iter().enumerate() {
-                            let v = per_counter[c as usize];
-                            if v != 0.0 {
-                                raw.add_cost(ids[mi], *node, v);
-                            }
-                        }
-                    }
-                    for (mi, &id) in ids.iter().enumerate() {
-                        let attr = attribute(&exp.cct, &raw, id, StorageKind::Dense);
-                        for (vi, set) in keep.iter().enumerate() {
-                            let v: f64 = set.iter().map(|n| attr.inclusive.get(n.0)).sum();
-                            acc[vi * n_metrics + mi].push(v);
-                        }
+    let stats = chunked_reduce(
+        rank_costs,
+        threads,
+        |_ci, batch| {
+            let mut acc = vec![Welford::new(); n_nodes * n_metrics];
+            for costs in batch {
+                // Per-rank inclusive values on the CCT, then view-node
+                // aggregation via the exposed sets.
+                let (raw, ids) = rank_raw(counters, costs);
+                for (mi, &id) in ids.iter().enumerate() {
+                    let attr = attribute(&exp.cct, &raw, id, StorageKind::Dense);
+                    for (vi, set) in keep.iter().enumerate() {
+                        let v: f64 = set.iter().map(|n| attr.inclusive.get(n.0)).sum();
+                        acc[vi * n_metrics + mi].push(v);
                     }
                 }
-                acc
-            }));
-        }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("view summarization threads panicked");
-
-    let mut stats = vec![Welford::new(); n_nodes * n_metrics];
-    for p in partials {
-        for (a, b) in stats.iter_mut().zip(p.iter()) {
-            a.merge(b);
-        }
-    }
+            }
+            acc
+        },
+        merge_partials,
+    )
+    .unwrap_or_else(|| vec![Welford::new(); n_nodes * n_metrics]);
     Summaries { stats, n_metrics }
 }
 

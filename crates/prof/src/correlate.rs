@@ -13,7 +13,7 @@ pub type PerNodeCosts = Vec<(NodeId, [f64; Counter::COUNT])>;
 /// profile added to it.
 pub struct Correlator<'s> {
     structure: &'s Structure,
-    cct: Cct,
+    pub(crate) cct: Cct,
     /// Per-procedure load module (library routines get their own).
     proc_modules: Vec<LoadModuleId>,
     files: Vec<FileId>,
@@ -23,7 +23,12 @@ pub struct Correlator<'s> {
     /// Accumulated direct costs over all profiles added so far, keyed by
     /// CCT node (hash map: rank counts × profile sizes make linear scans
     /// quadratic).
-    totals: std::collections::HashMap<NodeId, [f64; Counter::COUNT]>,
+    pub(crate) totals: std::collections::HashMap<NodeId, [f64; Counter::COUNT]>,
+    /// When enabled, the ordered `(parent, child)` pairs of every
+    /// `find_or_add_child` call — the visit log a parallel reduction
+    /// replays to reproduce this correlator's node ids exactly
+    /// (see `crate::parallel`).
+    pub(crate) journal: Option<Vec<(NodeId, NodeId)>>,
 }
 
 impl<'s> Correlator<'s> {
@@ -44,6 +49,20 @@ impl<'s> Correlator<'s> {
                 None => main_module,
             })
             .collect();
+        // Pre-intern inlined callee names in deterministic structure
+        // order. Interning them lazily during the walk (as descend_static
+        // once did) would assign ids in visit order, which differs between
+        // profiles — every correlator over the same structure must build
+        // the identical name table or the parallel shards of
+        // `crate::parallel::ParallelCorrelator` could not share scope
+        // kinds by value.
+        for p in &structure.procs {
+            for node in &p.nodes {
+                if let Scope::Inline { callee_name, .. } = &node.scope {
+                    names.proc(callee_name);
+                }
+            }
+        }
         Correlator {
             structure,
             cct: Cct::new(names),
@@ -52,6 +71,34 @@ impl<'s> Correlator<'s> {
             procs,
             periods,
             totals: std::collections::HashMap::new(),
+            journal: None,
+        }
+    }
+
+    /// A correlator that additionally records its visit log, for use as a
+    /// worker shard of the parallel reduction.
+    pub(crate) fn with_journal(structure: &'s Structure, periods: [u64; Counter::COUNT]) -> Self {
+        let mut c = Self::new(structure, periods);
+        c.journal = Some(Vec::new());
+        c
+    }
+
+    /// `find_or_add_child` plus journaling.
+    fn touch(&mut self, parent: NodeId, kind: ScopeKind) -> NodeId {
+        let child = self.cct.find_or_add_child(parent, kind);
+        if let Some(j) = &mut self.journal {
+            j.push((parent, child));
+        }
+        child
+    }
+
+    /// Fold pre-converted per-node costs into the running totals.
+    pub(crate) fn fold_costs(&mut self, costs: &PerNodeCosts) {
+        for &(n, cs) in costs {
+            let t = self.totals.entry(n).or_insert([0.0; Counter::COUNT]);
+            for i in 0..Counter::COUNT {
+                t[i] += cs[i];
+            }
         }
     }
 
@@ -65,12 +112,7 @@ impl<'s> Correlator<'s> {
     pub fn add(&mut self, profile: &RawProfile) -> PerNodeCosts {
         let mut out: PerNodeCosts = Vec::new();
         self.walk(profile, profile.root(), self.cct.root(), &mut out);
-        for &(n, costs) in &out {
-            let t = self.totals.entry(n).or_insert([0.0; Counter::COUNT]);
-            for i in 0..Counter::COUNT {
-                t[i] += costs[i];
-            }
-        }
+        self.fold_costs(&out);
         out
     }
 
@@ -110,7 +152,7 @@ impl<'s> Correlator<'s> {
                 ),
                 call_site,
             };
-            let frame_node = self.cct.find_or_add_child(anchor, frame_kind);
+            let frame_node = self.touch(anchor, frame_kind);
             self.walk(profile, child, frame_node, out);
         }
         // Map leaves: samples recorded at instructions within this frame.
@@ -128,7 +170,7 @@ impl<'s> Correlator<'s> {
             }
             let anchor = self.descend_static(cct_parent, addr);
             let loc = self.structure.line_of(addr);
-            let stmt = self.cct.find_or_add_child(
+            let stmt = self.touch(
                 anchor,
                 ScopeKind::Stmt {
                     loc: SourceLoc::new(self.files[loc.file], loc.line),
@@ -166,7 +208,7 @@ impl<'s> Correlator<'s> {
                     }
                 }
             };
-            cur = self.cct.find_or_add_child(cur, kind);
+            cur = self.touch(cur, kind);
         }
         cur
     }
@@ -211,17 +253,20 @@ impl<'s> Correlator<'s> {
                 ))
             })
             .collect();
-        // Deterministic insertion independent of hash order.
+        // Deterministic insertion independent of hash order; the batched
+        // per-metric write walks nodes ascending, which is the columnar
+        // store's append fast path.
         let mut totals: Vec<(NodeId, [f64; Counter::COUNT])> =
             self.totals.into_iter().collect();
         totals.sort_unstable_by_key(|(n, _)| *n);
-        for (node, costs) in totals {
-            for (mi, &c) in active.iter().enumerate() {
+        let mut batch: Vec<(NodeId, f64)> = Vec::with_capacity(totals.len());
+        for (mi, &c) in active.iter().enumerate() {
+            batch.clear();
+            batch.extend(totals.iter().filter_map(|&(node, costs)| {
                 let v = costs[c as usize];
-                if v != 0.0 {
-                    raw.add_cost(metric_ids[mi], node, v);
-                }
-            }
+                (v != 0.0).then_some((node, v))
+            }));
+            raw.add_costs(metric_ids[mi], &batch);
         }
         Experiment::build(self.cct, raw, storage)
     }

@@ -16,9 +16,15 @@
 //! profile so `callpath-parallel` can compute per-rank statistics, and
 //! [`Correlator::finish`] produces the aggregated
 //! [`Experiment`](callpath_core::experiment::Experiment).
+//!
+//! For many ranks, [`ParallelCorrelator`] shards the profiles across
+//! worker threads and merges the shard CCTs with a deterministic replay
+//! that reproduces the sequential correlator's node ids exactly.
 
 pub mod correlate;
 pub mod object_view;
+pub mod parallel;
 
 pub use correlate::{correlate, Correlator, PerNodeCosts};
 pub use object_view::{object_view, render_object_view, ObjectLine, ObjectView};
+pub use parallel::ParallelCorrelator;

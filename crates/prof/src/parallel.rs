@@ -1,0 +1,213 @@
+//! Parallel profile ingestion: shard N rank profiles across worker
+//! threads, correlate each shard against its own local CCT, then merge
+//! the shards with a deterministic replay so the canonical CCT — node
+//! ids included — is **identical to what the sequential [`Correlator`]
+//! produces**.
+//!
+//! ## Why the result is byte-identical
+//!
+//! The sequential correlator's node ids are determined entirely by the
+//! order of its `find_or_add_child` calls: walking rank 0's profile,
+//! then rank 1's, and so on, each walk visiting frames and static
+//! scopes in a fixed DFS order that depends only on the profile, the
+//! structure, and the interned name ids. Three properties make the
+//! parallel path replayable:
+//!
+//! 1. **Shared interned name table.** Every correlator over the same
+//!    structure builds the identical name table, because
+//!    [`Correlator::new`] interns all names — including inlined callee
+//!    names — in deterministic structure order before any profile is
+//!    walked. Scope kinds therefore compare equal across shards by
+//!    value.
+//! 2. **Visit journals.** Each worker correlates a *contiguous* run of
+//!    ranks (chunk 0 = ranks `0..k`, chunk 1 the next run, ...) while
+//!    recording its ordered `(parent, child)` `find_or_add_child`
+//!    calls. A shard's journal is exactly the call sequence the
+//!    sequential correlator would issue for those ranks.
+//! 3. **Rank-order reduction.** The reduction replays the journals
+//!    against a fresh canonical correlator in ascending chunk order.
+//!    The canonical tree therefore receives the same
+//!    `find_or_add_child` sequence as the sequential path, and
+//!    first-appearance child ordering does the rest: identical arena,
+//!    identical ids.
+//!
+//! Per-rank direct costs come back in shard-local node ids and are
+//! remapped through the replay's local→canonical table before being
+//! folded into the canonical totals, so [`ParallelCorrelator::correlate`]
+//! returns the same `(Experiment, Vec<PerNodeCosts>)` a sequential
+//! `add` loop plus `finish` would.
+
+use crate::correlate::{Correlator, PerNodeCosts};
+use callpath_core::prelude::*;
+use callpath_profiler::{Counter, RawProfile};
+use callpath_structure::Structure;
+
+/// One worker's output: the shard-local CCT, the visit journal that
+/// rebuilds it, and each rank's direct costs in shard-local node ids.
+struct Shard {
+    cct: Cct,
+    journal: Vec<(NodeId, NodeId)>,
+    per_rank: Vec<PerNodeCosts>,
+}
+
+/// Sharded, deterministic parallel replacement for feeding N profiles
+/// through one [`Correlator`].
+pub struct ParallelCorrelator<'s> {
+    structure: &'s Structure,
+    periods: [u64; Counter::COUNT],
+    threads: usize,
+}
+
+impl<'s> ParallelCorrelator<'s> {
+    /// A parallel correlator choosing its worker count automatically.
+    /// `periods` has the same meaning as for [`Correlator::new`].
+    pub fn new(structure: &'s Structure, periods: [u64; Counter::COUNT]) -> Self {
+        ParallelCorrelator {
+            structure,
+            periods,
+            threads: 0,
+        }
+    }
+
+    /// Use exactly `threads` workers (0 = automatic).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Correlate every profile (rank r = `profiles[r]`) and build the
+    /// experiment. Returns the experiment plus each rank's direct
+    /// per-node costs in canonical node ids — the same pair of results
+    /// the sequential path produces, in the same order.
+    pub fn correlate(
+        &self,
+        profiles: &[RawProfile],
+        storage: StorageKind,
+    ) -> (Experiment, Vec<PerNodeCosts>) {
+        // Fan out: contiguous rank chunks, one journaling correlator per
+        // worker. chunked_map returns shards in ascending rank order.
+        let shards: Vec<Shard> = chunked_map(profiles, self.threads, |_ci, batch| {
+            let mut corr = Correlator::with_journal(self.structure, self.periods);
+            let per_rank: Vec<PerNodeCosts> = batch.iter().map(|p| corr.add(p)).collect();
+            Shard {
+                journal: corr.journal.take().unwrap_or_default(),
+                cct: corr.cct,
+                per_rank,
+            }
+        });
+
+        // Reduce: replay each shard's journal against the canonical
+        // correlator in rank order, then fold its costs through the
+        // local→canonical remap.
+        let mut canon = Correlator::new(self.structure, self.periods);
+        let mut out: Vec<PerNodeCosts> = Vec::with_capacity(profiles.len());
+        for shard in shards {
+            let mut remap: Vec<NodeId> = vec![NodeId(u32::MAX); shard.cct.len()];
+            remap[shard.cct.root().index()] = canon.cct.root();
+            for &(parent, child) in &shard.journal {
+                let kind = shard.cct.kind(child).clone();
+                let canon_parent = remap[parent.index()];
+                debug_assert_ne!(canon_parent.0, u32::MAX, "journal references unseen parent");
+                remap[child.index()] = canon.cct.find_or_add_child(canon_parent, kind);
+            }
+            for costs in shard.per_rank {
+                let mapped: PerNodeCosts = costs
+                    .into_iter()
+                    .map(|(n, cs)| (remap[n.index()], cs))
+                    .collect();
+                canon.fold_costs(&mapped);
+                out.push(mapped);
+            }
+        }
+        (canon.finish(storage), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use callpath_profiler::{execute, lower, Costs, ExecConfig, Op, ProgramBuilder};
+    use callpath_structure::recover;
+
+    fn profiles_for(n_ranks: usize) -> (callpath_structure::Structure, Vec<RawProfile>, ExecConfig) {
+        let mut b = ProgramBuilder::new("app");
+        let f = b.file("a.c");
+        let lib = b.file("lib.h");
+        let helper = b.declare("helper", lib, 50);
+        let work = b.declare("work", f, 10);
+        let main = b.declare("main", f, 1);
+        b.body(helper, vec![Op::work(51, Costs::cycles(4_000))]);
+        b.body(
+            work,
+            vec![
+                Op::looped(11, 8, vec![Op::work(12, Costs::cycles(2_000))]),
+                Op::call_inline(14, helper),
+            ],
+        );
+        b.body(main, vec![Op::call(2, work), Op::call_recursive(3, main, 2)]);
+        b.entry(main);
+        let bin = lower(&b.build());
+        let cfg = ExecConfig {
+            jitter_seed: Some(11),
+            ..ExecConfig::single(Counter::Cycles, 509)
+        };
+        let profiles: Vec<RawProfile> = (0..n_ranks)
+            .map(|r| {
+                let rank_cfg = ExecConfig {
+                    work_scale: 1.0 + r as f64 * 0.3,
+                    jitter_seed: Some(11 + r as u64),
+                    ..cfg.clone()
+                };
+                execute(&bin, &rank_cfg).unwrap().profile
+            })
+            .collect();
+        (recover(&bin).unwrap(), profiles, cfg)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let (structure, profiles, cfg) = profiles_for(9);
+        let mut seq = Correlator::new(&structure, cfg.periods);
+        let seq_costs: Vec<PerNodeCosts> =
+            profiles.iter().map(|p| seq.add(p)).collect();
+        let seq_exp = seq.finish(StorageKind::Dense);
+
+        for threads in [1, 2, 4, 8] {
+            let (par_exp, par_costs) = ParallelCorrelator::new(&structure, cfg.periods)
+                .with_threads(threads)
+                .correlate(&profiles, StorageKind::Dense);
+            assert_eq!(par_exp.cct.len(), seq_exp.cct.len(), "threads={threads}");
+            for n in par_exp.cct.all_nodes() {
+                assert_eq!(
+                    par_exp.cct.kind(n),
+                    seq_exp.cct.kind(n),
+                    "threads={threads} node {n:?}"
+                );
+                assert_eq!(par_exp.cct.parent(n), seq_exp.cct.parent(n));
+            }
+            assert_eq!(par_costs, seq_costs, "threads={threads}");
+            for c in seq_exp.columns.columns() {
+                let a: Vec<(u32, f64)> = seq_exp.columns.vec(c).nonzero_sorted().collect();
+                let b: Vec<(u32, f64)> = par_exp.columns.vec(c).nonzero_sorted().collect();
+                assert_eq!(a, b, "threads={threads} column {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_storage_round_trips_through_parallel_ingestion() {
+        let (structure, profiles, cfg) = profiles_for(5);
+        let (dense, _) = ParallelCorrelator::new(&structure, cfg.periods)
+            .with_threads(2)
+            .correlate(&profiles, StorageKind::Dense);
+        let (csr, _) = ParallelCorrelator::new(&structure, cfg.periods)
+            .with_threads(2)
+            .correlate(&profiles, StorageKind::Csr);
+        assert_eq!(csr.storage(), StorageKind::Csr);
+        for c in dense.columns.columns() {
+            let a: Vec<(u32, f64)> = dense.columns.vec(c).nonzero_sorted().collect();
+            let b: Vec<(u32, f64)> = csr.columns.vec(c).nonzero_sorted().collect();
+            assert_eq!(a, b, "column {c:?}");
+        }
+    }
+}

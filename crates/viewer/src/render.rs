@@ -71,6 +71,12 @@ struct Renderer<'v, 'e> {
     aggregates: Vec<f64>,
     out: String,
     hot: Vec<u32>,
+    // Scratch buffers reused across rows: the row loop is the renderer's
+    // hot path, and per-row `format!`/label clones dominated it before.
+    // Labels are written straight out of the interned name table.
+    label_buf: String,
+    cells_buf: String,
+    cell_buf: String,
 }
 
 impl Renderer<'_, '_> {
@@ -101,58 +107,74 @@ impl Renderer<'_, '_> {
         self.out.push('\n');
     }
 
-    fn metric_cells(&self, n: u32) -> String {
-        let mut s = String::new();
+    /// Fill `cells_buf` with `n`'s metric cells, each right-aligned to 18
+    /// display characters, without allocating.
+    fn write_cells(&mut self, n: u32) {
+        self.cells_buf.clear();
         for (i, &c) in self.cols.iter().enumerate() {
             let v = self.view.value(c, n);
-            let cell = if self.cfg.show_percent {
-                format::metric_with_percent(v, self.aggregates[i])
+            self.cell_buf.clear();
+            if self.cfg.show_percent {
+                format::write_metric_with_percent(v, self.aggregates[i], &mut self.cell_buf);
             } else {
-                format::metric_value(v)
-            };
-            s.push_str(&std::format!(" {cell:>18}"));
+                format::write_metric_value(v, &mut self.cell_buf);
+            }
+            self.cells_buf.push(' ');
+            for _ in self.cell_buf.chars().count()..18 {
+                self.cells_buf.push(' ');
+            }
+            self.cells_buf.push_str(&self.cell_buf);
         }
-        s
+    }
+
+    /// Emit one `indent label    cells` row for `n` straight into `out`.
+    fn emit_row(&mut self, n: u32, depth: usize, flame: bool, mark_no_source: bool) {
+        self.label_buf.clear();
+        if flame {
+            self.label_buf.push_str(HOT_ICON);
+        }
+        if self.view.is_call(n) && self.cfg.fused {
+            self.label_buf.push_str(CALL_ICON);
+        }
+        self.view.write_label(n, &mut self.label_buf);
+        if mark_no_source && !self.view.has_source(n) {
+            self.label_buf.push_str(NO_SOURCE_MARK);
+        }
+        let width = self.cfg.label_width.saturating_sub(2 * depth);
+        self.write_cells(n);
+        for _ in 0..depth {
+            self.out.push_str("  ");
+        }
+        format::write_fit(&self.label_buf, width, &mut self.out);
+        self.out.push_str("    ");
+        self.out.push_str(self.cells_buf.trim_end());
+        self.out.push('\n');
     }
 
     fn node(&mut self, n: u32, depth: usize, remaining: usize) {
         if depth >= self.cfg.max_depth {
             return;
         }
-        let is_call = self.view.is_call(n);
-        if !self.cfg.fused && is_call {
+        if !self.cfg.fused && self.view.is_call(n) {
             // Separate-lines mode: the call site gets its own row.
             if let Some(cs) = self.view.call_site(n) {
+                use std::fmt::Write as _;
+                self.label_buf.clear();
                 let names = &self.view.experiment().cct.names;
-                let label = std::format!(
+                let _ = write!(
+                    self.label_buf,
                     "call at {}:{}",
                     names.file_name(cs.file),
                     cs.line
                 );
-                let indent = "  ".repeat(depth);
-                self.out.push_str(&std::format!(
-                    "{}{}\n",
-                    indent,
-                    format::fit(&label, self.cfg.label_width)
-                ));
+                for _ in 0..depth {
+                    self.out.push_str("  ");
+                }
+                format::write_fit(&self.label_buf, self.cfg.label_width, &mut self.out);
+                self.out.push('\n');
             }
         }
-        let indent = "  ".repeat(depth);
-        let mut label = String::new();
-        if self.hot.contains(&n) {
-            label.push_str(HOT_ICON);
-        }
-        if is_call && self.cfg.fused {
-            label.push_str(CALL_ICON);
-        }
-        label.push_str(&self.view.label(n));
-        if !self.view.has_source(n) {
-            label.push_str(NO_SOURCE_MARK);
-        }
-        let width = self.cfg.label_width.saturating_sub(indent.chars().count());
-        let cells = self.metric_cells(n);
-        self.out
-            .push_str(&std::format!("{}{}    {}\n", indent, format::fit(&label, width), cells.trim_end()));
+        self.emit_row(n, depth, self.hot.contains(&n), true);
 
         if remaining == 0 {
             return;
@@ -173,7 +195,8 @@ impl Renderer<'_, '_> {
 
     fn sort_nodes(&mut self, nodes: &mut [u32]) {
         if self.cfg.sort_by_name {
-            nodes.sort_by_key(|&n| self.view.label(n));
+            // Cached keys: one label per node instead of one per comparison.
+            nodes.sort_by_cached_key(|&n| self.view.label(n));
         } else if let Some(c) = self.cfg.sort {
             sort_by_column(self.view, nodes, c);
         }
@@ -222,6 +245,9 @@ fn make_renderer<'v, 'e>(view: &'v mut View<'e>, cfg: &RenderConfig) -> Renderer
         aggregates,
         out: String::new(),
         hot: Vec::new(),
+        label_buf: String::new(),
+        cells_buf: String::new(),
+        cell_buf: String::new(),
     }
 }
 
@@ -265,19 +291,7 @@ pub fn render_hot_path(
     for (depth, &n) in path.iter().enumerate() {
         // Render the path node, then (unless it continues) stop.
         let is_last = depth + 1 == path.len();
-        let indent = "  ".repeat(depth);
-        let mut label = String::from(HOT_ICON);
-        if r.view.is_call(n) && r.cfg.fused {
-            label.push_str(CALL_ICON);
-        }
-        label.push_str(&r.view.label(n));
-        if !r.view.has_source(n) {
-            label.push_str(NO_SOURCE_MARK);
-        }
-        let width = r.cfg.label_width.saturating_sub(indent.chars().count());
-        let cells = r.metric_cells(n);
-        r.out
-            .push_str(&std::format!("{}{}    {}\n", indent, format::fit(&label, width), cells.trim_end()));
+        r.emit_row(n, depth, true, true);
         if is_last {
             // Show where the path went cold: the children that each fell
             // below the threshold.
@@ -286,20 +300,7 @@ pub fn render_hot_path(
                 sort_by_column(r.view, &mut kids, c);
             }
             for k in kids.into_iter().take(r.cfg.max_children.min(5)) {
-                let indent = "  ".repeat(depth + 1);
-                let mut label = String::new();
-                if r.view.is_call(k) && r.cfg.fused {
-                    label.push_str(CALL_ICON);
-                }
-                label.push_str(&r.view.label(k));
-                let width = r.cfg.label_width.saturating_sub(indent.chars().count());
-                let cells = r.metric_cells(k);
-                r.out.push_str(&std::format!(
-                    "{}{}    {}\n",
-                    indent,
-                    format::fit(&label, width),
-                    cells.trim_end()
-                ));
+                r.emit_row(k, depth + 1, false, false);
             }
         }
     }

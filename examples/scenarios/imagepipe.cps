@@ -22,7 +22,7 @@ end
 
 proc sharpen @ filters.c:40
   loop @ 42 trips=256
-    compute @ 43 flops=3000 eff=0.35
+    compute @ 43 flops=3000 eff=0.3
   end
 end
 

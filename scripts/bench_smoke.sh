@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# Perf smoke: 64-rank ingestion under a wall-clock budget, in release
+# mode. Writes BENCH_ingestion_smoke.json at the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+cargo test --release --test perf_smoke -- --ignored --nocapture

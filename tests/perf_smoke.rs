@@ -1,0 +1,101 @@
+//! Perf smoke test (run via `scripts/bench_smoke.sh`): ingest a 64-rank
+//! workload sequentially and in parallel, assert the wall-clock stays
+//! within budget, and emit a JSON perf record (`BENCH_ingestion_smoke.json`)
+//! so regressions show up as diffs rather than vibes.
+//!
+//! `#[ignore]`d by default: timing assertions belong in release builds on
+//! a quiet machine, not in every `cargo test` run.
+
+use callpath_core::prelude::*;
+use callpath_prof::{Correlator, ParallelCorrelator};
+use callpath_profiler::{execute, lower, Counter, ExecConfig, RawProfile};
+use callpath_workloads::generator::{random_program, GenConfig};
+use std::time::{Duration, Instant};
+
+const N_RANKS: usize = 64;
+/// Generous ceiling: the run takes well under a second in release mode;
+/// the assertion exists to catch order-of-magnitude regressions, not
+/// scheduler noise.
+const WALL_CLOCK_BUDGET: Duration = Duration::from_secs(60);
+
+fn workload() -> (callpath_structure::Structure, Vec<RawProfile>, ExecConfig) {
+    let program = random_program(GenConfig {
+        seed: 20100913, // ICPP 2010 week, why not
+        n_procs: 100,
+        calls_per_proc: 3,
+        loop_probability: 0.3,
+        work_cycles: 20_000,
+    });
+    let bin = lower(&program);
+    let base = ExecConfig::single(Counter::Cycles, 251);
+    let profiles = (0..N_RANKS)
+        .map(|r| {
+            let cfg = ExecConfig {
+                work_scale: 1.0 + (r % 8) as f64 * 0.25,
+                jitter_seed: Some(3 + r as u64),
+                ..base.clone()
+            };
+            execute(&bin, &cfg).unwrap().profile
+        })
+        .collect();
+    (callpath_structure::recover(&bin).unwrap(), profiles, base)
+}
+
+#[test]
+#[ignore = "wall-clock smoke test; run via scripts/bench_smoke.sh"]
+fn sixty_four_rank_ingestion_smoke() {
+    let setup_start = Instant::now();
+    let (structure, profiles, cfg) = workload();
+    let setup = setup_start.elapsed();
+
+    let t = Instant::now();
+    let mut corr = Correlator::new(&structure, cfg.periods);
+    for p in &profiles {
+        corr.add(p);
+    }
+    let seq_exp = corr.finish(StorageKind::Dense);
+    let sequential = t.elapsed();
+
+    let t = Instant::now();
+    let (par_exp, _) = ParallelCorrelator::new(&structure, cfg.periods)
+        .with_threads(0)
+        .correlate(&profiles, StorageKind::Csr);
+    let parallel = t.elapsed();
+
+    assert_eq!(seq_exp.cct.len(), par_exp.cct.len());
+    assert!(
+        parallel < WALL_CLOCK_BUDGET,
+        "64-rank parallel ingestion took {parallel:?}, budget {WALL_CLOCK_BUDGET:?}"
+    );
+
+    // `speedup` is only meaningful with >1 core: the sharded path's
+    // workers serialize on a single-core host and the journal replay
+    // becomes pure overhead, so `cores` is part of the record.
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let record = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"ingestion_smoke\",\n",
+            "  \"n_ranks\": {},\n",
+            "  \"cores\": {},\n",
+            "  \"cct_nodes\": {},\n",
+            "  \"setup_ms\": {:.3},\n",
+            "  \"sequential_ingest_ms\": {:.3},\n",
+            "  \"parallel_ingest_ms\": {:.3},\n",
+            "  \"speedup\": {:.2},\n",
+            "  \"budget_ms\": {}\n",
+            "}}\n"
+        ),
+        N_RANKS,
+        cores,
+        par_exp.cct.len(),
+        setup.as_secs_f64() * 1e3,
+        sequential.as_secs_f64() * 1e3,
+        parallel.as_secs_f64() * 1e3,
+        sequential.as_secs_f64() / parallel.as_secs_f64().max(1e-9),
+        WALL_CLOCK_BUDGET.as_millis(),
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_ingestion_smoke.json");
+    std::fs::write(&path, &record).expect("write perf record");
+    println!("perf record written to {}:\n{record}", path.display());
+}

@@ -1,0 +1,122 @@
+//! Offline stand-in for `bytes`, covering the cursor-style reading and
+//! appending this workspace's binary experiment-database format uses:
+//! [`Buf`] over `&[u8]` and [`BufMut`] over `Vec<u8>`.
+
+/// Sequential reader over a byte source (mirrors `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skip `cnt` bytes. Panics when fewer remain, matching `bytes`.
+    fn advance(&mut self, cnt: usize);
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// True when at least one byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte. Panics when empty, matching `bytes`.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of slice");
+        *self = &self[cnt..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Growable byte sink (mirrors `bytes::BufMut`).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_vec_and_slice() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(7);
+        out.put_f64_le(1.5);
+        out.put_slice(b"abc");
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.remaining(), 12);
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_f64_le(), 1.5);
+        assert_eq!(buf.chunk(), b"abc");
+        buf.advance(3);
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    #[should_panic]
+    fn advance_past_end_panics() {
+        let mut buf: &[u8] = &[1, 2];
+        buf.advance(3);
+    }
+}

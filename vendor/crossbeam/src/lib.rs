@@ -1,0 +1,64 @@
+//! Offline stand-in for `crossbeam`, covering the scoped-thread API this
+//! workspace uses. Real OS threads are spawned via `std::thread::scope`,
+//! so parallel speedups measured against this shim are genuine.
+
+/// Scoped threads (mirrors `crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+    use std::marker::PhantomData;
+
+    /// Handle passed to every scoped worker closure. The workspace's
+    /// workers ignore it (`move |_| ...`); nested spawning is not
+    /// supported by this shim.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NestedScope<'scope> {
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    /// A scope in which worker threads can borrow from the environment.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Owned handle to a scoped worker thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the worker to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker thread inside the scope. The closure receives a
+        /// nested-scope handle, matching crossbeam's signature shape.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope<'_>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || {
+                    f(NestedScope {
+                        _marker: PhantomData,
+                    })
+                }),
+            }
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. Unlike crossbeam,
+    /// a worker panic propagates out of `scope` itself (std semantics
+    /// join all threads first), so the `Ok` arm is always returned; the
+    /// `Result` wrapper is kept for call-site compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}

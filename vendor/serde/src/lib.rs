@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace decorates types with `#[derive(Serialize, Deserialize)]`
+//! for documentation and future interop, but every on-disk format in this
+//! repository (see `callpath-expdb`) is hand-rolled. This crate therefore
+//! provides only marker traits plus no-op derive macros, letting the whole
+//! workspace build from a registry-less environment.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: Sized {}
+impl<T> DeserializeOwned for T {}
+
+/// Namespace mirroring `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
