@@ -2,7 +2,7 @@
 //! operation (Figs. 5 & 6).
 
 use callpath_bench::{moab_experiment, sized_experiment};
-use callpath_core::flat::{flatten, flatten_once};
+use callpath_core::flat::flatten;
 use callpath_core::prelude::*;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
@@ -16,10 +16,13 @@ fn bench(c: &mut Criterion) {
 
     for &size in &[1_000usize, 10_000, 100_000] {
         let exp = sized_experiment(size);
-        group.bench_with_input(BenchmarkId::new("build", size), &exp, |b, exp| {
+        group.bench_with_input(BenchmarkId::new("build_shell", size), &exp, |b, exp| {
             b.iter(|| FlatView::build(exp, StorageKind::Dense))
         });
-        let flat = FlatView::build(&exp, StorageKind::Dense);
+        group.bench_with_input(BenchmarkId::new("build_eager", size), &exp, |b, exp| {
+            b.iter(|| FlatView::build_eager(exp, StorageKind::Dense))
+        });
+        let flat = FlatView::build_eager(&exp, StorageKind::Dense);
         group.bench_with_input(
             BenchmarkId::new("flatten_to_leaves", size),
             &flat,
@@ -35,12 +38,9 @@ fn bench(c: &mut Criterion) {
     let moab = moab_experiment();
     group.bench_function("fig5_moab_flat_and_flatten", |b| {
         b.iter(|| {
-            let flat = FlatView::build(&moab, StorageKind::Dense);
-            let mut level = flat.tree.roots();
-            for _ in 0..3 {
-                level = flatten_once(&flat.tree, &level);
-            }
-            level.len()
+            let mut flat = FlatView::build(&moab, StorageKind::Dense);
+            let roots = flat.tree.roots();
+            flat.flatten(&moab, &roots, 3).len()
         })
     });
     group.finish();

@@ -1,0 +1,75 @@
+//! Interactive navigation latency on the S3D workload: the tentpole's
+//! read-path claims, measured end to end through [`Session`].
+//!
+//! * `expand_all_cold` — build a fresh session and expand every row to a
+//!   fixed point (lazy Flat-View fills + first-time sorts included);
+//! * `resort_warm` — flip the sort column on a fully expanded session
+//!   (served by the generation-stamped sort caches: lookups, no sorts);
+//! * `hot_path_walk` — hot-path analysis from the top plus a re-render.
+
+use callpath_bench::s3d_experiment;
+use callpath_core::prelude::*;
+use callpath_core::source::SourceStore;
+use callpath_viewer::{Command, Session};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn expand_all(session: &mut Session<'_>) {
+    loop {
+        let (_, rows) = session.render_numbered();
+        let before = rows.len();
+        for n in rows {
+            session.apply(Command::Expand(n)).ok();
+        }
+        let (_, rows) = session.render_numbered();
+        if rows.len() == before {
+            break;
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let exp = s3d_experiment();
+    let mut group = c.benchmark_group("session_nav");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("expand_all_cold", |b| {
+        b.iter(|| {
+            let mut s = Session::new(&exp, SourceStore::new());
+            expand_all(&mut s);
+            s.render().len()
+        })
+    });
+
+    group.bench_function("resort_warm", |b| {
+        let mut s = Session::new(&exp, SourceStore::new());
+        expand_all(&mut s);
+        // Warm both orders so the loop below is pure steady state.
+        s.apply(Command::SortBy(ColumnId(1))).unwrap();
+        s.render();
+        s.apply(Command::SortBy(ColumnId(0))).unwrap();
+        s.render();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            s.apply(Command::SortBy(ColumnId(u32::from(flip)))).unwrap();
+            s.render().len()
+        })
+    });
+
+    group.bench_function("hot_path_walk", |b| {
+        let mut s = Session::new(&exp, SourceStore::new());
+        b.iter(|| {
+            s.apply(Command::HotPath).unwrap();
+            s.render().len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

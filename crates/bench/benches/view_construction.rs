@@ -40,8 +40,11 @@ fn bench(c: &mut Criterion) {
             &exp,
             |b, exp| b.iter(|| CallersView::build(exp, StorageKind::Dense)),
         );
-        group.bench_with_input(BenchmarkId::new("flat_view", size), &exp, |b, exp| {
+        group.bench_with_input(BenchmarkId::new("flat_view_shell", size), &exp, |b, exp| {
             b.iter(|| FlatView::build(exp, StorageKind::Dense))
+        });
+        group.bench_with_input(BenchmarkId::new("flat_view_eager", size), &exp, |b, exp| {
+            b.iter(|| FlatView::build_eager(exp, StorageKind::Dense))
         });
     }
 

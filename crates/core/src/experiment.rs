@@ -250,11 +250,18 @@ impl Experiment {
     /// column set over some view tree whose inclusive/exclusive (and
     /// summary) columns are already filled for nodes `0..n_nodes`.
     pub fn eval_derived_into(&self, target: &mut ColumnSet, n_nodes: usize) {
+        self.eval_derived_range(target, 0, n_nodes);
+    }
+
+    /// [`Experiment::eval_derived_into`] restricted to view nodes
+    /// `start..end` — lazy views call this for just-materialized children
+    /// instead of re-deriving the whole tree.
+    pub fn eval_derived_range(&self, target: &mut ColumnSet, start: usize, end: usize) {
         if self.derived.is_empty() {
             return;
         }
         let ncols = target.column_count() as u32;
-        for node in 0..n_nodes as u32 {
+        for node in start as u32..end as u32 {
             for (c, expr) in &self.derived {
                 let inputs: Vec<f64> = (0..ncols).map(|i| target.get(ColumnId(i), node)).collect();
                 let v = expr.eval(&SliceContext {

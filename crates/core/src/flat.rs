@@ -15,6 +15,19 @@
 //! The module also implements **flattening** (Section III-C): eliding a
 //! layer of hierarchy so that, e.g., loops in different routines can be
 //! compared directly.
+//!
+//! ## Lazy containers
+//!
+//! [`FlatView::build`] is *shell-first*, mirroring the lazy Callers View:
+//! only the load-module → file → procedure skeleton is materialized (and
+//! valued) eagerly; each procedure's interior — loops, statements,
+//! inlined bodies, and fused call-site nodes — is filled on first expand
+//! from the CCT instances recorded on the node. Container metrics don't
+//! depend on the deferred children (a file's exclusive sums its child
+//! *procedures'* exclusives), so the shell's numbers are final.
+//! [`FlatView::flatten_once`]/[`FlatView::flatten`] force fills on
+//! demand; the free [`flatten_once`]/[`flatten`] functions remain for
+//! trees that are already fully forced.
 
 use crate::exposure::exposed;
 use crate::experiment::Experiment;
@@ -24,8 +37,8 @@ use crate::scope::ScopeKind;
 use crate::viewtree::{ViewScope, ViewTree};
 use std::collections::HashMap;
 
-/// Static (flat) view over an experiment. Construction is eager: one pass
-/// over the CCT builds the whole tree.
+/// Static (flat) view over an experiment, with lazily filled procedure
+/// interiors (see the module docs).
 #[derive(Debug, Clone)]
 pub struct FlatView {
     /// The flat tree and its metric columns.
@@ -33,7 +46,9 @@ pub struct FlatView {
 }
 
 impl FlatView {
-    /// Build the Flat View from an attributed experiment.
+    /// Build the Flat View shell from an attributed experiment: module,
+    /// file, and procedure nodes with final metric values; everything
+    /// inside procedures is deferred to [`FlatView::expand`].
     pub fn build(exp: &Experiment, storage: StorageKind) -> Self {
         let mut tree = ViewTree::new(storage);
         for d in exp.columns.descs() {
@@ -52,96 +67,37 @@ impl FlatView {
             })
         };
 
-        // flat_pos[cct_node] = the view node representing that CCT node's
-        // position inside its procedure's static structure.
-        let mut flat_pos: Vec<Option<ViewNodeId>> = vec![None; exp.cct.len()];
-
         for n in exp.cct.all_nodes() {
-            match *exp.cct.kind(n) {
-                ScopeKind::Root => {}
-                ScopeKind::Frame {
-                    proc,
-                    module,
-                    def,
-                    call_site,
-                } => {
-                    let m_node = node_at(&mut tree, None, ViewScope::Module { module });
-                    let f_node =
-                        node_at(&mut tree, Some(m_node), ViewScope::File { file: def.file });
-                    let p_node =
-                        node_at(&mut tree, Some(f_node), ViewScope::Procedure { proc });
-                    tree.push_instance(m_node, n);
-                    tree.push_instance(f_node, n);
-                    tree.push_instance(p_node, n);
-                    flat_pos[n.index()] = Some(p_node);
-                    // A call-site node under the caller's static position.
-                    if let Some(parent) = exp.cct.parent(n) {
-                        if let Some(host) = flat_pos[parent.index()] {
-                            let cs = node_at(
-                                &mut tree,
-                                Some(host),
-                                ViewScope::CallSite {
-                                    callee: proc,
-                                    loc: call_site,
-                                },
-                            );
-                            tree.push_instance(cs, n);
-                        }
-                    }
-                }
-                ScopeKind::InlinedFrame {
-                    proc, call_site, ..
-                } => {
-                    let parent = exp.cct.parent(n).expect("inlined frame has a parent");
-                    let host = flat_pos[parent.index()]
-                        .expect("inlined frame nested inside a mapped scope");
-                    let node = node_at(
-                        &mut tree,
-                        Some(host),
-                        ViewScope::Inlined {
-                            callee: proc,
-                            call_site,
-                        },
-                    );
-                    tree.push_instance(node, n);
-                    flat_pos[n.index()] = Some(node);
-                }
-                ScopeKind::Loop { header } => {
-                    let parent = exp.cct.parent(n).expect("loop has a parent");
-                    let host =
-                        flat_pos[parent.index()].expect("loop nested inside a mapped scope");
-                    let node = node_at(&mut tree, Some(host), ViewScope::Loop { header });
-                    tree.push_instance(node, n);
-                    flat_pos[n.index()] = Some(node);
-                }
-                ScopeKind::Stmt { loc } => {
-                    let parent = exp.cct.parent(n).expect("statement has a parent");
-                    let host =
-                        flat_pos[parent.index()].expect("statement nested inside a mapped scope");
-                    let node = node_at(&mut tree, Some(host), ViewScope::Stmt { loc });
-                    tree.push_instance(node, n);
-                    flat_pos[n.index()] = Some(node);
-                }
+            if let ScopeKind::Frame { proc, module, def, .. } = *exp.cct.kind(n) {
+                let m_node = node_at(&mut tree, None, ViewScope::Module { module });
+                let f_node =
+                    node_at(&mut tree, Some(m_node), ViewScope::File { file: def.file });
+                let p_node =
+                    node_at(&mut tree, Some(f_node), ViewScope::Procedure { proc });
+                tree.push_instance(m_node, n);
+                tree.push_instance(f_node, n);
+                tree.push_instance(p_node, n);
             }
         }
 
-        // Fill metric values. Leaf-ish scopes first (instance aggregation),
-        // then containers, whose exclusive column sums their children.
+        // The skeleton's child sets are complete: a module only ever
+        // contains files, a file only procedures. Only procedure
+        // interiors stay lazy.
         let all: Vec<ViewNodeId> = (0..tree.len() as u32).map(ViewNodeId).collect();
         for &v in &all {
-            match tree.scope(v) {
-                ViewScope::Module { .. } | ViewScope::File { .. } => {}
-                ViewScope::CallSite { .. } => {
-                    Self::fill_from_instances(exp, &mut tree, v, true);
-                }
-                _ => {
-                    Self::fill_from_instances(exp, &mut tree, v, false);
-                }
+            if !matches!(tree.scope(v), ViewScope::Procedure { .. }) {
+                tree.mark_expanded(v);
             }
         }
-        // Containers, innermost (files) before modules. Node indices of
-        // children are always larger than their parents' only within one
-        // subtree; iterate explicitly: files then modules.
+
+        // Fill metric values: procedures first (instance aggregation),
+        // then containers, whose exclusive column sums their child
+        // procedures'/files' exclusives.
+        for &v in &all {
+            if matches!(tree.scope(v), ViewScope::Procedure { .. }) {
+                Self::fill_from_instances(exp, &mut tree, v, false);
+            }
+        }
         for &v in all.iter() {
             if matches!(tree.scope(v), ViewScope::File { .. }) {
                 Self::fill_container(exp, &mut tree, v);
@@ -156,6 +112,138 @@ impl FlatView {
         let n_nodes = tree.len();
         exp.eval_derived_into(&mut tree.columns, n_nodes);
         FlatView { tree }
+    }
+
+    /// Build the Flat View with every node materialized, as the
+    /// pre-lazy implementation did: the shell plus [`FlatView::force_all`].
+    pub fn build_eager(exp: &Experiment, storage: StorageKind) -> Self {
+        let mut view = Self::build(exp, storage);
+        view.force_all(exp);
+        view
+    }
+
+    /// Materialize `v`'s children if they haven't been yet. Idempotent.
+    ///
+    /// Children are derived from the CCT children of `v`'s instances,
+    /// visited in ascending CCT-node order — exactly the order the
+    /// one-pass eager build would have created them in, so the lazy tree
+    /// matches the eager tree node-for-node (per parent, in order).
+    pub fn expand(&mut self, exp: &Experiment, v: ViewNodeId) {
+        if self.tree.is_expanded(v) {
+            return;
+        }
+        self.tree.mark_expanded(v);
+        // Call-site nodes fuse a call site with its callee and stay
+        // leaves: the callee's breakdown lives under the callee's own
+        // procedure node.
+        if matches!(self.tree.scope(v), ViewScope::CallSite { .. }) {
+            return;
+        }
+
+        let instances: Vec<_> = self.tree.instances(v).to_vec();
+        let mut pending: Vec<(u32, ViewScope)> = Vec::new();
+        for &i in &instances {
+            for c in exp.cct.children(i) {
+                let scope = match *exp.cct.kind(c) {
+                    ScopeKind::Frame {
+                        proc, call_site, ..
+                    } => ViewScope::CallSite {
+                        callee: proc,
+                        loc: call_site,
+                    },
+                    ScopeKind::InlinedFrame {
+                        proc, call_site, ..
+                    } => ViewScope::Inlined {
+                        callee: proc,
+                        call_site,
+                    },
+                    ScopeKind::Loop { header } => ViewScope::Loop { header },
+                    ScopeKind::Stmt { loc } => ViewScope::Stmt { loc },
+                    ScopeKind::Root => unreachable!("the CCT root is never a child"),
+                };
+                pending.push((c.0, scope));
+            }
+        }
+        // Ascending CCT id = the eager build's creation/instance order.
+        pending.sort_unstable_by_key(|&(c, _)| c);
+
+        let first_new = self.tree.len() as u32;
+        for (c, scope) in pending {
+            let child = self.tree.find_or_add_child(v, scope);
+            self.tree.push_instance(child, crate::ids::NodeId(c));
+        }
+        for id in first_new..self.tree.len() as u32 {
+            let child = ViewNodeId(id);
+            let call_site = matches!(self.tree.scope(child), ViewScope::CallSite { .. });
+            Self::fill_from_instances(exp, &mut self.tree, child, call_site);
+        }
+        let end = self.tree.len();
+        exp.eval_derived_range(&mut self.tree.columns, first_new as usize, end);
+    }
+
+    /// Children of `v`, materializing them on first use.
+    pub fn children_of(&mut self, exp: &Experiment, v: ViewNodeId) -> Vec<ViewNodeId> {
+        self.expand(exp, v);
+        self.tree.children(v)
+    }
+
+    /// Could `v` have children, without forcing a fill? (Used for the
+    /// collapsed-row expansion marker.)
+    pub fn can_expand(&self, exp: &Experiment, v: ViewNodeId) -> bool {
+        if matches!(self.tree.scope(v), ViewScope::CallSite { .. }) {
+            return false;
+        }
+        if self.tree.is_expanded(v) {
+            return self.tree.has_children(v);
+        }
+        self.tree
+            .instances(v)
+            .iter()
+            .any(|&i| exp.cct.children(i).next().is_some())
+    }
+
+    /// Force every deferred fill (the eager tree).
+    pub fn force_all(&mut self, exp: &Experiment) {
+        let mut stack = self.tree.roots();
+        while let Some(n) = stack.pop() {
+            self.expand(exp, n);
+            stack.extend(self.tree.children(n));
+        }
+    }
+
+    /// Forcing variant of the free [`flatten_once`]: scopes in `current`
+    /// are expanded first, so flattening descends through not-yet-filled
+    /// procedure interiors.
+    pub fn flatten_once(&mut self, exp: &Experiment, current: &[ViewNodeId]) -> Vec<ViewNodeId> {
+        let mut out = Vec::with_capacity(current.len());
+        for &n in current {
+            let kids = self.children_of(exp, n);
+            if kids.is_empty() {
+                out.push(n);
+            } else {
+                out.extend(kids);
+            }
+        }
+        out
+    }
+
+    /// Forcing variant of the free [`flatten`]: apply
+    /// [`FlatView::flatten_once`] `times` times, stopping at a fixed point.
+    pub fn flatten(
+        &mut self,
+        exp: &Experiment,
+        roots: &[ViewNodeId],
+        times: usize,
+    ) -> Vec<ViewNodeId> {
+        let mut cur = roots.to_vec();
+        for _ in 0..times {
+            let next = self.flatten_once(exp, &cur);
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+        cur
     }
 
     /// Inclusive = set-exposed instance sum; exclusive = set-exposed sum of
@@ -363,7 +451,7 @@ mod tests {
     #[test]
     fn loops_match_fig2c() {
         let exp = fig1_experiment();
-        let view = FlatView::build(&exp, StorageKind::Dense);
+        let view = FlatView::build_eager(&exp, StorageKind::Dense);
         let module = find(&view, &exp, None, "a.out");
         let file2 = find(&view, &exp, Some(module), "file2.c");
         let hx = find(&view, &exp, Some(file2), "h");
@@ -376,7 +464,7 @@ mod tests {
     #[test]
     fn call_site_nodes_match_fig2c() {
         let exp = fig1_experiment();
-        let view = FlatView::build(&exp, StorageKind::Dense);
+        let view = FlatView::build_eager(&exp, StorageKind::Dense);
         let module = find(&view, &exp, None, "a.out");
         let file1 = find(&view, &exp, Some(module), "file1.c");
         let file2 = find(&view, &exp, Some(module), "file2.c");
@@ -440,12 +528,12 @@ mod tests {
     #[test]
     fn flatten_strips_hierarchy_layers() {
         let exp = fig1_experiment();
-        let view = FlatView::build(&exp, StorageKind::Dense);
+        let mut view = FlatView::build(&exp, StorageKind::Dense);
         let roots = view.tree.roots();
         assert_eq!(roots.len(), 1, "one load module");
-        let files = flatten_once(&view.tree, &roots);
+        let files = view.flatten_once(&exp, &roots);
         assert_eq!(files.len(), 2);
-        let procs = flatten_once(&view.tree, &files);
+        let procs = view.flatten_once(&exp, &files);
         let labels: Vec<String> = procs
             .iter()
             .map(|&n| view.tree.label(n, &exp.cct.names))
@@ -459,7 +547,7 @@ mod tests {
     #[test]
     fn flatten_keeps_leaves() {
         let exp = fig1_experiment();
-        let view = FlatView::build(&exp, StorageKind::Dense);
+        let view = FlatView::build_eager(&exp, StorageKind::Dense);
         let deep = flatten(&view.tree, &view.tree.roots(), 100);
         // Fixed point: every element is a leaf.
         assert!(deep.iter().all(|&n| !view.tree.has_children(n)));
@@ -475,5 +563,122 @@ mod tests {
         // Root-level (module) inclusive equals program total despite the
         // recursive g chain.
         assert_eq!(val(&view, module, 0), 10.0);
+    }
+
+    #[test]
+    fn shell_defers_procedure_interiors() {
+        let exp = fig1_experiment();
+        let shell = FlatView::build(&exp, StorageKind::Dense);
+        // 1 module + 2 files + 4 procedures, nothing inside procedures yet.
+        assert_eq!(shell.tree.len(), 7);
+        for v in (0..shell.tree.len() as u32).map(ViewNodeId) {
+            match shell.tree.scope(v) {
+                ViewScope::Procedure { .. } => {
+                    assert!(!shell.tree.is_expanded(v));
+                    assert!(!shell.tree.has_children(v));
+                }
+                _ => assert!(shell.tree.is_expanded(v)),
+            }
+        }
+        let eager = FlatView::build_eager(&exp, StorageKind::Dense);
+        assert!(eager.tree.len() > shell.tree.len());
+    }
+
+    #[test]
+    fn lazy_fills_are_idempotent() {
+        let exp = fig1_experiment();
+        let mut view = FlatView::build(&exp, StorageKind::Dense);
+        let module = find(&view, &exp, None, "a.out");
+        let file2 = find(&view, &exp, Some(module), "file2.c");
+        let gx = find(&view, &exp, Some(file2), "g");
+        let first = view.children_of(&exp, gx);
+        let len_after_first = view.tree.len();
+        let gen_after_first = view.tree.generation();
+        let second = view.children_of(&exp, gx);
+        assert_eq!(first, second, "expanding twice yields the same children");
+        assert_eq!(view.tree.len(), len_after_first, "no duplicate nodes");
+        assert_eq!(
+            view.tree.generation(),
+            gen_after_first,
+            "a no-op expand must not invalidate caches"
+        );
+    }
+
+    /// The lazy tree, however it gets forced, must match the fully eager
+    /// tree position-for-position: same scopes, same child order, same
+    /// column values. Node *ids* may differ (creation order depends on
+    /// which parent was forced first), so compare recursively by position.
+    fn assert_same_forest(a: &FlatView, b: &FlatView) {
+        fn assert_same_subtree(a: &FlatView, b: &FlatView, na: ViewNodeId, nb: ViewNodeId) {
+            assert_eq!(a.tree.scope(na), b.tree.scope(nb));
+            for c in 0..a.tree.columns.column_count() {
+                let c = ColumnId::from_usize(c);
+                assert_eq!(
+                    a.tree.columns.get(c, na.0),
+                    b.tree.columns.get(c, nb.0),
+                    "column {c:?} at {:?}",
+                    a.tree.scope(na)
+                );
+            }
+            let ca = a.tree.children(na);
+            let cb = b.tree.children(nb);
+            assert_eq!(ca.len(), cb.len(), "children of {:?}", a.tree.scope(na));
+            for (&x, &y) in ca.iter().zip(cb.iter()) {
+                assert_same_subtree(a, b, x, y);
+            }
+        }
+        let ra = a.tree.roots();
+        let rb = b.tree.roots();
+        assert_eq!(ra.len(), rb.len());
+        for (&x, &y) in ra.iter().zip(rb.iter()) {
+            assert_same_subtree(a, b, x, y);
+        }
+    }
+
+    #[test]
+    fn forced_lazy_tree_matches_eager_tree() {
+        let exp = fig1_experiment();
+        let mut lazy = FlatView::build(&exp, StorageKind::Dense);
+        // Force in a deliberately different order than force_all: flatten
+        // level by level to a fixed point.
+        let mut cur = lazy.tree.roots();
+        loop {
+            let next = lazy.flatten_once(&exp, &cur);
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+        let eager = FlatView::build_eager(&exp, StorageKind::Dense);
+        assert_eq!(lazy.tree.len(), eager.tree.len());
+        assert_same_forest(&lazy, &eager);
+    }
+
+    #[test]
+    fn forcing_flatten_on_unforced_tree_matches_eager_flatten() {
+        let exp = fig1_experiment();
+        let mut lazy = FlatView::build(&exp, StorageKind::Dense);
+        let eager = FlatView::build_eager(&exp, StorageKind::Dense);
+        for level in 0..6 {
+            let from_lazy = lazy.flatten(&exp, &lazy.tree.roots(), level);
+            let from_eager = flatten(&eager.tree, &eager.tree.roots(), level);
+            let labels = |view: &FlatView, nodes: &[ViewNodeId]| -> Vec<(String, f64, f64)> {
+                nodes
+                    .iter()
+                    .map(|&n| {
+                        (
+                            view.tree.label(n, &exp.cct.names),
+                            val(view, n, 0),
+                            val(view, n, 1),
+                        )
+                    })
+                    .collect()
+            };
+            assert_eq!(
+                labels(&lazy, &from_lazy),
+                labels(&eager, &from_eager),
+                "flatten level {level}"
+            );
+        }
     }
 }

@@ -107,6 +107,8 @@ pub mod prelude {
     pub use crate::scope::{ScopeKind, StaticKey};
     pub use crate::source::SourceStore;
     pub use crate::summary::{Stat, Welford};
-    pub use crate::view::{sort_by_column, View, ViewKind};
-    pub use crate::viewtree::{ViewScope, ViewTree};
+    pub use crate::view::{sort_by_column, sort_nodes_with, top_k_by_column, View, ViewKind};
+    pub use crate::viewtree::{
+        LabelCache, SortCache, SortDir, SortKey, ViewScope, ViewTree, TOP_SLOT_BASE,
+    };
 }

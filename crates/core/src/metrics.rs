@@ -685,6 +685,12 @@ pub struct ColumnSet {
     descs: Vec<ColumnDesc>,
     values: Vec<MetricVec>,
     storage: StorageKind,
+    /// Bumped by every mutation, mirroring [`RawMetrics::generation`]:
+    /// sort-order caches over view trees key on it so a column appended
+    /// or rewritten after the fact (e.g. summary statistics via
+    /// `append_view_columns`) invalidates cached orderings.
+    #[serde(default)]
+    generation: u64,
 }
 
 impl ColumnSet {
@@ -694,7 +700,15 @@ impl ColumnSet {
             descs: Vec::new(),
             values: Vec::new(),
             storage,
+            generation: 0,
         }
+    }
+
+    /// Mutation counter: incremented by [`ColumnSet::add_column`],
+    /// [`ColumnSet::set`] and [`ColumnSet::add`]. Derived caches (cached
+    /// child sort orders) revalidate against it.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Append a presentation column, returning its id.
@@ -702,6 +716,7 @@ impl ColumnSet {
         let id = ColumnId::from_usize(self.descs.len());
         self.descs.push(desc);
         self.values.push(empty_vec(self.storage));
+        self.generation += 1;
         id
     }
 
@@ -752,12 +767,14 @@ impl ColumnSet {
     #[inline]
     pub fn set(&mut self, c: ColumnId, node: u32, value: f64) {
         self.values[c.index()].set(node, value);
+        self.generation += 1;
     }
 
     /// Accumulate into column `c` at `node`.
     #[inline]
     pub fn add(&mut self, c: ColumnId, node: u32, delta: f64) {
         self.values[c.index()].add(node, delta);
+        self.generation += 1;
     }
 
     /// The per-node storage backing column `c`.
@@ -887,6 +904,25 @@ mod tests {
         assert!(raw.generation() > g3);
         assert_eq!(raw.total(m), 28.0);
         assert_eq!(raw.direct(m, NodeId(3)), 20.0);
+    }
+
+    #[test]
+    fn column_set_generation_bumps_on_every_mutation() {
+        let mut cols = ColumnSet::new(StorageKind::Dense);
+        let g0 = cols.generation();
+        let c = cols.add_column(ColumnDesc {
+            name: "cycles (I)".into(),
+            flavor: ColumnFlavor::Inclusive(MetricId(0)),
+            visible: true,
+        });
+        assert!(cols.generation() > g0);
+        let g1 = cols.generation();
+        cols.set(c, 3, 5.0);
+        assert!(cols.generation() > g1);
+        let g2 = cols.generation();
+        cols.add(c, 3, 1.0);
+        assert!(cols.generation() > g2);
+        assert_eq!(cols.get(c, 3), 6.0);
     }
 
     #[test]

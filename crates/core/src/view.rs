@@ -15,7 +15,7 @@ use crate::ids::{ColumnId, NodeId, ViewNodeId};
 use crate::metrics::ColumnSet;
 use crate::names::SourceLoc;
 use crate::scope::ScopeKind;
-use crate::viewtree::ViewScope;
+use crate::viewtree::{LabelCache, SortDir, SortKey, ViewScope};
 
 /// Which of the three complementary perspectives a `View` presents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -131,14 +131,17 @@ impl<'a> View<'a> {
                 .iter()
                 .map(|c| c.0)
                 .collect(),
-            View::Flat { view, .. } => {
-                view.tree.children(ViewNodeId(n)).iter().map(|c| c.0).collect()
-            }
+            View::Flat { exp, view } => view
+                .children_of(exp, ViewNodeId(n))
+                .iter()
+                .map(|c| c.0)
+                .collect(),
         }
     }
 
     /// Children without materializing anything (may be incomplete for the
-    /// lazy Callers View; used by renderers that only show expanded state).
+    /// lazy Callers and Flat Views; used by renderers that only show
+    /// expanded state).
     pub fn children_if_built(&self, n: u32) -> Vec<u32> {
         match self {
             View::CallingContext(exp) => exp.cct.children(NodeId(n)).map(|c| c.0).collect(),
@@ -306,6 +309,32 @@ impl<'a> View<'a> {
             View::Flat { view, .. } => view.tree.len(),
         }
     }
+
+    /// Generation stamp for sort-order caches over this view: any
+    /// mutation that could change child sets or column values makes a
+    /// previously observed stamp stale. The Calling Context View is
+    /// backed directly by the experiment (raw metrics + CCT columns);
+    /// the derived views by their view tree (structure + columns).
+    pub fn generation(&self) -> u64 {
+        match self {
+            View::CallingContext(exp) => exp.raw.generation() + exp.columns.generation(),
+            View::Callers { view, .. } => view.tree.generation(),
+            View::Flat { view, .. } => view.tree.generation(),
+        }
+    }
+
+    /// Could `n` have children, **without** materializing them? Used for
+    /// the expansion marker on collapsed rows: lazy views must not be
+    /// forced just to decide whether to draw `▶`. The Callers View
+    /// conservatively reports `true` for every node (its chains are only
+    /// discoverable by expanding).
+    pub fn may_expand(&self, n: u32) -> bool {
+        match self {
+            View::CallingContext(exp) => exp.cct.children(NodeId(n)).next().is_some(),
+            View::Callers { .. } => true,
+            View::Flat { exp, view } => view.can_expand(exp, ViewNodeId(n)),
+        }
+    }
 }
 
 /// Rank `nodes` by a column in descending order (the navigation pane's
@@ -318,6 +347,90 @@ pub fn sort_by_column(view: &View<'_>, nodes: &mut [u32], c: ColumnId) {
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| view.label(a).cmp(&view.label(b)))
     });
+}
+
+/// Compare two nodes under a metric-column sort key: by value in the
+/// key's direction, ties broken ascending by (cached) label — the exact
+/// ordering [`sort_by_column`] produces for [`SortDir::Descending`].
+fn cmp_by_column(
+    view: &View<'_>,
+    labels: &LabelCache,
+    c: ColumnId,
+    dir: SortDir,
+    a: u32,
+    b: u32,
+) -> std::cmp::Ordering {
+    let va = view.value(c, a);
+    let vb = view.value(c, b);
+    let by_value = match dir {
+        SortDir::Descending => vb.partial_cmp(&va),
+        SortDir::Ascending => va.partial_cmp(&vb),
+    };
+    by_value
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| labels.peek(a).cmp(labels.peek(b)))
+}
+
+/// Sort `nodes` under `key`, routing label lookups through the interned
+/// [`LabelCache`] (each label is rendered at most once per view instead
+/// of once per comparison). Stable, and ordering-identical to the
+/// historical `sort_by`/`sort_by_key` calls it replaces.
+pub fn sort_nodes_with(
+    view: &View<'_>,
+    labels: &mut LabelCache,
+    nodes: &mut [u32],
+    key: SortKey,
+) {
+    for &n in nodes.iter() {
+        labels.ensure(n, |buf| view.write_label(n, buf));
+    }
+    match key {
+        SortKey::Name => nodes.sort_by(|&a, &b| labels.peek(a).cmp(labels.peek(b))),
+        SortKey::Column { column, dir } => {
+            nodes.sort_by(|&a, &b| cmp_by_column(view, labels, column, dir, a, b))
+        }
+    }
+}
+
+/// Keep only the top `k` of `nodes` under a metric-column key, in sorted
+/// order, using `select_nth_unstable_by` partial selection instead of a
+/// full sort (Section V panes show tens of rows out of potentially
+/// thousands of children).
+///
+/// The comparator extends [`sort_nodes_with`]'s column ordering with the
+/// node's original position as a final tie-break, which makes the
+/// unstable selection reproduce a *stable* full sort's prefix exactly —
+/// so truncated renders stay byte-identical to the full-sort path.
+pub fn top_k_by_column(
+    view: &View<'_>,
+    labels: &mut LabelCache,
+    nodes: &mut Vec<u32>,
+    c: ColumnId,
+    dir: SortDir,
+    k: usize,
+) {
+    for &n in nodes.iter() {
+        labels.ensure(n, |buf| view.write_label(n, buf));
+    }
+    if k >= nodes.len() {
+        nodes.sort_by(|&a, &b| cmp_by_column(view, labels, c, dir, a, b));
+        return;
+    }
+    let mut indexed: Vec<(u32, u32)> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i as u32))
+        .collect();
+    let cmp = |a: &(u32, u32), b: &(u32, u32)| {
+        cmp_by_column(view, labels, c, dir, a.0, b.0).then(a.1.cmp(&b.1))
+    };
+    if k > 0 {
+        indexed.select_nth_unstable_by(k - 1, cmp);
+    }
+    indexed.truncate(k);
+    indexed.sort_by(cmp);
+    nodes.clear();
+    nodes.extend(indexed.into_iter().map(|(n, _)| n));
 }
 
 /// Helper used by tests and the CCT presenter: borrow the underlying CCT.

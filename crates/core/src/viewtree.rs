@@ -5,10 +5,11 @@
 //! set is kept on the node so that lazy expansion and recursion-correct
 //! (set-exposed) metric aggregation can be computed on demand.
 
-use crate::ids::{FileId, LoadModuleId, NodeId, ProcId, ViewNodeId};
+use crate::ids::{ColumnId, FileId, LoadModuleId, NodeId, ProcId, ViewNodeId};
 use crate::metrics::{ColumnSet, StorageKind};
 use crate::names::{NameTable, SourceLoc};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 const NONE: u32 = u32::MAX;
 
@@ -138,6 +139,10 @@ pub struct ViewTree {
     roots: Vec<u32>,
     /// Metric columns indexed by view node id.
     pub columns: ColumnSet,
+    /// Structural mutation counter (node additions). See
+    /// [`ViewTree::generation`].
+    #[serde(default)]
+    structure_generation: u64,
 }
 
 impl ViewTree {
@@ -147,7 +152,17 @@ impl ViewTree {
             nodes: Vec::new(),
             roots: Vec::new(),
             columns: ColumnSet::new(storage),
+            structure_generation: 0,
         }
+    }
+
+    /// Generation stamp covering **both** structure (lazy expansion
+    /// materializing children) and column values (metric fills, appended
+    /// summary columns). Each component is monotone non-decreasing, so
+    /// their sum is too: any mutation makes a previously observed stamp
+    /// stale, which is exactly what [`SortCache`] needs.
+    pub fn generation(&self) -> u64 {
+        self.structure_generation + self.columns.generation()
     }
 
     /// Number of materialized view nodes.
@@ -178,6 +193,7 @@ impl ViewTree {
             expanded: false,
         });
         self.roots.push(id);
+        self.structure_generation += 1;
         ViewNodeId(id)
     }
 
@@ -201,6 +217,7 @@ impl ViewTree {
             self.nodes[last as usize].next_sibling = id;
         }
         self.nodes[parent.index()].last_child = id;
+        self.structure_generation += 1;
         ViewNodeId(id)
     }
 
@@ -298,6 +315,164 @@ impl ViewTree {
     }
 }
 
+/// Direction of a cached metric-column ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortDir {
+    /// Largest value first (the navigation pane's default).
+    Descending,
+    /// Smallest value first.
+    Ascending,
+}
+
+/// What a cached child ordering was sorted by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SortKey {
+    /// Ascending by node label.
+    Name,
+    /// By metric column value, ties broken ascending by label.
+    Column {
+        /// The view column sorted on.
+        column: ColumnId,
+        /// Sort direction.
+        dir: SortDir,
+    },
+}
+
+/// Slot namespace for top-level (root) orderings: node ids are `u32`, so
+/// anything at or above `1 << 32` cannot collide with a per-parent slot.
+/// Flat View adds the flatten level so each flattening depth caches its
+/// own root ordering.
+pub const TOP_SLOT_BASE: u64 = 1 << 32;
+
+#[derive(Debug, Clone)]
+struct CachedOrder {
+    generation: u64,
+    order: Vec<u32>,
+}
+
+/// Per-view cache of sorted child orderings, keyed by `(slot, sort key)`
+/// and validated with a generation stamp — the same scheme
+/// `Experiment::attributions()` and `CallersView::fill_values` use. A
+/// slot is either a parent view-node id or a [`TOP_SLOT_BASE`]-offset
+/// synthetic slot for a top-level list.
+///
+/// The cache stores *orderings* (node-id vectors), not references into
+/// the tree, so holding one never borrows the view. Lookups at a stale
+/// generation miss; the caller recomputes and [`SortCache::insert`]s at
+/// the generation observed *after* recomputing (child materialization
+/// during the recompute bumps the tree generation, and stamping afterward
+/// keeps the entry valid).
+#[derive(Debug, Default)]
+pub struct SortCache {
+    entries: HashMap<(u64, SortKey), CachedOrder>,
+    hits: u64,
+    full_sorts: u64,
+}
+
+impl SortCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SortCache::default()
+    }
+
+    /// The cached ordering for `(slot, key)` if it was computed at
+    /// exactly `generation`; counts a hit when present.
+    pub fn lookup(&mut self, slot: u64, key: SortKey, generation: u64) -> Option<Vec<u32>> {
+        match self.entries.get(&(slot, key)) {
+            Some(c) if c.generation == generation => {
+                self.hits += 1;
+                Some(c.order.clone())
+            }
+            _ => None,
+        }
+    }
+
+    /// Record a freshly computed ordering (counts one full sort).
+    pub fn insert(&mut self, slot: u64, key: SortKey, generation: u64, order: Vec<u32>) {
+        self.full_sorts += 1;
+        self.entries.insert((slot, key), CachedOrder { generation, order });
+    }
+
+    /// `(hits, full_sorts)` since construction (or the last
+    /// [`SortCache::reset_stats`]). The acceptance test for "re-sorting a
+    /// built view performs zero full-child sorts" watches `full_sorts`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.full_sorts)
+    }
+
+    /// Zero the hit/full-sort counters (entries are kept).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.full_sorts = 0;
+    }
+
+    /// Number of cached orderings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Interned per-node labels for one view, indexed densely by view node
+/// id. Labels are rendered once through `write_label` (whose procedure/
+/// file/module arms copy straight out of the [`NameTable`]'s interned
+/// strings) and then reused by every sort comparison, tie-break, and
+/// rendered row — instead of allocating a fresh `String` per comparison.
+#[derive(Debug, Default)]
+pub struct LabelCache {
+    labels: Vec<Option<Box<str>>>,
+}
+
+impl LabelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        LabelCache::default()
+    }
+
+    /// Make sure node `n` has a cached label, building it with `fill`
+    /// (which writes the label into the provided buffer) on first use.
+    pub fn ensure(&mut self, n: u32, fill: impl FnOnce(&mut String)) {
+        let i = n as usize;
+        if i >= self.labels.len() {
+            self.labels.resize(i + 1, None);
+        }
+        if self.labels[i].is_none() {
+            let mut buf = String::new();
+            fill(&mut buf);
+            self.labels[i] = Some(buf.into_boxed_str());
+        }
+    }
+
+    /// The cached label for `n` (empty when [`LabelCache::ensure`] has
+    /// not run for it).
+    pub fn peek(&self, n: u32) -> &str {
+        self.labels
+            .get(n as usize)
+            .and_then(|l| l.as_deref())
+            .unwrap_or("")
+    }
+
+    /// Cached label for `n`, building it on first use.
+    pub fn get(&mut self, n: u32, fill: impl FnOnce(&mut String)) -> &str {
+        self.ensure(n, fill);
+        self.labels[n as usize].as_deref().unwrap_or("")
+    }
+
+    /// Number of label slots (dense up to the highest ensured node id).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no label has been cached.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,5 +543,66 @@ mod tests {
             header: SourceLoc::new(f, 8),
         });
         assert_eq!(t.label(lp, &names), "loop at file2.c:8");
+    }
+
+    #[test]
+    fn generation_bumps_on_structure_and_columns() {
+        let mut t = ViewTree::new(StorageKind::Dense);
+        let g0 = t.generation();
+        let a = t.add_root(ViewScope::Procedure { proc: ProcId(0) });
+        let g1 = t.generation();
+        assert!(g1 > g0, "add_root must bump the generation");
+        t.add_child(a, ViewScope::Loop {
+            header: SourceLoc::new(FileId(0), 4),
+        });
+        let g2 = t.generation();
+        assert!(g2 > g1, "add_child must bump the generation");
+        let c = t.columns.add_column(crate::metrics::ColumnDesc {
+            name: "x".into(),
+            flavor: crate::metrics::ColumnFlavor::Inclusive(crate::ids::MetricId(0)),
+            visible: true,
+        });
+        assert!(t.generation() > g2, "column append must bump the generation");
+        let g3 = t.generation();
+        t.columns.set(c, a.0, 7.0);
+        assert!(t.generation() > g3, "column write must bump the generation");
+    }
+
+    #[test]
+    fn sort_cache_hits_and_invalidation() {
+        let mut cache = SortCache::new();
+        let key = SortKey::Column {
+            column: ColumnId(0),
+            dir: SortDir::Descending,
+        };
+        assert_eq!(cache.lookup(3, key, 10), None);
+        cache.insert(3, key, 10, vec![2, 0, 1]);
+        assert_eq!(cache.lookup(3, key, 10), Some(vec![2, 0, 1]));
+        // Stale generation misses; by-name entry is a distinct key.
+        assert_eq!(cache.lookup(3, key, 11), None);
+        assert_eq!(cache.lookup(3, SortKey::Name, 10), None);
+        let (hits, full_sorts) = cache.stats();
+        assert_eq!((hits, full_sorts), (1, 1));
+        cache.reset_stats();
+        assert_eq!(cache.stats(), (0, 0));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn label_cache_fills_once() {
+        let mut labels = LabelCache::new();
+        let mut fills = 0;
+        labels.ensure(5, |buf| {
+            fills += 1;
+            buf.push_str("main");
+        });
+        labels.ensure(5, |buf| {
+            fills += 1;
+            buf.push_str("never");
+        });
+        assert_eq!(fills, 1);
+        assert_eq!(labels.peek(5), "main");
+        assert_eq!(labels.peek(2), "", "unfilled slots read as empty");
+        assert_eq!(labels.get(1, |b| b.push_str("g")), "g");
     }
 }

@@ -27,4 +27,4 @@ pub mod parallel;
 
 pub use correlate::{correlate, Correlator, PerNodeCosts};
 pub use object_view::{object_view, render_object_view, ObjectLine, ObjectView};
-pub use parallel::ParallelCorrelator;
+pub use parallel::{IngestMode, ParallelCorrelator, SHARD_CUTOVER};

@@ -50,6 +50,31 @@ struct Shard {
     per_rank: Vec<PerNodeCosts>,
 }
 
+/// Below this many profiles the journal/replay machinery costs more
+/// than it saves; fall straight through to the sequential correlator.
+pub const SHARD_CUTOVER: usize = 4;
+
+/// How [`ParallelCorrelator::correlate`] will actually run for a given
+/// input size: a plain sequential `add` loop, or sharded fan-out with
+/// journal replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestMode {
+    /// One correlator fed rank-by-rank on the calling thread.
+    Sequential,
+    /// Contiguous rank shards on worker threads, merged by replay.
+    Sharded,
+}
+
+impl IngestMode {
+    /// Stable lowercase name, for bench records and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IngestMode::Sequential => "sequential",
+            IngestMode::Sharded => "sharded",
+        }
+    }
+}
+
 /// Sharded, deterministic parallel replacement for feeding N profiles
 /// through one [`Correlator`].
 pub struct ParallelCorrelator<'s> {
@@ -75,6 +100,17 @@ impl<'s> ParallelCorrelator<'s> {
         self
     }
 
+    /// The mode [`Self::correlate`] picks for `n_profiles` inputs:
+    /// sequential when only one worker would run or the input is below
+    /// [`SHARD_CUTOVER`], sharded otherwise.
+    pub fn mode_for(&self, n_profiles: usize) -> IngestMode {
+        if resolve_threads(self.threads) <= 1 || n_profiles < SHARD_CUTOVER {
+            IngestMode::Sequential
+        } else {
+            IngestMode::Sharded
+        }
+    }
+
     /// Correlate every profile (rank r = `profiles[r]`) and build the
     /// experiment. Returns the experiment plus each rank's direct
     /// per-node costs in canonical node ids — the same pair of results
@@ -84,6 +120,14 @@ impl<'s> ParallelCorrelator<'s> {
         profiles: &[RawProfile],
         storage: StorageKind,
     ) -> (Experiment, Vec<PerNodeCosts>) {
+        if self.mode_for(profiles.len()) == IngestMode::Sequential {
+            // One worker (or a tiny input): the journal/replay round
+            // trip is pure overhead, so feed a plain correlator.
+            let mut corr = Correlator::new(self.structure, self.periods);
+            let out: Vec<PerNodeCosts> = profiles.iter().map(|p| corr.add(p)).collect();
+            return (corr.finish(storage), out);
+        }
+
         // Fan out: contiguous rank chunks, one journaling correlator per
         // worker. chunked_map returns shards in ascending rank order.
         let shards: Vec<Shard> = chunked_map(profiles, self.threads, |_ci, batch| {
@@ -192,6 +236,32 @@ mod tests {
                 assert_eq!(a, b, "threads={threads} column {c:?}");
             }
         }
+    }
+
+    #[test]
+    fn mode_cuts_over_from_sequential_to_sharded() {
+        let (structure, _, cfg) = profiles_for(1);
+        let multi = ParallelCorrelator::new(&structure, cfg.periods).with_threads(4);
+        assert_eq!(multi.mode_for(SHARD_CUTOVER - 1), IngestMode::Sequential);
+        assert_eq!(multi.mode_for(SHARD_CUTOVER), IngestMode::Sharded);
+        // A single worker never shards, whatever the input size.
+        let single = ParallelCorrelator::new(&structure, cfg.periods).with_threads(1);
+        assert_eq!(single.mode_for(1_000), IngestMode::Sequential);
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_the_sequential_path() {
+        // Below the cutover the fallback must still produce the exact
+        // sequential result (it IS the sequential path).
+        let (structure, profiles, cfg) = profiles_for(SHARD_CUTOVER - 1);
+        let mut seq = Correlator::new(&structure, cfg.periods);
+        let seq_costs: Vec<PerNodeCosts> = profiles.iter().map(|p| seq.add(p)).collect();
+        let seq_exp = seq.finish(StorageKind::Dense);
+        let par = ParallelCorrelator::new(&structure, cfg.periods).with_threads(8);
+        assert_eq!(par.mode_for(profiles.len()), IngestMode::Sequential);
+        let (par_exp, par_costs) = par.correlate(&profiles, StorageKind::Dense);
+        assert_eq!(par_costs, seq_costs);
+        assert_eq!(par_exp.cct.len(), seq_exp.cct.len());
     }
 
     #[test]

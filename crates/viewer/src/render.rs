@@ -64,6 +64,31 @@ const HOT_ICON: &str = "🔥";
 /// Marker for binary-only scopes (no source: rendered "in plain black").
 const NO_SOURCE_MARK: &str = " †";
 
+/// Truncate a column/metric name longer than 18 characters to
+/// `{first 9}…{last 8}` — the tail usually carries the distinguishing
+/// part (metric flavor, summary statistic). Single pass over the char
+/// boundaries, no intermediate allocations; appends to `out`.
+pub(crate) fn write_truncated_name(name: &str, out: &mut String) {
+    let n_chars = name.chars().count();
+    if n_chars <= 18 {
+        out.push_str(name);
+        return;
+    }
+    let head_end = name
+        .char_indices()
+        .nth(9)
+        .map(|(i, _)| i)
+        .unwrap_or(name.len());
+    let tail_start = name
+        .char_indices()
+        .nth(n_chars - 8)
+        .map(|(i, _)| i)
+        .unwrap_or(name.len());
+    out.push_str(&name[..head_end]);
+    out.push('…');
+    out.push_str(&name[tail_start..]);
+}
+
 struct Renderer<'v, 'e> {
     view: &'v mut View<'e>,
     cfg: RenderConfig,
@@ -77,28 +102,24 @@ struct Renderer<'v, 'e> {
     label_buf: String,
     cells_buf: String,
     cell_buf: String,
+    // Interned per-node labels: sort comparisons and tie-breaks share one
+    // rendered label per node instead of allocating per comparison.
+    labels: LabelCache,
 }
 
 impl Renderer<'_, '_> {
     fn header(&mut self) {
+        use std::fmt::Write as _;
         let mut line = format!("{:width$}", "scope", width = self.cfg.label_width + 4);
         let descs = self.view.columns().descs().to_vec();
+        let mut shown = String::new();
         for &c in &self.cols {
             // Long derived-metric names are truncated so the table stays
             // aligned; the full name is available via --list-columns /
             // the column descriptor.
-            let name = &descs[c.index()].name;
-            let chars: Vec<char> = name.chars().collect();
-            let shown: String = if chars.len() > 18 {
-                // Keep head and tail: the tail usually carries the
-                // distinguishing part (metric flavor, summary statistic).
-                let head: String = chars[..9].iter().collect();
-                let tail: String = chars[chars.len() - 8..].iter().collect();
-                format!("{head}…{tail}")
-            } else {
-                name.clone()
-            };
-            line.push_str(&format!(" {shown:>18}"));
+            shown.clear();
+            write_truncated_name(&descs[c.index()].name, &mut shown);
+            let _ = write!(line, " {shown:>18}");
         }
         self.out.push_str(line.trim_end());
         self.out.push('\n');
@@ -180,9 +201,10 @@ impl Renderer<'_, '_> {
             return;
         }
         let mut kids = self.view.children(n);
-        self.sort_nodes(&mut kids);
-        let shown = kids.len().min(self.cfg.max_children);
-        let hidden = kids.len() - shown;
+        let total = kids.len();
+        let shown = total.min(self.cfg.max_children);
+        self.sort_visible(&mut kids, shown);
+        let hidden = total - shown;
         for &k in kids.iter().take(shown) {
             self.node(k, depth + 1, remaining - 1);
         }
@@ -193,30 +215,53 @@ impl Renderer<'_, '_> {
         }
     }
 
-    fn sort_nodes(&mut self, nodes: &mut [u32]) {
+    /// Order `nodes` so the first `shown` are what the pane displays.
+    /// Metric sorts over a truncated fan-out use top-k partial selection
+    /// (only the visible window is fully ordered — identical prefix to a
+    /// stable full sort); full expansion falls back to a full stable sort.
+    fn sort_visible(&mut self, nodes: &mut Vec<u32>, shown: usize) {
         if self.cfg.sort_by_name {
-            // Cached keys: one label per node instead of one per comparison.
-            nodes.sort_by_cached_key(|&n| self.view.label(n));
+            sort_nodes_with(self.view, &mut self.labels, nodes, SortKey::Name);
         } else if let Some(c) = self.cfg.sort {
-            sort_by_column(self.view, nodes, c);
+            if shown < nodes.len() {
+                top_k_by_column(
+                    self.view,
+                    &mut self.labels,
+                    nodes,
+                    c,
+                    SortDir::Descending,
+                    shown,
+                );
+            } else {
+                sort_nodes_with(
+                    self.view,
+                    &mut self.labels,
+                    nodes,
+                    SortKey::Column {
+                        column: c,
+                        dir: SortDir::Descending,
+                    },
+                );
+            }
         }
     }
 
     fn run(&mut self, roots: &[u32]) {
         self.header();
         let mut roots = roots.to_vec();
-        self.sort_nodes(&mut roots);
+        let total = roots.len();
+        let shown = total.min(self.cfg.max_children);
+        self.sort_visible(&mut roots, shown);
         let levels = match self.cfg.expand {
             ExpandMode::All => usize::MAX,
             ExpandMode::Levels(n) => n,
         };
-        let shown = roots.len().min(self.cfg.max_children);
         for &r in roots.iter().take(shown) {
             self.node(r, 0, levels.saturating_sub(1));
         }
-        if roots.len() > shown {
+        if total > shown {
             self.out
-                .push_str(&std::format!("… {} more\n", roots.len() - shown));
+                .push_str(&std::format!("… {} more\n", total - shown));
         }
     }
 }
@@ -248,6 +293,7 @@ fn make_renderer<'v, 'e>(view: &'v mut View<'e>, cfg: &RenderConfig) -> Renderer
         label_buf: String::new(),
         cells_buf: String::new(),
         cell_buf: String::new(),
+        labels: LabelCache::new(),
     }
 }
 
@@ -294,12 +340,13 @@ pub fn render_hot_path(
         r.emit_row(n, depth, true, true);
         if is_last {
             // Show where the path went cold: the children that each fell
-            // below the threshold.
+            // below the threshold. Only the shown window needs ordering.
             let mut kids = r.view.children(n);
+            let shown = kids.len().min(r.cfg.max_children.min(5));
             if let Some(c) = r.cfg.sort {
-                sort_by_column(r.view, &mut kids, c);
+                top_k_by_column(r.view, &mut r.labels, &mut kids, c, SortDir::Descending, shown);
             }
-            for k in kids.into_iter().take(r.cfg.max_children.min(5)) {
+            for k in kids.into_iter().take(shown) {
                 r.emit_row(k, depth + 1, false, false);
             }
         }
@@ -546,5 +593,27 @@ mod tests {
         let a = render(&mut View::calling_context(&exp), &RenderConfig::default());
         let b = render(&mut View::calling_context(&exp), &RenderConfig::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncated_names_keep_head_and_tail() {
+        let shown = |name: &str| {
+            let mut out = String::new();
+            write_truncated_name(name, &mut out);
+            out
+        };
+        // At or under 18 chars: untouched.
+        assert_eq!(shown(""), "");
+        assert_eq!(shown("PAPI_TOT_CYC (I)"), "PAPI_TOT_CYC (I)");
+        assert_eq!(shown("exactly_18_chars__"), "exactly_18_chars__");
+        // Over 18: first 9 + ellipsis + last 8, counted in chars.
+        assert_eq!(shown("PAPI_TOT_CYC (I) mean"), "PAPI_TOT_…(I) mean");
+        assert_eq!(shown("PAPI_TOT_CYC (I) mean").chars().count(), 18);
+        // Multi-byte chars truncate on char boundaries, not bytes.
+        let cyrillic = "цццццццццц_metric_(E)_stddev";
+        let t = shown(cyrillic);
+        assert_eq!(t.chars().count(), 18);
+        assert!(t.starts_with("ццццццццц"));
+        assert!(t.ends_with(")_stddev"));
     }
 }

@@ -17,8 +17,7 @@
 //! Commands return `Err` with a message instead of panicking, so a shell
 //! or test can drive the session blindly.
 
-use crate::render::{render_flattened, RenderConfig};
-use callpath_core::flat::flatten_once;
+use crate::render::{render_flattened, write_truncated_name, RenderConfig};
 use callpath_core::prelude::*;
 use callpath_core::source::SourceStore;
 use std::collections::HashSet;
@@ -84,6 +83,11 @@ pub struct Session<'e> {
     threshold: f64,
     hidden: HashSet<u32>,
     cfg: RenderConfig,
+    // Per-view query caches (indexed like `views`): cached child sort
+    // orders with generation-stamped invalidation, and interned per-node
+    // labels. Re-rendering an unchanged view costs lookups, not sorts.
+    sort_caches: [SortCache; 3],
+    label_caches: [LabelCache; 3],
 }
 
 fn idx(kind: ViewKind) -> usize {
@@ -109,7 +113,19 @@ impl<'e> Session<'e> {
             threshold: 0.5,
             hidden: HashSet::new(),
             cfg: RenderConfig::default(),
+            sort_caches: Default::default(),
+            label_caches: Default::default(),
         }
+    }
+
+    /// `(hits, full_sorts)` summed over the three per-view sort caches.
+    /// The acceptance hook for the tentpole: re-sorting or re-rendering
+    /// an already-built view must not grow `full_sorts`.
+    pub fn sort_stats(&self) -> (u64, u64) {
+        self.sort_caches.iter().fold((0, 0), |(h, f), c| {
+            let (ch, cf) = c.stats();
+            (h + ch, f + cf)
+        })
     }
 
     /// Which view is active.
@@ -151,12 +167,12 @@ impl<'e> Session<'e> {
         let mut roots = view.roots();
         if let (ViewKind::Flat, level) = (kind, state.flatten_level) {
             if level > 0 {
-                if let View::Flat { view: flat, .. } = view {
-                    let mut cur: Vec<ViewNodeId> =
+                if let View::Flat { exp, view: flat } = view {
+                    let cur: Vec<ViewNodeId> =
                         roots.iter().map(|&r| ViewNodeId(r)).collect();
-                    for _ in 0..level {
-                        cur = flatten_once(&flat.tree, &cur);
-                    }
+                    // The forcing variant: flattening must descend through
+                    // procedure interiors that haven't been filled yet.
+                    let cur = flat.flatten(exp, &cur, level);
                     roots = cur.iter().map(|n| n.0).collect();
                 }
             }
@@ -233,20 +249,25 @@ impl<'e> Session<'e> {
                 let start = match self.selected() {
                     Some(s) => s,
                     None => {
-                        let mut tops = self.top_level();
+                        let tops = self.top_level();
                         if tops.is_empty() {
                             return Err("empty view".into());
                         }
                         let sort = self.sort;
-                        {
-                            let view = self.view();
-                            tops.sort_by(|&a, &b| {
-                                view.value(sort, b)
-                                    .partial_cmp(&view.value(sort, a))
-                                    .unwrap_or(std::cmp::Ordering::Equal)
-                            });
+                        // Top-1 selection: a single max scan (first-max on
+                        // ties, like the stable descending sort it replaced)
+                        // instead of sorting the whole top level.
+                        let view = self.view();
+                        let mut best = tops[0];
+                        let mut best_v = view.value(sort, best);
+                        for &t in &tops[1..] {
+                            let v = view.value(sort, t);
+                            if v > best_v {
+                                best = t;
+                                best_v = v;
+                            }
                         }
-                        tops[0]
+                        best
                     }
                 };
                 let cfg = HotPathConfig {
@@ -314,11 +335,14 @@ impl<'e> Session<'e> {
                 let mut queue: std::collections::VecDeque<(u32, Vec<u32>)> =
                     tops.into_iter().map(|t| (t, vec![t])).collect();
                 let mut seen = HashSet::new();
+                let mut label_buf = String::new();
                 while let Some((n, path)) = queue.pop_front() {
                     if !seen.insert(n) {
                         continue;
                     }
-                    if self.view().label(n).contains(&needle) {
+                    label_buf.clear();
+                    self.view().write_label(n, &mut label_buf);
+                    if label_buf.contains(&needle) {
                         let state = &mut self.states[idx(self.kind)];
                         for &a in &path[..path.len() - 1] {
                             state.expanded.insert(a);
@@ -358,7 +382,11 @@ impl<'e> Session<'e> {
         let title = self.kind.title();
         let hidden = self.hidden.clone();
         let by_name = self.sort_by_name;
-        let view = self.view();
+        self.view(); // materialize, then split the field borrows below
+        let i = idx(self.kind);
+        let view = self.views[i].as_mut().expect("view materialized above");
+        let sort_cache = &mut self.sort_caches[i];
+        let labels = &mut self.label_caches[i];
 
         let mut out = format!("[{title}]\n");
         let cols: Vec<ColumnId> = view
@@ -368,19 +396,16 @@ impl<'e> Session<'e> {
             .collect();
         let mut header = format!("{:width$}", "scope", width = cfg.label_width + 4);
         let descs = view.columns().descs().to_vec();
-        for &c in &cols {
-            // Same head…tail truncation as the plain renderer, so the
-            // statistic/flavor suffix of long names stays readable.
-            let name = &descs[c.index()].name;
-            let chars: Vec<char> = name.chars().collect();
-            let shown: String = if chars.len() > 18 {
-                let head: String = chars[..9].iter().collect();
-                let tail: String = chars[chars.len() - 8..].iter().collect();
-                format!("{head}…{tail}")
-            } else {
-                name.clone()
-            };
-            header.push_str(&format!(" {shown:>18}"));
+        {
+            use std::fmt::Write as _;
+            let mut shown = String::new();
+            for &c in &cols {
+                // Same head…tail truncation as the plain renderer, so the
+                // statistic/flavor suffix of long names stays readable.
+                shown.clear();
+                write_truncated_name(&descs[c.index()].name, &mut shown);
+                let _ = write!(header, " {shown:>18}");
+            }
         }
         out.push_str(header.trim_end());
         out.push('\n');
@@ -390,8 +415,11 @@ impl<'e> Session<'e> {
             .map(|&c| view.experiment().aggregate(c))
             .collect();
 
+        #[allow(clippy::too_many_arguments)]
         fn emit(
             view: &mut View<'_>,
+            sort_cache: &mut SortCache,
+            labels: &mut LabelCache,
             n: u32,
             depth: usize,
             state: &super::session::SessionRenderCtx<'_>,
@@ -411,8 +439,8 @@ impl<'e> Session<'e> {
             if state.hot.contains(&n) {
                 label.push('🔥');
             }
-            let expandable = !view.children_if_built(n).is_empty()
-                || matches!(view, View::Callers { .. });
+            let expandable =
+                !view.children_if_built(n).is_empty() || view.may_expand(n);
             let marker = if state.expanded.contains(&n) {
                 "▼ "
             } else if expandable {
@@ -424,7 +452,7 @@ impl<'e> Session<'e> {
             if view.is_call(n) {
                 label.push_str("↪ ");
             }
-            label.push_str(&view.label(n));
+            label.push_str(labels.get(n, |buf| view.write_label(n, buf)));
             if !view.has_source(n) {
                 label.push_str(" †");
             }
@@ -444,47 +472,43 @@ impl<'e> Session<'e> {
                 cells.trim_end()
             ));
             if state.expanded.contains(&n) {
-                let mut kids = view.children(n);
-                if state.by_name {
-                    kids.sort_by_key(|&k| view.label(k));
-                } else {
-                    kids.sort_by(|&a, &b| {
-                        view.value(state.sort, b)
-                            .partial_cmp(&view.value(state.sort, a))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then_with(|| view.label(a).cmp(&view.label(b)))
-                    });
-                }
+                let kids = cached_order(view, sort_cache, labels, n as u64, state.key, |v| {
+                    v.children(n)
+                });
                 for k in kids {
-                    emit(view, k, depth + 1, state, out, rows, numbered);
+                    emit(view, sort_cache, labels, k, depth + 1, state, out, rows, numbered);
                 }
             }
         }
 
+        let key = if by_name {
+            SortKey::Name
+        } else {
+            SortKey::Column {
+                column: sort,
+                dir: SortDir::Descending,
+            }
+        };
         let ctx = SessionRenderCtx {
             selected: state.selected,
             hot: &state.hot,
             expanded: &state.expanded,
             cols: &cols,
             aggregates: &aggregates,
-            sort,
-            by_name,
+            key,
             cfg: &cfg,
         };
-        let mut sorted_tops = tops;
-        if by_name {
-            sorted_tops.sort_by_key(|&t| view.label(t));
+        // Top-level ordering goes through the same cache under a synthetic
+        // slot (per flatten level). Zoomed/singleton tops skip the sort.
+        let sorted_tops: Vec<u32> = if tops.len() <= 1 {
+            tops
         } else {
-            sorted_tops.sort_by(|&a, &b| {
-                view.value(sort, b)
-                    .partial_cmp(&view.value(sort, a))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| view.label(a).cmp(&view.label(b)))
-            });
-        }
+            let slot = TOP_SLOT_BASE + state.flatten_level as u64;
+            cached_order(view, sort_cache, labels, slot, key, move |_| tops)
+        };
         let mut rows: Vec<u32> = Vec::new();
         for t in sorted_tops {
-            emit(view, t, 0, &ctx, &mut out, &mut rows, numbered);
+            emit(view, sort_cache, labels, t, 0, &ctx, &mut out, &mut rows, numbered);
         }
 
         // Source pane for the selection. Re-borrow view immutably so the
@@ -520,9 +544,31 @@ struct SessionRenderCtx<'a> {
     expanded: &'a HashSet<u32>,
     cols: &'a [ColumnId],
     aggregates: &'a [f64],
-    sort: ColumnId,
-    by_name: bool,
+    key: SortKey,
     cfg: &'a RenderConfig,
+}
+
+/// A `(slot, key)` child ordering through the per-view [`SortCache`]:
+/// valid cached orderings are reused as-is; misses compute the node list,
+/// sort it via the interned [`LabelCache`], and stamp the entry with the
+/// generation observed *after* computing (lazy views may materialize
+/// children — and bump the generation — inside `nodes`).
+fn cached_order(
+    view: &mut View<'_>,
+    sort_cache: &mut SortCache,
+    labels: &mut LabelCache,
+    slot: u64,
+    key: SortKey,
+    nodes: impl FnOnce(&mut View<'_>) -> Vec<u32>,
+) -> Vec<u32> {
+    let generation = view.generation();
+    if let Some(order) = sort_cache.lookup(slot, key, generation) {
+        return order;
+    }
+    let mut out = nodes(view);
+    sort_nodes_with(view, labels, &mut out, key);
+    sort_cache.insert(slot, key, view.generation(), out.clone());
+    out
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ use callpath_workloads::{pipeline, s3d};
 
 fn flux_loop_cycles(exp: &Experiment) -> f64 {
     let cyc_e = exp.exclusive_col(exp.raw.find("PAPI_TOT_CYC").unwrap());
-    let flat = FlatView::build(exp, StorageKind::Dense);
+    let flat = FlatView::build_eager(exp, StorageKind::Dense);
     let mut stack: Vec<ViewNodeId> = flat.tree.roots();
     while let Some(n) = stack.pop() {
         if flat.tree.label(n, &exp.cct.names).starts_with("loop at diffflux.f90") {
@@ -72,11 +72,9 @@ fn main() {
 
     // Flatten the Flat View down to loops and sort by waste — exactly the
     // paper's Fig. 6 workflow.
-    let flat = FlatView::build(&exp, StorageKind::Dense);
-    let mut level = flat.tree.roots();
-    for _ in 0..3 {
-        level = callpath_core::flat::flatten_once(&flat.tree, &level);
-    }
+    let mut flat = FlatView::build(&exp, StorageKind::Dense);
+    let roots = flat.tree.roots();
+    let level = flat.flatten(&exp, &roots, 3);
     let ids: Vec<u32> = level.iter().map(|n| n.0).collect();
     let mut flat_view = View::Flat { exp: &exp, view: flat };
     println!("=== Fig. 6: loops flattened & sorted by derived FP waste ===");

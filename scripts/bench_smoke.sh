@@ -1,6 +1,10 @@
 #!/usr/bin/env sh
-# Perf smoke: 64-rank ingestion under a wall-clock budget, in release
-# mode. Writes BENCH_ingestion_smoke.json at the repo root.
+# Perf smoke, in release mode:
+#  * 64-rank ingestion under a wall-clock budget
+#    -> BENCH_ingestion_smoke.json at the repo root;
+#  * interactive navigation latency (expand-all / warm re-sort /
+#    hot-path walk) -> BENCH_session_nav.json at the repo root.
 set -eu
 cd "$(dirname "$0")/.."
 cargo test --release --test perf_smoke -- --ignored --nocapture
+cargo test --release --test session_nav -- --ignored --nocapture

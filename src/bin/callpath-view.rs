@@ -255,11 +255,9 @@ fn run() -> Result<(), String> {
         if args.view != "flat" {
             return Err("--flatten applies to --view flat".into());
         }
-        if let View::Flat { view: flat, .. } = &view {
-            let mut level = flat.tree.roots();
-            for _ in 0..args.flatten {
-                level = callpath_core::flat::flatten_once(&flat.tree, &level);
-            }
+        if let View::Flat { exp, view: flat } = &mut view {
+            let roots = flat.tree.roots();
+            let level = flat.flatten(exp, &roots, args.flatten as usize);
             let ids: Vec<u32> = level.iter().map(|n| n.0).collect();
             print!(
                 "{}",

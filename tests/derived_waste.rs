@@ -37,7 +37,7 @@ fn build(cfg: s3d::S3dConfig) -> (Experiment, ColumnId, ColumnId) {
 
 /// All loop nodes of the Flat View, as (label, view node id).
 fn flat_loops(exp: &Experiment) -> (FlatView, Vec<(String, u32)>) {
-    let flat = FlatView::build(exp, StorageKind::Dense);
+    let flat = FlatView::build_eager(exp, StorageKind::Dense);
     let mut out = Vec::new();
     let mut stack: Vec<ViewNodeId> = flat.tree.roots();
     while let Some(n) = stack.pop() {
@@ -148,11 +148,9 @@ fn sorting_by_derived_metric_beats_mental_arithmetic() {
     // The paper's point: a derived column can drive the sort. Render the
     // flattened loop list sorted by waste and check the flux loop leads.
     let (exp, waste, eff) = build(s3d::S3dConfig::default());
-    let flat = FlatView::build(&exp, StorageKind::Dense);
-    let mut roots = flat.tree.roots();
-    for _ in 0..3 {
-        roots = callpath_core::flat::flatten_once(&flat.tree, &roots);
-    }
+    let mut flat = FlatView::build(&exp, StorageKind::Dense);
+    let start = flat.tree.roots();
+    let roots = flat.flatten(&exp, &start, 3);
     let ids: Vec<u32> = roots.iter().map(|n| n.0).collect();
     let mut view = View::Flat { exp: &exp, view: flat };
     let text = render_flattened(

@@ -131,13 +131,12 @@ fn flattening_exposes_loops_for_cross_routine_comparison() {
     // Fig. 6's flattening use-case: strip modules/files/procedures so
     // loops in different routines can be compared side by side.
     let exp = build();
-    let flat = FlatView::build(&exp, StorageKind::Dense);
-    let mut roots = flat.tree.roots();
+    let mut flat = FlatView::build(&exp, StorageKind::Dense);
+    let start = flat.tree.roots();
     // Three flattening steps strip module -> file -> procedure, leaving
-    // loops (and call sites) side by side.
-    for _ in 0..3 {
-        roots = flatten_once(&flat.tree, &roots);
-    }
+    // loops (and call sites) side by side. The forcing variant fills the
+    // lazy shell as it descends.
+    let roots = flat.flatten(&exp, &start, 3);
     let labels: Vec<String> = roots
         .iter()
         .map(|&n| flat.tree.label(n, &exp.cct.names))

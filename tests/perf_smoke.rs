@@ -56,10 +56,10 @@ fn sixty_four_rank_ingestion_smoke() {
     let seq_exp = corr.finish(StorageKind::Dense);
     let sequential = t.elapsed();
 
+    let par = ParallelCorrelator::new(&structure, cfg.periods).with_threads(0);
+    let mode = par.mode_for(profiles.len());
     let t = Instant::now();
-    let (par_exp, _) = ParallelCorrelator::new(&structure, cfg.periods)
-        .with_threads(0)
-        .correlate(&profiles, StorageKind::Csr);
+    let (par_exp, _) = par.correlate(&profiles, StorageKind::Csr);
     let parallel = t.elapsed();
 
     assert_eq!(seq_exp.cct.len(), par_exp.cct.len());
@@ -78,6 +78,7 @@ fn sixty_four_rank_ingestion_smoke() {
             "  \"bench\": \"ingestion_smoke\",\n",
             "  \"n_ranks\": {},\n",
             "  \"cores\": {},\n",
+            "  \"mode\": \"{}\",\n",
             "  \"cct_nodes\": {},\n",
             "  \"setup_ms\": {:.3},\n",
             "  \"sequential_ingest_ms\": {:.3},\n",
@@ -88,6 +89,7 @@ fn sixty_four_rank_ingestion_smoke() {
         ),
         N_RANKS,
         cores,
+        mode.as_str(),
         par_exp.cct.len(),
         setup.as_secs_f64() * 1e3,
         sequential.as_secs_f64() * 1e3,

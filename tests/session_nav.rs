@@ -1,0 +1,122 @@
+//! Navigation-latency smoke test (run via `scripts/bench_smoke.sh`):
+//! drive an interactive [`Session`] over the S3D workload through the
+//! three hot interactive operations — expand-everything, re-sort on a
+//! warm view, hot-path walk — and emit p50/p95 per-operation latencies
+//! as a JSON perf record (`BENCH_session_nav.json`).
+//!
+//! `#[ignore]`d by default: latency numbers belong in release builds on
+//! a quiet machine, not in every `cargo test` run.
+
+use callpath_core::prelude::*;
+use callpath_core::source::SourceStore;
+use callpath_profiler::ExecConfig;
+use callpath_viewer::{Command, Session};
+use callpath_workloads::{pipeline, s3d};
+use std::time::{Duration, Instant};
+
+const SAMPLES: usize = 40;
+
+fn expand_all(session: &mut Session<'_>) {
+    loop {
+        let (_, rows) = session.render_numbered();
+        let before = rows.len();
+        for n in rows {
+            session.apply(Command::Expand(n)).ok();
+        }
+        let (_, rows) = session.render_numbered();
+        if rows.len() == before {
+            break;
+        }
+    }
+}
+
+/// p50 and p95 (nearest-rank) of a latency sample, in milliseconds.
+fn percentiles(mut samples: Vec<Duration>) -> (f64, f64) {
+    samples.sort_unstable();
+    let rank = |p: f64| {
+        let i = ((p * samples.len() as f64).ceil() as usize).max(1) - 1;
+        samples[i.min(samples.len() - 1)].as_secs_f64() * 1e3
+    };
+    (rank(0.50), rank(0.95))
+}
+
+#[test]
+#[ignore = "latency smoke test; run via scripts/bench_smoke.sh"]
+fn session_navigation_latency_smoke() {
+    let exp = pipeline::build_experiment(
+        &s3d::program(s3d::S3dConfig::default()),
+        &ExecConfig::default(),
+    );
+
+    // Cold expand-everything: fresh session each sample, so lazy fills
+    // and first-time sorts are inside the measurement.
+    let mut expand = Vec::with_capacity(SAMPLES);
+    let mut rows = 0;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        let mut s = Session::new(&exp, SourceStore::new());
+        expand_all(&mut s);
+        rows = s.render().lines().count();
+        expand.push(t.elapsed());
+    }
+
+    // Warm re-sort: one fully expanded session, flip the sort column.
+    let mut s = Session::new(&exp, SourceStore::new());
+    expand_all(&mut s);
+    s.apply(Command::SortBy(ColumnId(1))).unwrap();
+    s.render();
+    s.apply(Command::SortBy(ColumnId(0))).unwrap();
+    s.render();
+    let (_, sorts_before) = s.sort_stats();
+    let mut resort = Vec::with_capacity(SAMPLES);
+    for i in 0..SAMPLES {
+        let t = Instant::now();
+        s.apply(Command::SortBy(ColumnId((i % 2) as u32))).unwrap();
+        s.render();
+        resort.push(t.elapsed());
+    }
+    let (_, sorts_after) = s.sort_stats();
+    assert_eq!(
+        sorts_after, sorts_before,
+        "warm re-sort must be cache-served"
+    );
+
+    // Hot-path walk: analysis from the top plus a re-render.
+    let mut s = Session::new(&exp, SourceStore::new());
+    let mut hot = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        s.apply(Command::HotPath).unwrap();
+        s.render();
+        hot.push(t.elapsed());
+    }
+
+    let (expand_p50, expand_p95) = percentiles(expand);
+    let (resort_p50, resort_p95) = percentiles(resort);
+    let (hot_p50, hot_p95) = percentiles(hot);
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let record = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"session_nav\",\n",
+            "  \"workload\": \"s3d\",\n",
+            "  \"cores\": {},\n",
+            "  \"rows\": {},\n",
+            "  \"samples\": {},\n",
+            "  \"expand_all_p50_ms\": {:.3},\n",
+            "  \"expand_all_p95_ms\": {:.3},\n",
+            "  \"resort_p50_ms\": {:.3},\n",
+            "  \"resort_p95_ms\": {:.3},\n",
+            "  \"hot_path_p50_ms\": {:.3},\n",
+            "  \"hot_path_p95_ms\": {:.3}\n",
+            "}}\n"
+        ),
+        cores, rows, SAMPLES,
+        expand_p50, expand_p95,
+        resort_p50, resort_p95,
+        hot_p50, hot_p95,
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_session_nav.json");
+    std::fs::write(&path, &record).expect("write perf record");
+    println!("perf record written to {}:\n{record}", path.display());
+}
