@@ -217,10 +217,16 @@ mod tests {
             hot_caller,
             vec![
                 Op::call(22, work),
-                Op::work(23, Costs::cycles(0).with(callpath_profiler::Counter::Cycles, 1)),
+                Op::work(
+                    23,
+                    Costs::cycles(0).with(callpath_profiler::Counter::Cycles, 1),
+                ),
             ],
         );
-        b.body(main, vec![Op::call(3, cheap_caller), Op::call(4, hot_caller)]);
+        b.body(
+            main,
+            vec![Op::call(3, cheap_caller), Op::call(4, hot_caller)],
+        );
         b.entry(main);
         let bin = lower(&b.build());
         let cfg = ExecConfig {

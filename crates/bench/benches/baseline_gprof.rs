@@ -36,22 +36,16 @@ fn bench(c: &mut Criterion) {
             &(),
             |b, _| b.iter(|| analyze(&binary, &res, 1_009).flat.len()),
         );
-        group.bench_with_input(
-            BenchmarkId::new("cct_correlation", name),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    correlate(&structure, &res.profile, cfg.periods, StorageKind::Dense)
-                        .cct
-                        .len()
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("structure_recovery", name),
-            &(),
-            |b, _| b.iter(|| recover(&binary).unwrap().scope_count()),
-        );
+        group.bench_with_input(BenchmarkId::new("cct_correlation", name), &(), |b, _| {
+            b.iter(|| {
+                correlate(&structure, &res.profile, cfg.periods, StorageKind::Dense)
+                    .cct
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("structure_recovery", name), &(), |b, _| {
+            b.iter(|| recover(&binary).unwrap().scope_count())
+        });
     }
     group.finish();
 }

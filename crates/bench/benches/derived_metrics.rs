@@ -18,12 +18,8 @@ fn bench(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
 
-    group.bench_function("parse_waste", |b| {
-        b.iter(|| Expr::parse(WASTE).unwrap())
-    });
-    group.bench_function("parse_gnarly", |b| {
-        b.iter(|| Expr::parse(GNARLY).unwrap())
-    });
+    group.bench_function("parse_waste", |b| b.iter(|| Expr::parse(WASTE).unwrap()));
+    group.bench_function("parse_gnarly", |b| b.iter(|| Expr::parse(GNARLY).unwrap()));
 
     let expr = Expr::parse(GNARLY).unwrap();
     let cols = [1234.5, 6789.0, 42.0, 99.9];

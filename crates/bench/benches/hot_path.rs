@@ -31,13 +31,17 @@ fn bench(c: &mut Criterion) {
     // Threshold sweep on a large random CCT.
     let big = sized_experiment(100_000);
     for t in [0.3, 0.5, 0.7] {
-        group.bench_with_input(BenchmarkId::new("threshold", format!("{t}")), &t, |b, &t| {
-            b.iter(|| {
-                let mut view = View::calling_context(&big);
-                let roots = view.roots();
-                view.hot_path(roots[0], CYC_I, HotPathConfig::with_threshold(t))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("threshold", format!("{t}")),
+            &t,
+            |b, &t| {
+                b.iter(|| {
+                    let mut view = View::calling_context(&big);
+                    let roots = view.roots();
+                    view.hot_path(roots[0], CYC_I, HotPathConfig::with_threshold(t))
+                })
+            },
+        );
     }
 
     // Hot path through the *lazy* Callers View (materializes children on

@@ -23,7 +23,11 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("merge_experiments", size),
             &(&a, &b),
             |bch, (a, b)| {
-                bch.iter(|| merge_experiments(a, "A", b, "B", StorageKind::Dense).cct.len())
+                bch.iter(|| {
+                    merge_experiments(a, "A", b, "B", StorageKind::Dense)
+                        .cct
+                        .len()
+                })
             },
         );
         group.bench_with_input(

@@ -22,19 +22,11 @@ fn bench(c: &mut Criterion) {
 
     for &size in &[1_000usize, 10_000, 100_000] {
         let exp = sized_experiment(size);
-        group.bench_with_input(
-            BenchmarkId::new("attribute_all", size),
-            &exp,
-            |b, exp| {
-                b.iter(|| {
-                    callpath_core::attribution::attribute_all(
-                        &exp.cct,
-                        &exp.raw,
-                        StorageKind::Dense,
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("attribute_all", size), &exp, |b, exp| {
+            b.iter(|| {
+                callpath_core::attribution::attribute_all(&exp.cct, &exp.raw, StorageKind::Dense)
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("callers_view_lazy", size),
             &exp,

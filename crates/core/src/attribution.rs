@@ -272,7 +272,11 @@ mod tests {
         assert_eq!(a.inclusive_at(callee), 9.0);
         assert_eq!(a.exclusive_at(callee), 9.0);
         assert_eq!(a.inclusive_at(root), 10.0, "root inclusive = program total");
-        assert_eq!(a.exclusive_at(root), 0.0, "root is dynamic: blank exclusive");
+        assert_eq!(
+            a.exclusive_at(root),
+            0.0,
+            "root is dynamic: blank exclusive"
+        );
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //! materialize on first expansion. `CallersView::fully_expand` provides
 //! the eager variant for the ablation bench.
 
-use crate::exposure::exposed;
 use crate::experiment::Experiment;
+use crate::exposure::exposed;
 use crate::ids::{ColumnId, MetricId, NodeId, ProcId, ViewNodeId};
 use crate::metrics::StorageKind;
 use crate::scope::ScopeKind;

@@ -248,7 +248,9 @@ impl Cct {
                         return Err(format!("non-root node {n:?} has Root kind"));
                     }
                 }
-                ScopeKind::Loop { .. } | ScopeKind::Stmt { .. } | ScopeKind::InlinedFrame { .. } => {
+                ScopeKind::Loop { .. }
+                | ScopeKind::Stmt { .. }
+                | ScopeKind::InlinedFrame { .. } => {
                     if self.enclosing_frame_like(n).is_none()
                         || self
                             .parent(n)

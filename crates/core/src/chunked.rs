@@ -60,7 +60,7 @@ where
 /// [`chunked_map`] followed by a left fold of the partials in chunk
 /// order: `reduce(acc, partial)` sees partials for items `0..k` before
 /// the partial for items `k..`. Returns `None` when `items` is empty.
-pub fn chunked_reduce<T, A, F, R>(items: &[T], threads: usize, map: F, mut reduce: R) -> Option<A>
+pub fn chunked_reduce<T, A, F, R>(items: &[T], threads: usize, map: F, reduce: R) -> Option<A>
 where
     T: Sync,
     A: Send,
@@ -69,7 +69,7 @@ where
 {
     let mut partials = chunked_map(items, threads, map).into_iter();
     let first = partials.next()?;
-    Some(partials.fold(first, |acc, p| reduce(acc, p)))
+    Some(partials.fold(first, reduce))
 }
 
 #[cfg(test)]
@@ -89,9 +89,8 @@ mod tests {
     #[test]
     fn reduce_is_deterministic_across_thread_counts() {
         let items: Vec<f64> = (1..=50).map(|i| i as f64).collect();
-        let sum = |t| {
-            chunked_reduce(&items, t, |_ci, c| c.iter().sum::<f64>(), |a, b| a + b).unwrap()
-        };
+        let sum =
+            |t| chunked_reduce(&items, t, |_ci, c| c.iter().sum::<f64>(), |a, b| a + b).unwrap();
         let expect = sum(1);
         for t in [2, 4, 7] {
             assert_eq!(sum(t), expect);
@@ -112,6 +111,9 @@ mod tests {
     fn empty_input_spawns_nothing() {
         let items: Vec<u32> = Vec::new();
         assert!(chunked_map(&items, 4, |_, c| c.len()).is_empty());
-        assert_eq!(chunked_reduce(&items, 4, |_, c| c.len(), |a, b| a + b), None);
+        assert_eq!(
+            chunked_reduce(&items, 4, |_, c| c.len(), |a, b| a + b),
+            None
+        );
     }
 }

@@ -307,7 +307,11 @@ impl Expr {
             Expr::Num(_) => {}
             Expr::Col(i) | Expr::Agg(i) => out.push(*i),
             Expr::Neg(e) => e.collect_refs(out),
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) | Expr::Pow(a, b) => {
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Pow(a, b) => {
                 a.collect_refs(out);
                 b.collect_refs(out);
             }
@@ -468,7 +472,9 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let name = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_owned();
+        let name = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .to_owned();
         self.skip_ws();
         let func = Func::from_name(&name)
             .ok_or_else(|| self.err(&format!("unknown function '{name}'")))?;

@@ -79,12 +79,7 @@ impl NameMap<'_> {
 /// Copy one experiment's CCT and direct costs into the merged experiment
 /// under construction. `metric_base` is the index of this side's first
 /// metric in the merged metric list.
-fn fold_in(
-    exp: &Experiment,
-    cct: &mut Cct,
-    raw: &mut RawMetrics,
-    metric_base: usize,
-) {
+fn fold_in(exp: &Experiment, cct: &mut Cct, raw: &mut RawMetrics, metric_base: usize) {
     let map = NameMap {
         src: &exp.cct.names,
     };
@@ -202,7 +197,10 @@ pub fn scaling_loss(
     let loss_frac = merged
         .add_derived(
             "% scaling loss",
-            &format!("(${} - {} * ${}) / @{}", peer_incl.0, expected_scale, base_incl.0, peer_incl.0),
+            &format!(
+                "(${} - {} * ${}) / @{}",
+                peer_incl.0, expected_scale, base_incl.0, peer_incl.0
+            ),
         )
         .map_err(|e| e.to_string())?;
     Ok(ScalingAnalysis {
@@ -218,7 +216,6 @@ pub fn scaling_loss(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     /// Build a small experiment: main -> {fast, slow}, with the slow
     /// frame's statement cost parameterized.
@@ -326,11 +323,15 @@ mod tests {
             })
             .unwrap();
         assert_eq!(
-            merged.columns.get(merged.inclusive_col(MetricId(0)), extra_node.0),
+            merged
+                .columns
+                .get(merged.inclusive_col(MetricId(0)), extra_node.0),
             0.0
         );
         assert_eq!(
-            merged.columns.get(merged.inclusive_col(MetricId(1)), extra_node.0),
+            merged
+                .columns
+                .get(merged.inclusive_col(MetricId(1)), extra_node.0),
             50.0
         );
     }

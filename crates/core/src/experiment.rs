@@ -132,6 +132,41 @@ impl Experiment {
         }
     }
 
+    /// Assemble an experiment from a lazily backed store (format-v2
+    /// databases): `raw` and `columns` should have a
+    /// [`crate::metrics::ColumnSource`] attached, `aggregates` come from
+    /// the stored per-column totals, and `derived` carries the parsed
+    /// formulas of any derived columns already present in `columns`.
+    ///
+    /// Nothing is attributed here — that is the point. The attribution
+    /// cache starts *stale* (generation deliberately mismatched), so the
+    /// first caller of [`Experiment::attributions`] — the callers/flat
+    /// view path — computes it then, faulting the raw columns in. The
+    /// calling-context view reads `columns` directly and faults only the
+    /// columns it renders.
+    pub fn open_lazy(
+        cct: Cct,
+        raw: RawMetrics,
+        columns: ColumnSet,
+        derived: Vec<(ColumnId, Expr)>,
+        aggregates: Vec<f64>,
+        storage: StorageKind,
+    ) -> Self {
+        let stale = raw.generation().wrapping_sub(1);
+        Experiment {
+            cct,
+            raw,
+            attr_cache: RwLock::new(AttrCache {
+                generation: stale,
+                attributions: Arc::new(Vec::new()),
+            }),
+            columns,
+            derived,
+            aggregates,
+            storage,
+        }
+    }
+
     /// Column id of the inclusive projection of metric `m`.
     pub fn inclusive_col(&self, m: MetricId) -> ColumnId {
         ColumnId(m.0 * 2)
@@ -285,7 +320,7 @@ impl Experiment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use crate::metrics::MetricDesc;
     use crate::names::{NameTable, SourceLoc};
     use crate::scope::ScopeKind;

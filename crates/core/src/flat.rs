@@ -29,8 +29,8 @@
 //! demand; the free [`flatten_once`]/[`flatten`] functions remain for
 //! trees that are already fully forced.
 
-use crate::exposure::exposed;
 use crate::experiment::Experiment;
+use crate::exposure::exposed;
 use crate::ids::{MetricId, ViewNodeId};
 use crate::metrics::StorageKind;
 use crate::scope::ScopeKind;
@@ -57,23 +57,24 @@ impl FlatView {
 
         // (parent, scope) -> node index, to avoid quadratic sibling scans.
         let mut index: HashMap<(Option<ViewNodeId>, ViewScope), ViewNodeId> = HashMap::new();
-        let mut node_at = |tree: &mut ViewTree,
-                           parent: Option<ViewNodeId>,
-                           scope: ViewScope|
-         -> ViewNodeId {
-            *index.entry((parent, scope)).or_insert_with(|| match parent {
-                Some(p) => tree.add_child(p, scope),
-                None => tree.add_root(scope),
-            })
-        };
+        let mut node_at =
+            |tree: &mut ViewTree, parent: Option<ViewNodeId>, scope: ViewScope| -> ViewNodeId {
+                *index
+                    .entry((parent, scope))
+                    .or_insert_with(|| match parent {
+                        Some(p) => tree.add_child(p, scope),
+                        None => tree.add_root(scope),
+                    })
+            };
 
         for n in exp.cct.all_nodes() {
-            if let ScopeKind::Frame { proc, module, def, .. } = *exp.cct.kind(n) {
+            if let ScopeKind::Frame {
+                proc, module, def, ..
+            } = *exp.cct.kind(n)
+            {
                 let m_node = node_at(&mut tree, None, ViewScope::Module { module });
-                let f_node =
-                    node_at(&mut tree, Some(m_node), ViewScope::File { file: def.file });
-                let p_node =
-                    node_at(&mut tree, Some(f_node), ViewScope::Procedure { proc });
+                let f_node = node_at(&mut tree, Some(m_node), ViewScope::File { file: def.file });
+                let p_node = node_at(&mut tree, Some(f_node), ViewScope::Procedure { proc });
                 tree.push_instance(m_node, n);
                 tree.push_instance(f_node, n);
                 tree.push_instance(p_node, n);
@@ -404,7 +405,12 @@ mod tests {
         view.tree.columns.get(ColumnId(col), n.0)
     }
 
-    fn find(view: &FlatView, exp: &Experiment, parent: Option<ViewNodeId>, label: &str) -> ViewNodeId {
+    fn find(
+        view: &FlatView,
+        exp: &Experiment,
+        parent: Option<ViewNodeId>,
+        label: &str,
+    ) -> ViewNodeId {
         let candidates = match parent {
             Some(p) => view.tree.children(p),
             None => view.tree.roots(),

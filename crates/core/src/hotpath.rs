@@ -168,7 +168,9 @@ mod tests {
     fn max_depth_bounds_descent() {
         // A unary chain where every child retains 100% of the cost.
         let n = 1000;
-        let kids: Vec<Vec<usize>> = (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect();
+        let kids: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+            .collect();
         let vals = vec![1.0; n];
         let cfg = HotPathConfig {
             threshold: 0.5,

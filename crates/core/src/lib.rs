@@ -100,8 +100,8 @@ pub mod prelude {
     pub use crate::hotpath::{hot_path, HotPathConfig};
     pub use crate::ids::{ColumnId, FileId, LoadModuleId, MetricId, NodeId, ProcId, ViewNodeId};
     pub use crate::metrics::{
-        ColumnBuilder, ColumnDesc, ColumnFlavor, ColumnSet, CsrColumn, MetricDesc, MetricVec,
-        NonzeroSorted, RawMetrics, StorageKind,
+        ColumnBuilder, ColumnDesc, ColumnFlavor, ColumnSet, ColumnSource, CsrColumn, MetricDesc,
+        MetricVec, NonzeroSorted, RawMetrics, StorageKind,
     };
     pub use crate::names::{NameTable, SourceLoc};
     pub use crate::scope::{ScopeKind, StaticKey};

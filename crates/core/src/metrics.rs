@@ -22,6 +22,98 @@
 use crate::ids::{ColumnId, MetricId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// On-demand provider of column contents, the hook behind lazily opened
+/// experiment databases (format v2): a [`ColumnSet`] or [`RawMetrics`]
+/// with a source attached starts with **no resident column data** and
+/// faults each column in on first touch, so opening a database costs
+/// only topology decoding and untouched metric columns are never paid
+/// for.
+///
+/// Both methods return entries **sorted ascending by node id** with no
+/// duplicates; they are called at most once per column/metric (results
+/// are cached in the owning set). A `Err(reason)` materializes the
+/// column as all-zeros and is surfaced through
+/// [`ColumnSet::lazy_error`] / [`RawMetrics::lazy_error`] instead of
+/// panicking, so a corrupt block discovered mid-render degrades rather
+/// than aborts.
+pub trait ColumnSource: Send + Sync + std::fmt::Debug {
+    /// Sorted non-zero `(node, value)` entries of presentation column `c`.
+    fn load_column(&self, c: ColumnId) -> Result<Vec<(u32, f64)>, String>;
+    /// Sorted non-zero direct-cost entries of raw metric `m`.
+    fn load_raw(&self, m: MetricId) -> Result<Vec<(u32, f64)>, String>;
+}
+
+/// Lazy-fault bookkeeping shared by [`ColumnSet`] and [`RawMetrics`]:
+/// one [`OnceLock`] slot per lazily backed column, filled from the
+/// source on first touch. Faulting a column in does **not** bump the
+/// owner's generation: a fault happens on the *first* read, so no
+/// cached ordering can ever have observed the pre-fault zeros — the
+/// PR 2 sort-cache invariants hold unchanged.
+#[derive(Debug, Default)]
+struct LazySlots {
+    source: Option<Arc<dyn ColumnSource>>,
+    slots: Vec<OnceLock<MetricVec>>,
+    /// First load failure, kept for diagnostics (the column reads as
+    /// zeros from then on).
+    error: OnceLock<String>,
+}
+
+impl Clone for LazySlots {
+    fn clone(&self) -> Self {
+        LazySlots {
+            source: self.source.clone(),
+            slots: self.slots.clone(),
+            error: self.error.clone(),
+        }
+    }
+}
+
+impl LazySlots {
+    fn attach(&mut self, source: Arc<dyn ColumnSource>, count: usize) {
+        self.source = Some(source);
+        self.slots = (0..count).map(|_| OnceLock::new()).collect();
+    }
+
+    /// Is `index` inside the lazily backed prefix?
+    fn covers(&self, index: usize) -> bool {
+        self.source.is_some() && index < self.slots.len()
+    }
+
+    /// Resolve slot `index`, faulting it in via `load` on first touch.
+    fn fault(
+        &self,
+        index: usize,
+        storage: StorageKind,
+        load: impl FnOnce(&dyn ColumnSource) -> Result<Vec<(u32, f64)>, String>,
+    ) -> Option<&MetricVec> {
+        if !self.covers(index) {
+            return None;
+        }
+        let source = self.source.as_deref()?;
+        Some(self.slots[index].get_or_init(|| match load(source) {
+            Ok(entries) => MetricVec::from_sorted(storage, entries),
+            Err(reason) => {
+                let _ = self.error.set(reason);
+                empty_vec(storage)
+            }
+        }))
+    }
+
+    /// Number of slots already faulted in.
+    fn resident(&self) -> usize {
+        self.slots.iter().filter(|s| s.get().is_some()).count()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .filter_map(|s| s.get())
+            .map(MetricVec::heap_bytes)
+            .sum()
+    }
+}
 
 /// Description of a raw (measured) metric.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -198,9 +290,7 @@ impl CsrColumn {
         let mut vals = Vec::with_capacity(self.keys.len() + okeys.len());
         let (mut i, mut j) = (0, 0);
         while i < self.keys.len() || j < okeys.len() {
-            let (k, v) = if j >= okeys.len()
-                || (i < self.keys.len() && self.keys[i] < okeys[j])
-            {
+            let (k, v) = if j >= okeys.len() || (i < self.keys.len() && self.keys[i] < okeys[j]) {
                 let e = (self.keys[i], self.vals[i]);
                 i += 1;
                 e
@@ -332,6 +422,32 @@ impl MetricVec {
     /// An empty sorted columnar column.
     pub fn csr() -> Self {
         MetricVec::Csr(CsrColumn::new())
+    }
+
+    /// Build a column of the given storage flavor from entries sorted
+    /// ascending by node id (no duplicates) — the shape lazy column
+    /// sources and frozen reductions hand over.
+    pub fn from_sorted(storage: StorageKind, entries: Vec<(u32, f64)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        match storage {
+            StorageKind::Dense => {
+                let len = entries.last().map(|&(k, _)| k as usize + 1).unwrap_or(0);
+                let mut v = vec![0.0; len];
+                for (k, x) in entries {
+                    v[k as usize] = x;
+                }
+                MetricVec::Dense(v)
+            }
+            StorageKind::Sparse => MetricVec::Sparse(entries.into_iter().collect()),
+            StorageKind::Csr => {
+                let (keys, vals) = entries.into_iter().unzip();
+                MetricVec::Csr(CsrColumn {
+                    keys,
+                    vals,
+                    pending: Vec::new(),
+                })
+            }
+        }
     }
 
     /// Value at `node` (0.0 when absent).
@@ -525,6 +641,12 @@ pub struct RawMetrics {
     storage: StorageKind,
     /// Bumped by every mutation; caches key on it ([`RawMetrics::generation`]).
     generation: u64,
+    /// Lazy-fault slots for metrics backed by a [`ColumnSource`]
+    /// (format-v2 databases). Not serialized: persisting a lazily
+    /// opened experiment goes through the database model, which reads
+    /// every column via the faulting accessors.
+    #[serde(skip)]
+    lazy: LazySlots,
 }
 
 impl RawMetrics {
@@ -535,7 +657,47 @@ impl RawMetrics {
             values: Vec::new(),
             storage,
             generation: 0,
+            lazy: LazySlots::default(),
         }
+    }
+
+    /// Back every currently registered metric with `source`: their
+    /// direct-cost columns start empty and fault in (at most once each)
+    /// on first access. Metrics added afterwards are eager as usual.
+    pub fn attach_source(&mut self, source: Arc<dyn ColumnSource>) {
+        self.lazy.attach(source, self.descs.len());
+    }
+
+    /// Number of metrics whose direct-cost column is resident in
+    /// memory. Equals [`RawMetrics::metric_count`] for eager metric
+    /// sets; counts faulted-in columns for lazily backed ones.
+    pub fn materialized_metrics(&self) -> usize {
+        self.descs.len() - self.lazy.slots.len() + self.lazy.resident()
+    }
+
+    /// First failure reported by the lazy column source, if any.
+    pub fn lazy_error(&self) -> Option<&str> {
+        self.lazy.error.get().map(String::as_str)
+    }
+
+    /// Resolve the storage of metric `m`, faulting lazily backed
+    /// columns in on first touch.
+    fn resolved(&self, m: MetricId) -> &MetricVec {
+        self.lazy
+            .fault(m.index(), self.storage, |s| s.load_raw(m))
+            .unwrap_or(&self.values[m.index()])
+    }
+
+    /// Mutable storage of metric `m`; lazily backed columns are faulted
+    /// in first so the mutation lands on the materialized contents.
+    fn resolved_mut(&mut self, m: MetricId) -> &mut MetricVec {
+        if self.lazy.covers(m.index()) {
+            self.resolved(m);
+            return self.lazy.slots[m.index()]
+                .get_mut()
+                .expect("slot faulted in above");
+        }
+        &mut self.values[m.index()]
     }
 
     /// The storage flavor new columns use.
@@ -589,13 +751,13 @@ impl RawMetrics {
     /// Record `count` samples of metric `m` at node `n`.
     pub fn record_samples(&mut self, m: MetricId, n: crate::ids::NodeId, count: u64) {
         let period = self.descs[m.index()].period;
-        self.values[m.index()].add(n.0, count as f64 * period);
+        self.resolved_mut(m).add(n.0, count as f64 * period);
         self.generation += 1;
     }
 
     /// Add a pre-scaled cost at node `n`.
     pub fn add_cost(&mut self, m: MetricId, n: crate::ids::NodeId, cost: f64) {
-        self.values[m.index()].add(n.0, cost);
+        self.resolved_mut(m).add(n.0, cost);
         self.generation += 1;
     }
 
@@ -604,7 +766,7 @@ impl RawMetrics {
     /// storage on its O(1) append fast path when `costs` is sorted by
     /// node (the order correlation reductions produce).
     pub fn add_costs(&mut self, m: MetricId, costs: &[(crate::ids::NodeId, f64)]) {
-        let col = &mut self.values[m.index()];
+        let col = self.resolved_mut(m);
         for &(n, v) in costs {
             col.add(n.0, v);
         }
@@ -616,24 +778,24 @@ impl RawMetrics {
     /// [`StorageKind::Csr`]).
     pub fn install_csr(&mut self, m: MetricId, column: CsrColumn) {
         debug_assert_eq!(self.storage, StorageKind::Csr);
-        self.values[m.index()] = MetricVec::Csr(column);
+        *self.resolved_mut(m) = MetricVec::Csr(column);
         self.generation += 1;
     }
 
     /// Direct (sample-point) cost of metric `m` at node `n`.
     pub fn direct(&self, m: MetricId, n: crate::ids::NodeId) -> f64 {
-        self.values[m.index()].get(n.0)
+        self.resolved(m).get(n.0)
     }
 
     /// The raw per-node storage of metric `m`.
     pub fn column(&self, m: MetricId) -> &MetricVec {
-        &self.values[m.index()]
+        self.resolved(m)
     }
 
     /// Total direct cost of metric `m` over all nodes (the whole-program
     /// cost, which equals the root's inclusive value after attribution).
     pub fn total(&self, m: MetricId) -> f64 {
-        match &self.values[m.index()] {
+        match self.resolved(m) {
             MetricVec::Dense(v) => v.iter().sum(),
             MetricVec::Sparse(map) => map.values().sum(),
             // Pending entries are deltas, so they sum in directly.
@@ -691,6 +853,11 @@ pub struct ColumnSet {
     /// `append_view_columns`) invalidates cached orderings.
     #[serde(default)]
     generation: u64,
+    /// Lazy-fault bookkeeping for columns backed by a [`ColumnSource`]
+    /// (format v2 databases). Not serialized: persisting goes through the
+    /// database model, which reads values via the faulting accessors.
+    #[serde(skip)]
+    lazy: LazySlots,
 }
 
 impl ColumnSet {
@@ -701,7 +868,47 @@ impl ColumnSet {
             values: Vec::new(),
             storage,
             generation: 0,
+            lazy: LazySlots::default(),
         }
+    }
+
+    /// Back the first `descs().len()` columns with a lazy source: each
+    /// column's values materialize from `source` on first read instead of
+    /// being decoded up front. Columns appended *after* this call are
+    /// ordinary eager columns. No generation bump happens when a column
+    /// faults in — faulting occurs on first read, so no cache can have
+    /// observed the pre-fault (empty) values.
+    pub fn attach_source(&mut self, source: Arc<dyn ColumnSource>) {
+        self.lazy.attach(source, self.descs.len());
+    }
+
+    /// How many columns have materialized values: eager columns plus
+    /// lazily-backed columns that have been faulted in. The laziness
+    /// acceptance tests pin this after a render.
+    pub fn materialized_columns(&self) -> usize {
+        self.descs.len() - self.lazy.slots.len() + self.lazy.resident()
+    }
+
+    /// First error a lazy column load produced, if any. The failing
+    /// column reads as all zeros rather than panicking mid-render.
+    pub fn lazy_error(&self) -> Option<&str> {
+        self.lazy.error.get().map(String::as_str)
+    }
+
+    fn resolved(&self, c: ColumnId) -> &MetricVec {
+        self.lazy
+            .fault(c.index(), self.storage, |s| s.load_column(c))
+            .unwrap_or(&self.values[c.index()])
+    }
+
+    fn resolved_mut(&mut self, c: ColumnId) -> &mut MetricVec {
+        if self.lazy.covers(c.index()) {
+            self.resolved(c);
+            return self.lazy.slots[c.index()]
+                .get_mut()
+                .expect("slot faulted in above");
+        }
+        &mut self.values[c.index()]
     }
 
     /// Mutation counter: incremented by [`ColumnSet::add_column`],
@@ -760,31 +967,31 @@ impl ColumnSet {
     /// Value of column `c` at `node` (0.0 when absent).
     #[inline]
     pub fn get(&self, c: ColumnId, node: u32) -> f64 {
-        self.values[c.index()].get(node)
+        self.resolved(c).get(node)
     }
 
     /// Set column `c` at `node`.
     #[inline]
     pub fn set(&mut self, c: ColumnId, node: u32, value: f64) {
-        self.values[c.index()].set(node, value);
+        self.resolved_mut(c).set(node, value);
         self.generation += 1;
     }
 
     /// Accumulate into column `c` at `node`.
     #[inline]
     pub fn add(&mut self, c: ColumnId, node: u32, delta: f64) {
-        self.values[c.index()].add(node, delta);
+        self.resolved_mut(c).add(node, delta);
         self.generation += 1;
     }
 
     /// The per-node storage backing column `c`.
     pub fn vec(&self, c: ColumnId) -> &MetricVec {
-        &self.values[c.index()]
+        self.resolved(c)
     }
 
     /// Approximate heap footprint of all column storage.
     pub fn heap_bytes(&self) -> usize {
-        self.values.iter().map(MetricVec::heap_bytes).sum()
+        self.values.iter().map(MetricVec::heap_bytes).sum::<usize>() + self.lazy.heap_bytes()
     }
 }
 
@@ -887,6 +1094,91 @@ mod tests {
         assert_eq!(f.nnz(), 2);
     }
 
+    #[derive(Debug)]
+    struct CountingSource {
+        entries: Vec<(u32, f64)>,
+        loads: std::sync::atomic::AtomicUsize,
+    }
+
+    impl ColumnSource for CountingSource {
+        fn load_column(&self, _c: ColumnId) -> Result<Vec<(u32, f64)>, String> {
+            self.loads.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(self.entries.clone())
+        }
+        fn load_raw(&self, _m: MetricId) -> Result<Vec<(u32, f64)>, String> {
+            self.loads.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Ok(self.entries.clone())
+        }
+    }
+
+    #[test]
+    fn lazy_columns_fault_once_on_first_read() {
+        let mut cs = ColumnSet::new(StorageKind::Csr);
+        let a = cs.add_column(ColumnDesc {
+            name: "a".into(),
+            flavor: ColumnFlavor::Inclusive(MetricId(0)),
+            visible: true,
+        });
+        let b = cs.add_column(ColumnDesc {
+            name: "b".into(),
+            flavor: ColumnFlavor::Exclusive(MetricId(0)),
+            visible: true,
+        });
+        let source = Arc::new(CountingSource {
+            entries: vec![(1, 2.0), (5, 7.5)],
+            loads: std::sync::atomic::AtomicUsize::new(0),
+        });
+        cs.attach_source(source.clone());
+        assert_eq!(cs.materialized_columns(), 0);
+
+        let gen = cs.generation();
+        assert_eq!(cs.get(a, 5), 7.5);
+        assert_eq!(cs.get(a, 0), 0.0);
+        // Faulting is not a mutation: reads must not invalidate caches.
+        assert_eq!(cs.generation(), gen);
+        assert_eq!(cs.materialized_columns(), 1);
+        assert_eq!(source.loads.load(std::sync::atomic::Ordering::SeqCst), 1);
+
+        // A mutation lands on the faulted contents and bumps the stamp.
+        cs.add(b, 1, 1.0);
+        assert_eq!(cs.get(b, 1), 3.0);
+        assert!(cs.generation() > gen);
+        assert_eq!(cs.materialized_columns(), 2);
+        assert_eq!(source.loads.load(std::sync::atomic::Ordering::SeqCst), 2);
+        assert!(cs.lazy_error().is_none());
+    }
+
+    #[test]
+    fn lazy_raw_metrics_fault_and_errors_read_as_zero() {
+        #[derive(Debug)]
+        struct FailingSource;
+        impl ColumnSource for FailingSource {
+            fn load_column(&self, _c: ColumnId) -> Result<Vec<(u32, f64)>, String> {
+                Err("no such block".into())
+            }
+            fn load_raw(&self, _m: MetricId) -> Result<Vec<(u32, f64)>, String> {
+                Err("no such block".into())
+            }
+        }
+
+        let mut raw = RawMetrics::new(StorageKind::Sparse);
+        let m = raw.add_metric(MetricDesc::new("cycles", "cycles", 1.0));
+        raw.attach_source(Arc::new(CountingSource {
+            entries: vec![(0, 4.0), (3, 2.0)],
+            loads: std::sync::atomic::AtomicUsize::new(0),
+        }));
+        assert_eq!(raw.materialized_metrics(), 0);
+        assert_eq!(raw.total(m), 6.0);
+        assert_eq!(raw.direct(m, NodeId(3)), 2.0);
+        assert_eq!(raw.materialized_metrics(), 1);
+
+        let mut failing = RawMetrics::new(StorageKind::Sparse);
+        let f = failing.add_metric(MetricDesc::new("cycles", "cycles", 1.0));
+        failing.attach_source(Arc::new(FailingSource));
+        assert_eq!(failing.direct(f, NodeId(0)), 0.0);
+        assert_eq!(failing.lazy_error(), Some("no such block"));
+    }
+
     #[test]
     fn generation_bumps_on_every_mutation() {
         let mut raw = RawMetrics::new(StorageKind::Csr);
@@ -927,11 +1219,10 @@ mod tests {
 
     #[test]
     fn add_costs_matches_scalar_adds_across_flavors() {
-        let costs: Vec<(NodeId, f64)> =
-            [(0u32, 1.0), (5, 2.0), (3, 4.0), (5, 0.5)]
-                .iter()
-                .map(|&(n, v)| (NodeId(n), v))
-                .collect();
+        let costs: Vec<(NodeId, f64)> = [(0u32, 1.0), (5, 2.0), (3, 4.0), (5, 0.5)]
+            .iter()
+            .map(|&(n, v)| (NodeId(n), v))
+            .collect();
         for kind in [StorageKind::Dense, StorageKind::Sparse, StorageKind::Csr] {
             let mut batched = RawMetrics::new(kind);
             let mb = batched.add_metric(MetricDesc::new("m", "u", 1.0));

@@ -86,10 +86,7 @@ impl SourceStore {
         let mut out = String::new();
         for l in lo..=hi {
             let marker = if l == line { '>' } else { ' ' };
-            out.push_str(&format!(
-                "{marker}{l:>5}  {}\n",
-                lines[l as usize - 1]
-            ));
+            out.push_str(&format!("{marker}{l:>5}  {}\n", lines[l as usize - 1]));
         }
         Some(out)
     }
@@ -121,7 +118,10 @@ mod tests {
     fn excerpt_marks_the_focus_line() {
         let (s, f) = store();
         let text = s.excerpt(f, 2, 1).unwrap();
-        assert_eq!(text, "     1  int main() {\n>    2    work();\n     3    return 0;\n");
+        assert_eq!(
+            text,
+            "     1  int main() {\n>    2    work();\n     3    return 0;\n"
+        );
     }
 
     #[test]
@@ -138,10 +138,7 @@ mod tests {
         let mut names = NameTable::new();
         let a = names.file("a.c");
         let _b = names.file("b.c");
-        let store = SourceStore::from_texts(
-            &names,
-            [("a.c", "line1\n"), ("zzz.c", "ignored\n")],
-        );
+        let store = SourceStore::from_texts(&names, [("a.c", "line1\n"), ("zzz.c", "ignored\n")]);
         assert!(store.has(a));
         assert_eq!(store.line(a, 1), Some("line1"));
         assert!(!store.has(_b));

@@ -112,9 +112,7 @@ impl<'a> View<'a> {
     /// entries; the Flat View at load modules.
     pub fn roots(&self) -> Vec<u32> {
         match self {
-            View::CallingContext(exp) => {
-                exp.cct.children(exp.cct.root()).map(|n| n.0).collect()
-            }
+            View::CallingContext(exp) => exp.cct.children(exp.cct.root()).map(|n| n.0).collect(),
             View::Callers { view, .. } => view.tree.roots().iter().map(|r| r.0).collect(),
             View::Flat { view, .. } => view.tree.roots().iter().map(|r| r.0).collect(),
         }
@@ -151,9 +149,12 @@ impl<'a> View<'a> {
                 .iter()
                 .map(|c| c.0)
                 .collect(),
-            View::Flat { view, .. } => {
-                view.tree.children(ViewNodeId(n)).iter().map(|c| c.0).collect()
-            }
+            View::Flat { view, .. } => view
+                .tree
+                .children(ViewNodeId(n))
+                .iter()
+                .map(|c| c.0)
+                .collect(),
         }
     }
 
@@ -170,7 +171,9 @@ impl<'a> View<'a> {
     pub fn write_label(&self, n: u32, out: &mut String) {
         match self {
             View::CallingContext(exp) => exp.cct.kind(NodeId(n)).write_label(&exp.cct.names, out),
-            View::Callers { exp, view } => view.tree.write_label(ViewNodeId(n), &exp.cct.names, out),
+            View::Callers { exp, view } => {
+                view.tree.write_label(ViewNodeId(n), &exp.cct.names, out)
+            }
             View::Flat { exp, view } => view.tree.write_label(ViewNodeId(n), &exp.cct.names, out),
         }
     }
@@ -205,10 +208,9 @@ impl<'a> View<'a> {
                 ScopeKind::Root => false,
             },
             View::Callers { .. } => true,
-            View::Flat { view, .. } => !matches!(
-                view.tree.scope(ViewNodeId(n)),
-                ViewScope::Module { .. }
-            ),
+            View::Flat { view, .. } => {
+                !matches!(view.tree.scope(ViewNodeId(n)), ViewScope::Module { .. })
+            }
         }
     }
 
@@ -375,12 +377,7 @@ fn cmp_by_column(
 /// [`LabelCache`] (each label is rendered at most once per view instead
 /// of once per comparison). Stable, and ordering-identical to the
 /// historical `sort_by`/`sort_by_key` calls it replaces.
-pub fn sort_nodes_with(
-    view: &View<'_>,
-    labels: &mut LabelCache,
-    nodes: &mut [u32],
-    key: SortKey,
-) {
+pub fn sort_nodes_with(view: &View<'_>, labels: &mut LabelCache, nodes: &mut [u32], key: SortKey) {
     for &n in nodes.iter() {
         labels.ensure(n, |buf| view.write_label(n, buf));
     }
@@ -516,10 +513,7 @@ mod tests {
         let mut view = View::callers(&exp);
         let roots = view.roots();
         // Find the "c" entry; its hot caller chain is b then a.
-        let c_entry = roots
-            .into_iter()
-            .find(|&r| view.label(r) == "c")
-            .unwrap();
+        let c_entry = roots.into_iter().find(|&r| view.label(r) == "c").unwrap();
         let before = view.node_count();
         let path = view.hot_path(c_entry, ColumnId(0), HotPathConfig::default());
         let labels: Vec<String> = path.iter().map(|&n| view.label(n)).collect();

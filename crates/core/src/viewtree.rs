@@ -112,10 +112,7 @@ impl ViewScope {
 
     /// Should the navigation pane draw the call-site arrow icon?
     pub fn is_call(&self) -> bool {
-        matches!(
-            self,
-            ViewScope::CallSite { .. } | ViewScope::Caller { .. }
-        )
+        matches!(self, ViewScope::CallSite { .. } | ViewScope::Caller { .. })
     }
 }
 
@@ -390,7 +387,8 @@ impl SortCache {
     /// Record a freshly computed ordering (counts one full sort).
     pub fn insert(&mut self, slot: u64, key: SortKey, generation: u64, order: Vec<u32>) {
         self.full_sorts += 1;
-        self.entries.insert((slot, key), CachedOrder { generation, order });
+        self.entries
+            .insert((slot, key), CachedOrder { generation, order });
     }
 
     /// `(hits, full_sorts)` since construction (or the last
@@ -539,9 +537,12 @@ mod tests {
             },
         );
         assert!(t.scope(cs).is_call());
-        let lp = t.add_child(top, ViewScope::Loop {
-            header: SourceLoc::new(f, 8),
-        });
+        let lp = t.add_child(
+            top,
+            ViewScope::Loop {
+                header: SourceLoc::new(f, 8),
+            },
+        );
         assert_eq!(t.label(lp, &names), "loop at file2.c:8");
     }
 
@@ -552,9 +553,12 @@ mod tests {
         let a = t.add_root(ViewScope::Procedure { proc: ProcId(0) });
         let g1 = t.generation();
         assert!(g1 > g0, "add_root must bump the generation");
-        t.add_child(a, ViewScope::Loop {
-            header: SourceLoc::new(FileId(0), 4),
-        });
+        t.add_child(
+            a,
+            ViewScope::Loop {
+                header: SourceLoc::new(FileId(0), 4),
+            },
+        );
         let g2 = t.generation();
         assert!(g2 > g1, "add_child must bump the generation");
         let c = t.columns.add_column(crate::metrics::ColumnDesc {
@@ -562,7 +566,10 @@ mod tests {
             flavor: crate::metrics::ColumnFlavor::Inclusive(crate::ids::MetricId(0)),
             visible: true,
         });
-        assert!(t.generation() > g2, "column append must bump the generation");
+        assert!(
+            t.generation() > g2,
+            "column append must bump the generation"
+        );
         let g3 = t.generation();
         t.columns.set(c, a.0, 7.0);
         assert!(t.generation() > g3, "column write must bump the generation");

@@ -1,17 +1,29 @@
-//! The compact binary format (the paper's Section IX future-work item).
+//! The compact binary format, version 1 (the paper's Section IX
+//! future-work item).
 //!
 //! Layout: magic `CPDB`, version varint, then sections in fixed order.
 //! All integers are LEB128 varints; node ids within a cost list are
 //! delta-coded (ascending), which is where most of the size win over XML
 //! comes from; floats are IEEE-754 LE.
+//!
+//! The primitive and record codecs in this module are `pub(crate)`:
+//! format v2 ([`crate::bin2`]) reuses them verbatim inside its sections,
+//! so the two formats differ only in framing (v2 adds a table of
+//! contents, checksums, and per-column blocks), never in value encoding.
+//!
+//! Decoding is hardened against hostile input: every length read from
+//! the wire is capped by what the remaining bytes could possibly hold
+//! (a node record is ≥ 3 bytes, a cost entry ≥ 9), so a length-lying
+//! prefix cannot make us allocate gigabytes before the first "truncated"
+//! error.
 
 use crate::model::{DbError, DbMetric, DbModel, DbNode, DbScope};
 use bytes::{Buf, BufMut};
 
-const MAGIC: &[u8; 4] = b"CPDB";
+pub(crate) const MAGIC: &[u8; 4] = b"CPDB";
 const VERSION: u64 = 1;
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -23,7 +35,7 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut &[u8]) -> Result<u64, DbError> {
+pub(crate) fn get_varint(buf: &mut &[u8]) -> Result<u64, DbError> {
     let mut v: u64 = 0;
     let mut shift = 0;
     loop {
@@ -42,12 +54,32 @@ fn get_varint(buf: &mut &[u8]) -> Result<u64, DbError> {
     }
 }
 
-fn put_string(out: &mut Vec<u8>, s: &str) {
+/// Read a count-prefixed length and sanity-cap it: each of the counted
+/// items occupies at least `min_item_bytes`, so a count claiming more
+/// items than the remaining buffer could hold is corrupt. Rejecting it
+/// here keeps `Vec::with_capacity(count)` proportional to the input
+/// size instead of trusting an attacker-controlled varint.
+pub(crate) fn get_count(
+    buf: &mut &[u8],
+    min_item_bytes: usize,
+    what: &str,
+) -> Result<usize, DbError> {
+    let n = get_varint(buf)? as usize;
+    if n > buf.remaining() / min_item_bytes.max(1) {
+        return Err(DbError::new(format!(
+            "{what} count {n} exceeds what {} remaining bytes can hold",
+            buf.remaining()
+        )));
+    }
+    Ok(n)
+}
+
+pub(crate) fn put_string(out: &mut Vec<u8>, s: &str) {
     put_varint(out, s.len() as u64);
     out.put_slice(s.as_bytes());
 }
 
-fn get_string(buf: &mut &[u8]) -> Result<String, DbError> {
+pub(crate) fn get_string(buf: &mut &[u8]) -> Result<String, DbError> {
     let len = get_varint(buf)? as usize;
     if buf.remaining() < len {
         return Err(DbError::new("truncated string"));
@@ -57,27 +89,27 @@ fn get_string(buf: &mut &[u8]) -> Result<String, DbError> {
     String::from_utf8(bytes).map_err(|_| DbError::new("invalid utf-8 in string"))
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.put_f64_le(v);
 }
 
-fn get_f64(buf: &mut &[u8]) -> Result<f64, DbError> {
+pub(crate) fn get_f64(buf: &mut &[u8]) -> Result<f64, DbError> {
     if buf.remaining() < 8 {
         return Err(DbError::new("truncated f64"));
     }
     Ok(buf.get_f64_le())
 }
 
-fn put_strings(out: &mut Vec<u8>, items: &[String]) {
+pub(crate) fn put_strings(out: &mut Vec<u8>, items: &[String]) {
     put_varint(out, items.len() as u64);
     for s in items {
         put_string(out, s);
     }
 }
 
-fn get_strings(buf: &mut &[u8]) -> Result<Vec<String>, DbError> {
-    let n = get_varint(buf)? as usize;
-    let mut out = Vec::with_capacity(n.min(1 << 20));
+pub(crate) fn get_strings(buf: &mut &[u8]) -> Result<Vec<String>, DbError> {
+    let n = get_count(buf, 1, "string")?;
+    let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(get_string(buf)?);
     }
@@ -90,6 +122,145 @@ const TAG_FRAME_TOP: u64 = 1; // frame without a call site
 const TAG_INLINED: u64 = 2;
 const TAG_LOOP: u64 = 3;
 const TAG_STMT: u64 = 4;
+
+/// Serialize one CCT node record (scope tag, parent, scope fields).
+pub(crate) fn put_node(out: &mut Vec<u8>, n: &DbNode) {
+    match &n.scope {
+        DbScope::Frame {
+            proc,
+            module,
+            def_file,
+            def_line,
+            call_site,
+        } => match call_site {
+            Some((csf, csl)) => {
+                put_varint(out, TAG_FRAME);
+                put_varint(out, n.parent as u64);
+                put_varint(out, *proc as u64);
+                put_varint(out, *module as u64);
+                put_varint(out, *def_file as u64);
+                put_varint(out, *def_line as u64);
+                put_varint(out, *csf as u64);
+                put_varint(out, *csl as u64);
+            }
+            None => {
+                put_varint(out, TAG_FRAME_TOP);
+                put_varint(out, n.parent as u64);
+                put_varint(out, *proc as u64);
+                put_varint(out, *module as u64);
+                put_varint(out, *def_file as u64);
+                put_varint(out, *def_line as u64);
+            }
+        },
+        DbScope::Inlined {
+            proc,
+            def_file,
+            def_line,
+            cs_file,
+            cs_line,
+        } => {
+            put_varint(out, TAG_INLINED);
+            put_varint(out, n.parent as u64);
+            put_varint(out, *proc as u64);
+            put_varint(out, *def_file as u64);
+            put_varint(out, *def_line as u64);
+            put_varint(out, *cs_file as u64);
+            put_varint(out, *cs_line as u64);
+        }
+        DbScope::Loop { file, line } => {
+            put_varint(out, TAG_LOOP);
+            put_varint(out, n.parent as u64);
+            put_varint(out, *file as u64);
+            put_varint(out, *line as u64);
+        }
+        DbScope::Stmt { file, line } => {
+            put_varint(out, TAG_STMT);
+            put_varint(out, n.parent as u64);
+            put_varint(out, *file as u64);
+            put_varint(out, *line as u64);
+        }
+    }
+}
+
+fn get_u32(buf: &mut &[u8], what: &str) -> Result<u32, DbError> {
+    let v = get_varint(buf)?;
+    u32::try_from(v).map_err(|_| DbError::new(format!("{what} out of u32 range")))
+}
+
+/// Decode one CCT node record.
+pub(crate) fn get_node(buf: &mut &[u8]) -> Result<DbNode, DbError> {
+    let tag = get_varint(buf)?;
+    let parent = get_u32(buf, "parent")?;
+    let scope = match tag {
+        TAG_FRAME | TAG_FRAME_TOP => {
+            let proc = get_u32(buf, "proc")?;
+            let module = get_u32(buf, "module")?;
+            let def_file = get_u32(buf, "def_file")?;
+            let def_line = get_u32(buf, "def_line")?;
+            let call_site = if tag == TAG_FRAME {
+                Some((get_u32(buf, "csf")?, get_u32(buf, "csl")?))
+            } else {
+                None
+            };
+            DbScope::Frame {
+                proc,
+                module,
+                def_file,
+                def_line,
+                call_site,
+            }
+        }
+        TAG_INLINED => DbScope::Inlined {
+            proc: get_u32(buf, "proc")?,
+            def_file: get_u32(buf, "def_file")?,
+            def_line: get_u32(buf, "def_line")?,
+            cs_file: get_u32(buf, "cs_file")?,
+            cs_line: get_u32(buf, "cs_line")?,
+        },
+        TAG_LOOP => DbScope::Loop {
+            file: get_u32(buf, "file")?,
+            line: get_u32(buf, "line")?,
+        },
+        TAG_STMT => DbScope::Stmt {
+            file: get_u32(buf, "file")?,
+            line: get_u32(buf, "line")?,
+        },
+        other => return Err(DbError::new(format!("unknown scope tag {other}"))),
+    };
+    Ok(DbNode { parent, scope })
+}
+
+/// Serialize a sparse cost list: count, then delta-coded ascending node
+/// ids with their IEEE-754 LE values.
+pub(crate) fn put_costs(out: &mut Vec<u8>, costs: &[(u32, f64)]) {
+    put_varint(out, costs.len() as u64);
+    let mut prev = 0u32;
+    for &(node, v) in costs {
+        // Delta coding relies on ascending node ids.
+        debug_assert!(node >= prev);
+        put_varint(out, (node - prev) as u64);
+        put_f64(out, v);
+        prev = node;
+    }
+}
+
+/// Decode a sparse cost list (inverse of [`put_costs`]).
+pub(crate) fn get_costs(buf: &mut &[u8]) -> Result<Vec<(u32, f64)>, DbError> {
+    // Each entry is ≥ 9 bytes: 1-byte minimum delta varint + 8-byte f64.
+    let n_costs = get_count(buf, 9, "cost")?;
+    let mut costs = Vec::with_capacity(n_costs);
+    let mut prev = 0u32;
+    for _ in 0..n_costs {
+        let delta = get_u32(buf, "node delta")?;
+        let node = prev
+            .checked_add(delta)
+            .ok_or_else(|| DbError::new("node id overflow"))?;
+        let v = get_f64(buf)?;
+        costs.push((node, v));
+        prev = node;
+    }
+    Ok(costs)
+}
 
 /// Encode a model.
 pub fn write(model: &DbModel) -> Vec<u8> {
@@ -104,63 +275,7 @@ pub fn write(model: &DbModel) -> Vec<u8> {
 
     put_varint(&mut out, model.nodes.len() as u64);
     for n in &model.nodes {
-        match &n.scope {
-            DbScope::Frame {
-                proc,
-                module,
-                def_file,
-                def_line,
-                call_site,
-            } => {
-                match call_site {
-                    Some((csf, csl)) => {
-                        put_varint(&mut out, TAG_FRAME);
-                        put_varint(&mut out, n.parent as u64);
-                        put_varint(&mut out, *proc as u64);
-                        put_varint(&mut out, *module as u64);
-                        put_varint(&mut out, *def_file as u64);
-                        put_varint(&mut out, *def_line as u64);
-                        put_varint(&mut out, *csf as u64);
-                        put_varint(&mut out, *csl as u64);
-                    }
-                    None => {
-                        put_varint(&mut out, TAG_FRAME_TOP);
-                        put_varint(&mut out, n.parent as u64);
-                        put_varint(&mut out, *proc as u64);
-                        put_varint(&mut out, *module as u64);
-                        put_varint(&mut out, *def_file as u64);
-                        put_varint(&mut out, *def_line as u64);
-                    }
-                }
-            }
-            DbScope::Inlined {
-                proc,
-                def_file,
-                def_line,
-                cs_file,
-                cs_line,
-            } => {
-                put_varint(&mut out, TAG_INLINED);
-                put_varint(&mut out, n.parent as u64);
-                put_varint(&mut out, *proc as u64);
-                put_varint(&mut out, *def_file as u64);
-                put_varint(&mut out, *def_line as u64);
-                put_varint(&mut out, *cs_file as u64);
-                put_varint(&mut out, *cs_line as u64);
-            }
-            DbScope::Loop { file, line } => {
-                put_varint(&mut out, TAG_LOOP);
-                put_varint(&mut out, n.parent as u64);
-                put_varint(&mut out, *file as u64);
-                put_varint(&mut out, *line as u64);
-            }
-            DbScope::Stmt { file, line } => {
-                put_varint(&mut out, TAG_STMT);
-                put_varint(&mut out, n.parent as u64);
-                put_varint(&mut out, *file as u64);
-                put_varint(&mut out, *line as u64);
-            }
-        }
+        put_node(&mut out, n);
     }
 
     put_varint(&mut out, model.metrics.len() as u64);
@@ -168,15 +283,7 @@ pub fn write(model: &DbModel) -> Vec<u8> {
         put_string(&mut out, &m.name);
         put_string(&mut out, &m.unit);
         put_f64(&mut out, m.period);
-        put_varint(&mut out, m.costs.len() as u64);
-        let mut prev = 0u32;
-        for &(node, v) in &m.costs {
-            // Delta coding relies on ascending node ids.
-            debug_assert!(node >= prev);
-            put_varint(&mut out, (node - prev) as u64);
-            put_f64(&mut out, v);
-            prev = node;
-        }
+        put_costs(&mut out, &m.costs);
     }
 
     put_varint(&mut out, model.derived.len() as u64);
@@ -185,11 +292,6 @@ pub fn write(model: &DbModel) -> Vec<u8> {
         put_string(&mut out, formula);
     }
     out
-}
-
-fn get_u32(buf: &mut &[u8], what: &str) -> Result<u32, DbError> {
-    let v = get_varint(buf)?;
-    u32::try_from(v).map_err(|_| DbError::new(format!("{what} out of u32 range")))
 }
 
 /// Decode a model.
@@ -212,68 +314,22 @@ pub fn read(data: &[u8]) -> Result<DbModel, DbError> {
     let files = get_strings(&mut buf)?;
     let modules = get_strings(&mut buf)?;
 
-    let n_nodes = get_varint(&mut buf)? as usize;
-    let mut nodes = Vec::with_capacity(n_nodes.min(1 << 24));
+    // A node record is ≥ 3 bytes (tag, parent, and at least one field).
+    let n_nodes = get_count(&mut buf, 3, "node")?;
+    let mut nodes = Vec::with_capacity(n_nodes);
     for _ in 0..n_nodes {
-        let tag = get_varint(&mut buf)?;
-        let parent = get_u32(&mut buf, "parent")?;
-        let scope = match tag {
-            TAG_FRAME | TAG_FRAME_TOP => {
-                let proc = get_u32(&mut buf, "proc")?;
-                let module = get_u32(&mut buf, "module")?;
-                let def_file = get_u32(&mut buf, "def_file")?;
-                let def_line = get_u32(&mut buf, "def_line")?;
-                let call_site = if tag == TAG_FRAME {
-                    Some((get_u32(&mut buf, "csf")?, get_u32(&mut buf, "csl")?))
-                } else {
-                    None
-                };
-                DbScope::Frame {
-                    proc,
-                    module,
-                    def_file,
-                    def_line,
-                    call_site,
-                }
-            }
-            TAG_INLINED => DbScope::Inlined {
-                proc: get_u32(&mut buf, "proc")?,
-                def_file: get_u32(&mut buf, "def_file")?,
-                def_line: get_u32(&mut buf, "def_line")?,
-                cs_file: get_u32(&mut buf, "cs_file")?,
-                cs_line: get_u32(&mut buf, "cs_line")?,
-            },
-            TAG_LOOP => DbScope::Loop {
-                file: get_u32(&mut buf, "file")?,
-                line: get_u32(&mut buf, "line")?,
-            },
-            TAG_STMT => DbScope::Stmt {
-                file: get_u32(&mut buf, "file")?,
-                line: get_u32(&mut buf, "line")?,
-            },
-            other => return Err(DbError::new(format!("unknown scope tag {other}"))),
-        };
-        nodes.push(DbNode { parent, scope });
+        nodes.push(get_node(&mut buf)?);
     }
 
-    let n_metrics = get_varint(&mut buf)? as usize;
-    let mut metrics = Vec::with_capacity(n_metrics.min(64));
+    // A metric record is ≥ 11 bytes (two length-prefixed strings, the
+    // period f64, a cost count).
+    let n_metrics = get_count(&mut buf, 11, "metric")?;
+    let mut metrics = Vec::with_capacity(n_metrics);
     for _ in 0..n_metrics {
         let name = get_string(&mut buf)?;
         let unit = get_string(&mut buf)?;
         let period = get_f64(&mut buf)?;
-        let n_costs = get_varint(&mut buf)? as usize;
-        let mut costs = Vec::with_capacity(n_costs.min(1 << 24));
-        let mut prev = 0u32;
-        for _ in 0..n_costs {
-            let delta = get_u32(&mut buf, "node delta")?;
-            let node = prev
-                .checked_add(delta)
-                .ok_or_else(|| DbError::new("node id overflow"))?;
-            let v = get_f64(&mut buf)?;
-            costs.push((node, v));
-            prev = node;
-        }
+        let costs = get_costs(&mut buf)?;
         metrics.push(DbMetric {
             name,
             unit,
@@ -282,8 +338,8 @@ pub fn read(data: &[u8]) -> Result<DbModel, DbError> {
         });
     }
 
-    let n_derived = get_varint(&mut buf)? as usize;
-    let mut derived = Vec::with_capacity(n_derived.min(256));
+    let n_derived = get_count(&mut buf, 2, "derived metric")?;
+    let mut derived = Vec::with_capacity(n_derived);
     for _ in 0..n_derived {
         let name = get_string(&mut buf)?;
         let formula = get_string(&mut buf)?;
@@ -374,5 +430,21 @@ mod tests {
         let mut bytes = crate::to_binary(&sample_experiment());
         bytes[4] = 99; // version varint
         assert!(read(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_length_lying_counts_without_huge_allocs() {
+        // A tiny buffer claiming 2^40 nodes must fail fast on the count
+        // check, not attempt a giant reservation.
+        let mut bytes = Vec::new();
+        bytes.put_slice(MAGIC);
+        put_varint(&mut bytes, VERSION);
+        bytes.put_u8(0); // dense
+        put_strings(&mut bytes, &[]); // procs
+        put_strings(&mut bytes, &[]); // files
+        put_strings(&mut bytes, &[]); // modules
+        put_varint(&mut bytes, 1 << 40); // node count lie
+        let err = read(&bytes).unwrap_err();
+        assert!(err.message.contains("count"), "got: {}", err.message);
     }
 }

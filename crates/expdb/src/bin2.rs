@@ -1,0 +1,282 @@
+//! The compact binary format, version 2: v1's value encoding inside a
+//! sectioned, checksummed container ([`crate::toc`]).
+//!
+//! Where v1 is one undelimited varint stream (nothing is reachable
+//! without decoding everything before it), v2 splits the database into
+//! independently decodable sections — name tables, CCT topology, metric
+//! descriptors, one cost block **per metric column**, derived-metric
+//! definitions — each addressed by the table of contents and verified
+//! by checksum on access. That framing is what makes the lazy reader
+//! ([`crate::lazy`]) possible: open-time work is bounded by topology
+//! size, and a metric block is only decoded when some view first reads
+//! a column derived from it.
+//!
+//! Inside sections the byte-level codecs are shared with v1
+//! ([`crate::bin`]): LEB128 varints, delta-coded ascending node ids,
+//! IEEE-754 LE floats. A v1 file and a v2 file of the same experiment
+//! contain the same cost bytes, just framed differently.
+//!
+//! Metric descriptors additionally store each column's non-zero count
+//! and total direct cost, so whole-program aggregates (the `@n` values
+//! formulas reference) are available at open time without touching any
+//! cost block.
+
+use crate::bin::{
+    get_costs, get_count, get_f64, get_node, get_string, get_strings, get_varint, put_costs,
+    put_f64, put_node, put_string, put_strings, put_varint,
+};
+use crate::model::{DbError, DbMetric, DbModel, DbNode};
+use crate::toc::{Toc, TocBuilder, SEC_BLOCK_BASE, SEC_CCT, SEC_DERIVED, SEC_METRICS, SEC_NAMES};
+
+/// Descriptor-level metric info: everything about a metric except its
+/// costs, which live in the metric's own block.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct MetricInfo {
+    pub name: String,
+    pub unit: String,
+    pub period: f64,
+    /// Non-zero cost entries in the metric's block.
+    pub nnz: u64,
+    /// Sum of all direct costs — the whole-program aggregate, available
+    /// without decoding the block.
+    pub total: f64,
+}
+
+/// Encode a model as a v2 container.
+pub fn write(model: &DbModel) -> Vec<u8> {
+    let mut b = TocBuilder::new(model.sparse);
+
+    let mut names = Vec::new();
+    put_strings(&mut names, &model.procs);
+    put_strings(&mut names, &model.files);
+    put_strings(&mut names, &model.modules);
+    b.add(SEC_NAMES, names);
+
+    let mut cct = Vec::new();
+    put_varint(&mut cct, model.nodes.len() as u64);
+    for n in &model.nodes {
+        put_node(&mut cct, n);
+    }
+    b.add(SEC_CCT, cct);
+
+    let mut metrics = Vec::new();
+    put_varint(&mut metrics, model.metrics.len() as u64);
+    for m in &model.metrics {
+        put_string(&mut metrics, &m.name);
+        put_string(&mut metrics, &m.unit);
+        put_f64(&mut metrics, m.period);
+        put_varint(&mut metrics, m.costs.len() as u64);
+        put_f64(&mut metrics, m.costs.iter().map(|&(_, v)| v).sum());
+    }
+    b.add(SEC_METRICS, metrics);
+
+    let mut derived = Vec::new();
+    put_varint(&mut derived, model.derived.len() as u64);
+    for (name, formula) in &model.derived {
+        put_string(&mut derived, name);
+        put_string(&mut derived, formula);
+    }
+    b.add(SEC_DERIVED, derived);
+
+    for (i, m) in model.metrics.iter().enumerate() {
+        let mut block = Vec::new();
+        put_costs(&mut block, &m.costs);
+        b.add(SEC_BLOCK_BASE + i as u32, block);
+    }
+
+    b.finish()
+}
+
+/// The three name tables of a database: (procs, files, modules).
+pub(crate) type NameTables = (Vec<String>, Vec<String>, Vec<String>);
+
+/// Decode the name-table section into (procs, files, modules).
+pub(crate) fn read_names(payload: &[u8]) -> Result<NameTables, DbError> {
+    let mut buf = payload;
+    let procs = get_strings(&mut buf)?;
+    let files = get_strings(&mut buf)?;
+    let modules = get_strings(&mut buf)?;
+    expect_consumed(buf, "name tables")?;
+    Ok((procs, files, modules))
+}
+
+/// Decode the CCT topology section.
+pub(crate) fn read_nodes(payload: &[u8]) -> Result<Vec<DbNode>, DbError> {
+    let mut buf = payload;
+    let n = get_count(&mut buf, 3, "node")?;
+    let mut nodes = Vec::with_capacity(n);
+    for _ in 0..n {
+        nodes.push(get_node(&mut buf)?);
+    }
+    expect_consumed(buf, "CCT topology")?;
+    Ok(nodes)
+}
+
+/// Decode the metric-descriptor section.
+pub(crate) fn read_metric_infos(payload: &[u8]) -> Result<Vec<MetricInfo>, DbError> {
+    let mut buf = payload;
+    // name + unit length prefixes, period, nnz, total: ≥ 19 bytes each.
+    let n = get_count(&mut buf, 19, "metric")?;
+    let mut infos = Vec::with_capacity(n);
+    for _ in 0..n {
+        infos.push(MetricInfo {
+            name: get_string(&mut buf)?,
+            unit: get_string(&mut buf)?,
+            period: get_f64(&mut buf)?,
+            nnz: get_varint(&mut buf)?,
+            total: get_f64(&mut buf)?,
+        });
+    }
+    expect_consumed(buf, "metric descriptors")?;
+    Ok(infos)
+}
+
+/// Decode the derived-definition section.
+pub(crate) fn read_derived(payload: &[u8]) -> Result<Vec<(String, String)>, DbError> {
+    let mut buf = payload;
+    let n = get_count(&mut buf, 2, "derived metric")?;
+    let mut derived = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = get_string(&mut buf)?;
+        let formula = get_string(&mut buf)?;
+        derived.push((name, formula));
+    }
+    expect_consumed(buf, "derived definitions")?;
+    Ok(derived)
+}
+
+/// Decode one metric's cost block, cross-checking the entry count and
+/// node range claimed by its descriptor.
+pub(crate) fn read_block(
+    payload: &[u8],
+    info: &MetricInfo,
+    n_nodes: u32,
+) -> Result<Vec<(u32, f64)>, DbError> {
+    let mut buf = payload;
+    let costs = get_costs(&mut buf)?;
+    expect_consumed(buf, "cost block")?;
+    if costs.len() as u64 != info.nnz {
+        return Err(DbError::new(format!(
+            "metric '{}': block holds {} costs, descriptor says {}",
+            info.name,
+            costs.len(),
+            info.nnz
+        )));
+    }
+    if let Some(&(node, _)) = costs.last() {
+        if node >= n_nodes {
+            return Err(DbError::new(format!(
+                "metric '{}': cost references node {node} beyond CCT size {n_nodes}",
+                info.name
+            )));
+        }
+    }
+    Ok(costs)
+}
+
+fn expect_consumed(buf: &[u8], what: &str) -> Result<(), DbError> {
+    if buf.is_empty() {
+        Ok(())
+    } else {
+        Err(DbError::new(format!(
+            "{} trailing bytes after {what}",
+            buf.len()
+        )))
+    }
+}
+
+/// Decode a v2 container eagerly into a model — every section verified
+/// and every block decoded up front. The interactive path should prefer
+/// [`crate::open_lazy`]; this is for batch consumers and round-trip
+/// checks.
+pub fn read(data: &[u8]) -> Result<DbModel, DbError> {
+    let toc = Toc::parse(data)?;
+    let (procs, files, modules) = read_names(toc.section(data, SEC_NAMES)?)?;
+    let nodes = read_nodes(toc.section(data, SEC_CCT)?)?;
+    let infos = read_metric_infos(toc.section(data, SEC_METRICS)?)?;
+    let derived = read_derived(toc.section(data, SEC_DERIVED)?)?;
+    let n_nodes = nodes.len() as u32 + 1; // node ids include the implicit root
+    let metrics = infos
+        .iter()
+        .enumerate()
+        .map(|(i, info)| {
+            let block = toc.section(data, SEC_BLOCK_BASE + i as u32)?;
+            Ok(DbMetric {
+                name: info.name.clone(),
+                unit: info.unit.clone(),
+                period: info.period,
+                costs: read_block(block, info, n_nodes)?,
+            })
+        })
+        .collect::<Result<Vec<_>, DbError>>()?;
+    Ok(DbModel {
+        procs,
+        files,
+        modules,
+        nodes,
+        metrics,
+        derived,
+        sparse: toc.sparse,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::sample_experiment;
+    use crate::DbModel;
+
+    #[test]
+    fn roundtrip() {
+        let exp = sample_experiment();
+        let model = DbModel::from_experiment(&exp);
+        let bytes = write(&model);
+        assert_eq!(read(&bytes).unwrap(), model);
+    }
+
+    #[test]
+    fn reencode_is_byte_identical() {
+        let model = DbModel::from_experiment(&sample_experiment());
+        let bytes = write(&model);
+        assert_eq!(write(&read(&bytes).unwrap()), bytes);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = write(&DbModel::from_experiment(&sample_experiment()));
+        for len in 0..bytes.len() {
+            assert!(read(&bytes[..len]).is_err(), "prefix of {len} bytes");
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_rejected() {
+        let bytes = write(&DbModel::from_experiment(&sample_experiment()));
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(read(&bad).is_err(), "flip at byte {i} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn block_cross_checks_descriptor_and_node_range() {
+        let costs = vec![(1u32, 2.0), (4, 1.5)];
+        let mut block = Vec::new();
+        put_costs(&mut block, &costs);
+        let ok = MetricInfo {
+            name: "m".into(),
+            unit: "u".into(),
+            period: 1.0,
+            nnz: 2,
+            total: 3.5,
+        };
+        assert_eq!(read_block(&block, &ok, 5).unwrap(), costs);
+        let lying = MetricInfo {
+            nnz: 3,
+            ..ok.clone()
+        };
+        assert!(read_block(&block, &lying, 5).is_err(), "nnz mismatch");
+        assert!(read_block(&block, &ok, 4).is_err(), "node 4 out of range");
+    }
+}

@@ -1,0 +1,361 @@
+//! The lazy v2 reader: open decodes only the table of contents, name
+//! tables, CCT topology, and metric *descriptors*; every metric column
+//! stays as undecoded bytes until some view first reads it.
+//!
+//! [`open_lazy`] returns an ordinary [`Experiment`] whose
+//! [`RawMetrics`] and [`ColumnSet`] have a [`ColumnSource`] attached
+//! (the [`LazyShared`] state in this module, holding the raw file
+//! bytes). The calling-context view then faults in exactly the columns
+//! it sorts and displays; the callers/flat path goes through
+//! `Experiment::attributions`, which faults the raw direct-cost
+//! columns. Per column, faulting costs one checksum pass, one block
+//! decode, and one Eq. 1/Eq. 2 attribution — each paid at most once.
+//!
+//! `LazyShared` keeps its **own copy** of the CCT (the `Experiment`
+//! owns another) so attribution of a faulted column never needs a
+//! back-reference into the experiment it serves. Topology is a small
+//! fraction of a profile database, so the duplication is cheap; see
+//! DESIGN.md §10.
+//!
+//! Batch consumers that will touch everything anyway (replay, diffing,
+//! format conversion) should call [`decode_all`] right after opening:
+//! it fans the per-column work across workers via `core::chunked`
+//! instead of paying faults serially on first touch.
+
+use crate::bin2::{self, MetricInfo};
+use crate::model::{build_cct, DbError};
+use crate::toc::{Toc, SEC_BLOCK_BASE, SEC_CCT, SEC_DERIVED, SEC_METRICS, SEC_NAMES};
+use callpath_core::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// Everything a lazily opened experiment needs to fault columns in:
+/// the raw file bytes, the parsed TOC, a private copy of the topology,
+/// and per-metric attribution caches.
+#[derive(Debug)]
+struct LazyShared {
+    data: Vec<u8>,
+    toc: Toc,
+    /// Private topology copy for attributing faulted columns.
+    cct: Cct,
+    infos: Vec<MetricInfo>,
+    /// Parsed derived formulas, in derived-column order.
+    exprs: Vec<Expr>,
+    /// Whole-program value per column (from stored totals), for `@n`
+    /// references in derived formulas.
+    aggregates: Vec<f64>,
+    storage: StorageKind,
+    /// One attribution per metric, computed on the first fault of either
+    /// of its presentation columns and shared by both.
+    attrs: Vec<OnceLock<Result<Attribution, String>>>,
+}
+
+impl LazyShared {
+    fn n_nodes(&self) -> u32 {
+        self.cct.len() as u32
+    }
+
+    /// Decode (and range-check) metric `m`'s cost block.
+    fn block(&self, m: usize) -> Result<Vec<(u32, f64)>, String> {
+        let payload = self
+            .toc
+            .section(&self.data, SEC_BLOCK_BASE + m as u32)
+            .map_err(|e| e.message)?;
+        bin2::read_block(payload, &self.infos[m], self.n_nodes()).map_err(|e| e.message)
+    }
+
+    /// Attribution of metric `m`, computed once on first touch.
+    fn attribution(&self, m: usize) -> Result<&Attribution, String> {
+        self.attrs[m]
+            .get_or_init(|| {
+                let info = &self.infos[m];
+                let costs: Vec<(NodeId, f64)> = self
+                    .block(m)?
+                    .into_iter()
+                    .map(|(n, v)| (NodeId(n), v))
+                    .collect();
+                let mut raw = RawMetrics::new(self.storage);
+                let id = raw.add_metric(MetricDesc::new(&info.name, &info.unit, info.period));
+                raw.add_costs(id, &costs);
+                Ok(attribute(&self.cct, &raw, id, self.storage))
+            })
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// Sorted non-zero entries of presentation column `c`: the
+    /// inclusive/exclusive projection of a metric, or a derived column
+    /// evaluated from (recursively materialized) referenced columns.
+    fn entries_of(&self, c: usize) -> Result<Vec<(u32, f64)>, String> {
+        let metric_cols = self.infos.len() * 2;
+        if c < metric_cols {
+            let attr = self.attribution(c / 2)?;
+            let v = if c.is_multiple_of(2) {
+                &attr.inclusive
+            } else {
+                &attr.exclusive
+            };
+            return Ok(v.nonzero_sorted().collect());
+        }
+        let d = c - metric_cols;
+        let expr = self
+            .exprs
+            .get(d)
+            .ok_or_else(|| format!("no column {c} in this database"))?;
+        // Materialize just the referenced columns densely. References
+        // are validated at open to point strictly backwards, so the
+        // recursion terminates.
+        let n = self.cct.len();
+        let refs = expr.references();
+        let mut dense: Vec<(u32, Vec<f64>)> = Vec::with_capacity(refs.len());
+        for &r in &refs {
+            if r as usize >= c {
+                return Err(format!("derived column {c} references column {r}"));
+            }
+            let mut v = vec![0.0; n];
+            for (node, x) in self.entries_of(r as usize)? {
+                v[node as usize] = x;
+            }
+            dense.push((r, v));
+        }
+        let mut row = vec![0.0; c];
+        let mut out = Vec::new();
+        for node in 0..n {
+            for (r, v) in &dense {
+                row[*r as usize] = v[node];
+            }
+            let val = expr.eval(&SliceContext {
+                columns: &row,
+                aggregates: &self.aggregates,
+            });
+            if val != 0.0 {
+                out.push((node as u32, val));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl ColumnSource for LazyShared {
+    fn load_column(&self, c: ColumnId) -> Result<Vec<(u32, f64)>, String> {
+        self.entries_of(c.index())
+    }
+
+    fn load_raw(&self, m: MetricId) -> Result<Vec<(u32, f64)>, String> {
+        if m.index() >= self.infos.len() {
+            return Err(format!("no metric {} in this database", m.index()));
+        }
+        self.block(m.index())
+    }
+}
+
+/// Open a v2 container lazily: decode the TOC, names, topology, metric
+/// descriptors and derived definitions now; leave every cost block on
+/// the shelf until a view touches a column computed from it.
+pub fn open_lazy(data: Vec<u8>) -> Result<Experiment, DbError> {
+    let toc = Toc::parse(&data)?;
+    let (procs, files, modules) = bin2::read_names(toc.section(&data, SEC_NAMES)?)?;
+    let nodes = bin2::read_nodes(toc.section(&data, SEC_CCT)?)?;
+    let infos = bin2::read_metric_infos(toc.section(&data, SEC_METRICS)?)?;
+    let derived = bin2::read_derived(toc.section(&data, SEC_DERIVED)?)?;
+    // Block payloads stay untouched, but their *existence* is checked
+    // now so a missing column is an open-time error, not a render-time
+    // surprise.
+    for (i, info) in infos.iter().enumerate() {
+        let id = SEC_BLOCK_BASE + i as u32;
+        if !toc.entries.iter().any(|e| e.id == id) {
+            return Err(DbError::new(format!(
+                "missing cost block for metric '{}'",
+                info.name
+            )));
+        }
+    }
+    let cct = build_cct(&procs, &files, &modules, &nodes)?;
+    let storage = if toc.sparse {
+        StorageKind::Sparse
+    } else {
+        StorageKind::Dense
+    };
+
+    let mut raw = RawMetrics::new(storage);
+    let mut columns = ColumnSet::new(storage);
+    let mut aggregates = Vec::with_capacity(infos.len() * 2 + derived.len());
+    for (i, info) in infos.iter().enumerate() {
+        let m = MetricId::from_usize(i);
+        raw.add_metric(MetricDesc::new(&info.name, &info.unit, info.period));
+        columns.add_column(ColumnDesc {
+            name: format!("{} (I)", info.name),
+            flavor: ColumnFlavor::Inclusive(m),
+            visible: true,
+        });
+        columns.add_column(ColumnDesc {
+            name: format!("{} (E)", info.name),
+            flavor: ColumnFlavor::Exclusive(m),
+            visible: true,
+        });
+        // Root inclusive == whole-program direct total, for both the
+        // inclusive and the exclusive aggregate (cf. Experiment::build).
+        aggregates.push(info.total);
+        aggregates.push(info.total);
+    }
+
+    let mut exprs = Vec::with_capacity(derived.len());
+    let mut derived_cols = Vec::with_capacity(derived.len());
+    for (name, formula) in &derived {
+        let expr = Expr::parse(formula)
+            .map_err(|e| DbError::new(format!("derived metric '{name}': {e}")))?;
+        let existing = columns.column_count() as u32;
+        if let Some(&bad) = expr.references().iter().find(|&&r| r >= existing) {
+            return Err(DbError::new(format!(
+                "derived metric '{name}' references non-existent column ${bad}"
+            )));
+        }
+        let agg = expr.eval(&SliceContext {
+            columns: &aggregates,
+            aggregates: &aggregates,
+        });
+        let c = columns.add_column(ColumnDesc {
+            name: name.clone(),
+            flavor: ColumnFlavor::Derived {
+                formula: formula.clone(),
+            },
+            visible: true,
+        });
+        aggregates.push(agg);
+        derived_cols.push((c, expr.clone()));
+        exprs.push(expr);
+    }
+
+    let shared = Arc::new(LazyShared {
+        data,
+        toc,
+        cct: cct.clone(),
+        attrs: (0..infos.len()).map(|_| OnceLock::new()).collect(),
+        infos,
+        exprs,
+        aggregates: aggregates.clone(),
+        storage,
+    });
+    raw.attach_source(shared.clone());
+    columns.attach_source(shared);
+    Ok(Experiment::open_lazy(
+        cct,
+        raw,
+        columns,
+        derived_cols,
+        aggregates,
+        storage,
+    ))
+}
+
+/// Materialize every column of a lazily opened experiment, fanning the
+/// per-column block decode + attribution across `threads` workers
+/// (0 = automatic). Batch consumers — replay, diffing, re-encoding —
+/// call this once after [`open_lazy`] instead of paying faults
+/// serially; on an eagerly built experiment it is a cheap no-op scan.
+pub fn decode_all(exp: &Experiment, threads: usize) {
+    // Touching any value of a column faults the whole column in; the
+    // OnceLock slots make concurrent faults race-free.
+    let cols: Vec<ColumnId> = exp.columns.columns().collect();
+    chunked_map(&cols, threads, |_, chunk| {
+        for &c in chunk {
+            exp.columns.get(c, 0);
+        }
+    });
+    let metrics: Vec<MetricId> = (0..exp.raw.metric_count())
+        .map(MetricId::from_usize)
+        .collect();
+    chunked_map(&metrics, threads, |_, chunk| {
+        for &m in chunk {
+            let _ = exp.raw.column(m);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::sample_experiment;
+
+    #[test]
+    fn lazy_open_matches_eager_column_for_column() {
+        let eager = sample_experiment();
+        let bytes = crate::to_binary_v2(&eager);
+        let lazy = open_lazy(bytes).unwrap();
+        assert_eq!(lazy.cct.len(), eager.cct.len());
+        assert_eq!(lazy.columns.column_count(), eager.columns.column_count());
+        assert_eq!(lazy.columns.materialized_columns(), 0);
+        for c in eager.columns.columns() {
+            assert_eq!(lazy.columns.desc(c), eager.columns.desc(c));
+            for n in 0..eager.cct.len() as u32 {
+                assert_eq!(
+                    lazy.columns.get(c, n),
+                    eager.columns.get(c, n),
+                    "column {c:?} node {n}"
+                );
+            }
+        }
+        assert_eq!(
+            lazy.columns.materialized_columns(),
+            eager.columns.column_count()
+        );
+        assert!(lazy.columns.lazy_error().is_none());
+        for (a, b) in lazy.aggregates().iter().zip(eager.aggregates()) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn untouched_columns_stay_on_disk() {
+        let bytes = crate::to_binary_v2(&sample_experiment());
+        let lazy = open_lazy(bytes).unwrap();
+        // Touch only the first metric's inclusive column: its sibling
+        // exclusive column shares the attribution but stays
+        // unmaterialized, and the second metric's block is never read.
+        lazy.columns.get(ColumnId(0), 0);
+        assert_eq!(lazy.columns.materialized_columns(), 1);
+        assert_eq!(lazy.raw.materialized_metrics(), 0);
+    }
+
+    #[test]
+    fn decode_all_materializes_everything() {
+        let eager = sample_experiment();
+        let bytes = crate::to_binary_v2(&eager);
+        let lazy = open_lazy(bytes).unwrap();
+        decode_all(&lazy, 0);
+        assert_eq!(
+            lazy.columns.materialized_columns(),
+            eager.columns.column_count()
+        );
+        assert_eq!(lazy.raw.materialized_metrics(), eager.raw.metric_count());
+        // Re-extracting the model from the lazily opened experiment
+        // yields the exact bytes we opened (raw costs round-trip).
+        assert_eq!(crate::to_binary_v2(&lazy), crate::to_binary_v2(&eager));
+    }
+
+    #[test]
+    fn callers_view_path_faults_raw_metrics() {
+        let eager = sample_experiment();
+        let lazy = open_lazy(crate::to_binary_v2(&eager)).unwrap();
+        let m = MetricId(0);
+        let root = lazy.cct.root();
+        assert_eq!(lazy.inclusive(m, root), eager.inclusive(m, root));
+        assert_eq!(
+            lazy.raw.materialized_metrics(),
+            lazy.raw.metric_count(),
+            "attributions() faults every raw metric"
+        );
+    }
+
+    #[test]
+    fn corrupt_block_degrades_to_zeros_with_error() {
+        let mut bytes = crate::to_binary_v2(&sample_experiment());
+        // Flip a byte in the last section (a cost block), leaving the
+        // header/TOC and topology sections intact so open succeeds.
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xff;
+        let lazy = open_lazy(bytes).expect("topology is intact");
+        let c = ColumnId(2); // second metric's inclusive column
+        assert_eq!(lazy.columns.get(c, 0), 0.0);
+        assert!(lazy.columns.lazy_error().unwrap().contains("checksum"));
+    }
+}

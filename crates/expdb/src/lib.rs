@@ -4,24 +4,34 @@
 //! Experiment database formats: the bridge between `hpcprof` and
 //! `hpcviewer`.
 //!
-//! Two encodings of the same [`model::DbModel`]:
+//! Three encodings of the same [`model::DbModel`]:
 //!
 //! * [`xml`] — a human-readable XML-like text format, mirroring
 //!   HPCToolkit's `experiment.xml`;
 //! * [`bin`] — the *compact binary format* the paper's Section IX lists as
 //!   future work ("replacing our XML format for profiles with a more
 //!   compact binary format"), with LEB128 varints and delta-coded node
-//!   ids. The `expdb_formats` bench quantifies the size and speed gap.
+//!   ids (format v1: one undelimited stream);
+//! * [`bin2`] — format v2: the same value encoding inside a sectioned,
+//!   checksummed container ([`toc`]) with one independently decodable
+//!   block per metric column, enabling the lazy reader ([`lazy`]) whose
+//!   open cost is bounded by topology size. The `expdb_formats` bench
+//!   quantifies the size and speed gaps.
 //!
-//! Both round-trip losslessly: name tables, the canonical CCT, metric
-//! descriptors, sparse direct costs, and derived-metric definitions.
-//! Attribution (Eq. 1/Eq. 2) is recomputed on load, so the files carry
-//! only irreducible measurement data.
+//! All of them round-trip losslessly: name tables, the canonical CCT,
+//! metric descriptors, sparse direct costs, and derived-metric
+//! definitions. Attribution (Eq. 1/Eq. 2) is recomputed on load — up
+//! front for XML/v1, per column on first touch for lazily opened v2 —
+//! so the files carry only irreducible measurement data.
 
 pub mod bin;
+pub mod bin2;
+pub mod lazy;
 pub mod model;
+pub mod toc;
 pub mod xml;
 
+pub use lazy::{decode_all, open_lazy};
 pub use model::{DbError, DbModel};
 
 use callpath_core::prelude::Experiment;
@@ -36,12 +46,36 @@ pub fn from_xml(text: &str) -> Result<Experiment, DbError> {
     xml::read(text)?.into_experiment()
 }
 
-/// Serialize to the compact binary format.
+/// Serialize to the compact binary format, version 1.
 pub fn to_binary(exp: &Experiment) -> Vec<u8> {
     bin::write(&DbModel::from_experiment(exp))
 }
 
-/// Parse the compact binary format.
+/// Serialize to the sectioned binary format, version 2.
+pub fn to_binary_v2(exp: &Experiment) -> Vec<u8> {
+    bin2::write(&DbModel::from_experiment(exp))
+}
+
+/// Binary format version of `data`, if it carries the `CPDB` magic.
+///
+/// Works on any prefix of at least 5 bytes — openers sniff this before
+/// choosing a reader. (v1 encodes its version as a varint and v2 as a
+/// plain byte, but for the versions in use both occupy the single byte
+/// after the magic.)
+pub fn sniff_version(data: &[u8]) -> Option<u8> {
+    if data.len() >= 5 && &data[..4] == bin::MAGIC {
+        Some(data[4])
+    } else {
+        None
+    }
+}
+
+/// Parse either binary format (version negotiated via [`sniff_version`]),
+/// decoding everything eagerly. For interactive use over v2 data prefer
+/// [`open_lazy`].
 pub fn from_binary(data: &[u8]) -> Result<Experiment, DbError> {
-    bin::read(data)?.into_experiment()
+    match sniff_version(data) {
+        Some(toc::VERSION_BYTE) => bin2::read(data)?.into_experiment(),
+        _ => bin::read(data)?.into_experiment(),
+    }
 }

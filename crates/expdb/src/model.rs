@@ -206,77 +206,7 @@ impl DbModel {
 
     /// Rebuild a fully attributed experiment.
     pub fn into_experiment(self) -> Result<Experiment, DbError> {
-        let mut names = NameTable::new();
-        let procs: Vec<ProcId> = self.procs.iter().map(|s| names.proc(s)).collect();
-        let files: Vec<FileId> = self.files.iter().map(|s| names.file(s)).collect();
-        let modules: Vec<LoadModuleId> = self.modules.iter().map(|s| names.module(s)).collect();
-
-        let proc_id = |i: u32| -> Result<ProcId, DbError> {
-            procs
-                .get(i as usize)
-                .copied()
-                .ok_or_else(|| DbError::new(format!("proc index {i} out of range")))
-        };
-        let file_id = |i: u32| -> Result<FileId, DbError> {
-            files
-                .get(i as usize)
-                .copied()
-                .ok_or_else(|| DbError::new(format!("file index {i} out of range")))
-        };
-        let module_id = |i: u32| -> Result<LoadModuleId, DbError> {
-            modules
-                .get(i as usize)
-                .copied()
-                .ok_or_else(|| DbError::new(format!("module index {i} out of range")))
-        };
-
-        let mut cct = Cct::new(names);
-        for (i, node) in self.nodes.iter().enumerate() {
-            let id = i as u32 + 1;
-            if node.parent >= id {
-                return Err(DbError::new(format!(
-                    "node {id}: parent {} does not precede it",
-                    node.parent
-                )));
-            }
-            let kind = match &node.scope {
-                DbScope::Frame {
-                    proc,
-                    module,
-                    def_file,
-                    def_line,
-                    call_site,
-                } => ScopeKind::Frame {
-                    proc: proc_id(*proc)?,
-                    module: module_id(*module)?,
-                    def: SourceLoc::new(file_id(*def_file)?, *def_line),
-                    call_site: match call_site {
-                        Some((f, l)) => Some(SourceLoc::new(file_id(*f)?, *l)),
-                        None => None,
-                    },
-                },
-                DbScope::Inlined {
-                    proc,
-                    def_file,
-                    def_line,
-                    cs_file,
-                    cs_line,
-                } => ScopeKind::InlinedFrame {
-                    proc: proc_id(*proc)?,
-                    def: SourceLoc::new(file_id(*def_file)?, *def_line),
-                    call_site: SourceLoc::new(file_id(*cs_file)?, *cs_line),
-                },
-                DbScope::Loop { file, line } => ScopeKind::Loop {
-                    header: SourceLoc::new(file_id(*file)?, *line),
-                },
-                DbScope::Stmt { file, line } => ScopeKind::Stmt {
-                    loc: SourceLoc::new(file_id(*file)?, *line),
-                },
-            };
-            let added = cct.add_child(NodeId(node.parent), kind);
-            debug_assert_eq!(added.0, id);
-        }
-        cct.validate().map_err(DbError::new)?;
+        let cct = build_cct(&self.procs, &self.files, &self.modules, &self.nodes)?;
 
         let storage = if self.sparse {
             StorageKind::Sparse
@@ -304,6 +234,90 @@ impl DbModel {
         }
         Ok(exp)
     }
+}
+
+/// Reconstruct a validated [`Cct`] from serialized name tables and node
+/// records — the shared topology-decoding half of
+/// [`DbModel::into_experiment`], also used by the lazy v2 reader (which
+/// decodes topology eagerly but leaves metric columns on disk).
+pub(crate) fn build_cct(
+    proc_names: &[String],
+    file_names: &[String],
+    module_names: &[String],
+    nodes: &[DbNode],
+) -> Result<Cct, DbError> {
+    let mut names = NameTable::new();
+    let procs: Vec<ProcId> = proc_names.iter().map(|s| names.proc(s)).collect();
+    let files: Vec<FileId> = file_names.iter().map(|s| names.file(s)).collect();
+    let modules: Vec<LoadModuleId> = module_names.iter().map(|s| names.module(s)).collect();
+
+    let proc_id = |i: u32| -> Result<ProcId, DbError> {
+        procs
+            .get(i as usize)
+            .copied()
+            .ok_or_else(|| DbError::new(format!("proc index {i} out of range")))
+    };
+    let file_id = |i: u32| -> Result<FileId, DbError> {
+        files
+            .get(i as usize)
+            .copied()
+            .ok_or_else(|| DbError::new(format!("file index {i} out of range")))
+    };
+    let module_id = |i: u32| -> Result<LoadModuleId, DbError> {
+        modules
+            .get(i as usize)
+            .copied()
+            .ok_or_else(|| DbError::new(format!("module index {i} out of range")))
+    };
+
+    let mut cct = Cct::new(names);
+    for (i, node) in nodes.iter().enumerate() {
+        let id = i as u32 + 1;
+        if node.parent >= id {
+            return Err(DbError::new(format!(
+                "node {id}: parent {} does not precede it",
+                node.parent
+            )));
+        }
+        let kind = match &node.scope {
+            DbScope::Frame {
+                proc,
+                module,
+                def_file,
+                def_line,
+                call_site,
+            } => ScopeKind::Frame {
+                proc: proc_id(*proc)?,
+                module: module_id(*module)?,
+                def: SourceLoc::new(file_id(*def_file)?, *def_line),
+                call_site: match call_site {
+                    Some((f, l)) => Some(SourceLoc::new(file_id(*f)?, *l)),
+                    None => None,
+                },
+            },
+            DbScope::Inlined {
+                proc,
+                def_file,
+                def_line,
+                cs_file,
+                cs_line,
+            } => ScopeKind::InlinedFrame {
+                proc: proc_id(*proc)?,
+                def: SourceLoc::new(file_id(*def_file)?, *def_line),
+                call_site: SourceLoc::new(file_id(*cs_file)?, *cs_line),
+            },
+            DbScope::Loop { file, line } => ScopeKind::Loop {
+                header: SourceLoc::new(file_id(*file)?, *line),
+            },
+            DbScope::Stmt { file, line } => ScopeKind::Stmt {
+                loc: SourceLoc::new(file_id(*file)?, *line),
+            },
+        };
+        let added = cct.add_child(NodeId(node.parent), kind);
+        debug_assert_eq!(added.0, id);
+    }
+    cct.validate().map_err(DbError::new)?;
+    Ok(cct)
 }
 
 #[cfg(test)]

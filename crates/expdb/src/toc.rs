@@ -1,0 +1,276 @@
+//! Container framing for format v2: a fixed-size header, a table of
+//! contents, and checksummed sections that exactly tile the rest of the
+//! file.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "CPDB"
+//! 4       1     version byte (2)
+//! 5       1     flags (bit 0: sparse storage)
+//! 6       2     reserved (zero)
+//! 8       4     section count, u32 LE
+//! 12      8     FNV-1a 64 checksum of bytes 0..12 and all TOC entries
+//! 20      32×n  TOC entries: id u32, reserved u32, offset u64,
+//!               length u64, payload checksum u64 (all LE)
+//! ...           section payloads, in TOC order, back to back
+//! ```
+//!
+//! Two framing invariants make corruption detection total:
+//!
+//! * **Tiling** — the first section starts right after the TOC, each
+//!   section starts where the previous one ends, and the last one ends
+//!   at the file's final byte. Any truncation (at *every* prefix
+//!   length) therefore fails either the header/TOC bounds check or the
+//!   tiling check before a single payload byte is decoded.
+//! * **Checksums** — the header+TOC carry their own FNV-1a 64 digest,
+//!   and every section records the digest of its payload, verified on
+//!   first access. A bit flip anywhere in the file is caught by exactly
+//!   one of these.
+//!
+//! Sections are identified by numeric id, not position, so readers skip
+//! ids they do not understand and future revisions can append sections
+//! without breaking v2 readers.
+
+use crate::model::DbError;
+
+/// Fixed ids for the well-known sections. Per-metric cost blocks start
+/// at [`SEC_BLOCK_BASE`] (block for metric `m` has id `SEC_BLOCK_BASE + m`),
+/// leaving room for more fixed sections below.
+pub(crate) const SEC_NAMES: u32 = 1;
+/// CCT topology (node records).
+pub(crate) const SEC_CCT: u32 = 2;
+/// Metric descriptors (name, unit, period, nnz, total) — no cost data.
+pub(crate) const SEC_METRICS: u32 = 3;
+/// Derived-metric definitions (name, formula).
+pub(crate) const SEC_DERIVED: u32 = 4;
+/// First per-metric cost block id.
+pub(crate) const SEC_BLOCK_BASE: u32 = 16;
+
+pub(crate) const VERSION_BYTE: u8 = 2;
+const FLAG_SPARSE: u8 = 1;
+const HEADER_LEN: usize = 20;
+const ENTRY_LEN: usize = 32;
+/// Checksummed prefix of the header (everything before the digest field).
+const CHECKSUM_SPLIT: usize = 12;
+
+/// FNV-1a 64-bit: tiny, dependency-free, and plenty for integrity
+/// checking (this guards against rot and truncation, not adversaries).
+pub(crate) fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One parsed TOC entry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TocEntry {
+    pub id: u32,
+    pub offset: u64,
+    pub len: u64,
+    pub checksum: u64,
+}
+
+/// The parsed table of contents of a v2 file.
+#[derive(Debug, Clone)]
+pub(crate) struct Toc {
+    pub sparse: bool,
+    pub entries: Vec<TocEntry>,
+}
+
+impl Toc {
+    /// Parse and fully validate the header + TOC of `data`: magic,
+    /// version, header checksum, and the tiling invariant.
+    pub fn parse(data: &[u8]) -> Result<Toc, DbError> {
+        if data.len() < HEADER_LEN {
+            return Err(DbError::new("truncated v2 header"));
+        }
+        if &data[..4] != super::bin::MAGIC {
+            return Err(DbError::new("bad magic"));
+        }
+        if data[4] != VERSION_BYTE {
+            return Err(DbError::new(format!("unsupported version {}", data[4])));
+        }
+        let flags = data[5];
+        if flags & !FLAG_SPARSE != 0 {
+            return Err(DbError::new(format!("unknown flags {flags:#x}")));
+        }
+        if data[6] != 0 || data[7] != 0 {
+            return Err(DbError::new("reserved header bytes not zero"));
+        }
+        let count = u32::from_le_bytes(data[8..12].try_into().unwrap()) as usize;
+        let toc_end = HEADER_LEN
+            .checked_add(count.checked_mul(ENTRY_LEN).ok_or_else(toc_overflow)?)
+            .ok_or_else(toc_overflow)?;
+        if data.len() < toc_end {
+            return Err(DbError::new("truncated table of contents"));
+        }
+        let stored = u64::from_le_bytes(data[CHECKSUM_SPLIT..HEADER_LEN].try_into().unwrap());
+        let mut digest_input = Vec::with_capacity(CHECKSUM_SPLIT + toc_end - HEADER_LEN);
+        digest_input.extend_from_slice(&data[..CHECKSUM_SPLIT]);
+        digest_input.extend_from_slice(&data[HEADER_LEN..toc_end]);
+        if fnv1a64(&digest_input) != stored {
+            return Err(DbError::new("header/TOC checksum mismatch"));
+        }
+
+        let mut entries = Vec::with_capacity(count);
+        let mut expect_offset = toc_end as u64;
+        for i in 0..count {
+            let e = &data[HEADER_LEN + i * ENTRY_LEN..HEADER_LEN + (i + 1) * ENTRY_LEN];
+            let entry = TocEntry {
+                id: u32::from_le_bytes(e[0..4].try_into().unwrap()),
+                offset: u64::from_le_bytes(e[8..16].try_into().unwrap()),
+                len: u64::from_le_bytes(e[16..24].try_into().unwrap()),
+                checksum: u64::from_le_bytes(e[24..32].try_into().unwrap()),
+            };
+            // Sections tile the file: no gaps, no overlaps, no reordering.
+            if entry.offset != expect_offset {
+                return Err(DbError::new(format!(
+                    "section {} at offset {} breaks tiling (expected {})",
+                    entry.id, entry.offset, expect_offset
+                )));
+            }
+            expect_offset = entry
+                .offset
+                .checked_add(entry.len)
+                .ok_or_else(toc_overflow)?;
+            if expect_offset > data.len() as u64 {
+                return Err(DbError::new(format!(
+                    "section {} overruns the file ({} > {})",
+                    entry.id,
+                    expect_offset,
+                    data.len()
+                )));
+            }
+            entries.push(entry);
+        }
+        if expect_offset != data.len() as u64 {
+            return Err(DbError::new(format!(
+                "{} trailing bytes after the last section",
+                data.len() as u64 - expect_offset
+            )));
+        }
+        Ok(Toc {
+            sparse: flags & FLAG_SPARSE != 0,
+            entries,
+        })
+    }
+
+    /// Payload of the section with `id`, checksum-verified on access.
+    pub fn section<'a>(&self, data: &'a [u8], id: u32) -> Result<&'a [u8], DbError> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.id == id)
+            .ok_or_else(|| DbError::new(format!("missing section {id}")))?;
+        let payload = &data[entry.offset as usize..(entry.offset + entry.len) as usize];
+        if fnv1a64(payload) != entry.checksum {
+            return Err(DbError::new(format!("section {id} checksum mismatch")));
+        }
+        Ok(payload)
+    }
+}
+
+fn toc_overflow() -> DbError {
+    DbError::new("table of contents length overflow")
+}
+
+/// Accumulates sections and emits the framed file.
+pub(crate) struct TocBuilder {
+    sparse: bool,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl TocBuilder {
+    pub fn new(sparse: bool) -> Self {
+        TocBuilder {
+            sparse,
+            sections: Vec::new(),
+        }
+    }
+
+    pub fn add(&mut self, id: u32, payload: Vec<u8>) {
+        self.sections.push((id, payload));
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        let toc_end = HEADER_LEN + self.sections.len() * ENTRY_LEN;
+        let total: usize = toc_end + self.sections.iter().map(|(_, p)| p.len()).sum::<usize>();
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(super::bin::MAGIC);
+        out.push(VERSION_BYTE);
+        out.push(if self.sparse { FLAG_SPARSE } else { 0 });
+        out.extend_from_slice(&[0, 0]); // reserved
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        out.extend_from_slice(&[0u8; 8]); // checksum, patched below
+
+        let mut offset = toc_end as u64;
+        for (id, payload) in &self.sections {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+            offset += payload.len() as u64;
+        }
+        let mut digest_input = Vec::with_capacity(CHECKSUM_SPLIT + toc_end - HEADER_LEN);
+        digest_input.extend_from_slice(&out[..CHECKSUM_SPLIT]);
+        digest_input.extend_from_slice(&out[HEADER_LEN..toc_end]);
+        let digest = fnv1a64(&digest_input).to_le_bytes();
+        out[CHECKSUM_SPLIT..HEADER_LEN].copy_from_slice(&digest);
+
+        for (_, payload) in self.sections {
+            out.extend_from_slice(&payload);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut b = TocBuilder::new(true);
+        b.add(SEC_NAMES, vec![1, 2, 3]);
+        b.add(SEC_CCT, vec![]);
+        b.add(SEC_BLOCK_BASE, vec![9; 40]);
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_sections() {
+        let bytes = sample();
+        let toc = Toc::parse(&bytes).unwrap();
+        assert!(toc.sparse);
+        assert_eq!(toc.entries.len(), 3);
+        assert_eq!(toc.section(&bytes, SEC_NAMES).unwrap(), &[1, 2, 3]);
+        assert_eq!(toc.section(&bytes, SEC_CCT).unwrap(), &[] as &[u8]);
+        assert_eq!(toc.section(&bytes, SEC_BLOCK_BASE).unwrap(), &[9; 40]);
+        assert!(toc.section(&bytes, 99).is_err());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = sample();
+        for len in 0..bytes.len() {
+            assert!(Toc::parse(&bytes[..len]).is_err(), "prefix of {len} bytes");
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let bytes = sample();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let detected = match Toc::parse(&bad) {
+                Err(_) => true,
+                Ok(toc) => toc.entries.iter().any(|e| toc.section(&bad, e.id).is_err()),
+            };
+            assert!(detected, "flip at byte {i} slipped through");
+        }
+    }
+}

@@ -52,7 +52,11 @@ fn unescape(s: &str) -> Result<String, DbError> {
 /// Serialize a model as XML-like text.
 pub fn write(model: &DbModel) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "<Experiment version=\"1\" sparse=\"{}\">", model.sparse);
+    let _ = writeln!(
+        out,
+        "<Experiment version=\"1\" sparse=\"{}\">",
+        model.sparse
+    );
 
     let name_list = |out: &mut String, tag: &str, items: &[String]| {
         let _ = writeln!(out, "  <{tag}>");
@@ -307,9 +311,7 @@ pub fn read(text: &str) -> Result<DbModel, DbError> {
                             def_file: num(req(&attrs, "f", "F")?, "file")?,
                             def_line: num(req(&attrs, "l", "F")?, "line")?,
                             call_site: match (attrs.get("csf"), attrs.get("csl")) {
-                                (Some(f), Some(l)) => {
-                                    Some((num(f, "csf")?, num(l, "csl")?))
-                                }
+                                (Some(f), Some(l)) => Some((num(f, "csf")?, num(l, "csl")?)),
                                 _ => None,
                             },
                         },

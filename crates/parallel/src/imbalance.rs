@@ -36,7 +36,11 @@ impl ImbalanceStats {
             max: w.max(),
             std_dev: w.std_dev(),
             cov: w.coeff_of_variation(),
-            imbalance_factor: if mean == 0.0 { 0.0 } else { w.max() / mean - 1.0 },
+            imbalance_factor: if mean == 0.0 {
+                0.0
+            } else {
+                w.max() / mean - 1.0
+            },
         }
     }
 }
@@ -49,7 +53,11 @@ pub fn histogram(values: &[f64], bins: usize) -> Vec<(f64, f64, usize)> {
     }
     let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let width = if max > min { (max - min) / bins as f64 } else { 1.0 };
+    let width = if max > min {
+        (max - min) / bins as f64
+    } else {
+        1.0
+    };
     let mut counts = vec![0usize; bins];
     for &v in values {
         let mut b = ((v - min) / width) as usize;

@@ -18,10 +18,12 @@
 
 pub mod hybrid;
 pub mod imbalance;
+pub mod snapshot;
 pub mod spmd;
 pub mod summarize;
 
 pub use hybrid::{run_hybrid, HybridConfig, HybridRun};
 pub use imbalance::{ascii_histogram, ascii_scatter, ascii_sorted, histogram, ImbalanceStats};
+pub use snapshot::{replay, snapshot};
 pub use spmd::{run_spmd, SpmdConfig, SpmdRun};
 pub use summarize::{summarize_ranks, summarize_view_nodes, Summaries};

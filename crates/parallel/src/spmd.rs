@@ -3,9 +3,7 @@
 
 use callpath_core::prelude::{chunked_map, Experiment, NodeId, StorageKind};
 use callpath_prof::{ParallelCorrelator, PerNodeCosts};
-use callpath_profiler::{
-    execute, lower, Counter, ExecConfig, ExecResult, Program, RawProfile,
-};
+use callpath_profiler::{execute, lower, Counter, ExecConfig, ExecResult, Program, RawProfile};
 use callpath_structure::recover;
 
 /// Configuration of an SPMD run.
@@ -94,10 +92,7 @@ pub fn run_spmd(program: &Program, cfg: &SpmdConfig) -> SpmdRun {
             .map(|&rank| {
                 let rank_cfg = ExecConfig {
                     work_scale: cfg.scales[rank],
-                    jitter_seed: cfg
-                        .exec
-                        .jitter_seed
-                        .map(|sd| sd.wrapping_add(rank as u64)),
+                    jitter_seed: cfg.exec.jitter_seed.map(|sd| sd.wrapping_add(rank as u64)),
                     ..cfg.exec.clone()
                 };
                 execute(&binary, &rank_cfg).expect("rank execution failed")
@@ -158,7 +153,11 @@ pub fn run_spmd(program: &Program, cfg: &SpmdConfig) -> SpmdRun {
     let (experiment, costs) = ParallelCorrelator::new(&structure, periods)
         .with_threads(cfg.threads)
         .correlate(&profiles, StorageKind::Dense);
-    let rank_direct = if cfg.keep_rank_data { costs } else { Vec::new() };
+    let rank_direct = if cfg.keep_rank_data {
+        costs
+    } else {
+        Vec::new()
+    };
 
     SpmdRun {
         experiment,

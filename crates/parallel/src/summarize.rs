@@ -78,12 +78,7 @@ fn rank_raw(counters: &[Counter], costs: &PerNodeCosts) -> (RawMetrics, Vec<Metr
 
 /// Map a rank's sparse direct costs to per-node inclusive values and fold
 /// them into `into`.
-fn fold_rank(
-    exp: &Experiment,
-    counters: &[Counter],
-    costs: &PerNodeCosts,
-    into: &mut [Welford],
-) {
+fn fold_rank(exp: &Experiment, counters: &[Counter], costs: &PerNodeCosts, into: &mut [Welford]) {
     let n_metrics = counters.len();
     let (raw, ids) = rank_raw(counters, costs);
     for (mi, &id) in ids.iter().enumerate() {
@@ -160,12 +155,7 @@ mod tests {
     #[test]
     fn mean_min_max_match_partition() {
         let run = simple_run(vec![1.0, 1.0, 2.0, 2.0]);
-        let s = summarize_ranks(
-            &run.experiment,
-            &[Counter::Cycles],
-            &run.rank_direct,
-            2,
-        );
+        let s = summarize_ranks(&run.experiment, &[Counter::Cycles], &run.rank_direct, 2);
         let root = run.experiment.cct.root();
         let w = s.get(root, MetricId(0));
         assert_eq!(w.count(), 4);
@@ -242,7 +232,12 @@ pub fn summarize_view_nodes(
     let n_nodes = tree.len();
     // Precompute each node's exposed instance set once.
     let keep: Vec<Vec<callpath_core::prelude::NodeId>> = (0..n_nodes as u32)
-        .map(|i| exposed(&exp.cct, tree.instances(callpath_core::prelude::ViewNodeId(i))))
+        .map(|i| {
+            exposed(
+                &exp.cct,
+                tree.instances(callpath_core::prelude::ViewNodeId(i)),
+            )
+        })
         .collect();
 
     let stats = chunked_reduce(
@@ -273,11 +268,7 @@ pub fn summarize_view_nodes(
 impl Summaries {
     /// Access by view node id (same layout as [`Summaries::get`], just a
     /// different index type).
-    pub fn get_view(
-        &self,
-        node: callpath_core::prelude::ViewNodeId,
-        metric: MetricId,
-    ) -> &Welford {
+    pub fn get_view(&self, node: callpath_core::prelude::ViewNodeId, metric: MetricId) -> &Welford {
         &self.stats[node.index() * self.n_metrics + metric.index()]
     }
 
@@ -327,7 +318,10 @@ mod view_summary_tests {
         let main = b.declare("main", f, 1);
         b.body(
             g,
-            vec![Op::work(11, Costs::cycles(1_000)), Op::call_recursive(12, g, 2)],
+            vec![
+                Op::work(11, Costs::cycles(1_000)),
+                Op::call_recursive(12, g, 2),
+            ],
         );
         b.body(main, vec![Op::call(3, g)]);
         b.entry(main);

@@ -40,7 +40,11 @@ impl<'s> Correlator<'s> {
         let mut names = NameTable::new();
         let main_module = names.module(&structure.module);
         let files: Vec<FileId> = structure.files.iter().map(|f| names.file(f)).collect();
-        let procs: Vec<ProcId> = structure.procs.iter().map(|p| names.proc(&p.name)).collect();
+        let procs: Vec<ProcId> = structure
+            .procs
+            .iter()
+            .map(|p| names.proc(&p.name))
+            .collect();
         let proc_modules: Vec<LoadModuleId> = structure
             .procs
             .iter()
@@ -256,8 +260,7 @@ impl<'s> Correlator<'s> {
         // Deterministic insertion independent of hash order; the batched
         // per-metric write walks nodes ascending, which is the columnar
         // store's append fast path.
-        let mut totals: Vec<(NodeId, [f64; Counter::COUNT])> =
-            self.totals.into_iter().collect();
+        let mut totals: Vec<(NodeId, [f64; Counter::COUNT])> = self.totals.into_iter().collect();
         totals.sort_unstable_by_key(|(n, _)| *n);
         let mut batch: Vec<(NodeId, f64)> = Vec::with_capacity(totals.len());
         for (mi, &c) in active.iter().enumerate() {
@@ -390,7 +393,9 @@ mod tests {
         let kids: Vec<NodeId> = exp.cct.children(create).collect();
         assert_eq!(kids.len(), 1);
         match exp.cct.kind(kids[0]) {
-            ScopeKind::InlinedFrame { proc, call_site, .. } => {
+            ScopeKind::InlinedFrame {
+                proc, call_site, ..
+            } => {
                 assert_eq!(exp.cct.names.proc_name(*proc), "fast_memset");
                 assert_eq!(call_site.line, 44);
             }
@@ -480,10 +485,7 @@ mod tests {
             |b| {
                 let f = b.file("a.c");
                 let main = b.declare("main", f, 1);
-                b.body(
-                    main,
-                    vec![Op::work(2, Costs::memory(100_000, 5_000))],
-                );
+                b.body(main, vec![Op::work(2, Costs::memory(100_000, 5_000))]);
                 b.entry(main);
             },
             &cfg,
@@ -492,8 +494,14 @@ mod tests {
         assert_eq!(exp.raw.descs()[0].name, "PAPI_TOT_CYC");
         assert_eq!(exp.raw.descs()[1].name, "PAPI_L1_DCM");
         let root = exp.cct.root();
-        assert_eq!(exp.columns.get(exp.inclusive_col(MetricId(0)), root.0), 100_000.0);
-        assert_eq!(exp.columns.get(exp.inclusive_col(MetricId(1)), root.0), 5_000.0);
+        assert_eq!(
+            exp.columns.get(exp.inclusive_col(MetricId(0)), root.0),
+            100_000.0
+        );
+        assert_eq!(
+            exp.columns.get(exp.inclusive_col(MetricId(1)), root.0),
+            5_000.0
+        );
     }
 
     #[test]

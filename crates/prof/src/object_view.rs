@@ -58,7 +58,11 @@ fn mnemonic(binary: &Binary, kind: &InstrKind) -> String {
             format!("work.{}", parts.join("."))
         }
         InstrKind::Call { callee, max_active } => {
-            let guard = if max_active.is_some() { " (guarded)" } else { "" };
+            let guard = if max_active.is_some() {
+                " (guarded)"
+            } else {
+                ""
+            };
             format!("call {}{guard}", binary.procs[*callee].name)
         }
         InstrKind::Branch { target, trips } => format!("loop.b {target} x{trips}"),
@@ -118,7 +122,10 @@ pub fn render_object_view(view: &ObjectView, periods: &[u64; Counter::COUNT]) ->
         .filter(|&c| view.lines.iter().any(|l| l.counts[c as usize] != 0.0))
         .collect();
     let mut out = format!("object view of {}\n", view.proc_name);
-    out.push_str(&format!("{:>8}  {:<28} {:<22}", "addr", "instruction", "source"));
+    out.push_str(&format!(
+        "{:>8}  {:<28} {:<22}",
+        "addr", "instruction", "source"
+    ));
     for &c in &active {
         out.push_str(&format!(" {:>14}", c.papi_name()));
     }

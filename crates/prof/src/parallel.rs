@@ -149,7 +149,7 @@ impl<'s> ParallelCorrelator<'s> {
             let mut remap: Vec<NodeId> = vec![NodeId(u32::MAX); shard.cct.len()];
             remap[shard.cct.root().index()] = canon.cct.root();
             for &(parent, child) in &shard.journal {
-                let kind = shard.cct.kind(child).clone();
+                let kind = *shard.cct.kind(child);
                 let canon_parent = remap[parent.index()];
                 debug_assert_ne!(canon_parent.0, u32::MAX, "journal references unseen parent");
                 remap[child.index()] = canon.cct.find_or_add_child(canon_parent, kind);
@@ -173,7 +173,9 @@ mod tests {
     use callpath_profiler::{execute, lower, Costs, ExecConfig, Op, ProgramBuilder};
     use callpath_structure::recover;
 
-    fn profiles_for(n_ranks: usize) -> (callpath_structure::Structure, Vec<RawProfile>, ExecConfig) {
+    fn profiles_for(
+        n_ranks: usize,
+    ) -> (callpath_structure::Structure, Vec<RawProfile>, ExecConfig) {
         let mut b = ProgramBuilder::new("app");
         let f = b.file("a.c");
         let lib = b.file("lib.h");
@@ -188,7 +190,10 @@ mod tests {
                 Op::call_inline(14, helper),
             ],
         );
-        b.body(main, vec![Op::call(2, work), Op::call_recursive(3, main, 2)]);
+        b.body(
+            main,
+            vec![Op::call(2, work), Op::call_recursive(3, main, 2)],
+        );
         b.entry(main);
         let bin = lower(&b.build());
         let cfg = ExecConfig {
@@ -212,8 +217,7 @@ mod tests {
     fn parallel_matches_sequential_exactly() {
         let (structure, profiles, cfg) = profiles_for(9);
         let mut seq = Correlator::new(&structure, cfg.periods);
-        let seq_costs: Vec<PerNodeCosts> =
-            profiles.iter().map(|p| seq.add(p)).collect();
+        let seq_costs: Vec<PerNodeCosts> = profiles.iter().map(|p| seq.add(p)).collect();
         let seq_exp = seq.finish(StorageKind::Dense);
 
         for threads in [1, 2, 4, 8] {

@@ -212,17 +212,10 @@ mod tests {
         let f = b.file("app.c");
         let main = b.declare("main", f, 1);
         let work = b.declare("work", f, 10);
-        b.body(
-            main,
-            vec![Op::work(2, Costs::cycles(5)), Op::call(3, work)],
-        );
+        b.body(main, vec![Op::work(2, Costs::cycles(5)), Op::call(3, work)]);
         b.body(
             work,
-            vec![Op::looped(
-                11,
-                3,
-                vec![Op::work(12, Costs::cycles(10))],
-            )],
+            vec![Op::looped(11, 3, vec![Op::work(12, Costs::cycles(10))])],
         );
         b.entry(main);
         lower(&b.build())

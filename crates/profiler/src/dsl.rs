@@ -239,7 +239,10 @@ pub fn parse(src: &str) -> Result<Program, DslError> {
                             toks = &toks[1..];
                         }
                         other => {
-                            return Err(err(line.no, format!("unexpected '{other}' in proc header")))
+                            return Err(err(
+                                line.no,
+                                format!("unexpected '{other}' in proc header"),
+                            ))
                         }
                     }
                 }
@@ -289,7 +292,12 @@ pub fn parse(src: &str) -> Result<Program, DslError> {
                 entry = Some((line.no, line.tokens[1].clone()));
                 i += 1;
             }
-            other => return Err(err(line.no, format!("expected 'proc' or 'entry', got '{other}'"))),
+            other => {
+                return Err(err(
+                    line.no,
+                    format!("expected 'proc' or 'entry', got '{other}'"),
+                ))
+            }
         }
     }
 
@@ -392,8 +400,7 @@ fn parse_body(
                 let (l, rest) = parse_at(line.no, &t[1..])?;
                 let opts = Opts::parse(line.no, rest)?;
                 opts.check_known(&["cycles", "misses"], &["fixed"])?;
-                let costs =
-                    Costs::memory(opts.req_num("cycles")?, opts.req_num("misses")?);
+                let costs = Costs::memory(opts.req_num("cycles")?, opts.req_num("misses")?);
                 ops.push(if opts.flag("fixed") {
                     Op::work_fixed(l, costs)
                 } else {

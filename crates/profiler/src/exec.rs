@@ -246,10 +246,8 @@ pub fn execute(binary: &Binary, config: &ExecConfig) -> Result<ExecResult, Strin
             }
             InstrKind::Barrier { id } => {
                 let occurrence = barrier_occurrence.entry(*id).or_insert(0);
-                let path: Vec<(Addr, ProcIdx)> = stack
-                    .iter()
-                    .map(|f| (f.call_addr, f.callee))
-                    .collect();
+                let path: Vec<(Addr, ProcIdx)> =
+                    stack.iter().map(|f| (f.call_addr, f.callee)).collect();
                 barrier_arrivals.push(BarrierArrival {
                     id: *id,
                     occurrence: *occurrence,
@@ -451,10 +449,7 @@ mod tests {
         let f = b.file("a.c");
         let main = b.declare("main", f, 1);
         let step = b.declare("step", f, 10);
-        b.body(
-            main,
-            vec![Op::looped(2, 3, vec![Op::call(3, step)])],
-        );
+        b.body(main, vec![Op::looped(2, 3, vec![Op::call(3, step)])]);
         b.body(
             step,
             vec![
@@ -496,7 +491,10 @@ mod tests {
         )
         .unwrap();
         assert!(fine.overhead_cycles > 50 * coarse.overhead_cycles);
-        assert!(coarse.overhead_fraction() < 0.01, "coarse sampling is cheap");
+        assert!(
+            coarse.overhead_fraction() < 0.01,
+            "coarse sampling is cheap"
+        );
     }
 
     #[test]

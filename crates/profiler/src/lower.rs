@@ -258,10 +258,7 @@ mod tests {
         let g = b.declare("g", f, 2);
         b.body(
             g,
-            vec![
-                Op::work(3, Costs::cycles(1)),
-                Op::call_recursive(4, g, 3),
-            ],
+            vec![Op::work(3, Costs::cycles(1)), Op::call_recursive(4, g, 3)],
         );
         b.entry(g);
         let bin = lower(&b.build());

@@ -450,10 +450,7 @@ mod tests {
     #[test]
     fn accepts_guarded_recursion() {
         let mut p = two_proc_program();
-        p.procs[1].body = vec![
-            Op::work(11, Costs::cycles(1)),
-            Op::call_recursive(12, 1, 4),
-        ];
+        p.procs[1].body = vec![Op::work(11, Costs::cycles(1)), Op::call_recursive(12, 1, 4)];
         assert!(p.validate().is_ok());
     }
 

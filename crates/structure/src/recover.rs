@@ -394,10 +394,7 @@ mod tests {
             let rhsf = b.declare("rhsf", f, 200);
             let main = b.declare("integrate", f, 80);
             b.body(rhsf, vec![Op::work(201, Costs::cycles(10))]);
-            b.body(
-                main,
-                vec![Op::looped(82, 5, vec![Op::call(83, rhsf)])],
-            );
+            b.body(main, vec![Op::looped(82, 5, vec![Op::call(83, rhsf)])]);
             b.entry(main);
         });
         // Find the call instruction.

@@ -25,4 +25,7 @@ pub use render::{
     render, render_flattened, render_hot_path, render_subtree, ExpandMode, RenderConfig,
 };
 pub use session::{Command, Session};
-pub use source_pane::{navigate_to_call_site, navigate_to_scope, render_selection, SourceHit};
+pub use source_pane::{
+    navigate_to_call_site, navigate_to_scope, render_selection, render_selection_filtered,
+    SourceHit,
+};

@@ -344,7 +344,14 @@ pub fn render_hot_path(
             let mut kids = r.view.children(n);
             let shown = kids.len().min(r.cfg.max_children.min(5));
             if let Some(c) = r.cfg.sort {
-                top_k_by_column(r.view, &mut r.labels, &mut kids, c, SortDir::Descending, shown);
+                top_k_by_column(
+                    r.view,
+                    &mut r.labels,
+                    &mut kids,
+                    c,
+                    SortDir::Descending,
+                    shown,
+                );
             }
             for k in kids.into_iter().take(shown) {
                 r.emit_row(k, depth + 1, false, false);
@@ -416,12 +423,18 @@ mod tests {
         let text = render(&mut view, &RenderConfig::default());
         // main's exclusive is zero: its row must contain exactly one
         // numeric cell (the inclusive one).
-        let main_line = text.lines().find(|l| l.trim_start().starts_with("main")).unwrap();
+        let main_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("main"))
+            .unwrap();
         let numbers = main_line.matches("e").count();
         // "1.00e2" appears once for the inclusive column only.
         assert_eq!(main_line.matches("1.00e2").count(), 1);
         assert!(numbers >= 1);
-        assert!(!main_line.contains("0.00e0"), "zeros must be blank: {main_line}");
+        assert!(
+            !main_line.contains("0.00e0"),
+            "zeros must be blank: {main_line}"
+        );
     }
 
     #[test]
@@ -431,7 +444,10 @@ mod tests {
         let text = render(&mut view, &RenderConfig::default());
         let hot_line = text.lines().find(|l| l.contains("hot")).unwrap();
         assert!(hot_line.contains("↪"), "{hot_line}");
-        let main_line = text.lines().find(|l| l.trim_start().starts_with("main")).unwrap();
+        let main_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("main"))
+            .unwrap();
         assert!(!main_line.contains("↪"));
     }
 
@@ -467,7 +483,10 @@ mod tests {
             },
         );
         assert!(text.contains("main"));
-        assert!(!text.contains("hot"), "children must stay collapsed:\n{text}");
+        assert!(
+            !text.contains("hot"),
+            "children must stay collapsed:\n{text}"
+        );
     }
 
     #[test]
@@ -547,12 +566,18 @@ mod tests {
         let roots = flat.tree.roots();
         let once = flatten_once(&flat.tree, &roots);
         let ids: Vec<u32> = once.iter().map(|n| n.0).collect();
-        let mut view = View::Flat { exp: &exp, view: flat };
+        let mut view = View::Flat {
+            exp: &exp,
+            view: flat,
+        };
         let text = render_flattened(&mut view, &ids, &RenderConfig::default());
         // Flattening the module level exposes the file directly.
         assert!(text.starts_with("scope"));
         assert!(text.contains("app.c"));
-        assert!(!text.lines().nth(2).unwrap().contains("app "), "module row elided");
+        assert!(
+            !text.lines().nth(2).unwrap().contains("app "),
+            "module row elided"
+        );
     }
 
     #[test]

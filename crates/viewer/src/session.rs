@@ -128,6 +128,16 @@ impl<'e> Session<'e> {
         })
     }
 
+    /// How many of the experiment's presentation columns hold resident
+    /// values. On an eagerly built experiment this equals the column
+    /// count; on a lazily opened v2 database it counts the columns
+    /// faulted in so far — the acceptance hook for the storage-path
+    /// tentpole: rendering one sorted view must materialize only the
+    /// columns that view reads.
+    pub fn materialized_columns(&self) -> usize {
+        self.exp.columns.materialized_columns()
+    }
+
     /// Which view is active.
     pub fn view_kind(&self) -> ViewKind {
         self.kind
@@ -168,8 +178,7 @@ impl<'e> Session<'e> {
         if let (ViewKind::Flat, level) = (kind, state.flatten_level) {
             if level > 0 {
                 if let View::Flat { exp, view: flat } = view {
-                    let cur: Vec<ViewNodeId> =
-                        roots.iter().map(|&r| ViewNodeId(r)).collect();
+                    let cur: Vec<ViewNodeId> = roots.iter().map(|&r| ViewNodeId(r)).collect();
                     // The forcing variant: flattening must descend through
                     // procedure interiors that haven't been filled yet.
                     let cur = flat.flatten(exp, &cur, level);
@@ -212,7 +221,9 @@ impl<'e> Session<'e> {
             }
             Command::Expand(n) => {
                 if !self.is_visible(n) {
-                    return Err(format!("scope {n} is not visible; expand its parents first"));
+                    return Err(format!(
+                        "scope {n} is not visible; expand its parents first"
+                    ));
                 }
                 if self.view().children(n).is_empty() {
                     return Err(format!("scope {n} has no children"));
@@ -439,8 +450,7 @@ impl<'e> Session<'e> {
             if state.hot.contains(&n) {
                 label.push('🔥');
             }
-            let expandable =
-                !view.children_if_built(n).is_empty() || view.may_expand(n);
+            let expandable = !view.children_if_built(n).is_empty() || view.may_expand(n);
             let marker = if state.expanded.contains(&n) {
                 "▼ "
             } else if expandable {
@@ -476,7 +486,17 @@ impl<'e> Session<'e> {
                     v.children(n)
                 });
                 for k in kids {
-                    emit(view, sort_cache, labels, k, depth + 1, state, out, rows, numbered);
+                    emit(
+                        view,
+                        sort_cache,
+                        labels,
+                        k,
+                        depth + 1,
+                        state,
+                        out,
+                        rows,
+                        numbered,
+                    );
                 }
             }
         }
@@ -508,7 +528,9 @@ impl<'e> Session<'e> {
         };
         let mut rows: Vec<u32> = Vec::new();
         for t in sorted_tops {
-            emit(view, sort_cache, labels, t, 0, &ctx, &mut out, &mut rows, numbered);
+            emit(
+                view, sort_cache, labels, t, 0, &ctx, &mut out, &mut rows, numbered,
+            );
         }
 
         // Source pane for the selection. Re-borrow view immutably so the
@@ -517,11 +539,12 @@ impl<'e> Session<'e> {
             let i = idx(self.kind);
             let view = self.views[i].as_ref().expect("view materialized above");
             out.push('\n');
-            out.push_str(&crate::source_pane::render_selection(
+            out.push_str(&crate::source_pane::render_selection_filtered(
                 view,
                 sel,
                 &self.store,
                 2,
+                &self.hidden,
             ));
         }
         (out, rows)
@@ -603,7 +626,10 @@ mod tests {
         let mut s = Session::new(&exp, store);
         let text = s.render();
         assert!(text.contains("main"));
-        assert!(!text.contains("hot\n"), "children hidden until expanded:\n{text}");
+        assert!(
+            !text.contains("hot\n"),
+            "children hidden until expanded:\n{text}"
+        );
         assert!(text.contains("▶"), "expandable marker");
     }
 
@@ -675,7 +701,10 @@ mod tests {
         s.apply(Command::Expand(main)).unwrap();
         s.apply(Command::Zoom(hot_frame)).unwrap();
         let text = s.render();
-        assert!(!text.lines().any(|l| l.trim_start().starts_with("▶ main")), "{text}");
+        assert!(
+            !text.lines().any(|l| l.trim_start().starts_with("▶ main")),
+            "{text}"
+        );
         s.apply(Command::Unzoom).unwrap();
         assert!(s.render().contains("main"));
     }
@@ -702,7 +731,8 @@ mod tests {
         assert!(s.selected().is_some());
         s.apply(Command::SwitchView(ViewKind::Callers)).unwrap();
         assert!(s.selected().is_none(), "fresh state in the callers view");
-        s.apply(Command::SwitchView(ViewKind::CallingContext)).unwrap();
+        s.apply(Command::SwitchView(ViewKind::CallingContext))
+            .unwrap();
         assert!(s.selected().is_some(), "CCV state preserved");
     }
 
@@ -777,7 +807,10 @@ mod extra_tests {
         // Name sort: alpha before beta.
         s.apply(Command::SortByName(true)).unwrap();
         let text = s.render();
-        assert!(text.find("alpha").unwrap() < text.find("beta").unwrap(), "{text}");
+        assert!(
+            text.find("alpha").unwrap() < text.find("beta").unwrap(),
+            "{text}"
+        );
     }
 }
 

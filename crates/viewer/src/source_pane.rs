@@ -59,16 +59,35 @@ pub fn navigate_to_call_site(
 
 /// Render a two-pane presentation for one selected scope: its navigation
 /// row (label + metrics) above its source excerpt.
-pub fn render_selection(
+pub fn render_selection(view: &View<'_>, node: u32, store: &SourceStore, context: u32) -> String {
+    render_selection_filtered(
+        view,
+        node,
+        store,
+        context,
+        &std::collections::HashSet::new(),
+    )
+}
+
+/// [`render_selection`], additionally skipping columns the session's
+/// metric-properties dialog has hidden. The pane honoring the hidden set
+/// matters beyond consistency: on a lazily opened database, rendering a
+/// hidden column's value here would fault its block in from disk.
+pub fn render_selection_filtered(
     view: &View<'_>,
     node: u32,
     store: &SourceStore,
     context: u32,
+    hidden: &std::collections::HashSet<u32>,
 ) -> String {
     let mut out = String::new();
     let label = view.label(node);
     out.push_str(&format!("selected: {label}\n"));
-    let cols: Vec<ColumnId> = view.columns().visible_columns().collect();
+    let cols: Vec<ColumnId> = view
+        .columns()
+        .visible_columns()
+        .filter(|c| !hidden.contains(&c.0))
+        .collect();
     for c in cols {
         let v = view.value(c, node);
         if v != 0.0 {

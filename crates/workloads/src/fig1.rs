@@ -135,10 +135,7 @@ pub fn program(unit_cycles: u64) -> Program {
     // f() { g(); } with one unit of its own work at line 2.
     b.body(
         p_f,
-        vec![
-            Op::work(2, Costs::cycles(unit_cycles)),
-            Op::call(2, p_g),
-        ],
+        vec![Op::work(2, Costs::cycles(unit_cycles)), Op::call(2, p_g)],
     );
     // m() { f(); g(); }
     b.body(p_m, vec![Op::call(7, p_f), Op::call(8, p_g)]);

@@ -132,7 +132,10 @@ pub fn random_experiment(seed: u64, target_nodes: usize, n_procs: usize) -> Expe
             let stmt = cct.add_child(
                 parent,
                 ScopeKind::Stmt {
-                    loc: SourceLoc::new(files[rng.gen_range(0..files.len())], rng.gen_range(2..1000)),
+                    loc: SourceLoc::new(
+                        files[rng.gen_range(0..files.len())],
+                        rng.gen_range(2..1000),
+                    ),
                 },
             );
             raw.add_cost(cyc, stmt, rng.gen_range(1..1000) as f64);

@@ -73,10 +73,7 @@ pub fn program() -> Program {
     // is set by the *callers* via loop trip counts, so give it one unit.
     b.body(
         memset,
-        vec![Op::work(
-            0,
-            Costs::memory(cyc(0.004), msk(0.0096)),
-        )],
+        vec![Op::work(0, Costs::memory(cyc(0.004), msk(0.0096)))],
     );
 
     // SequenceCompare: pointer-chasing comparison, miss-heavy. One call's
@@ -116,10 +113,7 @@ pub fn program() -> Program {
             8192,
             vec![
                 Op::call_inline(686, rb_find),
-                Op::work(
-                    690,
-                    Costs::memory(per(cyc(4.9), 8192), per(msk(2.2), 8192)),
-                ),
+                Op::work(690, Costs::memory(per(cyc(4.9), 8192), per(msk(2.2), 8192))),
             ],
         )],
     );

@@ -147,13 +147,19 @@ pub fn strong_scaling_program() -> Program {
         vec![Op::looped(
             105,
             64,
-            vec![Op::work(106, Costs::memory(STEP_CYCLES / 64, STEP_CYCLES / 100 / 64))],
+            vec![Op::work(
+                106,
+                Costs::memory(STEP_CYCLES / 64, STEP_CYCLES / 100 / 64),
+            )],
         )],
     );
     // Serial checkpoint: every rank writes the same metadata — fixed cost.
     b.body(
         checkpoint,
-        vec![Op::work_fixed(55, Costs::memory(STEP_CYCLES / 5, STEP_CYCLES / 500))],
+        vec![Op::work_fixed(
+            55,
+            Costs::memory(STEP_CYCLES / 5, STEP_CYCLES / 500),
+        )],
     );
     b.body(
         stepper,
@@ -212,9 +218,7 @@ mod tests {
         .unwrap();
         assert_eq!(light.barrier_arrivals.len(), TIME_STEPS as usize);
         assert_eq!(heavy.barrier_arrivals.len(), TIME_STEPS as usize);
-        assert!(
-            heavy.barrier_arrivals[0].time_cycles > light.barrier_arrivals[0].time_cycles
-        );
+        assert!(heavy.barrier_arrivals[0].time_cycles > light.barrier_arrivals[0].time_cycles);
         // Barrier context runs through the time-step loop's procedure.
         let path = &light.barrier_arrivals[0].path;
         let names: Vec<&str> = path

@@ -56,7 +56,9 @@ mod tests {
             ..ExecConfig::single(Counter::Cycles, 100)
         };
         let out = run(&b.build(), &cfg, StorageKind::Dense);
-        let incl = out.experiment.inclusive_col(callpath_core::prelude::MetricId(0));
+        let incl = out
+            .experiment
+            .inclusive_col(callpath_core::prelude::MetricId(0));
         assert_eq!(
             out.experiment
                 .columns

@@ -64,7 +64,14 @@ impl S3dConfig {
 
 /// Compute-loop helper: a loop of `trips` iterations whose body performs
 /// floating-point work totalling `percent` of runtime at `efficiency`.
-fn fp_loop(header_line: u32, body_line: u32, trips: u32, percent: f64, efficiency: f64, unit: u64) -> Op {
+fn fp_loop(
+    header_line: u32,
+    body_line: u32,
+    trips: u32,
+    percent: f64,
+    efficiency: f64,
+    unit: u64,
+) -> Op {
     let total_cycles = (percent * unit as f64) as u64;
     let cycles_per_trip = (total_cycles / trips as u64).max(1);
     let flops_per_trip =
@@ -133,7 +140,10 @@ pub fn program(cfg: S3dConfig) -> Program {
     b.body(exp_, vec![fp_loop(44, 45, 512, per_step(6.0), 0.39, unit)]);
 
     // getrates: straightforward compute.
-    b.body(getrates, vec![fp_loop(905, 906, 256, per_step(2.0), 0.80, unit)]);
+    b.body(
+        getrates,
+        vec![fp_loop(905, 906, 256, per_step(2.0), 0.80, unit)],
+    );
 
     // chemkin reaction rates: four species-group loops at 75% efficiency
     // plus calls to exp and getrates. Inclusive ≈ 4×8.35 + 6 + 2 = 41.4%.
@@ -159,8 +169,9 @@ pub fn program(cfg: S3dConfig) -> Program {
         let total_cycles = (percent * unit as f64) as u64;
         let trips = 2048u32;
         let cycles_per_trip = (total_cycles / trips as u64).max(1);
-        let flops_per_trip =
-            (cycles_per_trip as f64 * PEAK_FLOPS_PER_CYCLE * eff).round().max(1.0) as u64;
+        let flops_per_trip = (cycles_per_trip as f64 * PEAK_FLOPS_PER_CYCLE * eff)
+            .round()
+            .max(1.0) as u64;
         let misses_per_trip = (cycles_per_trip / 8).max(1);
         b.body(
             flux,
@@ -224,7 +235,10 @@ pub fn program(cfg: S3dConfig) -> Program {
         ],
     );
 
-    b.body(update, vec![fp_loop(145, 146, 512, per_step(23.0), 0.90, unit)]);
+    b.body(
+        update,
+        vec![fp_loop(145, 146, 512, per_step(23.0), 0.90, unit)],
+    );
 
     // Binary-only runtime wrapper at the top of every call chain (Fig. 3
     // renders it in plain black).
@@ -260,16 +274,22 @@ mod tests {
 
     #[test]
     fn tuned_variant_is_faster() {
-        let base = execute(&lower(&program(S3dConfig::default())), &ExecConfig::default())
-            .unwrap()
-            .totals[Counter::Cycles];
+        let base = execute(
+            &lower(&program(S3dConfig::default())),
+            &ExecConfig::default(),
+        )
+        .unwrap()
+        .totals[Counter::Cycles];
         let tuned = execute(&lower(&program(S3dConfig::tuned())), &ExecConfig::default())
             .unwrap()
             .totals[Counter::Cycles];
         assert!(tuned < base);
         // Whole-program speedup is modest (only the flux loop changed).
         let saved = (base - tuned) as f64 / CYCLES_PER_PERCENT as f64;
-        assert!((saved - (4.0 - 4.0 / 2.9)).abs() < 0.5, "saved {saved} units");
+        assert!(
+            (saved - (4.0 - 4.0 / 2.9)).abs() < 0.5,
+            "saved {saved} units"
+        );
     }
 
     #[test]

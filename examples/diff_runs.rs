@@ -26,8 +26,7 @@ fn main() {
         &ExecConfig::default(),
     );
 
-    let analysis =
-        scaling_loss(&tuned, "tuned", &base, "base", "PAPI_TOT_CYC", 1.0).expect("diff");
+    let analysis = scaling_loss(&tuned, "tuned", &base, "base", "PAPI_TOT_CYC", 1.0).expect("diff");
     let exp = &analysis.experiment;
     let root = exp.cct.root();
     println!(

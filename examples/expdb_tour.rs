@@ -27,10 +27,12 @@ fn main() {
 
     let xml = to_xml(&exp);
     let bin = to_binary(&exp);
-    println!("experiment: {} CCT nodes, {} metrics, {} columns",
+    println!(
+        "experiment: {} CCT nodes, {} metrics, {} columns",
         exp.cct.len(),
         exp.raw.metric_count(),
-        exp.columns.column_count());
+        exp.columns.column_count()
+    );
     println!("XML-like database:     {:>9} bytes", xml.len());
     println!("compact binary:        {:>9} bytes", bin.len());
     println!(

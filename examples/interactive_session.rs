@@ -36,7 +36,11 @@ fn main() {
     );
     let mut s = Session::new(&exp, store);
 
-    step(&mut s, "1. initial view: collapsed at the top (top-down discipline)", &[]);
+    step(
+        &mut s,
+        "1. initial view: collapsed at the top (top-down discipline)",
+        &[],
+    );
     step(
         &mut s,
         "2. hot path analysis (flame button): expands and selects the bottleneck",

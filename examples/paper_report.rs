@@ -162,7 +162,10 @@ fn main() {
                 .partial_cmp(&flat.tree.columns.get(waste, a.1))
                 .unwrap()
         });
-        let total_waste: f64 = loops.iter().map(|&(_, n)| flat.tree.columns.get(waste, n)).sum();
+        let total_waste: f64 = loops
+            .iter()
+            .map(|&(_, n)| flat.tree.columns.get(waste, n))
+            .sum();
         let top = &loops[0];
         rows.push(Row {
             id: "E5",
@@ -189,7 +192,11 @@ fn main() {
         let find_flux = |flat: &FlatView, exp: &Experiment, col: ColumnId| -> f64 {
             let mut stack: Vec<ViewNodeId> = flat.tree.roots();
             while let Some(n) = stack.pop() {
-                if flat.tree.label(n, &exp.cct.names).starts_with("loop at diffflux") {
+                if flat
+                    .tree
+                    .label(n, &exp.cct.names)
+                    .starts_with("loop at diffflux")
+                {
                     return flat.tree.columns.get(col, n.0);
                 }
                 stack.extend(flat.tree.children(n));
@@ -210,7 +217,10 @@ fn main() {
         let n_ranks = 64;
         let part = pflotran::Partition::default();
         let scales: Vec<f64> = (0..n_ranks).map(|r| part.scale(r, n_ranks)).collect();
-        let run = run_spmd(&pflotran::program(), &SpmdConfig::new(scales, ExecConfig::default()));
+        let run = run_spmd(
+            &pflotran::program(),
+            &SpmdConfig::new(scales, ExecConfig::default()),
+        );
         let exp = &run.experiment;
         let idle = exp.inclusive_col(exp.raw.find("IDLENESS").unwrap());
         let mut view = View::calling_context(exp);

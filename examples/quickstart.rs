@@ -25,10 +25,7 @@ fn main() {
     let compress = b.declare("compress", file, 10);
     let checksum = b.declare("checksum", file, 25);
     let main_p = b.declare("main", file, 1);
-    b.body(
-        copy_block,
-        vec![Op::work(41, Costs::memory(2_000, 120))],
-    );
+    b.body(copy_block, vec![Op::work(41, Costs::memory(2_000, 120))]);
     b.body(
         compress,
         vec![Op::looped(
@@ -42,16 +39,9 @@ fn main() {
     );
     b.body(
         checksum,
-        vec![Op::looped(
-            26,
-            32,
-            vec![Op::work(27, Costs::cycles(1_500))],
-        )],
+        vec![Op::looped(26, 32, vec![Op::work(27, Costs::cycles(1_500))])],
     );
-    b.body(
-        main_p,
-        vec![Op::call(3, compress), Op::call(4, checksum)],
-    );
+    b.body(main_p, vec![Op::call(3, compress), Op::call(4, checksum)]);
     b.entry(main_p);
     let program = b.build();
 
@@ -62,15 +52,27 @@ fn main() {
     // 5. Present. Calling Context View: top-down costs in full context.
     let cfg = RenderConfig::default();
     let mut ccv = View::calling_context(&exp);
-    println!("=== {} ===\n{}", ViewKind::CallingContext.title(), render(&mut ccv, &cfg));
+    println!(
+        "=== {} ===\n{}",
+        ViewKind::CallingContext.title(),
+        render(&mut ccv, &cfg)
+    );
 
     // Callers View: who is responsible for copy_block's cost?
     let mut callers = View::callers(&exp);
-    println!("=== {} ===\n{}", ViewKind::Callers.title(), render(&mut callers, &cfg));
+    println!(
+        "=== {} ===\n{}",
+        ViewKind::Callers.title(),
+        render(&mut callers, &cfg)
+    );
 
     // Flat View: static structure with loops.
     let mut flat = View::flat(&exp);
-    println!("=== {} ===\n{}", ViewKind::Flat.title(), render(&mut flat, &cfg));
+    println!(
+        "=== {} ===\n{}",
+        ViewKind::Flat.title(),
+        render(&mut flat, &cfg)
+    );
 
     // Hot path analysis from the program root (Eq. 3, t = 50%).
     let mut ccv = View::calling_context(&exp);

@@ -22,7 +22,11 @@ fn flux_loop_cycles(exp: &Experiment) -> f64 {
     let flat = FlatView::build_eager(exp, StorageKind::Dense);
     let mut stack: Vec<ViewNodeId> = flat.tree.roots();
     while let Some(n) = stack.pop() {
-        if flat.tree.label(n, &exp.cct.names).starts_with("loop at diffflux.f90") {
+        if flat
+            .tree
+            .label(n, &exp.cct.names)
+            .starts_with("loop at diffflux.f90")
+        {
             return flat.tree.columns.get(cyc_e, n.0);
         }
         stack.extend(flat.tree.children(n));
@@ -76,7 +80,10 @@ fn main() {
     let roots = flat.tree.roots();
     let level = flat.flatten(&exp, &roots, 3);
     let ids: Vec<u32> = level.iter().map(|n| n.0).collect();
-    let mut flat_view = View::Flat { exp: &exp, view: flat };
+    let mut flat_view = View::Flat {
+        exp: &exp,
+        view: flat,
+    };
     println!("=== Fig. 6: loops flattened & sorted by derived FP waste ===");
     println!(
         "{}",

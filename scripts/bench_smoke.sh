@@ -3,8 +3,12 @@
 #  * 64-rank ingestion under a wall-clock budget
 #    -> BENCH_ingestion_smoke.json at the repo root;
 #  * interactive navigation latency (expand-all / warm re-sort /
-#    hot-path walk) -> BENCH_session_nav.json at the repo root.
+#    hot-path walk) -> BENCH_session_nav.json at the repo root;
+#  * experiment-database open latency (cold open / first render /
+#    decode_all, XML vs v1 vs v2 on s3d) -> BENCH_expdb_open.json
+#    at the repo root.
 set -eu
 cd "$(dirname "$0")/.."
 cargo test --release --test perf_smoke -- --ignored --nocapture
 cargo test --release --test session_nav -- --ignored --nocapture
+cargo test --release --test expdb_open_smoke -- --ignored --nocapture

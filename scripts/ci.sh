@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# The full local gate, in the order failures are cheapest to find:
+# formatting, lints as errors across every target, then the test suite.
+set -eu
+cd "$(dirname "$0")/.."
+cargo fmt --check
+cargo clippy --all-targets -- -D warnings
+cargo test -q

@@ -101,12 +101,21 @@ fn parse_args() -> Result<Args, String> {
 
 fn load(path: &str) -> Result<Experiment, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    if bytes.starts_with(b"CPDB") {
-        callpath_expdb::from_binary(&bytes).map_err(|e| e.to_string())
-    } else {
-        let text =
-            String::from_utf8(bytes).map_err(|_| "file is neither CPDB nor UTF-8".to_owned())?;
-        callpath_expdb::from_xml(&text).map_err(|e| e.to_string())
+    match callpath_expdb::sniff_version(&bytes) {
+        // Diffing touches every column of both databases, so the v2
+        // path opens lazily and immediately fans block decode across
+        // workers instead of paying faults serially mid-analysis.
+        Some(2) => {
+            let exp = callpath_expdb::open_lazy(bytes).map_err(|e| e.to_string())?;
+            callpath_expdb::decode_all(&exp, 0);
+            Ok(exp)
+        }
+        Some(_) => callpath_expdb::from_binary(&bytes).map_err(|e| e.to_string()),
+        None => {
+            let text = String::from_utf8(bytes)
+                .map_err(|_| "file is neither CPDB nor UTF-8".to_owned())?;
+            callpath_expdb::from_xml(&text).map_err(|e| e.to_string())
+        }
     }
 }
 

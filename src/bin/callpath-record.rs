@@ -33,8 +33,9 @@ OPTIONS:
     -o, --output <FILE>     output path (required)
     --program <FILE>        profile a .cps scenario file instead of a
                             built-in workload
-    --format <xml|bin>      database format  [default: from extension,
-                            .xml => xml, else bin]
+    --format <xml|bin|bin2> database format; bin2 is the sectioned v2
+                            container the viewer opens lazily [default:
+                            from extension, .xml => xml, else bin2]
     --period <N>            cycle sampling period [default: 1009]
     --ranks <N>             SPMD ranks for pflotran [default: 64]
     --seed <N>              random workload seed [default: 42]
@@ -66,9 +67,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
             "--workload" | "-w" => args.workload = value("--workload")?,
             "--program" => args.program_file = Some(value("--program")?),
@@ -126,24 +125,18 @@ fn build_experiment(args: &Args) -> Result<Experiment, String> {
         ..ExecConfig::default()
     };
     if let Some(path) = &args.program_file {
-        let src = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path}: {e}"))?;
-        let program = callpath_profiler::parse_program(&src)
-            .map_err(|e| format!("{path}: {e}"))?;
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let program = callpath_profiler::parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
         return Ok(pipeline::build_experiment(&program, &exec));
     }
     let exp = match args.workload.as_str() {
         "fig1" => pipeline::build_experiment(&fig1::program(1_000), &exec),
         "s3d" => pipeline::build_experiment(&s3d::program(s3d::S3dConfig::default()), &exec),
-        "s3d-tuned" => {
-            pipeline::build_experiment(&s3d::program(s3d::S3dConfig::tuned()), &exec)
-        }
+        "s3d-tuned" => pipeline::build_experiment(&s3d::program(s3d::S3dConfig::tuned()), &exec),
         "moab" => pipeline::build_experiment(&moab::program(), &exec),
         "pflotran" => {
             let part = pflotran::Partition::default();
-            let scales: Vec<f64> = (0..args.ranks)
-                .map(|r| part.scale(r, args.ranks))
-                .collect();
+            let scales: Vec<f64> = (0..args.ranks).map(|r| part.scale(r, args.ranks)).collect();
             let mut cfg = SpmdConfig::new(scales, exec);
             cfg.keep_rank_data = false;
             run_spmd(&pflotran::program(), &cfg).experiment
@@ -177,21 +170,19 @@ fn main() -> ExitCode {
         }
     };
 
-    let format = args
-        .format
-        .clone()
-        .unwrap_or_else(|| {
-            if args.output.ends_with(".xml") {
-                "xml".into()
-            } else {
-                "bin".into()
-            }
-        });
+    let format = args.format.clone().unwrap_or_else(|| {
+        if args.output.ends_with(".xml") {
+            "xml".into()
+        } else {
+            "bin2".into()
+        }
+    });
     let bytes = match format.as_str() {
         "xml" => callpath_expdb::to_xml(&exp).into_bytes(),
         "bin" => callpath_expdb::to_binary(&exp),
+        "bin2" => callpath_expdb::to_binary_v2(&exp),
         other => {
-            eprintln!("error: unknown format '{other}' (xml|bin)");
+            eprintln!("error: unknown format '{other}' (xml|bin|bin2)");
             return ExitCode::FAILURE;
         }
     };

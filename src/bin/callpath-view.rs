@@ -89,9 +89,7 @@ fn parse_args() -> Result<Args, String> {
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
             "--view" => args.view = value("--view")?,
             "--list-columns" => args.list_columns = true,
@@ -161,12 +159,16 @@ fn parse_args() -> Result<Args, String> {
 
 fn load(path: &str) -> Result<Experiment, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    if bytes.starts_with(b"CPDB") {
-        callpath_expdb::from_binary(&bytes).map_err(|e| e.to_string())
-    } else {
-        let text =
-            String::from_utf8(bytes).map_err(|_| "file is neither CPDB nor UTF-8".to_owned())?;
-        callpath_expdb::from_xml(&text).map_err(|e| e.to_string())
+    match callpath_expdb::sniff_version(&bytes) {
+        // v2 opens lazily: only the TOC, names and topology are decoded
+        // here; metric columns fault in when a view first reads them.
+        Some(2) => callpath_expdb::open_lazy(bytes).map_err(|e| e.to_string()),
+        Some(_) => callpath_expdb::from_binary(&bytes).map_err(|e| e.to_string()),
+        None => {
+            let text = String::from_utf8(bytes)
+                .map_err(|_| "file is neither CPDB nor UTF-8".to_owned())?;
+            callpath_expdb::from_xml(&text).map_err(|e| e.to_string())
+        }
     }
 }
 
@@ -257,7 +259,7 @@ fn run() -> Result<(), String> {
         }
         if let View::Flat { exp, view: flat } = &mut view {
             let roots = flat.tree.roots();
-            let level = flat.flatten(exp, &roots, args.flatten as usize);
+            let level = flat.flatten(exp, &roots, args.flatten);
             let ids: Vec<u32> = level.iter().map(|n| n.0).collect();
             print!(
                 "{}",
@@ -306,15 +308,11 @@ fn repl(exp: &Experiment) -> Result<(), String> {
             "ccv" => session.apply(Command::SwitchView(ViewKind::CallingContext)),
             "callers" => session.apply(Command::SwitchView(ViewKind::Callers)),
             "flat" => session.apply(Command::SwitchView(ViewKind::Flat)),
-            "expand" | "x" => {
-                row_node(&rows, arg).and_then(|n| session.apply(Command::Expand(n)))
-            }
+            "expand" | "x" => row_node(&rows, arg).and_then(|n| session.apply(Command::Expand(n))),
             "collapse" | "c" => {
                 row_node(&rows, arg).and_then(|n| session.apply(Command::Collapse(n)))
             }
-            "select" | "s" => {
-                row_node(&rows, arg).and_then(|n| session.apply(Command::Select(n)))
-            }
+            "select" | "s" => row_node(&rows, arg).and_then(|n| session.apply(Command::Select(n))),
             "zoom" => row_node(&rows, arg).and_then(|n| session.apply(Command::Zoom(n))),
             "unzoom" => session.apply(Command::Unzoom),
             "hot" => session.apply(Command::HotPath),

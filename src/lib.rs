@@ -1,10 +1,10 @@
 //! Umbrella crate re-exporting the callpath workspace. See README.md.
+pub use callpath_baseline as baseline;
 pub use callpath_core as core;
+pub use callpath_expdb as expdb;
+pub use callpath_parallel as parallel;
+pub use callpath_prof as prof;
 pub use callpath_profiler as profiler;
 pub use callpath_structure as structure;
-pub use callpath_prof as prof;
-pub use callpath_expdb as expdb;
 pub use callpath_viewer as viewer;
-pub use callpath_parallel as parallel;
 pub use callpath_workloads as workloads;
-pub use callpath_baseline as baseline;

@@ -160,9 +160,7 @@ fn flat_self_times_agree_between_tools() {
         let mut found = None;
         let mut stack = flat.roots();
         while let Some(n) = stack.pop() {
-            if flat.label(n) == entry.name
-                && !flat.is_call(n)
-            {
+            if flat.label(n) == entry.name && !flat.is_call(n) {
                 found = Some(n);
                 break;
             }

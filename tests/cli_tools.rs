@@ -24,7 +24,11 @@ fn record_then_view_hot_path() {
         .args(["--workload", "s3d", "-o", db.to_str().unwrap()])
         .output()
         .expect("run callpath-record");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(db.exists());
 
     let out = Command::new(view())
@@ -52,7 +56,11 @@ fn xml_format_and_callers_view() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let content = std::fs::read_to_string(&db).unwrap();
     assert!(content.starts_with("<Experiment"));
 
@@ -90,7 +98,11 @@ fn derived_metric_and_flatten_via_cli() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     let first_data_row = text.lines().nth(2).unwrap();
     assert!(
@@ -129,7 +141,10 @@ fn helpful_errors() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
 
     // Missing file.
-    let out = Command::new(view()).args(["/no/such/file"]).output().unwrap();
+    let out = Command::new(view())
+        .args(["/no/such/file"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 
     // Bad derived formula.
@@ -166,7 +181,11 @@ fn diff_tool_finds_the_regression() {
         .args([base.to_str().unwrap(), peer.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("diffusive_flux_"), "{text}");
     assert!(text.contains("loss:"), "{text}");
@@ -177,12 +196,19 @@ fn diff_tool_finds_the_regression() {
 #[test]
 fn record_profiles_a_cps_scenario_file() {
     let db = tmp("imagepipe.cpdb");
-    let scenario = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/scenarios/imagepipe.cps");
+    let scenario = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/scenarios/imagepipe.cps"
+    );
     let out = Command::new(record())
         .args(["--program", scenario, "-o", db.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = Command::new(view())
         .args([db.to_str().unwrap(), "--hot"])
         .output()
@@ -197,10 +223,19 @@ fn record_profiles_a_cps_scenario_file() {
 #[test]
 fn record_reports_scenario_parse_errors_with_lines() {
     let bad = tmp("bad.cps");
-    std::fs::write(&bad, "program p\nproc x @ a.c:1\n  work @ 2\nend\nentry x\n").unwrap();
+    std::fs::write(
+        &bad,
+        "program p\nproc x @ a.c:1\n  work @ 2\nend\nentry x\n",
+    )
+    .unwrap();
     let db = tmp("bad.cpdb");
     let out = Command::new(record())
-        .args(["--program", bad.to_str().unwrap(), "-o", db.to_str().unwrap()])
+        .args([
+            "--program",
+            bad.to_str().unwrap(),
+            "-o",
+            db.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -236,7 +271,10 @@ fn interactive_mode_drives_a_session() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("[  0]"), "numbered rows: {text}");
     assert!(text.contains("🔥"), "hot path ran");
-    assert!(text.contains("transport_m_computecoefficients_"), "find revealed it");
+    assert!(
+        text.contains("transport_m_computecoefficients_"),
+        "find revealed it"
+    );
     assert!(text.contains("error: unknown command 'bogus'"));
     assert!(text.contains("error: no row 9999"));
     std::fs::remove_file(&db).ok();

@@ -224,22 +224,16 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(5, 64, 4, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Div(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Pow(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Pow(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|e| Expr::Call(Func::Sqrt, vec![e])),
             inner.clone().prop_map(|e| Expr::Call(Func::Abs, vec![e])),
             proptest::collection::vec(inner.clone(), 1..4)
                 .prop_map(|args| Expr::Call(Func::Min, args)),
-            proptest::collection::vec(inner, 1..4)
-                .prop_map(|args| Expr::Call(Func::Max, args)),
+            proptest::collection::vec(inner, 1..4).prop_map(|args| Expr::Call(Func::Max, args)),
         ]
     })
 }

@@ -24,7 +24,10 @@ fn build(cfg: s3d::S3dConfig) -> (Experiment, ColumnId, ColumnId) {
     let fp_e = exp.exclusive_col(exp.raw.find("PAPI_FP_OPS").unwrap());
     let peak = s3d::PEAK_FLOPS_PER_CYCLE;
     let waste = exp
-        .add_derived("fp waste", &format!("${} * {} - ${}", cyc_e.0, peak, fp_e.0))
+        .add_derived(
+            "fp waste",
+            &format!("${} * {} - ${}", cyc_e.0, peak, fp_e.0),
+        )
         .unwrap();
     let eff = exp
         .add_derived(
@@ -105,7 +108,10 @@ fn flux_loop_waste_share_is_near_the_papers() {
         .unwrap();
     let share = 100.0 * flat.tree.columns.get(waste, flux.1) / total_waste;
     // Paper: 13.5%. Our synthetic budget gives the same ballpark.
-    assert!((10.0..20.0).contains(&share), "flux waste share {share:.1}%");
+    assert!(
+        (10.0..20.0).contains(&share),
+        "flux waste share {share:.1}%"
+    );
 }
 
 #[test]
@@ -122,7 +128,10 @@ fn relative_efficiency_matches_the_papers_numbers() {
         .unwrap();
     let flux_eff = flat.tree.columns.get(eff, flux.1);
     let exp_eff = flat.tree.columns.get(eff, exp_loop.1);
-    assert!((flux_eff - 0.06).abs() < 0.01, "flux efficiency {flux_eff:.3}");
+    assert!(
+        (flux_eff - 0.06).abs() < 0.01,
+        "flux efficiency {flux_eff:.3}"
+    );
     assert!((exp_eff - 0.39).abs() < 0.03, "exp efficiency {exp_eff:.3}");
 }
 
@@ -152,7 +161,10 @@ fn sorting_by_derived_metric_beats_mental_arithmetic() {
     let start = flat.tree.roots();
     let roots = flat.flatten(&exp, &start, 3);
     let ids: Vec<u32> = roots.iter().map(|n| n.0).collect();
-    let mut view = View::Flat { exp: &exp, view: flat };
+    let mut view = View::Flat {
+        exp: &exp,
+        view: flat,
+    };
     let text = render_flattened(
         &mut view,
         &ids,

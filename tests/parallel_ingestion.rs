@@ -14,7 +14,11 @@ use proptest::prelude::*;
 
 /// Simulate `n_ranks` ranks of a random program with rank-dependent work
 /// scales and jitter seeds.
-fn random_workload(seed: u64, n_procs: usize, n_ranks: usize) -> (Structure, Vec<RawProfile>, ExecConfig) {
+fn random_workload(
+    seed: u64,
+    n_procs: usize,
+    n_ranks: usize,
+) -> (Structure, Vec<RawProfile>, ExecConfig) {
     let program = random_program(GenConfig {
         seed,
         n_procs,
@@ -46,7 +50,11 @@ fn assert_identical(seq: &Experiment, par: &Experiment, ctx: &str) {
     assert_eq!(seq.cct.len(), par.cct.len(), "{ctx}: node count");
     for n in seq.cct.all_nodes() {
         assert_eq!(seq.cct.kind(n), par.cct.kind(n), "{ctx}: kind of {n:?}");
-        assert_eq!(seq.cct.parent(n), par.cct.parent(n), "{ctx}: parent of {n:?}");
+        assert_eq!(
+            seq.cct.parent(n),
+            par.cct.parent(n),
+            "{ctx}: parent of {n:?}"
+        );
     }
     assert_eq!(
         seq.raw.metric_count(),
@@ -135,6 +143,9 @@ fn inclusive_cache_invalidates_after_mutation() {
     exp.raw.add_cost(m, stmt, 12_345.0);
     assert_eq!(exp.inclusive(m, root), before + 12_345.0);
     for a in exp.cct.ancestors(stmt) {
-        assert!(exp.inclusive(m, a) >= 12_345.0, "ancestor {a:?} missed the delta");
+        assert!(
+            exp.inclusive(m, a) >= 12_345.0,
+            "ancestor {a:?} missed the delta"
+        );
     }
 }

@@ -71,7 +71,9 @@ fn sixty_four_rank_ingestion_smoke() {
     // `speedup` is only meaningful with >1 core: the sharded path's
     // workers serialize on a single-core host and the journal replay
     // becomes pure overhead, so `cores` is part of the record.
-    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let record = format!(
         concat!(
             "{{\n",

@@ -22,7 +22,10 @@ const RANKS: usize = 64;
 fn run() -> callpath_parallel::SpmdRun {
     let part = pflotran::Partition::default();
     let scales: Vec<f64> = (0..RANKS).map(|r| part.scale(r, RANKS)).collect();
-    run_spmd(&pflotran::program(), &SpmdConfig::new(scales, ExecConfig::default()))
+    run_spmd(
+        &pflotran::program(),
+        &SpmdConfig::new(scales, ExecConfig::default()),
+    )
 }
 
 fn idleness_incl(exp: &Experiment) -> ColumnId {
@@ -39,9 +42,7 @@ fn hot_path_on_summed_idleness_finds_the_timestep_loop() {
     let path = view.hot_path(roots[0], col, HotPathConfig::default());
     let labels: Vec<String> = path.iter().map(|&n| view.label(n)).collect();
     assert!(
-        labels
-            .iter()
-            .any(|l| l == "loop at timestepper.F90:384"),
+        labels.iter().any(|l| l == "loop at timestepper.F90:384"),
         "hot path must pass the paper's loop: {labels:?}"
     );
 }

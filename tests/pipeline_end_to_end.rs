@@ -132,7 +132,10 @@ fn overhead_is_a_few_percent_at_realistic_periods() {
         "overhead {:.2}% must stay under a few percent",
         frac * 100.0
     );
-    assert!(out.exec.samples_taken > 10_000, "enough samples for accuracy");
+    assert!(
+        out.exec.samples_taken > 10_000,
+        "enough samples for accuracy"
+    );
 }
 
 #[test]

@@ -76,7 +76,10 @@ fn integrate_loop_is_inclusive_heavy_exclusive_light() {
         .expect("integration loop in CCT");
     let incl_share = 100.0 * view.value(ci, lp) / total;
     let excl_share = 100.0 * view.value(ce, lp) / total;
-    assert!((incl_share - 97.9).abs() < 1.0, "inclusive {incl_share:.1}%");
+    assert!(
+        (incl_share - 97.9).abs() < 1.0,
+        "inclusive {incl_share:.1}%"
+    );
     assert!(excl_share < 0.1, "exclusive {excl_share:.2}% must be ~0");
 }
 
@@ -132,11 +135,7 @@ fn rendered_hot_path_highlights_chemkin() {
 #[test]
 fn sampled_totals_track_ground_truth() {
     let program = s3d::program(s3d::S3dConfig::default());
-    let out = pipeline::run(
-        &program,
-        &ExecConfig::default(),
-        StorageKind::Dense,
-    );
+    let out = pipeline::run(&program, &ExecConfig::default(), StorageKind::Dense);
     let exp = &out.experiment;
     let ci = cycles_incl(exp);
     let measured = exp.aggregate(ci);

@@ -43,7 +43,9 @@ fn hot_path_expansion_is_narrow() {
     sort_by_column(&view, &mut sorted, ColumnId(0));
     let path = view.hot_path(sorted[0], ColumnId(0), HotPathConfig::default());
     let after = view.node_count();
-    let eager = CallersView::build_eager(&exp, StorageKind::Dense).tree.len();
+    let eager = CallersView::build_eager(&exp, StorageKind::Dense)
+        .tree
+        .len();
     assert!(!path.is_empty());
     assert!(
         (after - before) * 5 < eager,

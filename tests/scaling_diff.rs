@@ -88,13 +88,18 @@ fn weak_scaling_diff_between_ranks() {
         },
     )
     .unwrap();
-    let light_exp =
-        callpath_prof::correlate(&s, &light.profile, cfg.periods, StorageKind::Dense);
-    let heavy_exp =
-        callpath_prof::correlate(&s, &heavy.profile, cfg.periods, StorageKind::Dense);
+    let light_exp = callpath_prof::correlate(&s, &light.profile, cfg.periods, StorageKind::Dense);
+    let heavy_exp = callpath_prof::correlate(&s, &heavy.profile, cfg.periods, StorageKind::Dense);
 
-    let analysis =
-        scaling_loss(&light_exp, "light", &heavy_exp, "heavy", "PAPI_TOT_CYC", 1.0).unwrap();
+    let analysis = scaling_loss(
+        &light_exp,
+        "light",
+        &heavy_exp,
+        "heavy",
+        "PAPI_TOT_CYC",
+        1.0,
+    )
+    .unwrap();
     let exp = &analysis.experiment;
     let root = exp.cct.root();
     let total_loss = exp.columns.get(analysis.loss_incl, root.0);

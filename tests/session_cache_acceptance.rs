@@ -4,8 +4,8 @@
 //! child `sort_by` calls (observed through [`Session::sort_stats`]) —
 //! while producing byte-identical output.
 
-use callpath_core::source::SourceStore;
 use callpath_core::prelude::*;
+use callpath_core::source::SourceStore;
 use callpath_profiler::ExecConfig;
 use callpath_viewer::{Command, Session};
 use callpath_workloads::{pipeline, s3d};
@@ -66,7 +66,10 @@ fn resorting_a_built_view_costs_zero_full_sorts() {
         full_sorts_after, full_sorts_before,
         "re-sorting a built view ran a full child sort"
     );
-    assert!(hits > 0, "the steady-state loop must be served by the cache");
+    assert!(
+        hits > 0,
+        "the steady-state loop must be served by the cache"
+    );
 }
 
 #[test]
@@ -83,7 +86,9 @@ fn cache_survives_view_switches_but_not_column_edits() {
     // the CCT must not re-sort it.
     session.apply(Command::SwitchView(ViewKind::Flat)).unwrap();
     session.render();
-    session.apply(Command::SwitchView(ViewKind::Callers)).unwrap();
+    session
+        .apply(Command::SwitchView(ViewKind::Callers))
+        .unwrap();
     session.render();
     let (_, sorts_before) = session.sort_stats();
     session
@@ -91,5 +96,8 @@ fn cache_survives_view_switches_but_not_column_edits() {
         .unwrap();
     assert_eq!(session.render(), cct);
     let (_, sorts_after) = session.sort_stats();
-    assert_eq!(sorts_after, sorts_before, "switching back re-sorted the CCT");
+    assert_eq!(
+        sorts_after, sorts_before,
+        "switching back re-sorted the CCT"
+    );
 }

@@ -94,7 +94,9 @@ fn session_navigation_latency_smoke() {
     let (expand_p50, expand_p95) = percentiles(expand);
     let (resort_p50, resort_p95) = percentiles(resort);
     let (hot_p50, hot_p95) = percentiles(hot);
-    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let record = format!(
         concat!(
             "{{\n",
@@ -111,10 +113,7 @@ fn session_navigation_latency_smoke() {
             "  \"hot_path_p95_ms\": {:.3}\n",
             "}}\n"
         ),
-        cores, rows, SAMPLES,
-        expand_p50, expand_p95,
-        resort_p50, resort_p95,
-        hot_p50, hot_p95,
+        cores, rows, SAMPLES, expand_p50, expand_p95, resort_p50, resort_p95, hot_p50, hot_p95,
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_session_nav.json");
     std::fs::write(&path, &record).expect("write perf record");

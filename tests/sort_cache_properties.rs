@@ -20,7 +20,7 @@ fn naive_sorted(view: &View<'_>, nodes: &[u32], key: SortKey) -> Vec<u32> {
     let mut out = nodes.to_vec();
     let label = |n: u32| view.label(n);
     match key {
-        SortKey::Name => out.sort_by(|&a, &b| label(a).cmp(&label(b))),
+        SortKey::Name => out.sort_by_key(|&a| label(a)),
         SortKey::Column { column, dir } => out.sort_by(|&a, &b| {
             let va = view.value(column, a);
             let vb = view.value(column, b);
@@ -60,10 +60,22 @@ fn cached(
 fn pick_key(op: u8) -> SortKey {
     match op % 5 {
         0 => SortKey::Name,
-        1 => SortKey::Column { column: ColumnId(0), dir: SortDir::Descending },
-        2 => SortKey::Column { column: ColumnId(0), dir: SortDir::Ascending },
-        3 => SortKey::Column { column: ColumnId(1), dir: SortDir::Descending },
-        _ => SortKey::Column { column: ColumnId(1), dir: SortDir::Ascending },
+        1 => SortKey::Column {
+            column: ColumnId(0),
+            dir: SortDir::Descending,
+        },
+        2 => SortKey::Column {
+            column: ColumnId(0),
+            dir: SortDir::Ascending,
+        },
+        3 => SortKey::Column {
+            column: ColumnId(1),
+            dir: SortDir::Descending,
+        },
+        _ => SortKey::Column {
+            column: ColumnId(1),
+            dir: SortDir::Ascending,
+        },
     }
 }
 
@@ -174,19 +186,38 @@ fn append_view_columns_invalidates_cached_orders() {
     let mut view = View::flat(exp);
     let mut cache = SortCache::new();
     let mut labels = LabelCache::new();
-    let key = SortKey::Column { column: ColumnId(0), dir: SortDir::Descending };
+    let key = SortKey::Column {
+        column: ColumnId(0),
+        dir: SortDir::Descending,
+    };
 
     let roots = view.roots();
-    let first = cached(&mut view, &mut cache, &mut labels, TOP_SLOT_BASE, key, &roots);
+    let first = cached(
+        &mut view,
+        &mut cache,
+        &mut labels,
+        TOP_SLOT_BASE,
+        key,
+        &roots,
+    );
     assert_eq!(cache.stats(), (0, 1), "first query computes");
-    let again = cached(&mut view, &mut cache, &mut labels, TOP_SLOT_BASE, key, &roots);
+    let again = cached(
+        &mut view,
+        &mut cache,
+        &mut labels,
+        TOP_SLOT_BASE,
+        key,
+        &roots,
+    );
     assert_eq!(again, first);
     assert_eq!(cache.stats(), (1, 1), "second query hits");
 
     // Append mean/max summary columns directly onto the flat tree.
     let gen_before = view.generation();
     let new_cols = {
-        let View::Flat { exp, view: flat } = &mut view else { unreachable!() };
+        let View::Flat { exp, view: flat } = &mut view else {
+            unreachable!()
+        };
         let s = summarize_view_nodes(
             exp,
             &flat.tree,
@@ -196,15 +227,35 @@ fn append_view_columns_invalidates_cached_orders() {
         );
         s.append_view_columns(exp, &mut flat.tree, &[Stat::Mean, Stat::Max])
     };
-    assert!(view.generation() > gen_before, "append bumps the generation");
+    assert!(
+        view.generation() > gen_before,
+        "append bumps the generation"
+    );
 
     // The old entry is stale: the same query recomputes (no false hit)...
-    let recomputed = cached(&mut view, &mut cache, &mut labels, TOP_SLOT_BASE, key, &roots);
+    let recomputed = cached(
+        &mut view,
+        &mut cache,
+        &mut labels,
+        TOP_SLOT_BASE,
+        key,
+        &roots,
+    );
     assert_eq!(cache.stats(), (1, 2), "stale entry forces a recompute");
     assert_eq!(recomputed, naive_sorted(&view, &roots, key));
 
     // ...and sorting by a freshly appended column matches the reference.
-    let mean_key = SortKey::Column { column: new_cols[0], dir: SortDir::Descending };
-    let by_mean = cached(&mut view, &mut cache, &mut labels, TOP_SLOT_BASE, mean_key, &roots);
+    let mean_key = SortKey::Column {
+        column: new_cols[0],
+        dir: SortDir::Descending,
+    };
+    let by_mean = cached(
+        &mut view,
+        &mut cache,
+        &mut labels,
+        TOP_SLOT_BASE,
+        mean_key,
+        &roots,
+    );
     assert_eq!(by_mean, naive_sorted(&view, &roots, mean_key));
 }
