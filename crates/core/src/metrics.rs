@@ -22,7 +22,8 @@
 use crate::ids::{ColumnId, MetricId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// On-demand provider of column contents, the hook behind lazily opened
 /// experiment databases (format v2): a [`ColumnSet`] or [`RawMetrics`]
@@ -55,9 +56,18 @@ pub trait ColumnSource: Send + Sync + std::fmt::Debug {
 struct LazySlots {
     source: Option<Arc<dyn ColumnSource>>,
     slots: Vec<OnceLock<MetricVec>>,
-    /// First load failure, kept for diagnostics (the column reads as
-    /// zeros from then on).
+    /// Decode executions per slot. `OnceLock` runs the init closure at
+    /// most once, so after a fault this reads exactly 1 no matter how
+    /// many threads raced the first touch — the concurrency stress test
+    /// asserts on it.
+    fault_counts: Vec<AtomicU64>,
+    /// First load failure, kept for the original single-error API
+    /// (the column reads as zeros from then on).
     error: OnceLock<String>,
+    /// Every *distinct* load failure, in first-seen order. The original
+    /// bookkeeping dropped all but the first; multi-column corruption
+    /// now surfaces completely via [`ColumnSet::lazy_errors`].
+    errors: Mutex<Vec<String>>,
 }
 
 impl Clone for LazySlots {
@@ -65,7 +75,13 @@ impl Clone for LazySlots {
         LazySlots {
             source: self.source.clone(),
             slots: self.slots.clone(),
+            fault_counts: self
+                .fault_counts
+                .iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect(),
             error: self.error.clone(),
+            errors: Mutex::new(self.errors.lock().expect("lazy errors lock").clone()),
         }
     }
 }
@@ -74,6 +90,7 @@ impl LazySlots {
     fn attach(&mut self, source: Arc<dyn ColumnSource>, count: usize) {
         self.source = Some(source);
         self.slots = (0..count).map(|_| OnceLock::new()).collect();
+        self.fault_counts = (0..count).map(|_| AtomicU64::new(0)).collect();
     }
 
     /// Is `index` inside the lazily backed prefix?
@@ -92,11 +109,19 @@ impl LazySlots {
             return None;
         }
         let source = self.source.as_deref()?;
-        Some(self.slots[index].get_or_init(|| match load(source) {
-            Ok(entries) => MetricVec::from_sorted(storage, entries),
-            Err(reason) => {
-                let _ = self.error.set(reason);
-                empty_vec(storage)
+        Some(self.slots[index].get_or_init(|| {
+            self.fault_counts[index].fetch_add(1, Ordering::Relaxed);
+            match load(source) {
+                Ok(entries) => MetricVec::from_sorted(storage, entries),
+                Err(reason) => {
+                    let mut all = self.errors.lock().expect("lazy errors lock");
+                    if !all.contains(&reason) {
+                        all.push(reason.clone());
+                    }
+                    drop(all);
+                    let _ = self.error.set(reason);
+                    empty_vec(storage)
+                }
             }
         }))
     }
@@ -104,6 +129,19 @@ impl LazySlots {
     /// Number of slots already faulted in.
     fn resident(&self) -> usize {
         self.slots.iter().filter(|s| s.get().is_some()).count()
+    }
+
+    /// Decode executions recorded for slot `index` (0 if untouched or
+    /// out of range, exactly 1 once faulted).
+    fn fault_count(&self, index: usize) -> u64 {
+        self.fault_counts
+            .get(index)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Every distinct load failure seen so far, in first-seen order.
+    fn all_errors(&self) -> Vec<String> {
+        self.errors.lock().expect("lazy errors lock").clone()
     }
 
     fn heap_bytes(&self) -> usize {
@@ -680,6 +718,18 @@ impl RawMetrics {
         self.lazy.error.get().map(String::as_str)
     }
 
+    /// Every distinct failure reported by the lazy column source, in
+    /// first-seen order (empty when all loads succeeded).
+    pub fn lazy_errors(&self) -> Vec<String> {
+        self.lazy.all_errors()
+    }
+
+    /// Decode executions recorded for metric `m` (0 if untouched,
+    /// exactly 1 once faulted in, regardless of reader concurrency).
+    pub fn fault_count(&self, m: MetricId) -> u64 {
+        self.lazy.fault_count(m.index())
+    }
+
     /// Resolve the storage of metric `m`, faulting lazily backed
     /// columns in on first touch.
     fn resolved(&self, m: MetricId) -> &MetricVec {
@@ -893,6 +943,19 @@ impl ColumnSet {
     /// column reads as all zeros rather than panicking mid-render.
     pub fn lazy_error(&self) -> Option<&str> {
         self.lazy.error.get().map(String::as_str)
+    }
+
+    /// Every distinct lazy-load failure, in first-seen order. Unlike
+    /// [`ColumnSet::lazy_error`] this keeps reporting past the first
+    /// corrupt column, so multi-block corruption is fully visible.
+    pub fn lazy_errors(&self) -> Vec<String> {
+        self.lazy.all_errors()
+    }
+
+    /// Decode executions recorded for column `c` (0 if untouched,
+    /// exactly 1 once faulted in, regardless of reader concurrency).
+    pub fn fault_count(&self, c: ColumnId) -> u64 {
+        self.lazy.fault_count(c.index())
     }
 
     fn resolved(&self, c: ColumnId) -> &MetricVec {
@@ -1177,6 +1240,57 @@ mod tests {
         failing.attach_source(Arc::new(FailingSource));
         assert_eq!(failing.direct(f, NodeId(0)), 0.0);
         assert_eq!(failing.lazy_error(), Some("no such block"));
+    }
+
+    #[test]
+    fn every_distinct_lazy_failure_is_kept_with_per_column_fault_counts() {
+        #[derive(Debug)]
+        struct PerColumnFailure;
+        impl ColumnSource for PerColumnFailure {
+            fn load_column(&self, c: ColumnId) -> Result<Vec<(u32, f64)>, String> {
+                match c.index() {
+                    0 => Ok(vec![(2, 5.0)]),
+                    i => Err(format!("column {i}: checksum mismatch")),
+                }
+            }
+            fn load_raw(&self, _m: MetricId) -> Result<Vec<(u32, f64)>, String> {
+                Err("raw block missing".into())
+            }
+        }
+
+        let mut cs = ColumnSet::new(StorageKind::Csr);
+        for name in ["a", "b", "c"] {
+            cs.add_column(ColumnDesc {
+                name: name.into(),
+                flavor: ColumnFlavor::Inclusive(MetricId(0)),
+                visible: true,
+            });
+        }
+        cs.attach_source(Arc::new(PerColumnFailure));
+
+        // Touch every column: one succeeds, two fail with distinct reasons.
+        assert_eq!(cs.get(ColumnId(0), 2), 5.0);
+        assert_eq!(cs.get(ColumnId(1), 2), 0.0);
+        assert_eq!(cs.get(ColumnId(2), 2), 0.0);
+
+        // The legacy single-error API still reports the first failure...
+        assert_eq!(cs.lazy_error(), Some("column 1: checksum mismatch"));
+        // ...while the full list keeps both, in first-seen order.
+        assert_eq!(
+            cs.lazy_errors(),
+            vec![
+                "column 1: checksum mismatch".to_owned(),
+                "column 2: checksum mismatch".to_owned(),
+            ]
+        );
+
+        // Fault counts: exactly one decode per touched column, repeat
+        // reads never re-decode (even for the failed ones).
+        assert_eq!(cs.get(ColumnId(1), 7), 0.0);
+        for c in [ColumnId(0), ColumnId(1), ColumnId(2)] {
+            assert_eq!(cs.fault_count(c), 1, "column {}", c.index());
+        }
+        assert_eq!(cs.lazy_errors().len(), 2);
     }
 
     #[test]

@@ -152,6 +152,7 @@ pub(crate) fn read_block(
     info: &MetricInfo,
     n_nodes: u32,
 ) -> Result<Vec<(u32, f64)>, DbError> {
+    callpath_obs::count("expdb.bin2.read_block", 1);
     let mut buf = payload;
     let costs = get_costs(&mut buf)?;
     expect_consumed(buf, "cost block")?;

@@ -26,6 +26,7 @@ use crate::bin2::{self, MetricInfo};
 use crate::model::{build_cct, DbError};
 use crate::toc::{Toc, SEC_BLOCK_BASE, SEC_CCT, SEC_DERIVED, SEC_METRICS, SEC_NAMES};
 use callpath_core::prelude::*;
+use callpath_obs as obs;
 use std::sync::{Arc, OnceLock};
 
 /// Everything a lazily opened experiment needs to fault columns in:
@@ -56,10 +57,12 @@ impl LazyShared {
 
     /// Decode (and range-check) metric `m`'s cost block.
     fn block(&self, m: usize) -> Result<Vec<(u32, f64)>, String> {
+        let _span = obs::span("expdb.block_decode");
         let payload = self
             .toc
             .section(&self.data, SEC_BLOCK_BASE + m as u32)
             .map_err(|e| e.message)?;
+        obs::observe("expdb.block_bytes", payload.len() as u64);
         bin2::read_block(payload, &self.infos[m], self.n_nodes()).map_err(|e| e.message)
     }
 
@@ -137,14 +140,24 @@ impl LazyShared {
 
 impl ColumnSource for LazyShared {
     fn load_column(&self, c: ColumnId) -> Result<Vec<(u32, f64)>, String> {
-        self.entries_of(c.index())
+        let _span = obs::span("expdb.column_fault");
+        obs::count("expdb.lazy.fault.column", 1);
+        self.entries_of(c.index()).inspect_err(|reason| {
+            obs::count("expdb.lazy.fault.failed", 1);
+            obs::error(&format!("column {}: {reason}", c.index()));
+        })
     }
 
     fn load_raw(&self, m: MetricId) -> Result<Vec<(u32, f64)>, String> {
+        let _span = obs::span("expdb.raw_fault");
+        obs::count("expdb.lazy.fault.raw", 1);
         if m.index() >= self.infos.len() {
             return Err(format!("no metric {} in this database", m.index()));
         }
-        self.block(m.index())
+        self.block(m.index()).inspect_err(|reason| {
+            obs::count("expdb.lazy.fault.failed", 1);
+            obs::error(&format!("metric {}: {reason}", m.index()));
+        })
     }
 }
 
@@ -152,6 +165,7 @@ impl ColumnSource for LazyShared {
 /// descriptors and derived definitions now; leave every cost block on
 /// the shelf until a view touches a column computed from it.
 pub fn open_lazy(data: Vec<u8>) -> Result<Experiment, DbError> {
+    let _span = obs::span("expdb.open_lazy");
     let toc = Toc::parse(&data)?;
     let (procs, files, modules) = bin2::read_names(toc.section(&data, SEC_NAMES)?)?;
     let nodes = bin2::read_nodes(toc.section(&data, SEC_CCT)?)?;
@@ -253,10 +267,13 @@ pub fn open_lazy(data: Vec<u8>) -> Result<Experiment, DbError> {
 /// call this once after [`open_lazy`] instead of paying faults
 /// serially; on an eagerly built experiment it is a cheap no-op scan.
 pub fn decode_all(exp: &Experiment, threads: usize) {
+    let span = obs::span("expdb.decode_all");
+    let parent = obs::current();
     // Touching any value of a column faults the whole column in; the
     // OnceLock slots make concurrent faults race-free.
     let cols: Vec<ColumnId> = exp.columns.columns().collect();
     chunked_map(&cols, threads, |_, chunk| {
+        let _span = obs::span_under(parent, "expdb.decode_chunk");
         for &c in chunk {
             exp.columns.get(c, 0);
         }
@@ -265,10 +282,12 @@ pub fn decode_all(exp: &Experiment, threads: usize) {
         .map(MetricId::from_usize)
         .collect();
     chunked_map(&metrics, threads, |_, chunk| {
+        let _span = obs::span_under(parent, "expdb.decode_chunk");
         for &m in chunk {
             let _ = exp.raw.column(m);
         }
     });
+    drop(span);
 }
 
 #[cfg(test)]

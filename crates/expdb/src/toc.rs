@@ -166,7 +166,10 @@ impl Toc {
             .find(|e| e.id == id)
             .ok_or_else(|| DbError::new(format!("missing section {id}")))?;
         let payload = &data[entry.offset as usize..(entry.offset + entry.len) as usize];
+        callpath_obs::count("expdb.toc.verify", 1);
+        callpath_obs::observe("expdb.toc.section_bytes", payload.len() as u64);
         if fnv1a64(payload) != entry.checksum {
+            callpath_obs::count("expdb.toc.verify_fail", 1);
             return Err(DbError::new(format!("section {id} checksum mismatch")));
         }
         Ok(payload)

@@ -1,0 +1,230 @@
+#![warn(missing_docs)]
+//! # callpath-obs
+//!
+//! Self-observability for the `callpath` pipeline: lightweight **span
+//! timers**, **counters**, **histograms** and an **error set** feeding a
+//! process-wide static registry, plus an exporter that turns the
+//! recorded span tree into a canonical [`Experiment`] — so the tool can
+//! present its *own* profile in its own three views (the paper's thesis
+//! applied to the paper's tool).
+//!
+//! ## Recording model
+//!
+//! * [`span`] opens a timed region nested under the calling thread's
+//!   current span (tracked in a thread local); dropping the returned
+//!   [`SpanGuard`] closes it. Identical `(parent, name)` pairs aggregate
+//!   into one node — the registry holds a *calling context tree of the
+//!   instrumentation*, not a trace.
+//! * [`span_under`] opens a region under an explicitly captured parent
+//!   ([`current`]), which is how spans follow work handed to
+//!   `core::chunked` worker threads: capture the parent before the
+//!   fan-out, open shard spans under it inside the closure.
+//! * [`count`] / [`observe`] / [`error`] are single calls into
+//!   lock-protected maps. Hot call sites use [`LazyCounter`] /
+//!   [`LazySpan`] instead, which cache the resolved registry entry in a
+//!   call-site static — the steady-state cost is one relaxed atomic add
+//!   (plus two clock reads for spans), no lock and no string hash.
+//!
+//! ## Zero cost when disabled
+//!
+//! Everything above is behind the `enabled` cargo feature. Without it
+//! this crate exports the same API as `#[inline]` empty bodies and
+//! zero-sized guards, so instrumented code in `core`/`expdb`/`prof`/
+//! `viewer` compiles to exactly what it was before instrumentation.
+//!
+//! ## Presentation
+//!
+//! [`snapshot`] freezes the registry into a plain-data [`Snapshot`];
+//! [`Snapshot::to_json`] renders the `--stats` dump, and
+//! [`to_experiment`] converts the span tree into a CCT with
+//! inclusive/exclusive time (Eq. 1/2 attribution) and call-count
+//! metrics, ready for `to_binary_v2` and all three views.
+
+mod export;
+
+pub use export::{to_experiment, TIME_METRIC_NAME};
+
+#[cfg(feature = "enabled")]
+#[path = "imp_enabled.rs"]
+mod imp;
+
+#[cfg(not(feature = "enabled"))]
+#[path = "imp_disabled.rs"]
+mod imp;
+
+pub use imp::{
+    count, counter_value, current, enabled, error, observe, reset, snapshot, span, span_under,
+    LazyCounter, LazySpan, SpanGuard,
+};
+
+/// Opaque handle to a span-tree node, captured with [`current`] and
+/// passed across threads to [`span_under`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub(crate) u32);
+
+/// One aggregated span-tree node in a [`Snapshot`]. Index 0 is always
+/// the synthetic root (zero time, zero count); `parent` indexes into
+/// the same vector and parents always precede children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRec {
+    /// Span name as given at the recording site, e.g. `viewer.render`.
+    pub name: String,
+    /// Index of the parent record (0 = root; the root points at itself).
+    pub parent: usize,
+    /// Number of times this `(calling context, name)` region closed.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all closures.
+    pub total_ns: u64,
+}
+
+/// One histogram in a [`Snapshot`]: power-of-two buckets over `u64`
+/// observations (bucket *i* holds values with *i* significant bits,
+/// i.e. `[2^(i-1), 2^i)`; bucket 0 holds zeros).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistRec {
+    /// Histogram name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Non-empty `(significant_bits, count)` buckets, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// A frozen copy of the registry: everything the `--stats` dump and the
+/// [`to_experiment`] exporter need, with no locks attached.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Aggregated span tree in arena order (index 0 = synthetic root).
+    pub spans: Vec<SpanRec>,
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistRec>,
+    /// Distinct error strings with occurrence counts, in first-seen
+    /// order — the "surface *all* failures" half of the lazy-fault fix.
+    pub errors: Vec<(String, u64)>,
+}
+
+impl Snapshot {
+    /// True when nothing was recorded (also the permanent state with
+    /// the `enabled` feature off).
+    pub fn is_empty(&self) -> bool {
+        self.spans.len() <= 1
+            && self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.errors.is_empty()
+    }
+
+    /// Render the snapshot as the `--stats` JSON document. Stable key
+    /// order, two-space indentation, no external dependencies.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"obs_enabled\": {},\n", enabled()));
+        out.push_str("  \"spans\": [\n");
+        for (i, s) in self.spans.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"parent\": {}, \"count\": {}, \"total_ns\": {}}}{}\n",
+                json_string(&s.name),
+                s.parent,
+                s.count,
+                s.total_ns,
+                if i + 1 < self.spans.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {v}", json_string(name)));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": [\n");
+        for (i, h) in self.histograms.iter().enumerate() {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(bits, n)| format!("[{bits}, {n}]"))
+                .collect();
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"count\": {}, \"sum\": {}, \"buckets\": [{}]}}{}\n",
+                json_string(&h.name),
+                h.count,
+                h.sum,
+                buckets.join(", "),
+                if i + 1 < self.histograms.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ],\n  \"errors\": [\n");
+        for (i, (msg, n)) in self.errors.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"message\": {}, \"count\": {n}}}{}\n",
+                json_string(msg),
+                if i + 1 < self.errors.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping: quotes, backslashes and control bytes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        let s = Snapshot::default();
+        assert!(s.is_empty());
+        let json = s.to_json();
+        assert!(json.contains("\"spans\""));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"errors\""));
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_stubs_record_nothing() {
+        assert!(!enabled());
+        let _g = span("anything");
+        count("c", 5);
+        observe("h", 42);
+        error("boom");
+        assert!(snapshot().is_empty());
+        assert_eq!(counter_value("c"), 0);
+    }
+}

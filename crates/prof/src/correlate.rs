@@ -282,6 +282,8 @@ pub fn correlate(
     periods: [u64; Counter::COUNT],
     storage: StorageKind,
 ) -> Experiment {
+    let _span = callpath_obs::span("prof.correlate");
+    callpath_obs::count("prof.profiles_ingested", 1);
     let mut c = Correlator::new(structure, periods);
     c.add(profile);
     c.finish(storage)

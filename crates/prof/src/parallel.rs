@@ -120,6 +120,8 @@ impl<'s> ParallelCorrelator<'s> {
         profiles: &[RawProfile],
         storage: StorageKind,
     ) -> (Experiment, Vec<PerNodeCosts>) {
+        let _span = callpath_obs::span("prof.correlate");
+        callpath_obs::count("prof.profiles_ingested", profiles.len() as u64);
         if self.mode_for(profiles.len()) == IngestMode::Sequential {
             // One worker (or a tiny input): the journal/replay round
             // trip is pure overhead, so feed a plain correlator.
@@ -130,7 +132,11 @@ impl<'s> ParallelCorrelator<'s> {
 
         // Fan out: contiguous rank chunks, one journaling correlator per
         // worker. chunked_map returns shards in ascending rank order.
+        // Worker threads have no span context of their own, so each
+        // shard nests explicitly under this call's span.
+        let parent = callpath_obs::current();
         let shards: Vec<Shard> = chunked_map(profiles, self.threads, |_ci, batch| {
+            let _span = callpath_obs::span_under(parent, "prof.shard_correlate");
             let mut corr = Correlator::with_journal(self.structure, self.periods);
             let per_rank: Vec<PerNodeCosts> = batch.iter().map(|p| corr.add(p)).collect();
             Shard {
@@ -143,6 +149,7 @@ impl<'s> ParallelCorrelator<'s> {
         // Reduce: replay each shard's journal against the canonical
         // correlator in rank order, then fold its costs through the
         // local→canonical remap.
+        let _replay = callpath_obs::span("prof.merge_replay");
         let mut canon = Correlator::new(self.structure, self.periods);
         let mut out: Vec<PerNodeCosts> = Vec::with_capacity(profiles.len());
         for shard in shards {

@@ -220,10 +220,16 @@ impl Renderer<'_, '_> {
     /// (only the visible window is fully ordered — identical prefix to a
     /// stable full sort); full expansion falls back to a full stable sort.
     fn sort_visible(&mut self, nodes: &mut Vec<u32>, shown: usize) {
+        static BY_NAME: callpath_obs::LazyCounter =
+            callpath_obs::LazyCounter::new("viewer.sort.name");
+        static TOPK: callpath_obs::LazyCounter = callpath_obs::LazyCounter::new("viewer.sort.topk");
+        static FULL: callpath_obs::LazyCounter = callpath_obs::LazyCounter::new("viewer.sort.full");
         if self.cfg.sort_by_name {
+            BY_NAME.add(1);
             sort_nodes_with(self.view, &mut self.labels, nodes, SortKey::Name);
         } else if let Some(c) = self.cfg.sort {
             if shown < nodes.len() {
+                TOPK.add(1);
                 top_k_by_column(
                     self.view,
                     &mut self.labels,
@@ -233,6 +239,7 @@ impl Renderer<'_, '_> {
                     shown,
                 );
             } else {
+                FULL.add(1);
                 sort_nodes_with(
                     self.view,
                     &mut self.labels,

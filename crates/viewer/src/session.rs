@@ -20,6 +20,7 @@
 use crate::render::{render_flattened, write_truncated_name, RenderConfig};
 use callpath_core::prelude::*;
 use callpath_core::source::SourceStore;
+use callpath_obs as obs;
 use std::collections::HashSet;
 
 /// A user action.
@@ -119,8 +120,13 @@ impl<'e> Session<'e> {
     }
 
     /// `(hits, full_sorts)` summed over the three per-view sort caches.
-    /// The acceptance hook for the tentpole: re-sorting or re-rendering
-    /// an already-built view must not grow `full_sorts`.
+    /// The acceptance hook for the PR 2 tentpole: re-sorting or
+    /// re-rendering an already-built view must not grow `full_sorts`.
+    ///
+    /// This is the per-session compat shim over the same events the
+    /// process-wide obs registry counts as `viewer.sort_cache.hit` /
+    /// `viewer.sort_cache.miss` — the session view stays scoped to this
+    /// session's three caches, while `--stats` reports the global tally.
     pub fn sort_stats(&self) -> (u64, u64) {
         self.sort_caches.iter().fold((0, 0), |(h, f), c| {
             let (ch, cf) = c.stats();
@@ -178,6 +184,8 @@ impl<'e> Session<'e> {
         if let (ViewKind::Flat, level) = (kind, state.flatten_level) {
             if level > 0 {
                 if let View::Flat { exp, view: flat } = view {
+                    let _span = obs::span("viewer.flat_flatten");
+                    obs::count("viewer.flat.force", 1);
                     let cur: Vec<ViewNodeId> = roots.iter().map(|&r| ViewNodeId(r)).collect();
                     // The forcing variant: flattening must descend through
                     // procedure interiors that haven't been filled yet.
@@ -257,6 +265,7 @@ impl<'e> Session<'e> {
                 Ok(())
             }
             Command::HotPath => {
+                let _span = obs::span("viewer.hot_path");
                 let start = match self.selected() {
                     Some(s) => s,
                     None => {
@@ -386,6 +395,8 @@ impl<'e> Session<'e> {
     }
 
     fn render_impl(&mut self, numbered: bool) -> (String, Vec<u32>) {
+        static RENDER: obs::LazySpan = obs::LazySpan::new("viewer.render");
+        let _span = RENDER.open();
         let tops = self.top_level();
         let state = self.states[idx(self.kind)].clone();
         let sort = self.sort;
@@ -584,10 +595,16 @@ fn cached_order(
     key: SortKey,
     nodes: impl FnOnce(&mut View<'_>) -> Vec<u32>,
 ) -> Vec<u32> {
+    static HIT: obs::LazyCounter = obs::LazyCounter::new("viewer.sort_cache.hit");
+    static MISS: obs::LazyCounter = obs::LazyCounter::new("viewer.sort_cache.miss");
+    static FULL_SORT: obs::LazySpan = obs::LazySpan::new("viewer.full_sort");
     let generation = view.generation();
     if let Some(order) = sort_cache.lookup(slot, key, generation) {
+        HIT.add(1);
         return order;
     }
+    MISS.add(1);
+    let _span = FULL_SORT.open();
     let mut out = nodes(view);
     sort_nodes_with(view, labels, &mut out, key);
     sort_cache.insert(slot, key, view.generation(), out.clone());

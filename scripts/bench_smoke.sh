@@ -6,9 +6,15 @@
 #    hot-path walk) -> BENCH_session_nav.json at the repo root;
 #  * experiment-database open latency (cold open / first render /
 #    decode_all, XML vs v1 vs v2 on s3d) -> BENCH_expdb_open.json
-#    at the repo root.
+#    at the repo root;
+#  * instrumentation overhead (session navigation with the obs feature
+#    on vs off) -> BENCH_obs_overhead.json at the repo root. The two
+#    runs write fragments under target/; the second one merges them.
 set -eu
 cd "$(dirname "$0")/.."
 cargo test --release --test perf_smoke -- --ignored --nocapture
 cargo test --release --test session_nav -- --ignored --nocapture
 cargo test --release --test expdb_open_smoke -- --ignored --nocapture
+rm -f target/obs_overhead_on.json target/obs_overhead_off.json
+cargo test --release --test obs_overhead -- --ignored --nocapture
+cargo test --release --no-default-features --test obs_overhead -- --ignored --nocapture

@@ -30,6 +30,10 @@ OPTIONS:
     --full              render the full loss-annotated tree instead of the
                         hot path
     --top <N>           children per scope in full mode [default: 20]
+    --stats             dump instrumentation counters/spans as JSON on
+                        stderr after the run
+    --self-profile <FILE>  write the tool's own recorded profile as a v2
+                        database (open it with callpath-view)
     -h, --help          print this help
 ";
 
@@ -41,6 +45,8 @@ struct Args {
     threshold: f64,
     full: bool,
     top: usize,
+    stats: bool,
+    self_profile: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
         threshold: 0.5,
         full: false,
         top: 20,
+        stats: false,
+        self_profile: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -69,6 +77,8 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--threshold must be a number".to_owned())?
             }
             "--full" => args.full = true,
+            "--stats" => args.stats = true,
+            "--self-profile" => args.self_profile = Some(value("--self-profile")?),
             "--top" => {
                 args.top = value("--top")?
                     .parse()
@@ -121,9 +131,14 @@ fn load(path: &str) -> Result<Experiment, String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    let loading = callpath::obs::span("diff.load");
     let base = load(&args.base)?;
     let peer = load(&args.peer)?;
-    let analysis = scaling_loss(&base, "base", &peer, "peer", &args.metric, args.scale)?;
+    drop(loading);
+    let analysis = {
+        let _span = callpath::obs::span("diff.scaling_loss");
+        scaling_loss(&base, "base", &peer, "peer", &args.metric, args.scale)?
+    };
     let exp = &analysis.experiment;
     let root = exp.cct.root();
     let base_total = exp.columns.get(analysis.base_incl, root.0);
@@ -159,6 +174,15 @@ fn run() -> Result<(), String> {
                 &cfg
             )
         );
+    }
+    if let Some(path) = &args.self_profile {
+        callpath::cli::write_self_profile(path)?;
+    }
+    if args.stats {
+        let mut snap = callpath::obs::snapshot();
+        callpath::cli::merge_lazy_errors(&mut snap, &base);
+        callpath::cli::merge_lazy_errors(&mut snap, &peer);
+        eprint!("{}", snap.to_json());
     }
     Ok(())
 }

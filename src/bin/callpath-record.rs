@@ -40,6 +40,10 @@ OPTIONS:
     --ranks <N>             SPMD ranks for pflotran [default: 64]
     --seed <N>              random workload seed [default: 42]
     --procs <N>             random workload procedures [default: 100]
+    --stats                 dump instrumentation counters/spans as JSON
+                            on stderr after the run
+    --self-profile <FILE>   write the tool's own recorded profile as a
+                            v2 database (open it with callpath-view)
     -h, --help              print this help
 ";
 
@@ -52,6 +56,8 @@ struct Args {
     ranks: usize,
     seed: u64,
     procs: usize,
+    stats: bool,
+    self_profile: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -64,6 +70,8 @@ fn parse_args() -> Result<Args, String> {
         ranks: 64,
         seed: 42,
         procs: 100,
+        stats: false,
+        self_profile: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -93,6 +101,8 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--procs must be a positive integer".to_owned())?
             }
+            "--stats" => args.stats = true,
+            "--self-profile" => args.self_profile = Some(value("--self-profile")?),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -162,11 +172,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let exp = match build_experiment(&args) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+    let exp = {
+        let _span = callpath::obs::span("record.build_experiment");
+        match build_experiment(&args) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
@@ -177,6 +190,7 @@ fn main() -> ExitCode {
             "bin2".into()
         }
     });
+    let encode = callpath::obs::span("record.encode");
     let bytes = match format.as_str() {
         "xml" => callpath_expdb::to_xml(&exp).into_bytes(),
         "bin" => callpath_expdb::to_binary(&exp),
@@ -186,6 +200,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    drop(encode);
     if let Err(e) = std::fs::write(&args.output, &bytes) {
         eprintln!("error: cannot write {}: {e}", args.output);
         return ExitCode::FAILURE;
@@ -198,5 +213,15 @@ fn main() -> ExitCode {
         exp.cct.len(),
         exp.raw.metric_count()
     );
+    if let Some(path) = &args.self_profile {
+        if let Err(e) = callpath::cli::write_self_profile(path) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote self-profile {path}");
+    }
+    if args.stats {
+        callpath::cli::emit_stats(Some(&exp));
+    }
     ExitCode::SUCCESS
 }

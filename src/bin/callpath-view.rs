@@ -34,6 +34,10 @@ OPTIONS:
     --top <N>                   show at most N children per scope [default: 100]
     -i, --interactive           drive the viewer with commands from stdin
                                 (type 'help' inside for the command list)
+    --stats                     dump instrumentation counters/spans as JSON
+                                on stderr after the run
+    --self-profile <FILE>       write the tool's own recorded profile as a
+                                v2 database (open it with callpath-view)
     -h, --help                  print this help
 ";
 
@@ -69,6 +73,8 @@ struct Args {
     levels: Option<usize>,
     flatten: usize,
     top: usize,
+    stats: bool,
+    self_profile: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -86,6 +92,8 @@ fn parse_args() -> Result<Args, String> {
         levels: None,
         flatten: 0,
         top: 100,
+        stats: false,
+        self_profile: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -115,6 +123,8 @@ fn parse_args() -> Result<Args, String> {
                 args.derived.push((name.to_owned(), formula.to_owned()));
             }
             "--hot" => args.hot = true,
+            "--stats" => args.stats = true,
+            "--self-profile" => args.self_profile = Some(value("--self-profile")?),
             "-i" | "--interactive" => args.interactive = true,
             "--threshold" => {
                 args.threshold = value("--threshold")?
@@ -189,6 +199,17 @@ fn run() -> Result<(), String> {
         }
     }
 
+    let result = present(&args, &mut exp);
+    if let Some(path) = &args.self_profile {
+        callpath::cli::write_self_profile(path)?;
+    }
+    if args.stats {
+        callpath::cli::emit_stats(Some(&exp));
+    }
+    result
+}
+
+fn present(args: &Args, exp: &mut Experiment) -> Result<(), String> {
     if args.list_columns {
         for (i, d) in exp.columns.descs().iter().enumerate() {
             println!("{i:>3}  {}", d.name);
@@ -197,7 +218,7 @@ fn run() -> Result<(), String> {
     }
 
     if args.interactive {
-        return repl(&exp);
+        return repl(exp);
     }
 
     let sort = match (&args.sort_name, args.sort) {
@@ -227,9 +248,9 @@ fn run() -> Result<(), String> {
     };
 
     let mut view = match args.view.as_str() {
-        "ccv" => View::calling_context(&exp),
-        "callers" => View::callers(&exp),
-        "flat" => View::flat(&exp),
+        "ccv" => View::calling_context(exp),
+        "callers" => View::callers(exp),
+        "flat" => View::flat(exp),
         other => return Err(format!("unknown view '{other}' (ccv|callers|flat)")),
     };
 
