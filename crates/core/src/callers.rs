@@ -85,7 +85,7 @@ impl CallersView {
         let mut order: Vec<crate::ids::ProcId> = Vec::new();
         let mut buckets: HashMap<crate::ids::ProcId, Vec<NodeId>> = HashMap::new();
         for n in exp.cct.all_nodes() {
-            if let ScopeKind::Frame { proc, .. } = *exp.cct.kind(n) {
+            if let ScopeKind::Frame { proc, .. } = exp.cct.kind(n) {
                 let b = buckets.entry(proc).or_default();
                 if b.is_empty() {
                     order.push(proc);
@@ -131,11 +131,11 @@ impl CallersView {
             };
             let ScopeKind::Frame {
                 proc: caller_proc, ..
-            } = *exp.cct.kind(caller)
+            } = exp.cct.kind(caller)
             else {
                 unreachable!("caller_frame returns dynamic frames only");
             };
-            let call_site = match *exp.cct.kind(cursor) {
+            let call_site = match exp.cct.kind(cursor) {
                 ScopeKind::Frame { call_site, .. } => call_site,
                 _ => None,
             };

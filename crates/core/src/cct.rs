@@ -7,12 +7,25 @@
 //! directly; the Callers View and Flat View are derived from it
 //! (`crate::callers`, `crate::flat`).
 //!
-//! Storage is a flat arena: each node stores `parent`, `first_child`,
-//! `last_child` and `next_sibling` indices. Child order is insertion order
-//! and is preserved by every traversal, which keeps golden tests
-//! deterministic.
+//! Storage is a flat arena with two backings behind one API:
+//!
+//! * **Owned** — one contiguous `Vec` of nodes, each storing `parent`,
+//!   `first_child`, `last_child` and `next_sibling` indices plus its
+//!   [`ScopeKind`]. This is what profile correlation builds.
+//! * **Mapped** — a zero-copy [`MappedTopology`] view borrowing the
+//!   same arrays straight out of a format-v2.1 database image
+//!   (structure-of-arrays: three `u32` link arrays, a tag byte and six
+//!   `u32` payload fields per node). Opening a million-node database
+//!   costs no per-node decoding; the first *mutation* materializes the
+//!   owned arena (copy-on-write).
+//!
+//! Child order is insertion order and is preserved by every traversal,
+//! which keeps golden tests deterministic. Traversals over mapped
+//! topologies carry step budgets so a corrupt image can produce a wrong
+//! tree but never an unbounded walk.
 
 use crate::ids::NodeId;
+use crate::mapped::MappedTopology;
 use crate::names::NameTable;
 use crate::scope::{ScopeKind, StaticKey};
 use serde::{Deserialize, Serialize};
@@ -28,11 +41,18 @@ struct Node {
     next_sibling: u32,
 }
 
+/// The arena backing: owned nodes or a borrowed database image.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum NodeStore {
+    Owned(Vec<Node>),
+    Mapped(MappedTopology),
+}
+
 /// A canonical calling context tree plus the name tables its scopes
 /// reference.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Cct {
-    nodes: Vec<Node>,
+    store: NodeStore,
     /// Name tables the scopes reference.
     pub names: NameTable,
 }
@@ -41,15 +61,31 @@ impl Cct {
     /// Create a CCT containing only the synthetic root scope.
     pub fn new(names: NameTable) -> Self {
         Cct {
-            nodes: vec![Node {
+            store: NodeStore::Owned(vec![Node {
                 kind: ScopeKind::Root,
                 parent: NONE,
                 first_child: NONE,
                 last_child: NONE,
                 next_sibling: NONE,
-            }],
+            }]),
             names,
         }
+    }
+
+    /// Wrap a validated zero-copy topology view (format v2.1): no
+    /// per-node decoding happens here, so this is O(1) regardless of
+    /// tree size. The tree is read-only until the first mutation, which
+    /// silently materializes an owned arena.
+    pub fn from_mapped(names: NameTable, topo: MappedTopology) -> Self {
+        Cct {
+            store: NodeStore::Mapped(topo),
+            names,
+        }
+    }
+
+    /// True while the tree is still backed by a borrowed database image.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.store, NodeStore::Mapped(_))
     }
 
     /// The synthetic root node.
@@ -59,7 +95,10 @@ impl Cct {
 
     /// Number of nodes (including the root).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        match &self.store {
+            NodeStore::Owned(nodes) => nodes.len(),
+            NodeStore::Mapped(topo) => topo.len(),
+        }
     }
 
     /// Always false: a CCT contains at least its root.
@@ -68,25 +107,83 @@ impl Cct {
         false
     }
 
+    #[inline]
+    fn parent_raw(&self, i: u32) -> u32 {
+        match &self.store {
+            NodeStore::Owned(nodes) => nodes[i as usize].parent,
+            NodeStore::Mapped(topo) => topo.parent(i as usize),
+        }
+    }
+
+    #[inline]
+    fn first_child_raw(&self, i: u32) -> u32 {
+        match &self.store {
+            NodeStore::Owned(nodes) => nodes[i as usize].first_child,
+            NodeStore::Mapped(topo) => topo.first_child(i as usize),
+        }
+    }
+
+    #[inline]
+    fn next_sibling_raw(&self, i: u32) -> u32 {
+        match &self.store {
+            NodeStore::Owned(nodes) => nodes[i as usize].next_sibling,
+            NodeStore::Mapped(topo) => topo.next_sibling(i as usize),
+        }
+    }
+
+    /// Copy a mapped topology into the owned arena so it can be
+    /// mutated; no-op when already owned. `last_child` is recomputed by
+    /// walking each sibling chain (the mapped form does not store it).
+    fn make_owned(&mut self) {
+        if let NodeStore::Mapped(topo) = &self.store {
+            let n = topo.len();
+            let mut nodes: Vec<Node> = (0..n)
+                .map(|i| Node {
+                    kind: topo.kind(i),
+                    parent: topo.parent(i),
+                    first_child: topo.first_child(i),
+                    last_child: NONE,
+                    next_sibling: topo.next_sibling(i),
+                })
+                .collect();
+            for i in 0..n {
+                let mut cur = nodes[i].first_child;
+                let mut last = NONE;
+                let mut budget = n;
+                while cur != NONE && budget > 0 {
+                    last = cur;
+                    cur = nodes[cur as usize].next_sibling;
+                    budget -= 1;
+                }
+                nodes[i].last_child = last;
+            }
+            self.store = NodeStore::Owned(nodes);
+        }
+    }
+
     /// Append a child scope under `parent`, returning its id. Children keep
     /// insertion order.
     pub fn add_child(&mut self, parent: NodeId, kind: ScopeKind) -> NodeId {
-        let id = u32::try_from(self.nodes.len()).expect("CCT node overflow");
-        self.nodes.push(Node {
+        self.make_owned();
+        let NodeStore::Owned(nodes) = &mut self.store else {
+            unreachable!("make_owned() materialized above");
+        };
+        let id = u32::try_from(nodes.len()).expect("CCT node overflow");
+        nodes.push(Node {
             kind,
             parent: parent.0,
             first_child: NONE,
             last_child: NONE,
             next_sibling: NONE,
         });
-        let p = &mut self.nodes[parent.index()];
+        let p = &mut nodes[parent.index()];
         if p.first_child == NONE {
             p.first_child = id;
         } else {
             let last = p.last_child;
-            self.nodes[last as usize].next_sibling = id;
+            nodes[last as usize].next_sibling = id;
         }
-        self.nodes[parent.index()].last_child = id;
+        nodes[parent.index()].last_child = id;
         NodeId(id)
     }
 
@@ -94,26 +191,31 @@ impl Cct {
     /// one. This is the primitive profile-merging operation: two samples
     /// that share a calling-context prefix share CCT nodes.
     pub fn find_or_add_child(&mut self, parent: NodeId, kind: ScopeKind) -> NodeId {
-        let mut cur = self.nodes[parent.index()].first_child;
+        let mut cur = self.first_child_raw(parent.0);
         while cur != NONE {
-            if self.nodes[cur as usize].kind == kind {
+            if self.kind(NodeId(cur)) == kind {
                 return NodeId(cur);
             }
-            cur = self.nodes[cur as usize].next_sibling;
+            cur = self.next_sibling_raw(cur);
         }
         self.add_child(parent, kind)
     }
 
-    /// Scope kind of node `n`.
+    /// Scope kind of node `n`. Returned by value (`ScopeKind` is `Copy`):
+    /// the mapped backing decodes it from the image on the fly, so there
+    /// is no stored `ScopeKind` to borrow.
     #[inline]
-    pub fn kind(&self, n: NodeId) -> &ScopeKind {
-        &self.nodes[n.index()].kind
+    pub fn kind(&self, n: NodeId) -> ScopeKind {
+        match &self.store {
+            NodeStore::Owned(nodes) => nodes[n.index()].kind,
+            NodeStore::Mapped(topo) => topo.kind(n.index()),
+        }
     }
 
     /// Parent of `n` (`None` for the root).
     #[inline]
     pub fn parent(&self, n: NodeId) -> Option<NodeId> {
-        let p = self.nodes[n.index()].parent;
+        let p = self.parent_raw(n.0);
         (p != NONE).then_some(NodeId(p))
     }
 
@@ -121,7 +223,8 @@ impl Cct {
     pub fn children(&self, n: NodeId) -> Children<'_> {
         Children {
             cct: self,
-            cur: self.nodes[n.index()].first_child,
+            cur: self.first_child_raw(n.0),
+            remaining: self.len(),
         }
     }
 
@@ -132,22 +235,29 @@ impl Cct {
 
     /// True when `n` has no children.
     pub fn is_leaf(&self, n: NodeId) -> bool {
-        self.nodes[n.index()].first_child == NONE
+        self.first_child_raw(n.0) == NONE
     }
 
     /// Iterate proper ancestors of `n`, innermost first, ending at the root.
     pub fn ancestors(&self, n: NodeId) -> Ancestors<'_> {
         Ancestors {
             cct: self,
-            cur: self.nodes[n.index()].parent,
+            cur: self.parent_raw(n.0),
+            remaining: self.len(),
         }
     }
 
     /// Pre-order traversal of the subtree rooted at `n` (including `n`).
+    ///
+    /// Allocation-free: instead of keeping an explicit stack it follows
+    /// `first_child`, then `next_sibling`, climbing `parent` links back
+    /// to the subtree root — O(1) state for any tree size.
     pub fn preorder(&self, n: NodeId) -> Preorder<'_> {
         Preorder {
             cct: self,
-            stack: vec![n.0],
+            start: n.0,
+            cur: n.0,
+            remaining: self.len(),
         }
     }
 
@@ -155,7 +265,7 @@ impl Cct {
     /// order (parents precede children) because children are always
     /// appended after their parent.
     pub fn all_nodes(&self) -> impl DoubleEndedIterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.len() as u32).map(NodeId)
     }
 
     /// Depth of `n`: the root has depth 0.
@@ -196,7 +306,7 @@ impl Cct {
     /// qualified by the procedure of their enclosing frame-like scope so
     /// that identical line numbers in different procedures stay distinct.
     pub fn static_key(&self, n: NodeId) -> StaticKey {
-        match *self.kind(n) {
+        match self.kind(n) {
             ScopeKind::Root => StaticKey::Root,
             ScopeKind::Frame { proc, .. } => StaticKey::Proc(proc),
             ScopeKind::InlinedFrame {
@@ -298,17 +408,21 @@ impl Cct {
 pub struct Children<'a> {
     cct: &'a Cct,
     cur: u32,
+    /// Step budget (node count): terminates even on a corrupt mapped
+    /// image whose sibling links form a cycle.
+    remaining: usize,
 }
 
 impl Iterator for Children<'_> {
     type Item = NodeId;
 
     fn next(&mut self) -> Option<NodeId> {
-        if self.cur == NONE {
+        if self.cur == NONE || self.remaining == 0 {
             return None;
         }
+        self.remaining -= 1;
         let id = NodeId(self.cur);
-        self.cur = self.cct.nodes[self.cur as usize].next_sibling;
+        self.cur = self.cct.next_sibling_raw(self.cur);
         Some(id)
     }
 }
@@ -317,41 +431,72 @@ impl Iterator for Children<'_> {
 pub struct Ancestors<'a> {
     cct: &'a Cct,
     cur: u32,
+    /// Step budget (node count): terminates even on a corrupt mapped
+    /// image whose parent links form a cycle.
+    remaining: usize,
 }
 
 impl Iterator for Ancestors<'_> {
     type Item = NodeId;
 
     fn next(&mut self) -> Option<NodeId> {
-        if self.cur == NONE {
+        if self.cur == NONE || self.remaining == 0 {
             return None;
         }
+        self.remaining -= 1;
         let id = NodeId(self.cur);
-        self.cur = self.cct.nodes[self.cur as usize].parent;
+        self.cur = self.cct.parent_raw(self.cur);
         Some(id)
     }
 }
 
-/// Pre-order subtree traversal.
+/// Pre-order subtree traversal (allocation-free; see [`Cct::preorder`]).
 pub struct Preorder<'a> {
     cct: &'a Cct,
-    stack: Vec<u32>,
+    start: u32,
+    cur: u32,
+    /// Step budget (node count): terminates even on a corrupt mapped
+    /// image whose links form a cycle.
+    remaining: usize,
 }
 
 impl Iterator for Preorder<'_> {
     type Item = NodeId;
 
     fn next(&mut self) -> Option<NodeId> {
-        let n = self.stack.pop()?;
-        // Push children in reverse so the first child pops first.
-        let mut kids: Vec<u32> = Vec::new();
-        let mut cur = self.cct.nodes[n as usize].first_child;
-        while cur != NONE {
-            kids.push(cur);
-            cur = self.cct.nodes[cur as usize].next_sibling;
+        if self.cur == NONE || self.remaining == 0 {
+            return None;
         }
-        self.stack.extend(kids.into_iter().rev());
-        Some(NodeId(n))
+        self.remaining -= 1;
+        let out = self.cur;
+        // Advance: descend to the first child if there is one; otherwise
+        // take the next sibling, climbing parents (never past the
+        // subtree root) until one exists.
+        let fc = self.cct.first_child_raw(out);
+        if fc != NONE {
+            self.cur = fc;
+        } else {
+            let mut x = out;
+            loop {
+                if x == self.start {
+                    self.cur = NONE;
+                    break;
+                }
+                let ns = self.cct.next_sibling_raw(x);
+                if ns != NONE {
+                    self.cur = ns;
+                    break;
+                }
+                match self.cct.parent_raw(x) {
+                    NONE => {
+                        self.cur = NONE;
+                        break;
+                    }
+                    p => x = p,
+                }
+            }
+        }
+        Some(NodeId(out))
     }
 }
 
@@ -458,6 +603,13 @@ mod tests {
         assert_eq!(order, vec![root, a, b, d, c]);
         let sub: Vec<NodeId> = cct.preorder(b).collect();
         assert_eq!(sub, vec![b, d]);
+    }
+
+    #[test]
+    fn preorder_of_leaf_is_just_the_leaf() {
+        let (cct, _, _, s) = small_tree();
+        let only: Vec<NodeId> = cct.preorder(s).collect();
+        assert_eq!(only, vec![s]);
     }
 
     #[test]

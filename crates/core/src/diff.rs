@@ -90,7 +90,7 @@ fn fold_in(exp: &Experiment, cct: &mut Cct, raw: &mut RawMetrics, metric_base: u
         let parent = exp.cct.parent(n).expect("non-root");
         let merged_parent = node_map[parent.index()];
         let mut names = std::mem::take(&mut cct.names);
-        let kind = map.kind(&mut names, exp.cct.kind(n));
+        let kind = map.kind(&mut names, &exp.cct.kind(n));
         cct.names = names;
         let merged = cct.find_or_add_child(merged_parent, kind);
         debug_assert_eq!(node_map.len(), n.index());
@@ -319,7 +319,7 @@ mod tests {
             .all_nodes()
             .find(|&n| {
                 matches!(merged.cct.kind(n), ScopeKind::Frame { proc, .. }
-                    if merged.cct.names.proc_name(*proc) == "extra")
+                    if merged.cct.names.proc_name(proc) == "extra")
             })
             .unwrap();
         assert_eq!(
@@ -361,7 +361,7 @@ mod tests {
             .all_nodes()
             .find(|&n| {
                 matches!(exp.cct.kind(n), ScopeKind::Frame { proc, .. }
-                    if exp.cct.names.proc_name(*proc) == "slow")
+                    if exp.cct.names.proc_name(proc) == "slow")
             })
             .unwrap();
         let fast = exp
@@ -369,7 +369,7 @@ mod tests {
             .all_nodes()
             .find(|&n| {
                 matches!(exp.cct.kind(n), ScopeKind::Frame { proc, .. }
-                    if exp.cct.names.proc_name(*proc) == "fast")
+                    if exp.cct.names.proc_name(proc) == "fast")
             })
             .unwrap();
         assert_eq!(exp.columns.get(analysis.loss_incl, slow.0), 300.0);
@@ -416,7 +416,7 @@ mod tests {
             .all_nodes()
             .find(|&n| {
                 matches!(exp.cct.kind(n), ScopeKind::Frame { proc, .. }
-                    if exp.cct.names.proc_name(*proc) == "slow")
+                    if exp.cct.names.proc_name(proc) == "slow")
             })
             .unwrap();
         let fast = exp
@@ -424,7 +424,7 @@ mod tests {
             .all_nodes()
             .find(|&n| {
                 matches!(exp.cct.kind(n), ScopeKind::Frame { proc, .. }
-                    if exp.cct.names.proc_name(*proc) == "fast")
+                    if exp.cct.names.proc_name(proc) == "fast")
             })
             .unwrap();
         assert_eq!(

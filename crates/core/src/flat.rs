@@ -70,7 +70,7 @@ impl FlatView {
         for n in exp.cct.all_nodes() {
             if let ScopeKind::Frame {
                 proc, module, def, ..
-            } = *exp.cct.kind(n)
+            } = exp.cct.kind(n)
             {
                 let m_node = node_at(&mut tree, None, ViewScope::Module { module });
                 let f_node = node_at(&mut tree, Some(m_node), ViewScope::File { file: def.file });
@@ -145,7 +145,7 @@ impl FlatView {
         let mut pending: Vec<(u32, ViewScope)> = Vec::new();
         for &i in &instances {
             for c in exp.cct.children(i) {
-                let scope = match *exp.cct.kind(c) {
+                let scope = match exp.cct.kind(c) {
                     ScopeKind::Frame {
                         proc, call_site, ..
                     } => ViewScope::CallSite {

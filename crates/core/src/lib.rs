@@ -77,6 +77,7 @@ pub mod flat;
 pub mod format;
 pub mod hotpath;
 pub mod ids;
+pub mod mapped;
 pub mod metrics;
 pub mod names;
 pub mod scope;
@@ -99,6 +100,7 @@ pub mod prelude {
     pub use crate::format;
     pub use crate::hotpath::{hot_path, HotPathConfig};
     pub use crate::ids::{ColumnId, FileId, LoadModuleId, MetricId, NodeId, ProcId, ViewNodeId};
+    pub use crate::mapped::{ByteImage, ColumnData, MappedCol, MappedTopology};
     pub use crate::metrics::{
         ColumnBuilder, ColumnDesc, ColumnFlavor, ColumnSet, ColumnSource, CsrColumn, MetricDesc,
         MetricVec, NonzeroSorted, RawMetrics, StorageKind,

@@ -20,6 +20,7 @@
 //! aggregates) key on it to revalidate instead of serving stale values.
 
 use crate::ids::{ColumnId, MetricId};
+use crate::mapped::{ColumnData, MappedCol};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,17 +34,18 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// for.
 ///
 /// Both methods return entries **sorted ascending by node id** with no
-/// duplicates; they are called at most once per column/metric (results
-/// are cached in the owning set). A `Err(reason)` materializes the
-/// column as all-zeros and is surfaced through
-/// [`ColumnSet::lazy_error`] / [`RawMetrics::lazy_error`] instead of
-/// panicking, so a corrupt block discovered mid-render degrades rather
-/// than aborts.
+/// duplicates — either decoded into an owned buffer or borrowed
+/// zero-copy from the file image ([`ColumnData::Mapped`], format
+/// v2.1). They are called at most once per column/metric (results are
+/// cached in the owning set). A `Err(reason)` materializes the column
+/// as all-zeros and is surfaced through [`ColumnSet::lazy_error`] /
+/// [`RawMetrics::lazy_error`] instead of panicking, so a corrupt block
+/// discovered mid-render degrades rather than aborts.
 pub trait ColumnSource: Send + Sync + std::fmt::Debug {
     /// Sorted non-zero `(node, value)` entries of presentation column `c`.
-    fn load_column(&self, c: ColumnId) -> Result<Vec<(u32, f64)>, String>;
+    fn load_column(&self, c: ColumnId) -> Result<ColumnData, String>;
     /// Sorted non-zero direct-cost entries of raw metric `m`.
-    fn load_raw(&self, m: MetricId) -> Result<Vec<(u32, f64)>, String>;
+    fn load_raw(&self, m: MetricId) -> Result<ColumnData, String>;
 }
 
 /// Lazy-fault bookkeeping shared by [`ColumnSet`] and [`RawMetrics`]:
@@ -103,7 +105,7 @@ impl LazySlots {
         &self,
         index: usize,
         storage: StorageKind,
-        load: impl FnOnce(&dyn ColumnSource) -> Result<Vec<(u32, f64)>, String>,
+        load: impl FnOnce(&dyn ColumnSource) -> Result<ColumnData, String>,
     ) -> Option<&MetricVec> {
         if !self.covers(index) {
             return None;
@@ -112,7 +114,8 @@ impl LazySlots {
         Some(self.slots[index].get_or_init(|| {
             self.fault_counts[index].fetch_add(1, Ordering::Relaxed);
             match load(source) {
-                Ok(entries) => MetricVec::from_sorted(storage, entries),
+                Ok(ColumnData::Owned(entries)) => MetricVec::from_sorted(storage, entries),
+                Ok(ColumnData::Mapped(col)) => MetricVec::Mapped(col),
                 Err(reason) => {
                     let mut all = self.errors.lock().expect("lazy errors lock");
                     if !all.contains(&reason) {
@@ -444,6 +447,11 @@ pub enum MetricVec {
     Sparse(HashMap<u32, f64>),
     /// Sorted columnar non-zeros; see [`CsrColumn`].
     Csr(CsrColumn),
+    /// Sorted columnar non-zeros borrowed zero-copy from a database
+    /// image ([`MappedCol`], format v2.1). Reads are in-place; the
+    /// first mutation copies into an owned [`CsrColumn`]
+    /// (copy-on-write), so the shared image is never written.
+    Mapped(MappedCol),
 }
 
 impl MetricVec {
@@ -495,12 +503,27 @@ impl MetricVec {
             MetricVec::Dense(v) => v.get(node as usize).copied().unwrap_or(0.0),
             MetricVec::Sparse(m) => m.get(&node).copied().unwrap_or(0.0),
             MetricVec::Csr(c) => c.get(node),
+            MetricVec::Mapped(m) => m.get(node),
+        }
+    }
+
+    /// Copy a mapped (zero-copy) column into owned columnar storage so
+    /// it can be mutated; no-op for already-owned flavors.
+    fn make_owned(&mut self) {
+        if let MetricVec::Mapped(m) = self {
+            let (keys, vals) = m.entries().into_iter().unzip();
+            *self = MetricVec::Csr(CsrColumn {
+                keys,
+                vals,
+                pending: Vec::new(),
+            });
         }
     }
 
     /// Set the value at `node`; setting 0.0 removes sparse entries.
     #[inline]
     pub fn set(&mut self, node: u32, value: f64) {
+        self.make_owned();
         match self {
             MetricVec::Dense(v) => {
                 if node as usize >= v.len() {
@@ -516,6 +539,7 @@ impl MetricVec {
                 }
             }
             MetricVec::Csr(c) => c.set(node, value),
+            MetricVec::Mapped(_) => unreachable!("make_owned() materialized above"),
         }
     }
 
@@ -525,6 +549,7 @@ impl MetricVec {
         if delta == 0.0 {
             return;
         }
+        self.make_owned();
         match self {
             MetricVec::Dense(v) => {
                 if node as usize >= v.len() {
@@ -536,6 +561,7 @@ impl MetricVec {
                 *m.entry(node).or_insert(0.0) += delta;
             }
             MetricVec::Csr(c) => c.add(node, delta),
+            MetricVec::Mapped(_) => unreachable!("make_owned() materialized above"),
         }
     }
 
@@ -544,7 +570,7 @@ impl MetricVec {
         match self {
             MetricVec::Dense(v) => v.iter().filter(|&&x| x != 0.0).count(),
             MetricVec::Sparse(m) => m.values().filter(|&&x| x != 0.0).count(),
-            MetricVec::Csr(_) => self.nonzero_sorted().count(),
+            MetricVec::Csr(_) | MetricVec::Mapped(_) => self.nonzero_sorted().count(),
         }
     }
 
@@ -578,6 +604,13 @@ impl MetricVec {
                     NonzeroSorted::Owned(c.merged_entries().into_iter())
                 }
             }
+            // Zero-copy: the parallel arrays are walked straight out of
+            // the file image, same shape as the columnar flavor.
+            MetricVec::Mapped(m) => NonzeroSorted::Csr {
+                keys: m.keys(),
+                vals: m.vals(),
+                i: 0,
+            },
         }
     }
 
@@ -587,6 +620,8 @@ impl MetricVec {
             MetricVec::Dense(v) => v.capacity() * std::mem::size_of::<f64>(),
             MetricVec::Sparse(m) => m.capacity() * (std::mem::size_of::<(u32, f64)>() + 8),
             MetricVec::Csr(c) => c.heap_bytes(),
+            // Borrowed from the shared file image: no heap of its own.
+            MetricVec::Mapped(_) => 0,
         }
     }
 }
@@ -852,6 +887,7 @@ impl RawMetrics {
             MetricVec::Csr(c) => {
                 c.vals.iter().sum::<f64>() + c.pending.iter().map(|&(_, d)| d).sum::<f64>()
             }
+            MetricVec::Mapped(m) => m.vals().iter().sum(),
         }
     }
 }
@@ -1164,13 +1200,13 @@ mod tests {
     }
 
     impl ColumnSource for CountingSource {
-        fn load_column(&self, _c: ColumnId) -> Result<Vec<(u32, f64)>, String> {
+        fn load_column(&self, _c: ColumnId) -> Result<ColumnData, String> {
             self.loads.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-            Ok(self.entries.clone())
+            Ok(ColumnData::Owned(self.entries.clone()))
         }
-        fn load_raw(&self, _m: MetricId) -> Result<Vec<(u32, f64)>, String> {
+        fn load_raw(&self, _m: MetricId) -> Result<ColumnData, String> {
             self.loads.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-            Ok(self.entries.clone())
+            Ok(ColumnData::Owned(self.entries.clone()))
         }
     }
 
@@ -1216,10 +1252,10 @@ mod tests {
         #[derive(Debug)]
         struct FailingSource;
         impl ColumnSource for FailingSource {
-            fn load_column(&self, _c: ColumnId) -> Result<Vec<(u32, f64)>, String> {
+            fn load_column(&self, _c: ColumnId) -> Result<ColumnData, String> {
                 Err("no such block".into())
             }
-            fn load_raw(&self, _m: MetricId) -> Result<Vec<(u32, f64)>, String> {
+            fn load_raw(&self, _m: MetricId) -> Result<ColumnData, String> {
                 Err("no such block".into())
             }
         }
@@ -1247,13 +1283,13 @@ mod tests {
         #[derive(Debug)]
         struct PerColumnFailure;
         impl ColumnSource for PerColumnFailure {
-            fn load_column(&self, c: ColumnId) -> Result<Vec<(u32, f64)>, String> {
+            fn load_column(&self, c: ColumnId) -> Result<ColumnData, String> {
                 match c.index() {
-                    0 => Ok(vec![(2, 5.0)]),
+                    0 => Ok(ColumnData::Owned(vec![(2, 5.0)])),
                     i => Err(format!("column {i}: checksum mismatch")),
                 }
             }
-            fn load_raw(&self, _m: MetricId) -> Result<Vec<(u32, f64)>, String> {
+            fn load_raw(&self, _m: MetricId) -> Result<ColumnData, String> {
                 Err("raw block missing".into())
             }
         }

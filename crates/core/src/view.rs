@@ -199,7 +199,7 @@ impl<'a> View<'a> {
     /// instead of as hyperlinks.
     pub fn has_source(&self, n: u32) -> bool {
         match self {
-            View::CallingContext(exp) => match *exp.cct.kind(NodeId(n)) {
+            View::CallingContext(exp) => match exp.cct.kind(NodeId(n)) {
                 ScopeKind::Frame { def, .. } | ScopeKind::InlinedFrame { def, .. } => {
                     def.is_known()
                 }
@@ -218,7 +218,7 @@ impl<'a> View<'a> {
     /// what clicking the call-site icon navigates to.
     pub fn call_site(&self, n: u32) -> Option<SourceLoc> {
         match self {
-            View::CallingContext(exp) => match *exp.cct.kind(NodeId(n)) {
+            View::CallingContext(exp) => match exp.cct.kind(NodeId(n)) {
                 ScopeKind::Frame { call_site, .. } => call_site,
                 ScopeKind::InlinedFrame { call_site, .. } => Some(call_site),
                 _ => None,
@@ -239,7 +239,7 @@ impl<'a> View<'a> {
     /// definition, loop header, statement line), if known.
     pub fn source_of(&self, n: u32) -> Option<SourceLoc> {
         let loc = match self {
-            View::CallingContext(exp) => match *exp.cct.kind(NodeId(n)) {
+            View::CallingContext(exp) => match exp.cct.kind(NodeId(n)) {
                 ScopeKind::Frame { def, .. } | ScopeKind::InlinedFrame { def, .. } => Some(def),
                 ScopeKind::Loop { header } => Some(header),
                 ScopeKind::Stmt { loc } => Some(loc),

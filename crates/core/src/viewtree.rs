@@ -610,6 +610,6 @@ mod tests {
         assert_eq!(fills, 1);
         assert_eq!(labels.peek(5), "main");
         assert_eq!(labels.peek(2), "", "unfilled slots read as empty");
-        assert_eq!(labels.get(1, |b| b.push_str("g")), "g");
+        assert_eq!(labels.get(1, |b| b.push('g')), "g");
     }
 }

@@ -36,6 +36,51 @@ pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
 }
 
 pub(crate) fn get_varint(buf: &mut &[u8]) -> Result<u64, DbError> {
+    let b = *buf;
+    // Single-byte fast path: most ids, deltas and counts are < 128.
+    if let [first, ..] = b {
+        if first & 0x80 == 0 {
+            *buf = &b[1..];
+            return Ok(*first as u64);
+        }
+    }
+    // Branchless multi-byte fast path: load 8 bytes at once, find the
+    // terminator (a clear continuation bit) with one mask + one
+    // trailing_zeros, then fold the 7-bit groups with shifts and masks
+    // instead of a data-dependent loop. Encodings of 2..=8 bytes (56
+    // payload bits — every node id and delta in practice) take this
+    // path; 9/10-byte encodings and buffers with < 8 bytes left fall
+    // through to the careful loop, which also owns the "truncated" and
+    // "overflow" error semantics.
+    if b.len() >= 8 {
+        let x = u64::from_le_bytes(b[..8].try_into().unwrap());
+        let stops = !x & 0x8080_8080_8080_8080;
+        if stops != 0 {
+            let n = stops.trailing_zeros() as usize / 8 + 1;
+            let m = if n == 8 {
+                x
+            } else {
+                x & ((1u64 << (8 * n)) - 1)
+            };
+            let v = (m & 0x7f)
+                | ((m >> 1) & (0x7f << 7))
+                | ((m >> 2) & (0x7f << 14))
+                | ((m >> 3) & (0x7f << 21))
+                | ((m >> 4) & (0x7f << 28))
+                | ((m >> 5) & (0x7f << 35))
+                | ((m >> 6) & (0x7f << 42))
+                | ((m >> 7) & (0x7f << 49));
+            *buf = &b[n..];
+            return Ok(v);
+        }
+    }
+    get_varint_slow(buf)
+}
+
+/// The byte-at-a-time LEB128 loop: reference semantics for the fast
+/// path above, and the only decoder for encodings it cannot prove safe
+/// (long encodings, short buffer tails).
+fn get_varint_slow(buf: &mut &[u8]) -> Result<u64, DbError> {
     let mut v: u64 = 0;
     let mut shift = 0;
     loop {
@@ -409,6 +454,57 @@ mod tests {
             assert_eq!(get_varint(&mut buf).unwrap(), v);
             assert!(buf.is_empty());
         }
+    }
+
+    /// The branchless fast path must agree with the byte-at-a-time loop
+    /// on every encoding length, at every buffer-tail length (shorter
+    /// tails route around the 8-byte load), and on non-canonical
+    /// (overlong) encodings.
+    #[test]
+    fn varint_fast_path_matches_slow_path() {
+        let mut values: Vec<u64> = vec![u64::MAX];
+        for bits in 0..64 {
+            values.push(1u64 << bits);
+            values.push((1u64 << bits) - 1);
+            values.push((1u64 << bits) | 0x55);
+        }
+        for &v in &values {
+            let mut enc = Vec::new();
+            put_varint(&mut enc, v);
+            // Vary the padding after the varint so both the >= 8-byte
+            // fast path and the short-tail fallback are exercised.
+            for pad in 0..10 {
+                let mut bytes = enc.clone();
+                bytes.extend(std::iter::repeat_n(0xeeu8, pad));
+                let mut fast = bytes.as_slice();
+                let mut slow = bytes.as_slice();
+                assert_eq!(get_varint(&mut fast).unwrap(), v);
+                assert_eq!(get_varint_slow(&mut slow).unwrap(), v);
+                assert_eq!(fast.len(), slow.len(), "consumed lengths differ for {v}");
+            }
+        }
+        // Overlong encodings (trailing zero groups) decode identically.
+        for overlong in [
+            vec![0x80u8, 0x00],
+            vec![0x80, 0x80, 0x00],
+            vec![0xff, 0x80, 0x80, 0x80, 0x00],
+        ] {
+            let mut fast = overlong.as_slice();
+            let mut slow = overlong.as_slice();
+            assert_eq!(
+                get_varint(&mut fast).unwrap(),
+                get_varint_slow(&mut slow).unwrap()
+            );
+            assert_eq!(fast.len(), slow.len());
+        }
+        // Truncated and overflowing inputs keep their exact errors.
+        let mut t = &[0x80u8, 0x80][..];
+        assert!(get_varint(&mut t)
+            .unwrap_err()
+            .message
+            .contains("truncated"));
+        let mut o = &[0xffu8; 11][..];
+        assert!(get_varint(&mut o).unwrap_err().message.contains("overflow"));
     }
 
     #[test]

@@ -20,13 +20,42 @@
 //! and total direct cost, so whole-program aggregates (the `@n` values
 //! formulas reference) are available at open time without touching any
 //! cost block.
+//!
+//! ## The aligned revision (v2.1)
+//!
+//! [`write_v21`] emits the same container with the aligned payload
+//! encoding (see [`crate::toc`]) and two representation changes that
+//! enable zero-copy reads:
+//!
+//! * **Topology** is stored as fixed-width arrays instead of varint
+//!   node records: [`crate::toc::SEC_CCT_LINKS`] holds the
+//!   parent / first-child / next-sibling `u32` arrays and
+//!   [`crate::toc::SEC_CCT_KINDS`] a tag byte plus six `u32` fields per
+//!   node (the encoding defined by `callpath_core::mapped`). Both
+//!   include the root at index 0. A lazy reader borrows these arrays
+//!   straight from the file image.
+//! * **Cost blocks** carry a one-byte kind header: kind 0 is the
+//!   classic varint/delta encoding (compact, chosen for small columns),
+//!   kind 1 is fixed-width — `nnz` as `u64`, then `nnz` `u32` keys,
+//!   zero-padding to 8, then `nnz` `f64` values — chosen when
+//!   `nnz >= FIXED_CUTOVER` so big columns can be borrowed instead of
+//!   decoded. The choice is a pure function of `nnz`, which keeps
+//!   re-encoding byte-identical.
+//!
+//! [`read`] decodes either revision eagerly; the zero-copy open path
+//! lives in [`crate::lazy`].
 
 use crate::bin::{
     get_costs, get_count, get_f64, get_node, get_string, get_strings, get_varint, put_costs,
     put_f64, put_node, put_string, put_strings, put_varint,
 };
-use crate::model::{DbError, DbMetric, DbModel, DbNode};
-use crate::toc::{Toc, TocBuilder, SEC_BLOCK_BASE, SEC_CCT, SEC_DERIVED, SEC_METRICS, SEC_NAMES};
+use crate::model::{DbError, DbMetric, DbModel, DbNode, DbScope};
+use crate::toc::{
+    Toc, TocBuilder, SEC_BLOCK_BASE, SEC_CCT, SEC_CCT_KINDS, SEC_CCT_LINKS, SEC_DERIVED,
+    SEC_METRICS, SEC_NAMES,
+};
+use callpath_core::mapped::{encode_kind, tags, LINK_NONE};
+use callpath_core::prelude::{FileId, LoadModuleId, ProcId, ScopeKind, SourceLoc};
 
 /// Descriptor-level metric info: everything about a metric except its
 /// costs, which live in the metric's own block.
@@ -85,6 +114,170 @@ pub fn write(model: &DbModel) -> Vec<u8> {
     }
 
     b.finish()
+}
+
+/// Cost blocks with at least this many entries use the fixed-width
+/// (borrowable) encoding in v2.1 files; smaller ones keep the compact
+/// varint encoding. The break-even is where the ~45% varint size win
+/// stops mattering (a few cache lines) and decode cost starts to; the
+/// exact value only needs to be a deterministic function of `nnz` so
+/// that re-encoding a file reproduces it byte for byte.
+pub(crate) const FIXED_CUTOVER: u64 = 32;
+
+/// v2.1 cost-block kinds (first body byte).
+const BLOCK_VARINT: u8 = 0;
+const BLOCK_FIXED: u8 = 1;
+
+/// Encode a model as a v2.1 (aligned) container — same sections as
+/// [`write`] except the topology becomes the two fixed-width sections
+/// and every cost block gains a kind header; see the module docs.
+pub fn write_v21(model: &DbModel) -> Vec<u8> {
+    let mut b = TocBuilder::new_aligned(model.sparse);
+
+    let mut names = Vec::new();
+    put_strings(&mut names, &model.procs);
+    put_strings(&mut names, &model.files);
+    put_strings(&mut names, &model.modules);
+    b.add(SEC_NAMES, names);
+
+    let (links, kinds) = encode_topology(model);
+    b.add(SEC_CCT_LINKS, links);
+    b.add(SEC_CCT_KINDS, kinds);
+
+    let mut metrics = Vec::new();
+    put_varint(&mut metrics, model.metrics.len() as u64);
+    for m in &model.metrics {
+        put_string(&mut metrics, &m.name);
+        put_string(&mut metrics, &m.unit);
+        put_f64(&mut metrics, m.period);
+        put_varint(&mut metrics, m.costs.len() as u64);
+        put_f64(&mut metrics, m.costs.iter().map(|&(_, v)| v).sum());
+    }
+    b.add(SEC_METRICS, metrics);
+
+    let mut derived = Vec::new();
+    put_varint(&mut derived, model.derived.len() as u64);
+    for (name, formula) in &model.derived {
+        put_string(&mut derived, name);
+        put_string(&mut derived, formula);
+    }
+    b.add(SEC_DERIVED, derived);
+
+    for (i, m) in model.metrics.iter().enumerate() {
+        let nnz = m.costs.len();
+        let mut block;
+        if nnz as u64 >= FIXED_CUTOVER {
+            let pad = if nnz % 2 == 1 { 4 } else { 0 };
+            block = Vec::with_capacity(16 + 4 * nnz + pad + 8 * nnz);
+            block.push(BLOCK_FIXED);
+            block.resize(8, 0);
+            block.extend_from_slice(&(nnz as u64).to_le_bytes());
+            for &(node, _) in &m.costs {
+                block.extend_from_slice(&node.to_le_bytes());
+            }
+            block.resize(block.len() + pad, 0);
+            for &(_, v) in &m.costs {
+                block.extend_from_slice(&v.to_le_bytes());
+            }
+        } else {
+            block = Vec::with_capacity(8 + 9 * nnz);
+            block.push(BLOCK_VARINT);
+            block.resize(8, 0);
+            put_costs(&mut block, &m.costs);
+        }
+        b.add(SEC_BLOCK_BASE + i as u32, block);
+    }
+
+    b.finish()
+}
+
+/// Build the two v2.1 topology section bodies from a model. Unlike the
+/// model's node list, both arrays include the root at index 0 (so node
+/// ids equal array indices and the borrow path needs no offsetting).
+/// First-child / next-sibling chains are derived in one pass with a
+/// scratch last-child array: model nodes are stored in ascending id
+/// order, so appending each child to its parent's chain preserves the
+/// canonical sibling order.
+fn encode_topology(model: &DbModel) -> (Vec<u8>, Vec<u8>) {
+    let n = model.nodes.len() + 1;
+    let mut parent = vec![LINK_NONE; n];
+    let mut first_child = vec![LINK_NONE; n];
+    let mut next_sibling = vec![LINK_NONE; n];
+    let mut last_child = vec![LINK_NONE; n];
+    for (i, node) in model.nodes.iter().enumerate() {
+        let id = i as u32 + 1;
+        let p = node.parent as usize;
+        parent[id as usize] = node.parent;
+        if p < n {
+            if first_child[p] == LINK_NONE {
+                first_child[p] = id;
+            } else {
+                next_sibling[last_child[p] as usize] = id;
+            }
+            last_child[p] = id;
+        }
+    }
+
+    let mut links = Vec::with_capacity(8 + 12 * n);
+    links.extend_from_slice(&(n as u64).to_le_bytes());
+    for arr in [&parent, &first_child, &next_sibling] {
+        for &v in arr.iter() {
+            links.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    let tags_pad = n.div_ceil(8) * 8 - n;
+    let mut kinds = Vec::with_capacity(8 + n + tags_pad + 4 * tags::N_FIELDS * n);
+    kinds.extend_from_slice(&(n as u64).to_le_bytes());
+    kinds.push(tags::ROOT);
+    for node in &model.nodes {
+        kinds.push(encode_kind(&scope_to_kind(&node.scope)).0);
+    }
+    kinds.resize(kinds.len() + tags_pad, 0);
+    kinds.extend_from_slice(&[0u8; 4 * tags::N_FIELDS]); // root fields
+    for node in &model.nodes {
+        for v in encode_kind(&scope_to_kind(&node.scope)).1 {
+            kinds.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    (links, kinds)
+}
+
+/// Lift a storage-level scope into the core scope type so the v2.1 tag
+/// and field layout is defined in exactly one place
+/// (`callpath_core::mapped::encode_kind` and its paired decoder).
+fn scope_to_kind(scope: &DbScope) -> ScopeKind {
+    match *scope {
+        DbScope::Frame {
+            proc,
+            module,
+            def_file,
+            def_line,
+            call_site,
+        } => ScopeKind::Frame {
+            proc: ProcId(proc),
+            module: LoadModuleId(module),
+            def: SourceLoc::new(FileId(def_file), def_line),
+            call_site: call_site.map(|(f, l)| SourceLoc::new(FileId(f), l)),
+        },
+        DbScope::Inlined {
+            proc,
+            def_file,
+            def_line,
+            cs_file,
+            cs_line,
+        } => ScopeKind::InlinedFrame {
+            proc: ProcId(proc),
+            def: SourceLoc::new(FileId(def_file), def_line),
+            call_site: SourceLoc::new(FileId(cs_file), cs_line),
+        },
+        DbScope::Loop { file, line } => ScopeKind::Loop {
+            header: SourceLoc::new(FileId(file), line),
+        },
+        DbScope::Stmt { file, line } => ScopeKind::Stmt {
+            loc: SourceLoc::new(FileId(file), line),
+        },
+    }
 }
 
 /// The three name tables of a database: (procs, files, modules).
@@ -175,6 +368,256 @@ pub(crate) fn read_block(
     Ok(costs)
 }
 
+/// Parsed offsets of the v2.1 topology arrays, all relative to their
+/// section bodies (`parent`/`first_child`/`next_sibling` within
+/// `SEC_CCT_LINKS`; `tags`/`fields` within `SEC_CCT_KINDS`). Both body
+/// lengths are validated to match `n` exactly, so any window derived
+/// from a layout is in bounds.
+pub(crate) struct TopoLayout {
+    pub n: usize,
+    pub parent_off: usize,
+    pub first_child_off: usize,
+    pub next_sibling_off: usize,
+    pub tags_off: usize,
+    pub fields_off: usize,
+}
+
+/// Validate the two v2.1 topology bodies and compute the array offsets.
+pub(crate) fn topo_layout(links: &[u8], kinds: &[u8]) -> Result<TopoLayout, DbError> {
+    if links.len() < 8 || kinds.len() < 8 {
+        return Err(DbError::new("truncated v2.1 topology"));
+    }
+    let n_links = u64::from_le_bytes(links[..8].try_into().unwrap());
+    let n_kinds = u64::from_le_bytes(kinds[..8].try_into().unwrap());
+    if n_links != n_kinds {
+        return Err(DbError::new(format!(
+            "topology sections disagree on node count ({n_links} vs {n_kinds})"
+        )));
+    }
+    if n_links == 0 || n_links > u32::MAX as u64 {
+        return Err(DbError::new(format!("node count {n_links} out of range")));
+    }
+    let n = n_links as usize;
+    let links_expect = 12usize
+        .checked_mul(n)
+        .and_then(|x| x.checked_add(8))
+        .ok_or_else(|| DbError::new("topology size overflow"))?;
+    if links.len() != links_expect {
+        return Err(DbError::new(format!(
+            "link section is {} bytes, {n} nodes need {links_expect}",
+            links.len()
+        )));
+    }
+    let tags_end = n
+        .div_ceil(8)
+        .checked_mul(8)
+        .and_then(|x| x.checked_add(8))
+        .ok_or_else(|| DbError::new("topology size overflow"))?;
+    let kinds_expect = (4 * tags::N_FIELDS)
+        .checked_mul(n)
+        .and_then(|x| x.checked_add(tags_end))
+        .ok_or_else(|| DbError::new("topology size overflow"))?;
+    if kinds.len() != kinds_expect {
+        return Err(DbError::new(format!(
+            "kind section is {} bytes, {n} nodes need {kinds_expect}",
+            kinds.len()
+        )));
+    }
+    if kinds[8 + n..tags_end].iter().any(|&b| b != 0) {
+        return Err(DbError::new("nonzero tag padding"));
+    }
+    Ok(TopoLayout {
+        n,
+        parent_off: 8,
+        first_child_off: 8 + 4 * n,
+        next_sibling_off: 8 + 8 * n,
+        tags_off: 8,
+        fields_off: tags_end,
+    })
+}
+
+/// The storage-level inverse of [`scope_to_kind`]'s encoding: map a
+/// v2.1 tag + field sextet back to a scope record. Unused trailing
+/// fields are ignored (the writer zeroes them).
+fn scope_of(tag: u8, f: &[u32; 6]) -> Result<DbScope, DbError> {
+    Ok(match tag {
+        tags::FRAME => DbScope::Frame {
+            proc: f[0],
+            module: f[1],
+            def_file: f[2],
+            def_line: f[3],
+            call_site: Some((f[4], f[5])),
+        },
+        tags::FRAME_TOP => DbScope::Frame {
+            proc: f[0],
+            module: f[1],
+            def_file: f[2],
+            def_line: f[3],
+            call_site: None,
+        },
+        tags::INLINED => DbScope::Inlined {
+            proc: f[0],
+            def_file: f[1],
+            def_line: f[2],
+            cs_file: f[3],
+            cs_line: f[4],
+        },
+        tags::LOOP => DbScope::Loop {
+            file: f[0],
+            line: f[1],
+        },
+        tags::STMT => DbScope::Stmt {
+            file: f[0],
+            line: f[1],
+        },
+        other => return Err(DbError::new(format!("unknown scope tag {other}"))),
+    })
+}
+
+/// Decode the v2.1 topology sections into node records (the eager
+/// path). Sibling links are derived data — the model keeps only
+/// parents, and [`encode_topology`] rebuilds the chains on write.
+pub(crate) fn read_topology_v21(links: &[u8], kinds: &[u8]) -> Result<Vec<DbNode>, DbError> {
+    let lay = topo_layout(links, kinds)?;
+    let u32_at = |b: &[u8], off: usize| u32::from_le_bytes(b[off..off + 4].try_into().unwrap());
+    if kinds[lay.tags_off] != tags::ROOT {
+        return Err(DbError::new("topology node 0 is not the root"));
+    }
+    let mut nodes = Vec::with_capacity(lay.n - 1);
+    for i in 1..lay.n {
+        let parent = u32_at(links, lay.parent_off + 4 * i);
+        let tag = kinds[lay.tags_off + i];
+        if tag == tags::ROOT {
+            return Err(DbError::new(format!("node {i}: root tag off node 0")));
+        }
+        let mut f = [0u32; tags::N_FIELDS];
+        for (j, slot) in f.iter_mut().enumerate() {
+            *slot = u32_at(kinds, lay.fields_off + 4 * (i * tags::N_FIELDS + j));
+        }
+        nodes.push(DbNode {
+            parent,
+            scope: scope_of(tag, &f)?,
+        });
+    }
+    Ok(nodes)
+}
+
+/// Validated layout of a fixed-kind (borrowable) v2.1 cost block, with
+/// offsets relative to the block body.
+pub(crate) struct FixedBlock {
+    pub nnz: usize,
+    pub keys_off: usize,
+    pub vals_off: usize,
+}
+
+/// Parse a v2.1 block header against its descriptor: `Ok(None)` means a
+/// varint-kind block (costs start at body byte 8), `Ok(Some)` a
+/// fixed-kind block with a fully length-checked layout. The encoding
+/// choice must match what [`write_v21`] would pick for `info.nnz`, so
+/// accepted files re-encode byte-identically.
+pub(crate) fn block_layout(body: &[u8], info: &MetricInfo) -> Result<Option<FixedBlock>, DbError> {
+    if body.len() < 8 {
+        return Err(DbError::new("truncated cost block header"));
+    }
+    if body[1..8].iter().any(|&b| b != 0) {
+        return Err(DbError::new("nonzero cost block header padding"));
+    }
+    let fixed = match body[0] {
+        BLOCK_VARINT => false,
+        BLOCK_FIXED => true,
+        other => return Err(DbError::new(format!("unknown cost block kind {other}"))),
+    };
+    if fixed != (info.nnz >= FIXED_CUTOVER) {
+        return Err(DbError::new(format!(
+            "metric '{}': block kind {} does not match nnz {}",
+            info.name, body[0], info.nnz
+        )));
+    }
+    if !fixed {
+        return Ok(None);
+    }
+    if body.len() < 16 {
+        return Err(DbError::new("truncated fixed cost block"));
+    }
+    let nnz64 = u64::from_le_bytes(body[8..16].try_into().unwrap());
+    if nnz64 != info.nnz {
+        return Err(DbError::new(format!(
+            "metric '{}': block holds {nnz64} costs, descriptor says {}",
+            info.name, info.nnz
+        )));
+    }
+    let nnz = usize::try_from(nnz64).map_err(|_| DbError::new("cost count overflow"))?;
+    let pad = if nnz % 2 == 1 { 4 } else { 0 };
+    let expect = 4usize
+        .checked_mul(nnz)
+        .and_then(|k| k.checked_add(8 * nnz))
+        .and_then(|x| x.checked_add(16 + pad))
+        .ok_or_else(|| DbError::new("cost block size overflow"))?;
+    if body.len() != expect {
+        return Err(DbError::new(format!(
+            "metric '{}': fixed block is {} bytes, {nnz} costs need {expect}",
+            info.name,
+            body.len()
+        )));
+    }
+    let keys_off = 16;
+    let vals_off = 16 + 4 * nnz + pad;
+    if body[keys_off + 4 * nnz..vals_off].iter().any(|&b| b != 0) {
+        return Err(DbError::new("nonzero cost block key padding"));
+    }
+    Ok(Some(FixedBlock {
+        nnz,
+        keys_off,
+        vals_off,
+    }))
+}
+
+/// Decode one v2.1 cost block eagerly (either kind), with the same
+/// descriptor and node-range cross-checks as [`read_block`]. The fixed
+/// path additionally verifies keys are strictly ascending — the borrow
+/// path binary-searches them.
+pub(crate) fn read_block_v21(
+    body: &[u8],
+    info: &MetricInfo,
+    n_nodes: u32,
+) -> Result<Vec<(u32, f64)>, DbError> {
+    match block_layout(body, info)? {
+        None => read_block(&body[8..], info, n_nodes),
+        Some(fb) => {
+            callpath_obs::count("expdb.bin2.read_block", 1);
+            let mut costs = Vec::with_capacity(fb.nnz);
+            let mut prev: Option<u32> = None;
+            for i in 0..fb.nnz {
+                let k = u32::from_le_bytes(
+                    body[fb.keys_off + 4 * i..fb.keys_off + 4 * i + 4]
+                        .try_into()
+                        .unwrap(),
+                );
+                if prev.is_some_and(|p| k <= p) {
+                    return Err(DbError::new(format!(
+                        "metric '{}': cost keys not strictly ascending",
+                        info.name
+                    )));
+                }
+                if k >= n_nodes {
+                    return Err(DbError::new(format!(
+                        "metric '{}': cost references node {k} beyond CCT size {n_nodes}",
+                        info.name
+                    )));
+                }
+                let v = f64::from_le_bytes(
+                    body[fb.vals_off + 8 * i..fb.vals_off + 8 * i + 8]
+                        .try_into()
+                        .unwrap(),
+                );
+                costs.push((k, v));
+                prev = Some(k);
+            }
+            Ok(costs)
+        }
+    }
+}
+
 fn expect_consumed(buf: &[u8], what: &str) -> Result<(), DbError> {
     if buf.is_empty() {
         Ok(())
@@ -186,14 +629,21 @@ fn expect_consumed(buf: &[u8], what: &str) -> Result<(), DbError> {
     }
 }
 
-/// Decode a v2 container eagerly into a model — every section verified
-/// and every block decoded up front. The interactive path should prefer
-/// [`crate::open_lazy`]; this is for batch consumers and round-trip
-/// checks.
+/// Decode a v2 or v2.1 container eagerly into a model — every section
+/// verified and every block decoded up front. The interactive path
+/// should prefer [`crate::open_lazy`]; this is for batch consumers and
+/// round-trip checks.
 pub fn read(data: &[u8]) -> Result<DbModel, DbError> {
     let toc = Toc::parse(data)?;
     let (procs, files, modules) = read_names(toc.section(data, SEC_NAMES)?)?;
-    let nodes = read_nodes(toc.section(data, SEC_CCT)?)?;
+    let nodes = if toc.aligned {
+        read_topology_v21(
+            toc.section(data, SEC_CCT_LINKS)?,
+            toc.section(data, SEC_CCT_KINDS)?,
+        )?
+    } else {
+        read_nodes(toc.section(data, SEC_CCT)?)?
+    };
     let infos = read_metric_infos(toc.section(data, SEC_METRICS)?)?;
     let derived = read_derived(toc.section(data, SEC_DERIVED)?)?;
     let n_nodes = nodes.len() as u32 + 1; // node ids include the implicit root
@@ -202,11 +652,16 @@ pub fn read(data: &[u8]) -> Result<DbModel, DbError> {
         .enumerate()
         .map(|(i, info)| {
             let block = toc.section(data, SEC_BLOCK_BASE + i as u32)?;
+            let costs = if toc.aligned {
+                read_block_v21(block, info, n_nodes)?
+            } else {
+                read_block(block, info, n_nodes)?
+            };
             Ok(DbMetric {
                 name: info.name.clone(),
                 unit: info.unit.clone(),
                 period: info.period,
-                costs: read_block(block, info, n_nodes)?,
+                costs,
             })
         })
         .collect::<Result<Vec<_>, DbError>>()?;
@@ -258,6 +713,120 @@ mod tests {
             bad[i] ^= 0x10;
             assert!(read(&bad).is_err(), "flip at byte {i} decoded successfully");
         }
+    }
+
+    #[test]
+    fn v21_roundtrip() {
+        let exp = sample_experiment();
+        let model = DbModel::from_experiment(&exp);
+        let bytes = write_v21(&model);
+        assert_eq!(read(&bytes).unwrap(), model);
+    }
+
+    #[test]
+    fn v21_reencode_is_byte_identical() {
+        let model = DbModel::from_experiment(&sample_experiment());
+        let bytes = write_v21(&model);
+        assert_eq!(write_v21(&read(&bytes).unwrap()), bytes);
+    }
+
+    #[test]
+    fn v21_every_truncation_is_rejected() {
+        let bytes = write_v21(&DbModel::from_experiment(&sample_experiment()));
+        for len in 0..bytes.len() {
+            assert!(read(&bytes[..len]).is_err(), "prefix of {len} bytes");
+        }
+    }
+
+    #[test]
+    fn v21_every_bit_flip_is_rejected() {
+        let bytes = write_v21(&DbModel::from_experiment(&sample_experiment()));
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(read(&bad).is_err(), "flip at byte {i} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn v21_fixed_blocks_appear_past_the_cutover() {
+        // A column with >= FIXED_CUTOVER entries must be written in the
+        // fixed encoding and decode back identically.
+        let nnz = FIXED_CUTOVER as usize + 3;
+        let costs: Vec<(u32, f64)> = (0..nnz).map(|i| (i as u32 + 1, i as f64 * 0.5)).collect();
+        let model = DbModel {
+            procs: vec!["p".into()],
+            files: vec!["f".into()],
+            modules: vec!["m".into()],
+            nodes: (0..nnz as u32 + 1)
+                .map(|i| crate::model::DbNode {
+                    parent: if i == 0 { 0 } else { i },
+                    scope: DbScope::Stmt { file: 0, line: i },
+                })
+                .collect(),
+            metrics: vec![
+                DbMetric {
+                    name: "big".into(),
+                    unit: "u".into(),
+                    period: 1.0,
+                    costs: costs.clone(),
+                },
+                DbMetric {
+                    name: "small".into(),
+                    unit: "u".into(),
+                    period: 1.0,
+                    costs: vec![(1, 9.0)],
+                },
+            ],
+            derived: vec![],
+            sparse: true,
+        };
+        let bytes = write_v21(&model);
+        let toc = Toc::parse(&bytes).unwrap();
+        let big = toc.section(&bytes, SEC_BLOCK_BASE).unwrap();
+        let small = toc.section(&bytes, SEC_BLOCK_BASE + 1).unwrap();
+        assert_eq!(big[0], BLOCK_FIXED);
+        assert_eq!(small[0], BLOCK_VARINT);
+        let parsed = read(&bytes).unwrap();
+        assert_eq!(parsed.metrics[0].costs, costs);
+        assert_eq!(parsed.metrics[1].costs, vec![(1, 9.0)]);
+        assert_eq!(write_v21(&parsed), bytes);
+    }
+
+    #[test]
+    fn v21_fixed_block_rejects_unsorted_keys() {
+        let nnz = FIXED_CUTOVER as usize;
+        let costs: Vec<(u32, f64)> = (0..nnz).map(|i| (i as u32, 1.0)).collect();
+        let info = MetricInfo {
+            name: "m".into(),
+            unit: "u".into(),
+            period: 1.0,
+            nnz: nnz as u64,
+            total: nnz as f64,
+        };
+        let mut body = vec![BLOCK_FIXED, 0, 0, 0, 0, 0, 0, 0];
+        body.extend_from_slice(&(nnz as u64).to_le_bytes());
+        for &(k, _) in &costs {
+            body.extend_from_slice(&k.to_le_bytes());
+        }
+        for &(_, v) in &costs {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(read_block_v21(&body, &info, nnz as u32).unwrap(), costs);
+        // Swap two keys: strictly-ascending check must fire.
+        let mut bad = body.clone();
+        bad[16..20].copy_from_slice(&5u32.to_le_bytes());
+        let err = read_block_v21(&bad, &info, nnz as u32).unwrap_err();
+        assert!(err.message.contains("ascending"), "got: {}", err.message);
+        // Kind byte must match what the cutover dictates for this nnz.
+        let mut small_body = vec![BLOCK_FIXED, 0, 0, 0, 0, 0, 0, 0];
+        small_body.extend_from_slice(&1u64.to_le_bytes());
+        small_body.extend_from_slice(&1u32.to_le_bytes());
+        small_body.extend_from_slice(&[0u8; 4]);
+        small_body.extend_from_slice(&1.0f64.to_le_bytes());
+        let small_info = MetricInfo { nnz: 1, ..info };
+        let err = read_block_v21(&small_body, &small_info, 5).unwrap_err();
+        assert!(err.message.contains("kind"), "got: {}", err.message);
     }
 
     #[test]

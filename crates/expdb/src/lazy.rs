@@ -23,18 +23,22 @@
 //! instead of paying faults serially on first touch.
 
 use crate::bin2::{self, MetricInfo};
+use crate::image::FileImage;
 use crate::model::{build_cct, DbError};
-use crate::toc::{Toc, SEC_BLOCK_BASE, SEC_CCT, SEC_DERIVED, SEC_METRICS, SEC_NAMES};
+use crate::toc::{
+    Toc, SEC_BLOCK_BASE, SEC_CCT, SEC_CCT_KINDS, SEC_CCT_LINKS, SEC_DERIVED, SEC_METRICS, SEC_NAMES,
+};
 use callpath_core::prelude::*;
 use callpath_obs as obs;
+use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
 /// Everything a lazily opened experiment needs to fault columns in:
-/// the raw file bytes, the parsed TOC, a private copy of the topology,
+/// the file image, the parsed TOC, a private copy of the topology,
 /// and per-metric attribution caches.
 #[derive(Debug)]
 struct LazyShared {
-    data: Vec<u8>,
+    data: ByteImage,
     toc: Toc,
     /// Private topology copy for attributing faulted columns.
     cct: Cct,
@@ -55,15 +59,58 @@ impl LazyShared {
         self.cct.len() as u32
     }
 
-    /// Decode (and range-check) metric `m`'s cost block.
+    /// Decode (and range-check) metric `m`'s cost block into owned
+    /// entries — the attribution path always needs owned data.
     fn block(&self, m: usize) -> Result<Vec<(u32, f64)>, String> {
         let _span = obs::span("expdb.block_decode");
         let payload = self
             .toc
-            .section(&self.data, SEC_BLOCK_BASE + m as u32)
+            .section(self.data.bytes(), SEC_BLOCK_BASE + m as u32)
             .map_err(|e| e.message)?;
         obs::observe("expdb.block_bytes", payload.len() as u64);
-        bin2::read_block(payload, &self.infos[m], self.n_nodes()).map_err(|e| e.message)
+        let info = &self.infos[m];
+        if self.toc.aligned {
+            bin2::read_block_v21(payload, info, self.n_nodes()).map_err(|e| e.message)
+        } else {
+            bin2::read_block(payload, info, self.n_nodes()).map_err(|e| e.message)
+        }
+    }
+
+    /// Raw direct costs of metric `m` as [`ColumnData`]. For fixed-kind
+    /// blocks in an aligned file this *borrows* the key/value arrays
+    /// from the image (after verifying the block's checksum — paid once,
+    /// on this first fault) instead of decoding them; everything else
+    /// decodes to owned entries.
+    fn raw_column(&self, m: usize) -> Result<ColumnData, String> {
+        if !self.toc.aligned {
+            return self.block(m).map(ColumnData::Owned);
+        }
+        let _span = obs::span("expdb.block_decode");
+        let id = SEC_BLOCK_BASE + m as u32;
+        let data = self.data.bytes();
+        self.toc.verify_section(data, id).map_err(|e| e.message)?;
+        let (off, body) = self.toc.raw_payload(data, id).map_err(|e| e.message)?;
+        obs::observe("expdb.block_bytes", body.len() as u64);
+        let info = &self.infos[m];
+        if let Some(fb) = bin2::block_layout(body, info).map_err(|e| e.message)? {
+            // Construction only fails for environmental reasons (a
+            // big-endian host, an unaligned image); fall through to the
+            // owned decode then.
+            if let Ok(col) = MappedCol::new(
+                self.data.clone(),
+                off + fb.keys_off,
+                off + fb.vals_off,
+                fb.nnz,
+            ) {
+                check_keys(col.keys(), self.n_nodes())
+                    .map_err(|reason| format!("metric '{}': {reason}", info.name))?;
+                obs::count("expdb.lazy.fault.mapped", 1);
+                return Ok(ColumnData::Mapped(col));
+            }
+        }
+        bin2::read_block_v21(body, info, self.n_nodes())
+            .map(ColumnData::Owned)
+            .map_err(|e| e.message)
     }
 
     /// Attribution of metric `m`, computed once on first touch.
@@ -139,51 +186,88 @@ impl LazyShared {
 }
 
 impl ColumnSource for LazyShared {
-    fn load_column(&self, c: ColumnId) -> Result<Vec<(u32, f64)>, String> {
+    fn load_column(&self, c: ColumnId) -> Result<ColumnData, String> {
         let _span = obs::span("expdb.column_fault");
         obs::count("expdb.lazy.fault.column", 1);
-        self.entries_of(c.index()).inspect_err(|reason| {
-            obs::count("expdb.lazy.fault.failed", 1);
-            obs::error(&format!("column {}: {reason}", c.index()));
-        })
+        self.entries_of(c.index())
+            .map(ColumnData::Owned)
+            .inspect_err(|reason| {
+                obs::count("expdb.lazy.fault.failed", 1);
+                obs::error(&format!("column {}: {reason}", c.index()));
+            })
     }
 
-    fn load_raw(&self, m: MetricId) -> Result<Vec<(u32, f64)>, String> {
+    fn load_raw(&self, m: MetricId) -> Result<ColumnData, String> {
         let _span = obs::span("expdb.raw_fault");
         obs::count("expdb.lazy.fault.raw", 1);
         if m.index() >= self.infos.len() {
             return Err(format!("no metric {} in this database", m.index()));
         }
-        self.block(m.index()).inspect_err(|reason| {
+        self.raw_column(m.index()).inspect_err(|reason| {
             obs::count("expdb.lazy.fault.failed", 1);
             obs::error(&format!("metric {}: {reason}", m.index()));
         })
     }
 }
 
-/// Open a v2 container lazily: decode the TOC, names, topology, metric
-/// descriptors and derived definitions now; leave every cost block on
-/// the shelf until a view touches a column computed from it.
+/// Strictly ascending, in-range keys are what [`MappedCol::get`]'s
+/// binary search relies on; checked once when a column is first
+/// borrowed.
+fn check_keys(keys: &[u32], n_nodes: u32) -> Result<(), String> {
+    if keys.windows(2).any(|w| w[0] >= w[1]) {
+        return Err("cost keys not strictly ascending".into());
+    }
+    if keys.last().is_some_and(|&k| k >= n_nodes) {
+        return Err(format!("cost references a node beyond CCT size {n_nodes}"));
+    }
+    Ok(())
+}
+
+/// Open a v2/v2.1 container lazily from bytes already in memory: decode
+/// the TOC, names, topology, metric descriptors and derived definitions
+/// now; leave every cost block on the shelf until a view touches a
+/// column computed from it. For aligned (v2.1) images the topology is
+/// *borrowed*, not decoded — see [`open_lazy_path`] for the mmap-backed
+/// variant that extends the same property to the file itself.
 pub fn open_lazy(data: Vec<u8>) -> Result<Experiment, DbError> {
+    open_image(FileImage::from_vec(data))
+}
+
+/// Open a database file lazily. With the `mmap` feature the file is
+/// memory-mapped, so open-time cost is bounded by the sections actually
+/// touched (header, TOC, names, descriptors, and — for v2.1 — one
+/// structural pass over the topology arrays); cost blocks fault in
+/// page by page as columns are first read.
+pub fn open_lazy_path(path: &Path) -> Result<Experiment, DbError> {
+    let image = FileImage::open(path).map_err(|e| DbError::new(format!("open failed: {e}")))?;
+    open_image(image)
+}
+
+fn open_image(image: FileImage) -> Result<Experiment, DbError> {
     let _span = obs::span("expdb.open_lazy");
-    let toc = Toc::parse(&data)?;
-    let (procs, files, modules) = bin2::read_names(toc.section(&data, SEC_NAMES)?)?;
-    let nodes = bin2::read_nodes(toc.section(&data, SEC_CCT)?)?;
-    let infos = bin2::read_metric_infos(toc.section(&data, SEC_METRICS)?)?;
-    let derived = bin2::read_derived(toc.section(&data, SEC_DERIVED)?)?;
+    let image = ByteImage::new(Arc::new(image));
+    let data = image.bytes();
+    let toc = Toc::parse(data)?;
+    let (procs, files, modules) = bin2::read_names(toc.section(data, SEC_NAMES)?)?;
+    let infos = bin2::read_metric_infos(toc.section(data, SEC_METRICS)?)?;
+    let derived = bin2::read_derived(toc.section(data, SEC_DERIVED)?)?;
     // Block payloads stay untouched, but their *existence* is checked
     // now so a missing column is an open-time error, not a render-time
     // surprise.
     for (i, info) in infos.iter().enumerate() {
-        let id = SEC_BLOCK_BASE + i as u32;
-        if !toc.entries.iter().any(|e| e.id == id) {
+        if !toc.contains(SEC_BLOCK_BASE + i as u32) {
             return Err(DbError::new(format!(
                 "missing cost block for metric '{}'",
                 info.name
             )));
         }
     }
-    let cct = build_cct(&procs, &files, &modules, &nodes)?;
+    let cct = if toc.aligned {
+        open_topology(&image, &toc, &procs, &files, &modules)?
+    } else {
+        let nodes = bin2::read_nodes(toc.section(data, SEC_CCT)?)?;
+        build_cct(&procs, &files, &modules, &nodes)?
+    };
     let storage = if toc.sparse {
         StorageKind::Sparse
     } else {
@@ -240,7 +324,7 @@ pub fn open_lazy(data: Vec<u8>) -> Result<Experiment, DbError> {
     }
 
     let shared = Arc::new(LazyShared {
-        data,
+        data: image.clone(),
         toc,
         cct: cct.clone(),
         attrs: (0..infos.len()).map(|_| OnceLock::new()).collect(),
@@ -259,6 +343,72 @@ pub fn open_lazy(data: Vec<u8>) -> Result<Experiment, DbError> {
         aggregates,
         storage,
     ))
+}
+
+/// Build the CCT for an aligned (v2.1) image by *borrowing* the
+/// topology arrays instead of decoding node records.
+///
+/// The mapped sections are deliberately **not** checksummed here — an
+/// FNV pass over tens of megabytes of topology would swamp the whole
+/// open budget. Integrity comes in layers instead: the header/TOC
+/// digest was already verified, [`MappedTopology::new`] makes the cheap
+/// structural checks (bounds, alignment, tag validity), a single O(n)
+/// pass below proves every parent precedes its child (which rules out
+/// cycles and orphans), and out-of-range links read as "none" with
+/// budget-guarded traversals. Batch consumers wanting bit-level
+/// certainty call [`crate::verify_container`].
+fn open_topology(
+    image: &ByteImage,
+    toc: &Toc,
+    procs: &[String],
+    files: &[String],
+    modules: &[String],
+) -> Result<Cct, DbError> {
+    let data = image.bytes();
+    let (links_off, links) = toc.raw_payload(data, SEC_CCT_LINKS)?;
+    let (kinds_off, kinds) = toc.raw_payload(data, SEC_CCT_KINDS)?;
+    let lay = bin2::topo_layout(links, kinds)?;
+    for i in 1..lay.n {
+        let off = lay.parent_off + 4 * i;
+        let p = u32::from_le_bytes(links[off..off + 4].try_into().unwrap());
+        if p as usize >= i {
+            return Err(DbError::new(format!(
+                "node {i}: parent {p} does not precede it"
+            )));
+        }
+    }
+    let mut names = NameTable::new();
+    for p in procs {
+        names.proc(p);
+    }
+    for f in files {
+        names.file(f);
+    }
+    for m in modules {
+        names.module(m);
+    }
+    let topo = match MappedTopology::new(
+        image.clone(),
+        lay.n,
+        links_off + lay.parent_off,
+        links_off + lay.first_child_off,
+        links_off + lay.next_sibling_off,
+        kinds_off + lay.tags_off,
+        kinds_off + lay.fields_off,
+        names.proc_count() as u32,
+        names.file_count() as u32,
+        names.module_count() as u32,
+    ) {
+        Ok(t) => t,
+        // Environmental failures (big-endian host) and structural ones
+        // alike: fall back to the eager decode, which either produces a
+        // fully validated owned CCT or a precise error.
+        Err(_) => {
+            let nodes = bin2::read_topology_v21(links, kinds)?;
+            return build_cct(procs, files, modules, &nodes);
+        }
+    };
+    Ok(Cct::from_mapped(names, topo))
 }
 
 /// Materialize every column of a lazily opened experiment, fanning the
@@ -363,6 +513,74 @@ mod tests {
             lazy.raw.metric_count(),
             "attributions() faults every raw metric"
         );
+    }
+
+    #[test]
+    fn lazy_v21_open_matches_eager_column_for_column() {
+        let eager = sample_experiment();
+        let bytes = crate::to_binary_v21(&eager);
+        let lazy = open_lazy(bytes).unwrap();
+        assert!(lazy.cct.is_mapped(), "v2.1 topology should be borrowed");
+        assert_eq!(lazy.cct.len(), eager.cct.len());
+        for n in 0..eager.cct.len() as u32 {
+            assert_eq!(lazy.cct.kind(NodeId(n)), eager.cct.kind(NodeId(n)));
+            assert_eq!(lazy.cct.parent(NodeId(n)), eager.cct.parent(NodeId(n)));
+        }
+        for c in eager.columns.columns() {
+            for n in 0..eager.cct.len() as u32 {
+                assert_eq!(
+                    lazy.columns.get(c, n),
+                    eager.columns.get(c, n),
+                    "column {c:?} node {n}"
+                );
+            }
+        }
+        assert!(lazy.columns.lazy_error().is_none());
+        for m in 0..eager.raw.metric_count() {
+            let m = MetricId::from_usize(m);
+            for n in 0..eager.cct.len() as u32 {
+                assert_eq!(lazy.raw.column(m).get(n), eager.raw.column(m).get(n));
+            }
+        }
+    }
+
+    #[test]
+    fn v21_decode_all_round_trips_to_identical_bytes() {
+        let eager = sample_experiment();
+        let bytes = crate::to_binary_v21(&eager);
+        let lazy = open_lazy(bytes.clone()).unwrap();
+        decode_all(&lazy, 0);
+        assert_eq!(crate::to_binary_v21(&lazy), bytes);
+        assert_eq!(crate::to_binary_v21(&lazy), crate::to_binary_v21(&eager));
+    }
+
+    #[test]
+    fn v21_corrupt_block_degrades_to_zeros_with_error() {
+        let mut bytes = crate::to_binary_v21(&sample_experiment());
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xff;
+        let lazy = open_lazy(bytes).expect("topology is intact");
+        let c = ColumnId(2); // second metric's inclusive column
+        assert_eq!(lazy.columns.get(c, 0), 0.0);
+        assert!(lazy.columns.lazy_error().unwrap().contains("checksum"));
+    }
+
+    #[test]
+    fn v21_corrupt_topology_is_caught_by_verify_container() {
+        let bytes = crate::to_binary_v21(&sample_experiment());
+        crate::verify_container(&bytes).unwrap();
+        let toc = Toc::parse(&bytes).unwrap();
+        let links = toc
+            .entries
+            .iter()
+            .find(|e| e.id == SEC_CCT_LINKS)
+            .copied()
+            .unwrap();
+        let mut bad = bytes.clone();
+        // Flip a bit inside the links payload: the lazy open does not
+        // checksum borrowed topology, but verify_container must.
+        bad[links.offset as usize + links.len as usize - 1] ^= 0x04;
+        assert!(crate::verify_container(&bad).is_err());
     }
 
     #[test]

@@ -26,12 +26,14 @@
 
 pub mod bin;
 pub mod bin2;
+pub mod image;
 pub mod lazy;
 pub mod model;
 pub mod toc;
 pub mod xml;
 
-pub use lazy::{decode_all, open_lazy};
+pub use image::FileImage;
+pub use lazy::{decode_all, open_lazy, open_lazy_path};
 pub use model::{DbError, DbModel};
 
 use callpath_core::prelude::Experiment;
@@ -54,6 +56,27 @@ pub fn to_binary(exp: &Experiment) -> Vec<u8> {
 /// Serialize to the sectioned binary format, version 2.
 pub fn to_binary_v2(exp: &Experiment) -> Vec<u8> {
     bin2::write(&DbModel::from_experiment(exp))
+}
+
+/// Serialize to the aligned sectioned format, version 2.1 — same
+/// container as v2, but with 8-aligned fixed-width topology arrays and
+/// (for large columns) fixed-width cost blocks, so a lazy reader can
+/// borrow them zero-copy from the file image.
+pub fn to_binary_v21(exp: &Experiment) -> Vec<u8> {
+    bin2::write_v21(&DbModel::from_experiment(exp))
+}
+
+/// Checksum every section of a v2/v2.1 container (plus the header/TOC
+/// digest) without decoding any payload.
+///
+/// The lazy open path skips checksumming the sections it borrows
+/// (topology in v2.1) because a digest pass over tens of megabytes
+/// would defeat the point of a lazy open; batch consumers that want the
+/// eager reader's bit-level guarantee on a lazily opened file call this
+/// first.
+pub fn verify_container(data: &[u8]) -> Result<(), DbError> {
+    let toc = toc::Toc::parse(data)?;
+    toc.verify_all(data)
 }
 
 /// Binary format version of `data`, if it carries the `CPDB` magic.

@@ -133,7 +133,7 @@ impl DbModel {
         let mut nodes = Vec::with_capacity(exp.cct.len() - 1);
         for n in exp.cct.all_nodes().skip(1) {
             let parent = exp.cct.parent(n).expect("non-root has parent").0;
-            let scope = match *exp.cct.kind(n) {
+            let scope = match exp.cct.kind(n) {
                 ScopeKind::Root => unreachable!("root is implicit"),
                 ScopeKind::Frame {
                     proc,

@@ -30,8 +30,29 @@
 //! Sections are identified by numeric id, not position, so readers skip
 //! ids they do not understand and future revisions can append sections
 //! without breaking v2 readers.
+//!
+//! ## The aligned revision (v2.1)
+//!
+//! Flag bit 1 ([`FLAG_ALIGNED`]) marks the *aligned* encoding used by
+//! the zero-copy read path. The framing is unchanged (same header, same
+//! TOC, same tiling and checksum rules); what changes is that every
+//! section payload wraps its body in a self-padding prefix:
+//!
+//! ```text
+//! payload = pad_len u8, pad_len zero bytes, body
+//! ```
+//!
+//! where `pad_len < 8` is chosen at write time so the body starts at a
+//! file offset that is a multiple of 8. Readers that hold the file in
+//! 8-aligned memory (an mmap, or an aligned buffer) can then borrow
+//! `u32`/`f64` arrays straight out of the body with no decode step.
+//! Section checksums cover the whole payload, padding included, so the
+//! bit-flip guarantee is unchanged. [`Toc::section`] strips the padding
+//! transparently; the borrow path uses [`Toc::raw_payload`] to learn
+//! absolute body offsets.
 
 use crate::model::DbError;
+use std::collections::HashMap;
 
 /// Fixed ids for the well-known sections. Per-metric cost blocks start
 /// at [`SEC_BLOCK_BASE`] (block for metric `m` has id `SEC_BLOCK_BASE + m`),
@@ -43,11 +64,18 @@ pub(crate) const SEC_CCT: u32 = 2;
 pub(crate) const SEC_METRICS: u32 = 3;
 /// Derived-metric definitions (name, formula).
 pub(crate) const SEC_DERIVED: u32 = 4;
+/// Aligned CCT link arrays (parent / first-child / next-sibling), v2.1
+/// files only — replaces [`SEC_CCT`] there.
+pub(crate) const SEC_CCT_LINKS: u32 = 5;
+/// Aligned CCT scope kinds (tag bytes + fixed-width fields), v2.1 only.
+pub(crate) const SEC_CCT_KINDS: u32 = 6;
 /// First per-metric cost block id.
 pub(crate) const SEC_BLOCK_BASE: u32 = 16;
 
 pub(crate) const VERSION_BYTE: u8 = 2;
 const FLAG_SPARSE: u8 = 1;
+/// Flag bit marking the aligned (v2.1) payload encoding.
+const FLAG_ALIGNED: u8 = 2;
 const HEADER_LEN: usize = 20;
 const ENTRY_LEN: usize = 32;
 /// Checksummed prefix of the header (everything before the digest field).
@@ -77,7 +105,12 @@ pub(crate) struct TocEntry {
 #[derive(Debug, Clone)]
 pub(crate) struct Toc {
     pub sparse: bool,
+    /// True for v2.1 files: payloads carry the self-padding prefix.
+    pub aligned: bool,
     pub entries: Vec<TocEntry>,
+    /// Section id → index into `entries`, so lookups are O(1) even for
+    /// files with thousands of per-metric blocks.
+    index: HashMap<u32, usize>,
 }
 
 impl Toc {
@@ -94,7 +127,7 @@ impl Toc {
             return Err(DbError::new(format!("unsupported version {}", data[4])));
         }
         let flags = data[5];
-        if flags & !FLAG_SPARSE != 0 {
+        if flags & !(FLAG_SPARSE | FLAG_ALIGNED) != 0 {
             return Err(DbError::new(format!("unknown flags {flags:#x}")));
         }
         if data[6] != 0 || data[7] != 0 {
@@ -116,6 +149,7 @@ impl Toc {
         }
 
         let mut entries = Vec::with_capacity(count);
+        let mut index = HashMap::with_capacity(count);
         let mut expect_offset = toc_end as u64;
         for i in 0..count {
             let e = &data[HEADER_LEN + i * ENTRY_LEN..HEADER_LEN + (i + 1) * ENTRY_LEN];
@@ -144,6 +178,9 @@ impl Toc {
                     data.len()
                 )));
             }
+            if index.insert(entry.id, i).is_some() {
+                return Err(DbError::new(format!("duplicate section id {}", entry.id)));
+            }
             entries.push(entry);
         }
         if expect_offset != data.len() as u64 {
@@ -154,17 +191,37 @@ impl Toc {
         }
         Ok(Toc {
             sparse: flags & FLAG_SPARSE != 0,
+            aligned: flags & FLAG_ALIGNED != 0,
             entries,
+            index,
         })
     }
 
-    /// Payload of the section with `id`, checksum-verified on access.
+    /// True if a section with `id` exists.
+    pub fn contains(&self, id: u32) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    fn entry(&self, id: u32) -> Result<&TocEntry, DbError> {
+        self.index
+            .get(&id)
+            .map(|&i| &self.entries[i])
+            .ok_or_else(|| DbError::new(format!("missing section {id}")))
+    }
+
+    /// Body of the section with `id`, checksum-verified on access. For
+    /// aligned files the self-padding prefix is stripped, so callers
+    /// always see the logical section content.
     pub fn section<'a>(&self, data: &'a [u8], id: u32) -> Result<&'a [u8], DbError> {
-        let entry = self
-            .entries
-            .iter()
-            .find(|e| e.id == id)
-            .ok_or_else(|| DbError::new(format!("missing section {id}")))?;
+        self.verify_section(data, id)?;
+        let (_, body) = self.raw_payload(data, id)?;
+        Ok(body)
+    }
+
+    /// Checksum the payload of section `id` (padding included) without
+    /// decoding anything.
+    pub fn verify_section(&self, data: &[u8], id: u32) -> Result<(), DbError> {
+        let entry = self.entry(id)?;
         let payload = &data[entry.offset as usize..(entry.offset + entry.len) as usize];
         callpath_obs::count("expdb.toc.verify", 1);
         callpath_obs::observe("expdb.toc.section_bytes", payload.len() as u64);
@@ -172,7 +229,50 @@ impl Toc {
             callpath_obs::count("expdb.toc.verify_fail", 1);
             return Err(DbError::new(format!("section {id} checksum mismatch")));
         }
-        Ok(payload)
+        Ok(())
+    }
+
+    /// Checksum every section. Batch consumers and property tests use
+    /// this to get the eager reader's full-file integrity guarantee on
+    /// the lazy path, where large sections are otherwise verified only
+    /// on first fault (or, for borrowed topology, structurally).
+    pub fn verify_all(&self, data: &[u8]) -> Result<(), DbError> {
+        for e in &self.entries {
+            self.verify_section(data, e.id)?;
+        }
+        Ok(())
+    }
+
+    /// Body of section `id` *without* checksum verification, plus its
+    /// absolute offset in `data`. This is the zero-copy entry point: for
+    /// aligned files the returned offset is a multiple of 8 (validated
+    /// here), so fixed-width arrays inside the body can be borrowed
+    /// directly when the backing memory is 8-aligned. Callers decide
+    /// when to pay for verification ([`Toc::verify_section`]).
+    pub fn raw_payload<'a>(&self, data: &'a [u8], id: u32) -> Result<(usize, &'a [u8]), DbError> {
+        let entry = self.entry(id)?;
+        let start = entry.offset as usize;
+        let payload = &data[start..start + entry.len as usize];
+        if !self.aligned {
+            return Ok((start, payload));
+        }
+        let pad = *payload
+            .first()
+            .ok_or_else(|| DbError::new(format!("section {id}: empty aligned payload")))?
+            as usize;
+        if pad >= 8 || payload.len() < 1 + pad {
+            return Err(DbError::new(format!("section {id}: bad pad length {pad}")));
+        }
+        if payload[1..1 + pad].iter().any(|&b| b != 0) {
+            return Err(DbError::new(format!("section {id}: nonzero padding")));
+        }
+        let body_off = start + 1 + pad;
+        if !body_off.is_multiple_of(8) {
+            return Err(DbError::new(format!(
+                "section {id}: body offset {body_off} not 8-aligned"
+            )));
+        }
+        Ok((body_off, &payload[1 + pad..]))
     }
 }
 
@@ -183,6 +283,7 @@ fn toc_overflow() -> DbError {
 /// Accumulates sections and emits the framed file.
 pub(crate) struct TocBuilder {
     sparse: bool,
+    aligned: bool,
     sections: Vec<(u32, Vec<u8>)>,
 }
 
@@ -190,6 +291,18 @@ impl TocBuilder {
     pub fn new(sparse: bool) -> Self {
         TocBuilder {
             sparse,
+            aligned: false,
+            sections: Vec::new(),
+        }
+    }
+
+    /// A builder for the aligned (v2.1) encoding: `finish` wraps every
+    /// section body in the self-padding prefix so bodies land on file
+    /// offsets that are multiples of 8.
+    pub fn new_aligned(sparse: bool) -> Self {
+        TocBuilder {
+            sparse,
+            aligned: true,
             sections: Vec::new(),
         }
     }
@@ -200,17 +313,44 @@ impl TocBuilder {
 
     pub fn finish(self) -> Vec<u8> {
         let toc_end = HEADER_LEN + self.sections.len() * ENTRY_LEN;
-        let total: usize = toc_end + self.sections.iter().map(|(_, p)| p.len()).sum::<usize>();
+        // Wrap bodies for the aligned encoding. Payload offsets depend
+        // on the lengths of everything before them, so pad lengths are
+        // computed here, in one pass over the final layout.
+        let mut sections: Vec<(u32, Vec<u8>)> = Vec::with_capacity(self.sections.len());
+        let mut offset = toc_end;
+        for (id, body) in self.sections {
+            let payload = if self.aligned {
+                let pad = (8 - (offset + 1) % 8) % 8;
+                let mut p = Vec::with_capacity(1 + pad + body.len());
+                p.push(pad as u8);
+                p.resize(1 + pad, 0);
+                p.extend_from_slice(&body);
+                p
+            } else {
+                body
+            };
+            offset += payload.len();
+            sections.push((id, payload));
+        }
+
+        let total: usize = toc_end + sections.iter().map(|(_, p)| p.len()).sum::<usize>();
         let mut out = Vec::with_capacity(total);
         out.extend_from_slice(super::bin::MAGIC);
         out.push(VERSION_BYTE);
-        out.push(if self.sparse { FLAG_SPARSE } else { 0 });
+        let mut flags = 0u8;
+        if self.sparse {
+            flags |= FLAG_SPARSE;
+        }
+        if self.aligned {
+            flags |= FLAG_ALIGNED;
+        }
+        out.push(flags);
         out.extend_from_slice(&[0, 0]); // reserved
-        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
         out.extend_from_slice(&[0u8; 8]); // checksum, patched below
 
         let mut offset = toc_end as u64;
-        for (id, payload) in &self.sections {
+        for (id, payload) in &sections {
             out.extend_from_slice(&id.to_le_bytes());
             out.extend_from_slice(&0u32.to_le_bytes()); // reserved
             out.extend_from_slice(&offset.to_le_bytes());
@@ -224,7 +364,7 @@ impl TocBuilder {
         let digest = fnv1a64(&digest_input).to_le_bytes();
         out[CHECKSUM_SPLIT..HEADER_LEN].copy_from_slice(&digest);
 
-        for (_, payload) in self.sections {
+        for (_, payload) in sections {
             out.extend_from_slice(&payload);
         }
         out
@@ -275,5 +415,53 @@ mod tests {
             };
             assert!(detected, "flip at byte {i} slipped through");
         }
+    }
+
+    fn sample_aligned() -> Vec<u8> {
+        let mut b = TocBuilder::new_aligned(true);
+        b.add(SEC_NAMES, vec![1, 2, 3]);
+        b.add(SEC_CCT_LINKS, vec![]);
+        b.add(SEC_BLOCK_BASE, vec![9; 40]);
+        b.finish()
+    }
+
+    #[test]
+    fn aligned_sections_strip_padding_and_land_on_8() {
+        let bytes = sample_aligned();
+        let toc = Toc::parse(&bytes).unwrap();
+        assert!(toc.aligned);
+        assert_eq!(toc.section(&bytes, SEC_NAMES).unwrap(), &[1, 2, 3]);
+        assert_eq!(toc.section(&bytes, SEC_CCT_LINKS).unwrap(), &[] as &[u8]);
+        assert_eq!(toc.section(&bytes, SEC_BLOCK_BASE).unwrap(), &[9; 40]);
+        for e in &toc.entries {
+            let (off, body) = toc.raw_payload(&bytes, e.id).unwrap();
+            assert_eq!(off % 8, 0, "section {} body misaligned", e.id);
+            assert_eq!(&bytes[off..off + body.len()], body);
+        }
+        toc.verify_all(&bytes).unwrap();
+    }
+
+    #[test]
+    fn aligned_bit_flips_are_detected_by_verify_all() {
+        let bytes = sample_aligned();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let detected = match Toc::parse(&bad) {
+                Err(_) => true,
+                Ok(toc) => toc.verify_all(&bad).is_err(),
+            };
+            assert!(detected, "flip at byte {i} slipped through");
+        }
+    }
+
+    #[test]
+    fn duplicate_section_ids_are_rejected() {
+        let mut b = TocBuilder::new(false);
+        b.add(SEC_NAMES, vec![1]);
+        b.add(SEC_NAMES, vec![2]);
+        let bytes = b.finish();
+        let err = Toc::parse(&bytes).unwrap_err();
+        assert!(err.message.contains("duplicate"), "got: {}", err.message);
     }
 }

@@ -398,7 +398,7 @@ mod tests {
             ScopeKind::InlinedFrame {
                 proc, call_site, ..
             } => {
-                assert_eq!(exp.cct.names.proc_name(*proc), "fast_memset");
+                assert_eq!(exp.cct.names.proc_name(proc), "fast_memset");
                 assert_eq!(call_site.line, 44);
             }
             other => panic!("expected inlined frame, got {other:?}"),

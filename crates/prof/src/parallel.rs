@@ -156,7 +156,7 @@ impl<'s> ParallelCorrelator<'s> {
             let mut remap: Vec<NodeId> = vec![NodeId(u32::MAX); shard.cct.len()];
             remap[shard.cct.root().index()] = canon.cct.root();
             for &(parent, child) in &shard.journal {
-                let kind = *shard.cct.kind(child);
+                let kind = shard.cct.kind(child);
                 let canon_parent = remap[parent.index()];
                 debug_assert_ne!(canon_parent.0, u32::MAX, "journal references unseen parent");
                 remap[child.index()] = canon.cct.find_or_add_child(canon_parent, kind);

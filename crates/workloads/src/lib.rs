@@ -11,6 +11,7 @@
 //! | [`moab`] | Fig. 4 & 5 (mesh benchmark) | inlined red-black-tree search under `get_coords`, `_intel_fast_memset.A` called from two contexts |
 //! | [`pflotran`] | Fig. 7 (subsurface flow) | SPMD time-stepper with barriers and an uneven domain partition |
 //! | [`generator`] | Section VII scalability | random programs and random ready-made experiments of arbitrary size |
+//! | [`synth`] | zero-copy scaling bench | million-node database models emitted directly as [`callpath_expdb::model::DbModel`] |
 //!
 //! [`pipeline::build_experiment`] runs the full toolchain (lower → execute
 //! → recover structure → correlate) on any of these programs.
@@ -21,3 +22,4 @@ pub mod moab;
 pub mod pflotran;
 pub mod pipeline;
 pub mod s3d;
+pub mod synth;

@@ -9,12 +9,18 @@
 #    at the repo root;
 #  * instrumentation overhead (session navigation with the obs feature
 #    on vs off) -> BENCH_obs_overhead.json at the repo root. The two
-#    runs write fragments under target/; the second one merges them.
+#    runs write fragments under target/; the second one merges them;
+#  * zero-copy scaling (million-node synthetic v2.1 database: mmap cold
+#    open vs v2, first-render fault counts, decode-all)
+#    -> BENCH_zero_copy.json at the repo root. This row runs under a
+#    hard wall-clock budget so a scaling regression fails the script
+#    instead of silently stretching it.
 set -eu
 cd "$(dirname "$0")/.."
 cargo test --release --test perf_smoke -- --ignored --nocapture
 cargo test --release --test session_nav -- --ignored --nocapture
 cargo test --release --test expdb_open_smoke -- --ignored --nocapture
+timeout 900 cargo test --release --test zero_copy_smoke -- --ignored --nocapture
 rm -f target/obs_overhead_on.json target/obs_overhead_off.json
 cargo test --release --test obs_overhead -- --ignored --nocapture
 cargo test --release --no-default-features --test obs_overhead -- --ignored --nocapture

@@ -1,8 +1,12 @@
 #!/usr/bin/env sh
 # The full local gate, in the order failures are cheapest to find:
-# formatting, lints as errors across every target, then the test suite.
+# formatting, lints as errors across every target, then the test suite
+# in both storage configurations.
 set -eu
 cd "$(dirname "$0")/.."
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
-cargo test -q
+cargo test -q --workspace
+# The zero-copy borrow path must behave identically from an owned
+# aligned buffer: rerun the integration suite with `mmap` off.
+cargo test -q --no-default-features --features obs

@@ -33,7 +33,9 @@ OPTIONS:
     -o, --output <FILE>     output path (required)
     --program <FILE>        profile a .cps scenario file instead of a
                             built-in workload
-    --format <xml|bin|bin2> database format; bin2 is the sectioned v2
+    --format <xml|bin|bin2|bin2.1>
+                            database format; bin2 is the sectioned v2,
+                            bin2.1 its aligned zero-copy revision
                             container the viewer opens lazily [default:
                             from extension, .xml => xml, else bin2]
     --period <N>            cycle sampling period [default: 1009]
@@ -195,8 +197,9 @@ fn main() -> ExitCode {
         "xml" => callpath_expdb::to_xml(&exp).into_bytes(),
         "bin" => callpath_expdb::to_binary(&exp),
         "bin2" => callpath_expdb::to_binary_v2(&exp),
+        "bin2.1" => callpath_expdb::to_binary_v21(&exp),
         other => {
-            eprintln!("error: unknown format '{other}' (xml|bin|bin2)");
+            eprintln!("error: unknown format '{other}' (xml|bin|bin2|bin2.1)");
             return ExitCode::FAILURE;
         }
     };

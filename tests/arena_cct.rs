@@ -1,0 +1,112 @@
+//! Mapped-topology equivalence on the paper's case-study fixtures: a
+//! CCT whose nodes live in borrowed file arrays must be observably
+//! identical — node for node, edge for edge, traversal for traversal —
+//! to the owned arena decode of the same bytes.
+//!
+//! The goldens (`fig2_golden.rs`, `render_golden.rs`) pin the rendered
+//! output byte-exactly; these tests pin the *structural* layer those
+//! renders read through, so a regression points at the topology borrow
+//! rather than at the view code.
+
+use callpath_core::prelude::*;
+use callpath_expdb::{from_binary, open_lazy, to_binary_v21};
+use callpath_profiler::ExecConfig;
+use callpath_workloads::{moab, pflotran, pipeline, s3d};
+
+/// Every structural observation the views make, compared across the
+/// mapped and owned readings of the same container bytes.
+fn assert_structurally_identical(mapped: &Cct, owned: &Cct) {
+    assert!(mapped.is_mapped(), "v2.1 open should borrow the topology");
+    assert!(!owned.is_mapped(), "eager decode should own its arena");
+    assert_eq!(mapped.len(), owned.len());
+    assert_eq!(mapped.root(), owned.root());
+    for n in owned.all_nodes() {
+        assert_eq!(mapped.kind(n), owned.kind(n), "{n:?}");
+        assert_eq!(mapped.parent(n), owned.parent(n), "{n:?}");
+        assert_eq!(mapped.depth(n), owned.depth(n), "{n:?}");
+        assert_eq!(mapped.is_leaf(n), owned.is_leaf(n), "{n:?}");
+        assert_eq!(mapped.child_count(n), owned.child_count(n), "{n:?}");
+        let mc: Vec<NodeId> = mapped.children(n).collect();
+        let oc: Vec<NodeId> = owned.children(n).collect();
+        assert_eq!(mc, oc, "children of {n:?}");
+        let ma: Vec<NodeId> = mapped.ancestors(n).collect();
+        let oa: Vec<NodeId> = owned.ancestors(n).collect();
+        assert_eq!(ma, oa, "ancestors of {n:?}");
+        assert_eq!(mapped.enclosing_frame(n), owned.enclosing_frame(n), "{n:?}");
+        assert_eq!(mapped.static_key(n), owned.static_key(n), "{n:?}");
+    }
+    let mp: Vec<NodeId> = mapped.preorder(mapped.root()).collect();
+    let op: Vec<NodeId> = owned.preorder(owned.root()).collect();
+    assert_eq!(mp, op, "preorder traversal");
+}
+
+fn check_workload(exp: &Experiment) {
+    let bytes = to_binary_v21(exp);
+    let lazy = open_lazy(bytes.clone()).unwrap();
+    let eager = from_binary(&bytes).unwrap();
+    assert_structurally_identical(&lazy.cct, &eager.cct);
+    // The fixture's own CCT uses the same ids the writer serialized, so
+    // the mapped reading must agree with the source of truth too.
+    assert_eq!(lazy.cct.len(), exp.cct.len());
+    for n in exp.cct.all_nodes() {
+        assert_eq!(lazy.cct.kind(n), exp.cct.kind(n), "{n:?}");
+        assert_eq!(lazy.cct.parent(n), exp.cct.parent(n), "{n:?}");
+    }
+}
+
+#[test]
+fn s3d_mapped_topology_is_equivalent_to_owned() {
+    check_workload(&pipeline::build_experiment(
+        &s3d::program(s3d::S3dConfig::default()),
+        &ExecConfig::default(),
+    ));
+}
+
+#[test]
+fn moab_mapped_topology_is_equivalent_to_owned() {
+    check_workload(&pipeline::build_experiment(
+        &moab::program(),
+        &ExecConfig::default(),
+    ));
+}
+
+#[test]
+fn pflotran_mapped_topology_is_equivalent_to_owned() {
+    check_workload(&pipeline::build_experiment(
+        &pflotran::program(),
+        &ExecConfig::default(),
+    ));
+}
+
+#[test]
+fn mutating_a_mapped_cct_detaches_it_from_the_image() {
+    let exp = pipeline::build_experiment(&moab::program(), &ExecConfig::default());
+    let bytes = to_binary_v21(&exp);
+    let lazy = open_lazy(bytes).unwrap();
+    let mut cct = lazy.cct.clone();
+    assert!(cct.is_mapped());
+    let before: Vec<(ScopeKind, Option<NodeId>)> = cct
+        .all_nodes()
+        .map(|n| (cct.kind(n), cct.parent(n)))
+        .collect();
+    // First mutation copies the borrowed arrays into an owned arena;
+    // every pre-existing node must survive the migration untouched.
+    let added = cct.add_child(
+        cct.root(),
+        ScopeKind::Frame {
+            proc: ProcId(0),
+            module: LoadModuleId(0),
+            def: SourceLoc::new(FileId(0), 999),
+            call_site: None,
+        },
+    );
+    assert!(!cct.is_mapped());
+    assert_eq!(cct.len(), before.len() + 1);
+    for (i, (kind, parent)) in before.iter().enumerate() {
+        let n = NodeId(i as u32);
+        assert_eq!(cct.kind(n), *kind, "{n:?} changed across make_owned");
+        assert_eq!(cct.parent(n), *parent, "{n:?} changed across make_owned");
+    }
+    assert_eq!(cct.parent(added), Some(cct.root()));
+    cct.validate().expect("detached arena must validate");
+}

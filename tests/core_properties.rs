@@ -142,7 +142,7 @@ proptest! {
         let mut by_proc: HashMap<ProcId, Vec<NodeId>> = HashMap::new();
         for n in exp.cct.all_nodes() {
             if let ScopeKind::Frame { proc, .. } = exp.cct.kind(n) {
-                by_proc.entry(*proc).or_default().push(n);
+                by_proc.entry(proc).or_default().push(n);
             }
         }
         let Some((_, instances)) = by_proc.iter().max_by_key(|(_, v)| v.len()) else {

@@ -19,7 +19,7 @@
 use callpath_core::prelude::*;
 use callpath_core::source::SourceStore;
 use callpath_expdb::{
-    decode_all, from_binary, from_xml, open_lazy, to_binary, to_binary_v2, to_xml,
+    decode_all, from_binary, from_xml, open_lazy, to_binary, to_binary_v2, to_binary_v21, to_xml,
 };
 use callpath_profiler::ExecConfig;
 use callpath_viewer::{Command, Session};
@@ -95,6 +95,7 @@ fn expdb_open_smoke() {
     let xml = to_xml(&exp);
     let v1 = to_binary(&exp);
     let v2 = to_binary_v2(&exp);
+    let v21 = to_binary_v21(&exp);
 
     let xml_cold = p50_ms(|| {
         std::hint::black_box(from_xml(&xml).unwrap());
@@ -122,6 +123,18 @@ fn expdb_open_smoke() {
         decode_all(&e, 0);
         std::hint::black_box(&e);
     });
+    let v21_cold = p50_ms(|| {
+        std::hint::black_box(open_lazy(v21.clone()).unwrap());
+    });
+    let v21_first = p50_ms(|| {
+        let e = open_lazy(v21.clone()).unwrap();
+        std::hint::black_box(first_render(&e));
+    });
+    let v21_decode_all = p50_ms(|| {
+        let e = open_lazy(v21.clone()).unwrap();
+        decode_all(&e, 0);
+        std::hint::black_box(&e);
+    });
 
     // The tentpole's acceptance gate: the lazy open and the lazy first
     // paint both strictly beat a full v1 parse.
@@ -134,11 +147,16 @@ fn expdb_open_smoke() {
         "v2 first render ({v2_first:.3} ms) must beat the v1 full parse ({v1_cold:.3} ms)"
     );
 
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let record = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"expdb_open\",\n",
             "  \"workload\": \"s3d, one metric column per rank\",\n",
+            "  \"cores\": {},\n",
+            "  \"mode\": \"single_thread\",\n",
             "  \"ranks\": {},\n",
             "  \"cct_nodes\": {},\n",
             "  \"metrics\": {},\n",
@@ -147,15 +165,20 @@ fn expdb_open_smoke() {
             "  \"xml_bytes\": {},\n",
             "  \"v1_bytes\": {},\n",
             "  \"v2_bytes\": {},\n",
+            "  \"v21_bytes\": {},\n",
             "  \"xml_cold_open_p50_ms\": {:.3},\n",
             "  \"xml_first_render_p50_ms\": {:.3},\n",
             "  \"v1_cold_open_p50_ms\": {:.3},\n",
             "  \"v1_first_render_p50_ms\": {:.3},\n",
             "  \"v2_cold_open_p50_ms\": {:.3},\n",
             "  \"v2_first_render_p50_ms\": {:.3},\n",
-            "  \"v2_decode_all_p50_ms\": {:.3}\n",
+            "  \"v2_decode_all_p50_ms\": {:.3},\n",
+            "  \"v21_cold_open_p50_ms\": {:.3},\n",
+            "  \"v21_first_render_p50_ms\": {:.3},\n",
+            "  \"v21_decode_all_p50_ms\": {:.3}\n",
             "}}\n"
         ),
+        cores,
         RANKS,
         exp.cct.len(),
         exp.raw.metric_count(),
@@ -163,6 +186,7 @@ fn expdb_open_smoke() {
         xml.len(),
         v1.len(),
         v2.len(),
+        v21.len(),
         xml_cold,
         xml_first,
         v1_cold,
@@ -170,6 +194,9 @@ fn expdb_open_smoke() {
         v2_cold,
         v2_first,
         v2_decode_all,
+        v21_cold,
+        v21_first,
+        v21_decode_all,
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_expdb_open.json");
     std::fs::write(&path, &record).expect("write perf record");

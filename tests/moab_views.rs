@@ -153,7 +153,7 @@ fn cct_separates_what_flat_merges() {
     let mut count = 0;
     for n in exp.cct.all_nodes() {
         if let ScopeKind::Frame { proc, .. } = exp.cct.kind(n) {
-            if exp.cct.names.proc_name(*proc) == "_intel_fast_memset.A" {
+            if exp.cct.names.proc_name(proc) == "_intel_fast_memset.A" {
                 count += 1;
             }
         }

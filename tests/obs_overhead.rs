@@ -123,11 +123,16 @@ fn obs_overhead_smoke() {
         return;
     };
     let pct = |on: f64, off: f64| 100.0 * (on - off) / off;
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
     let record = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"obs_overhead\",\n",
             "  \"workload\": \"s3d session navigation\",\n",
+            "  \"cores\": {},\n",
+            "  \"mode\": \"single_thread\",\n",
             "  \"samples\": {},\n",
             "  \"expand_p50_ms_obs_on\": {:.4},\n",
             "  \"expand_p50_ms_obs_off\": {:.4},\n",
@@ -140,6 +145,7 @@ fn obs_overhead_smoke() {
             "  \"hot_path_overhead_pct\": {:.2}\n",
             "}}\n"
         ),
+        cores,
         SAMPLES,
         on.0,
         off.0,

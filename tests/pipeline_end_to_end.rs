@@ -29,7 +29,7 @@ fn fig1_program_measures_exactly_with_period_one() {
     let mut g_frames = Vec::new();
     for n in exp.cct.all_nodes() {
         if let ScopeKind::Frame { proc, .. } = exp.cct.kind(n) {
-            if exp.cct.names.proc_name(*proc) == "g" {
+            if exp.cct.names.proc_name(proc) == "g" {
                 g_frames.push(n);
             }
         }

@@ -17,7 +17,7 @@ use callpath_workloads::{pipeline, s3d};
 fn find_frame(exp: &Experiment, name: &str) -> Option<NodeId> {
     exp.cct.all_nodes().find(|&n| {
         matches!(exp.cct.kind(n), ScopeKind::Frame { proc, .. }
-            if exp.cct.names.proc_name(*proc) == name)
+            if exp.cct.names.proc_name(proc) == name)
     })
 }
 

@@ -103,6 +103,7 @@ fn session_navigation_latency_smoke() {
             "  \"bench\": \"session_nav\",\n",
             "  \"workload\": \"s3d\",\n",
             "  \"cores\": {},\n",
+            "  \"mode\": \"single_thread\",\n",
             "  \"rows\": {},\n",
             "  \"samples\": {},\n",
             "  \"expand_all_p50_ms\": {:.3},\n",
