@@ -191,14 +191,22 @@ impl Cct {
     /// one. This is the primitive profile-merging operation: two samples
     /// that share a calling-context prefix share CCT nodes.
     pub fn find_or_add_child(&mut self, parent: NodeId, kind: ScopeKind) -> NodeId {
+        self.find_or_add_child_tracked(parent, kind).0
+    }
+
+    /// [`Self::find_or_add_child`], also reporting whether the child was
+    /// newly created. Journal-pruning merges need the distinction: only
+    /// first-appearance edges have to be replayed to reconstruct a CCT,
+    /// so repeat visits can be dropped at record time.
+    pub fn find_or_add_child_tracked(&mut self, parent: NodeId, kind: ScopeKind) -> (NodeId, bool) {
         let mut cur = self.first_child_raw(parent.0);
         while cur != NONE {
             if self.kind(NodeId(cur)) == kind {
-                return NodeId(cur);
+                return (NodeId(cur), false);
             }
             cur = self.next_sibling_raw(cur);
         }
-        self.add_child(parent, kind)
+        (self.add_child(parent, kind), true)
     }
 
     /// Scope kind of node `n`. Returned by value (`ScopeKind` is `Copy`):

@@ -1,36 +1,54 @@
-//! Generic chunked fan-out over crossbeam scoped threads.
+//! Generic chunked fan-out over the persistent worker pool.
 //!
 //! Several pipeline stages share the same shape: split a slice of
-//! per-rank items into contiguous chunks, hand each chunk to a scoped
-//! worker thread that folds it into a partial accumulator, then combine
-//! the partials **in chunk order** so results are deterministic no
-//! matter how many threads ran. This module is that shape, written
-//! once: the streaming summarizer and the parallel correlator both
-//! build on it instead of each carrying their own scope/spawn/join
-//! block.
+//! per-rank items into contiguous chunks, hand each chunk to a worker,
+//! then combine the partials **in chunk order** so results are
+//! deterministic no matter how many threads ran. This module is that
+//! shape, written once: the streaming summarizer, the parallel
+//! correlator and the lazy-column decoder all build on it instead of
+//! each carrying their own fan-out block.
+//!
+//! Chunks run on [`crate::pool`] — long-lived workers reused across
+//! calls — so a fan-out costs a queue push per chunk, not a thread
+//! spawn/join per chunk. A panicking chunk closure propagates a single
+//! panic (the lowest chunk index's payload) to the caller after the
+//! other chunks finish; it no longer aborts the process the way
+//! `join().unwrap()` inside a scope did.
 
-/// Resolve a requested worker count: `0` means "pick for me" (available
-/// parallelism, capped at 8 so oversubscribed CI machines don't spawn a
-/// thread mob), anything else is used as given.
+use crate::pool;
+
+/// Resolve a requested worker count. `0` means "pick for me": the
+/// `CALLPATH_THREADS` environment variable when set to a positive
+/// integer (so real multi-core hosts can push past the default cap and
+/// CI containers can pin 1), otherwise available parallelism capped at
+/// 8 so oversubscribed CI machines don't spawn a thread mob. Any
+/// explicit nonzero request is used as given.
 pub fn resolve_threads(threads: usize) -> usize {
-    if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get().min(8))
-            .unwrap_or(4)
-    } else {
-        threads
+    if threads != 0 {
+        return threads;
     }
+    if let Ok(v) = std::env::var("CALLPATH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(4)
 }
 
 /// Split `items` into at most `threads` contiguous chunks, run `map`
-/// on each chunk in its own scoped thread, and return the partial
-/// results **in chunk order** (ascending item index), independent of
-/// thread scheduling.
+/// on each chunk on the worker pool, and return the partial results
+/// **in chunk order** (ascending item index), independent of worker
+/// scheduling.
 ///
 /// `map` receives `(chunk_index, chunk)`; chunk 0 starts at item 0.
 /// With `threads == 0` the worker count is chosen automatically
 /// ([`resolve_threads`]). An empty `items` yields an empty vec without
-/// spawning.
+/// touching the pool, and a single-chunk call runs inline on the
+/// caller.
 pub fn chunked_map<T, A, F>(items: &[T], threads: usize, map: F) -> Vec<A>
 where
     T: Sync,
@@ -45,16 +63,14 @@ where
     if threads == 1 || items.len() <= chunk {
         return vec![map(0, items)];
     }
-    crossbeam::thread::scope(|s| {
-        let map = &map;
-        let handles: Vec<_> = items
+    let map = &map;
+    pool::run_tasks(
+        items
             .chunks(chunk)
             .enumerate()
-            .map(|(ci, batch)| s.spawn(move |_| map(ci, batch)))
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("chunked worker thread panicked")
+            .map(|(ci, batch)| move || map(ci, batch))
+            .collect(),
+    )
 }
 
 /// [`chunked_map`] followed by a left fold of the partials in chunk
@@ -115,5 +131,40 @@ mod tests {
             chunked_reduce(&items, 4, |_, c| c.len(), |a, b| a + b),
             None
         );
+    }
+
+    #[test]
+    fn a_panicking_chunk_propagates_one_panic_with_its_message() {
+        let items: Vec<u32> = (0..64).collect();
+        let err = std::panic::catch_unwind(|| {
+            chunked_map(&items, 8, |ci, _c| {
+                if ci == 3 {
+                    panic!("chunk {ci} exploded");
+                }
+                ci
+            })
+        })
+        .expect_err("worker panic must reach the caller");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert_eq!(msg, "chunk 3 exploded");
+    }
+
+    #[test]
+    fn env_override_sets_the_automatic_thread_count() {
+        // `resolve_threads` reads the variable fresh on every call and
+        // every thread count produces identical results elsewhere, so a
+        // transient override cannot disturb concurrent tests.
+        std::env::set_var("CALLPATH_THREADS", "3");
+        assert_eq!(resolve_threads(0), 3);
+        // Explicit requests still win over the environment.
+        assert_eq!(resolve_threads(5), 5);
+        // Garbage and zero fall through to the automatic choice.
+        std::env::set_var("CALLPATH_THREADS", "0");
+        let auto = resolve_threads(0);
+        std::env::set_var("CALLPATH_THREADS", "not a number");
+        assert_eq!(resolve_threads(0), auto);
+        std::env::remove_var("CALLPATH_THREADS");
+        assert_eq!(resolve_threads(0), auto);
+        assert!(auto >= 1);
     }
 }

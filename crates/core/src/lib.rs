@@ -80,6 +80,7 @@ pub mod ids;
 pub mod mapped;
 pub mod metrics;
 pub mod names;
+pub mod pool;
 pub mod scope;
 pub mod source;
 pub mod summary;
@@ -106,6 +107,7 @@ pub mod prelude {
         MetricVec, NonzeroSorted, RawMetrics, StorageKind,
     };
     pub use crate::names::{NameTable, SourceLoc};
+    pub use crate::pool::{run_tasks, PoolStats};
     pub use crate::scope::{ScopeKind, StaticKey};
     pub use crate::source::SourceStore;
     pub use crate::summary::{Stat, Welford};

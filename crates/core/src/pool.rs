@@ -1,0 +1,419 @@
+//! A persistent, lazily-initialized worker pool behind every fan-out
+//! site in the pipeline.
+//!
+//! Before this module existed, [`crate::chunked`] spawned (and joined) a
+//! fresh set of OS threads on **every** call — shard correlation, column
+//! decode, rank simulation and streaming summarization each paid thread
+//! creation per invocation, which is why the parallel ingestion path
+//! lost to sequential on small-to-medium inputs. The pool amortizes that
+//! cost to zero: workers are spawned on first use, block on a condvar
+//! between fan-outs, and are reused for the life of the process.
+//!
+//! ## Shape
+//!
+//! * One global FIFO job queue (`Mutex<VecDeque>` + `Condvar`); workers
+//!   loop on pop-run. Jobs are type-erased `FnOnce` boxes that send
+//!   their result back over a per-call channel.
+//! * [`run_tasks`] submits a batch of closures and blocks until every
+//!   result (or panic) has come back. While waiting it **helps**: it
+//!   pops queued jobs and runs them on the calling thread instead of
+//!   idling, so a busy pool can never stall a submitter that has
+//!   runnable work.
+//! * Worker panics are caught per job and re-raised **once** on the
+//!   submitting thread with the original payload — a panicking closure
+//!   behaves exactly as it would have under `std::thread::scope`, minus
+//!   the process abort `join().unwrap()` used to cause.
+//! * A closure submitted *from* a pool worker runs inline (workers never
+//!   re-enter the queue), so nested fan-outs degrade to sequential
+//!   instead of deadlocking a fully busy pool.
+//!
+//! ## Why the borrows are sound
+//!
+//! Jobs capture references into the submitting call's stack frame
+//! (chunk slices, the shared `map` closure). [`run_tasks`] erases those
+//! lifetimes to put jobs in the global queue, which is sound because it
+//! does not return until it has received one result per submitted job,
+//! and a job sends its result strictly after the user closure — and
+//! every borrow inside it — has been consumed.
+//!
+//! ## Observability
+//!
+//! The pool cannot call `callpath-obs` directly (obs depends on this
+//! crate for its exporter), so it keeps its own always-on relaxed
+//! atomics and exposes them via [`stats`]; the obs registry folds them
+//! into every snapshot as `pool.*` counters, which is how `--stats` and
+//! `--self-profile` show where reduction time goes.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Hard ceiling on spawned workers, far above any sane `CALLPATH_THREADS`
+/// value — a guard against a runaway env override, not a tuning knob.
+const MAX_WORKERS: usize = 256;
+
+/// A type-erased unit of work. The `'static` here is a lie told by
+/// [`run_tasks`]; see the module docs for why it is a safe one.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Always-on pool counters (relaxed atomics; ~one add per *chunk*, not
+/// per item, so they cost nothing measurable even with obs disabled).
+#[derive(Default)]
+struct Counters {
+    tasks_queued: AtomicU64,
+    tasks_run: AtomicU64,
+    tasks_stolen: AtomicU64,
+    workers_spawned: AtomicU64,
+    idle_ns: AtomicU64,
+}
+
+/// A point-in-time copy of the pool's counters, in the order and with
+/// the names the obs bridge publishes them under.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs ever submitted to the queue.
+    pub tasks_queued: u64,
+    /// Jobs executed by pool workers.
+    pub tasks_run: u64,
+    /// Jobs executed by a *submitting* thread that helped while waiting.
+    pub tasks_stolen: u64,
+    /// Workers spawned over the life of the process.
+    pub workers_spawned: u64,
+    /// Total nanoseconds workers spent blocked waiting for work.
+    pub idle_ns: u64,
+}
+
+impl PoolStats {
+    /// The stats as `(name, value)` pairs, for the obs counter bridge.
+    pub fn named(&self) -> [(&'static str, u64); 5] {
+        [
+            ("pool.tasks_queued", self.tasks_queued),
+            ("pool.tasks_run", self.tasks_run),
+            ("pool.tasks_stolen", self.tasks_stolen),
+            ("pool.workers_spawned", self.workers_spawned),
+            ("pool.idle_ns", self.idle_ns),
+        ]
+    }
+}
+
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+struct Pool {
+    queue: Queue,
+    /// Number of workers spawned so far, behind its own lock so growth
+    /// never contends with job submission.
+    spawned: Mutex<usize>,
+    counters: Counters,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        queue: Queue {
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        },
+        spawned: Mutex::new(0),
+        counters: Counters::default(),
+    })
+}
+
+thread_local! {
+    /// Set inside pool workers so a nested [`run_tasks`] runs inline
+    /// instead of submitting to the queue it is itself draining.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Current values of the pool's counters. Zero everywhere until the
+/// first fan-out actually reaches the pool.
+pub fn stats() -> PoolStats {
+    let c = &pool().counters;
+    PoolStats {
+        tasks_queued: c.tasks_queued.load(Relaxed),
+        tasks_run: c.tasks_run.load(Relaxed),
+        tasks_stolen: c.tasks_stolen.load(Relaxed),
+        workers_spawned: c.workers_spawned.load(Relaxed),
+        idle_ns: c.idle_ns.load(Relaxed),
+    }
+}
+
+fn worker_loop(p: &'static Pool) {
+    IS_POOL_WORKER.with(|w| w.set(true));
+    loop {
+        let wait_start = Instant::now();
+        let job = {
+            let mut q = p.queue.jobs.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = p.queue.ready.wait(q).expect("pool queue poisoned");
+            }
+        };
+        p.counters
+            .idle_ns
+            .fetch_add(wait_start.elapsed().as_nanos() as u64, Relaxed);
+        p.counters.tasks_run.fetch_add(1, Relaxed);
+        // Jobs wrap the user closure in catch_unwind, so this call never
+        // unwinds and the worker never dies (the queue mutex is not held
+        // here, so it cannot be poisoned by a job either).
+        job();
+    }
+}
+
+/// Make sure at least `want` workers exist (capped at [`MAX_WORKERS`]).
+fn ensure_workers(p: &'static Pool, want: usize) {
+    let want = want.min(MAX_WORKERS);
+    let mut spawned = p.spawned.lock().expect("pool spawn lock poisoned");
+    while *spawned < want {
+        std::thread::Builder::new()
+            .name(format!("callpath-pool-{}", *spawned))
+            .spawn(move || worker_loop(p))
+            .expect("spawn pool worker");
+        *spawned += 1;
+        p.counters.workers_spawned.fetch_add(1, Relaxed);
+    }
+}
+
+/// Run every closure in `tasks` to completion — on pool workers when
+/// possible, inline otherwise — and return their results **in task
+/// order**. If any closure panicked, exactly one panic is re-raised on
+/// the calling thread with the first (lowest task index) payload, after
+/// all the other tasks have finished.
+///
+/// Single-task batches and calls made from inside a pool worker run
+/// inline without touching the queue.
+pub fn run_tasks<'env, A, F>(tasks: Vec<F>) -> Vec<A>
+where
+    A: Send + 'env,
+    F: FnOnce() -> A + Send + 'env,
+{
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 || IS_POOL_WORKER.with(|w| w.get()) {
+        // Inline: nothing to fan out, or we *are* a pool worker and
+        // queueing could deadlock a fully busy pool. Panics propagate
+        // directly, which matches the pooled contract (first payload).
+        return tasks.into_iter().map(|f| f()).collect();
+    }
+
+    let p = pool();
+    ensure_workers(p, n);
+    let (tx, rx) = channel::<(usize, std::thread::Result<A>)>();
+    {
+        let mut q = p.queue.jobs.lock().expect("pool queue poisoned");
+        for (i, f) in tasks.into_iter().enumerate() {
+            let tx: Sender<(usize, std::thread::Result<A>)> = tx.clone();
+            let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(f));
+                // The receiver may already have left after a panic
+                // elsewhere; a dead channel just drops the result.
+                let _ = tx.send((i, result));
+            });
+            // SAFETY: `run_tasks` blocks below until it has received one
+            // message per job, and a job sends its message only after
+            // the user closure — the sole holder of `'env` borrows —
+            // has been consumed. No job can therefore outlive the
+            // borrows it captured. The transmute only erases the
+            // lifetime; the vtable and layout are unchanged.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+            q.push_back(job);
+        }
+        p.counters.tasks_queued.fetch_add(n as u64, Relaxed);
+        p.queue.ready.notify_all();
+    }
+    drop(tx);
+
+    let mut results: Vec<Option<std::thread::Result<A>>> = (0..n).map(|_| None).collect();
+    let mut received = 0;
+    while received < n {
+        // Drain finished results first, then help with queued work
+        // (ours or another submitter's) instead of blocking while
+        // runnable jobs exist.
+        match rx.try_recv() {
+            Ok((i, r)) => {
+                results[i] = Some(r);
+                received += 1;
+                continue;
+            }
+            Err(std::sync::mpsc::TryRecvError::Empty)
+            | Err(std::sync::mpsc::TryRecvError::Disconnected) => {}
+        }
+        let job = p
+            .queue
+            .jobs
+            .lock()
+            .expect("pool queue poisoned")
+            .pop_front();
+        if let Some(job) = job {
+            p.counters.tasks_stolen.fetch_add(1, Relaxed);
+            job();
+            continue;
+        }
+        // Queue empty: every outstanding job of ours is running on a
+        // worker; block until the next one reports in.
+        let (i, r) = rx
+            .recv()
+            .expect("pool worker vanished with results outstanding");
+        results[i] = Some(r);
+        received += 1;
+    }
+
+    let mut out = Vec::with_capacity(n);
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for slot in results {
+        match slot.expect("every task reported") {
+            Ok(v) => out.push(v),
+            Err(payload) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        resume_unwind(payload);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let tasks: Vec<_> = (0..32)
+            .map(|i| {
+                move || {
+                    // Uneven task durations scramble completion order.
+                    if i % 3 == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                    i * 2
+                }
+            })
+            .collect();
+        let out = run_tasks(tasks);
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_can_borrow_from_the_caller() {
+        let data: Vec<u64> = (0..1000).collect();
+        let chunks: Vec<&[u64]> = data.chunks(97).collect();
+        let sums = run_tasks(
+            chunks
+                .iter()
+                .map(|c| move || c.iter().sum::<u64>())
+                .collect(),
+        );
+        assert_eq!(sums.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn workers_are_reused_across_calls() {
+        // Warm the pool, then check repeated fan-outs do not grow it.
+        let fan = || {
+            run_tasks((0..4).map(|i| move || i).collect::<Vec<_>>());
+        };
+        fan();
+        let spawned_after_first = stats().workers_spawned;
+        for _ in 0..16 {
+            fan();
+        }
+        assert_eq!(
+            stats().workers_spawned,
+            spawned_after_first,
+            "same-width fan-outs must reuse the existing workers"
+        );
+        assert!(stats().tasks_queued >= 17 * 4);
+    }
+
+    #[test]
+    fn a_panicking_task_surfaces_its_original_message() {
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_tasks(
+                (0..8)
+                    .map(|i| {
+                        move || {
+                            if i == 5 {
+                                panic!("injected failure in task {i}");
+                            }
+                            i
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }))
+        .expect_err("the panic must propagate to the submitter");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert_eq!(msg, "injected failure in task 5");
+    }
+
+    #[test]
+    fn all_tasks_finish_even_when_one_panics() {
+        let ran = AtomicUsize::new(0);
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_tasks(
+                (0..8)
+                    .map(|i| {
+                        let ran = &ran;
+                        move || {
+                            ran.fetch_add(1, Relaxed);
+                            if i == 0 {
+                                panic!("first task dies");
+                            }
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        assert_eq!(ran.load(Relaxed), 8, "panic must not cancel other tasks");
+    }
+
+    #[test]
+    fn nested_submission_from_a_worker_runs_inline() {
+        // Each outer task fans out again; the inner fan-out must run
+        // inline on the worker (no queue round trip, no deadlock).
+        let out = run_tasks(
+            (0..4)
+                .map(|i| {
+                    move || {
+                        let inner =
+                            run_tasks((0..4).map(|j| move || i * 10 + j).collect::<Vec<_>>());
+                        inner.into_iter().sum::<usize>()
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(out, vec![6, 46, 86, 126]);
+    }
+
+    #[test]
+    fn many_more_tasks_than_workers_complete() {
+        let out = run_tasks((0..300).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(out.len(), 300);
+        assert!(out.into_iter().eq(0..300));
+    }
+
+    #[test]
+    fn empty_task_list_is_a_no_op() {
+        let out: Vec<u32> = run_tasks(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+}

@@ -366,6 +366,16 @@ pub fn snapshot() -> Snapshot {
         .iter()
         .map(|(&name, c)| (name.to_owned(), c.load(Relaxed)))
         .collect();
+    // The worker pool lives below this crate in the dependency graph
+    // (callpath-obs depends on callpath-core), so it keeps its own
+    // always-on atomics; fold them in here so `--stats` and
+    // `--self-profile` show where fan-out time goes. Zero values are
+    // skipped: a process that never fanned out reports no pool rows.
+    for (name, value) in callpath_core::pool::stats().named() {
+        if value > 0 {
+            counters.push((name.to_owned(), value));
+        }
+    }
     counters.sort();
     let mut histograms: Vec<HistRec> = reg
         .hists

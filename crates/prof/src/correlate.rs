@@ -24,11 +24,17 @@ pub struct Correlator<'s> {
     /// CCT node (hash map: rank counts × profile sizes make linear scans
     /// quadratic).
     pub(crate) totals: std::collections::HashMap<NodeId, [f64; Counter::COUNT]>,
-    /// When enabled, the ordered `(parent, child)` pairs of every
-    /// `find_or_add_child` call — the visit log a parallel reduction
-    /// replays to reproduce this correlator's node ids exactly
-    /// (see `crate::parallel`).
+    /// When enabled, an ordered `(parent, child)` visit log a parallel
+    /// reduction replays to reproduce this correlator's node ids
+    /// exactly (see `crate::parallel`).
     pub(crate) journal: Option<Vec<(NodeId, NodeId)>>,
+    /// Pruned journals record only **first-appearance** edges — the
+    /// calls that created `child`. Repeat visits find an existing node
+    /// and replay to a no-op, so dropping them at record time shrinks
+    /// the journal from O(visits) to O(nodes) without changing what it
+    /// rebuilds. The unpruned variant exists only as the pre-pruning
+    /// baseline the thread-scaling bench gates against.
+    pub(crate) prune_journal: bool,
 }
 
 impl<'s> Correlator<'s> {
@@ -76,34 +82,47 @@ impl<'s> Correlator<'s> {
             periods,
             totals: std::collections::HashMap::new(),
             journal: None,
+            prune_journal: true,
         }
     }
 
-    /// A correlator that additionally records its visit log, for use as a
-    /// worker shard of the parallel reduction.
+    /// A correlator that additionally records its (pruned) visit log,
+    /// for use as a worker shard of the parallel reduction. Journaling
+    /// shards skip the totals fold in [`Self::add`]: their totals are
+    /// never read — the reduction folds remapped per-rank costs into
+    /// the canonical totals itself.
     pub(crate) fn with_journal(structure: &'s Structure, periods: [u64; Counter::COUNT]) -> Self {
         let mut c = Self::new(structure, periods);
         c.journal = Some(Vec::new());
         c
     }
 
+    /// [`Self::with_journal`] without pruning: every visit is recorded,
+    /// repeats included. Only the pre-pruning replay baseline
+    /// (`parallel::correlate_replay_baseline`) wants this.
+    pub(crate) fn with_full_journal(
+        structure: &'s Structure,
+        periods: [u64; Counter::COUNT],
+    ) -> Self {
+        let mut c = Self::with_journal(structure, periods);
+        c.prune_journal = false;
+        c
+    }
+
     /// `find_or_add_child` plus journaling.
     fn touch(&mut self, parent: NodeId, kind: ScopeKind) -> NodeId {
-        let child = self.cct.find_or_add_child(parent, kind);
+        let (child, created) = self.cct.find_or_add_child_tracked(parent, kind);
         if let Some(j) = &mut self.journal {
-            j.push((parent, child));
+            if created || !self.prune_journal {
+                j.push((parent, child));
+            }
         }
         child
     }
 
     /// Fold pre-converted per-node costs into the running totals.
     pub(crate) fn fold_costs(&mut self, costs: &PerNodeCosts) {
-        for &(n, cs) in costs {
-            let t = self.totals.entry(n).or_insert([0.0; Counter::COUNT]);
-            for i in 0..Counter::COUNT {
-                t[i] += cs[i];
-            }
-        }
+        fold_costs_into(&mut self.totals, costs);
     }
 
     /// The canonical CCT built so far.
@@ -116,7 +135,13 @@ impl<'s> Correlator<'s> {
     pub fn add(&mut self, profile: &RawProfile) -> PerNodeCosts {
         let mut out: PerNodeCosts = Vec::new();
         self.walk(profile, profile.root(), self.cct.root(), &mut out);
-        self.fold_costs(&out);
+        // Journaling shards skip the fold: the parallel reduction
+        // discards shard-local totals and folds the canonically
+        // remapped costs itself, in global rank order, so f64 sums stay
+        // bit-identical to the sequential path.
+        if self.journal.is_none() {
+            self.fold_costs(&out);
+        }
         out
     }
 
@@ -245,34 +270,67 @@ impl<'s> Correlator<'s> {
 
     /// Build the experiment from everything added so far.
     pub fn finish(self, storage: StorageKind) -> Experiment {
-        let mut raw = RawMetrics::new(storage);
-        let active = self.active_counters();
-        let metric_ids: Vec<MetricId> = active
-            .iter()
-            .map(|&c| {
-                raw.add_metric(MetricDesc::new(
-                    c.papi_name(),
-                    c.unit(),
-                    self.periods[c as usize] as f64,
-                ))
-            })
-            .collect();
-        // Deterministic insertion independent of hash order; the batched
-        // per-metric write walks nodes ascending, which is the columnar
-        // store's append fast path.
-        let mut totals: Vec<(NodeId, [f64; Counter::COUNT])> = self.totals.into_iter().collect();
-        totals.sort_unstable_by_key(|(n, _)| *n);
-        let mut batch: Vec<(NodeId, f64)> = Vec::with_capacity(totals.len());
-        for (mi, &c) in active.iter().enumerate() {
-            batch.clear();
-            batch.extend(totals.iter().filter_map(|&(node, costs)| {
-                let v = costs[c as usize];
-                (v != 0.0).then_some((node, v))
-            }));
-            raw.add_costs(metric_ids[mi], &batch);
-        }
-        Experiment::build(self.cct, raw, storage)
+        finish_parts(self.cct, self.totals, self.periods, storage)
     }
+}
+
+/// Fold pre-converted per-node costs into a running totals map, entry
+/// by entry in vector order. Both the sequential correlator and the
+/// parallel reduction fold through this one function so their f64
+/// accumulation order — and therefore every rounded bit — is identical.
+pub(crate) fn fold_costs_into(
+    totals: &mut std::collections::HashMap<NodeId, [f64; Counter::COUNT]>,
+    costs: &PerNodeCosts,
+) {
+    for &(n, cs) in costs {
+        let t = totals.entry(n).or_insert([0.0; Counter::COUNT]);
+        for i in 0..Counter::COUNT {
+            t[i] += cs[i];
+        }
+    }
+}
+
+/// Assemble an [`Experiment`] from a finished CCT plus accumulated
+/// totals — the back half of [`Correlator::finish`], split out so the
+/// parallel reduction can build the experiment from a merged CCT it
+/// folded totals into itself.
+pub(crate) fn finish_parts(
+    cct: Cct,
+    totals: std::collections::HashMap<NodeId, [f64; Counter::COUNT]>,
+    periods: [u64; Counter::COUNT],
+    storage: StorageKind,
+) -> Experiment {
+    let mut raw = RawMetrics::new(storage);
+    let active: Vec<Counter> = Counter::ALL
+        .iter()
+        .copied()
+        .filter(|&c| periods[c as usize] > 0)
+        .collect();
+    let metric_ids: Vec<MetricId> = active
+        .iter()
+        .map(|&c| {
+            raw.add_metric(MetricDesc::new(
+                c.papi_name(),
+                c.unit(),
+                periods[c as usize] as f64,
+            ))
+        })
+        .collect();
+    // Deterministic insertion independent of hash order; the batched
+    // per-metric write walks nodes ascending, which is the columnar
+    // store's append fast path.
+    let mut totals: Vec<(NodeId, [f64; Counter::COUNT])> = totals.into_iter().collect();
+    totals.sort_unstable_by_key(|(n, _)| *n);
+    let mut batch: Vec<(NodeId, f64)> = Vec::with_capacity(totals.len());
+    for (mi, &c) in active.iter().enumerate() {
+        batch.clear();
+        batch.extend(totals.iter().filter_map(|&(node, costs)| {
+            let v = costs[c as usize];
+            (v != 0.0).then_some((node, v))
+        }));
+        raw.add_costs(metric_ids[mi], &batch);
+    }
+    Experiment::build(cct, raw, storage)
 }
 
 /// One-shot correlation of a single profile.

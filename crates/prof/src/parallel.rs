@@ -1,8 +1,8 @@
-//! Parallel profile ingestion: shard N rank profiles across worker
-//! threads, correlate each shard against its own local CCT, then merge
-//! the shards with a deterministic replay so the canonical CCT — node
-//! ids included — is **identical to what the sequential [`Correlator`]
-//! produces**.
+//! Parallel profile ingestion: shard N rank profiles across the worker
+//! pool, correlate each shard against its own local CCT, then merge the
+//! shards pairwise — concurrently, left-to-right — so the canonical
+//! CCT, node ids included, is **identical to what the sequential
+//! [`Correlator`] produces**.
 //!
 //! ## Why the result is byte-identical
 //!
@@ -10,8 +10,8 @@
 //! order of its `find_or_add_child` calls: walking rank 0's profile,
 //! then rank 1's, and so on, each walk visiting frames and static
 //! scopes in a fixed DFS order that depends only on the profile, the
-//! structure, and the interned name ids. Three properties make the
-//! parallel path replayable:
+//! structure, and the interned name ids. Four properties make the
+//! parallel path equivalent:
 //!
 //! 1. **Shared interned name table.** Every correlator over the same
 //!    structure builds the identical name table, because
@@ -19,33 +19,51 @@
 //!    names — in deterministic structure order before any profile is
 //!    walked. Scope kinds therefore compare equal across shards by
 //!    value.
-//! 2. **Visit journals.** Each worker correlates a *contiguous* run of
-//!    ranks (chunk 0 = ranks `0..k`, chunk 1 the next run, ...) while
-//!    recording its ordered `(parent, child)` `find_or_add_child`
-//!    calls. A shard's journal is exactly the call sequence the
-//!    sequential correlator would issue for those ranks.
-//! 3. **Rank-order reduction.** The reduction replays the journals
-//!    against a fresh canonical correlator in ascending chunk order.
-//!    The canonical tree therefore receives the same
-//!    `find_or_add_child` sequence as the sequential path, and
-//!    first-appearance child ordering does the rest: identical arena,
-//!    identical ids.
+//! 2. **Pruned visit journals.** Each worker correlates a *contiguous*
+//!    run of ranks (chunk 0 = ranks `0..k`, chunk 1 the next run, ...)
+//!    while recording only the `(parent, child)` calls that **created**
+//!    `child`. Repeat visits find an existing node, so replaying them
+//!    is a no-op — dropping them loses nothing. What remains is every
+//!    non-root shard node, once, in creation order, parents before
+//!    children: the minimal recipe that rebuilds the shard's CCT with
+//!    the same ids.
+//! 3. **Pairwise merge preserves creation order.** Merging shard B into
+//!    shard A replays B's pruned journal against A's CCT. Nodes
+//!    already reachable in A map onto A's ids; genuinely new paths are
+//!    created in B-journal order — exactly the order a sequential walk
+//!    of B's ranks *after* A's ranks would first encounter them. The
+//!    merged journal is A's journal followed by the newly created
+//!    edges (in merged-local ids), so the invariant holds at every
+//!    level of the merge tree. Adjacent shards merge concurrently on
+//!    the pool, but always left into right-neighbor order, so the
+//!    final CCT equals shard 0's CCT extended in sequential creation
+//!    order — and shard 0's ids are the sequential ids for its ranks
+//!    by construction. No final replay pass is needed.
+//! 4. **Rank-order totals fold.** f64 addition is not associative, so
+//!    the per-node totals are *not* summed during the concurrent
+//!    merges. Per-rank costs are remapped to canonical ids on the pool
+//!    (cheap, exact — a table lookup per entry), then folded into a
+//!    fresh totals map in ascending rank order on the reducing thread:
+//!    the same additions in the same order as a sequential `add` loop,
+//!    hence bit-identical column values.
 //!
-//! Per-rank direct costs come back in shard-local node ids and are
-//! remapped through the replay's local→canonical table before being
-//! folded into the canonical totals, so [`ParallelCorrelator::correlate`]
-//! returns the same `(Experiment, Vec<PerNodeCosts>)` a sequential
-//! `add` loop plus `finish` would.
+//! The pre-pruning reduction — full journals replayed serially against
+//! one canonical correlator, O(total visits) on one thread — survives
+//! as [`correlate_replay_baseline`] so the thread-scaling bench can
+//! prove the new path does strictly less work even on one core.
 
-use crate::correlate::{Correlator, PerNodeCosts};
+use crate::correlate::{finish_parts, fold_costs_into, Correlator, PerNodeCosts};
 use callpath_core::prelude::*;
 use callpath_profiler::{Counter, RawProfile};
 use callpath_structure::Structure;
 
-/// One worker's output: the shard-local CCT, the visit journal that
+/// One worker's output: the shard-local CCT, the pruned journal that
 /// rebuilds it, and each rank's direct costs in shard-local node ids.
 struct Shard {
     cct: Cct,
+    /// First-appearance `(parent, child)` edges, creation order: every
+    /// non-root node of `cct` appears exactly once as `child`, after
+    /// its parent.
     journal: Vec<(NodeId, NodeId)>,
     per_rank: Vec<PerNodeCosts>,
 }
@@ -56,12 +74,12 @@ pub const SHARD_CUTOVER: usize = 4;
 
 /// How [`ParallelCorrelator::correlate`] will actually run for a given
 /// input size: a plain sequential `add` loop, or sharded fan-out with
-/// journal replay.
+/// pairwise merge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IngestMode {
     /// One correlator fed rank-by-rank on the calling thread.
     Sequential,
-    /// Contiguous rank shards on worker threads, merged by replay.
+    /// Contiguous rank shards on pool workers, merged pairwise.
     Sharded,
 }
 
@@ -81,6 +99,39 @@ pub struct ParallelCorrelator<'s> {
     structure: &'s Structure,
     periods: [u64; Counter::COUNT],
     threads: usize,
+}
+
+/// Merge `right` into `left`: replay `right`'s pruned journal against
+/// `left`'s CCT, extend `left`'s journal with the edges that created
+/// new nodes, and remap `right`'s per-rank costs into the merged ids.
+/// `left`'s node ids are stable across the merge, so its journal and
+/// per-rank costs carry over untouched.
+fn merge_pair(mut left: Shard, right: Shard) -> Shard {
+    let mut remap: Vec<NodeId> = vec![NodeId(u32::MAX); right.cct.len()];
+    remap[right.cct.root().index()] = left.cct.root();
+    for &(parent, child) in &right.journal {
+        let kind = right.cct.kind(child);
+        let merged_parent = remap[parent.index()];
+        debug_assert_ne!(
+            merged_parent.0,
+            u32::MAX,
+            "journal references unseen parent"
+        );
+        let (merged_child, created) = left.cct.find_or_add_child_tracked(merged_parent, kind);
+        remap[child.index()] = merged_child;
+        if created {
+            left.journal.push((merged_parent, merged_child));
+        }
+    }
+    for costs in right.per_rank {
+        left.per_rank.push(
+            costs
+                .into_iter()
+                .map(|(n, cs)| (remap[n.index()], cs))
+                .collect(),
+        );
+    }
+    left
 }
 
 impl<'s> ParallelCorrelator<'s> {
@@ -123,7 +174,7 @@ impl<'s> ParallelCorrelator<'s> {
         let _span = callpath_obs::span("prof.correlate");
         callpath_obs::count("prof.profiles_ingested", profiles.len() as u64);
         if self.mode_for(profiles.len()) == IngestMode::Sequential {
-            // One worker (or a tiny input): the journal/replay round
+            // One worker (or a tiny input): the journal/merge round
             // trip is pure overhead, so feed a plain correlator.
             let mut corr = Correlator::new(self.structure, self.periods);
             let out: Vec<PerNodeCosts> = profiles.iter().map(|p| corr.add(p)).collect();
@@ -132,10 +183,10 @@ impl<'s> ParallelCorrelator<'s> {
 
         // Fan out: contiguous rank chunks, one journaling correlator per
         // worker. chunked_map returns shards in ascending rank order.
-        // Worker threads have no span context of their own, so each
-        // shard nests explicitly under this call's span.
+        // Pool workers have no span context of their own, so each shard
+        // nests explicitly under this call's span.
         let parent = callpath_obs::current();
-        let shards: Vec<Shard> = chunked_map(profiles, self.threads, |_ci, batch| {
+        let mut shards: Vec<Shard> = chunked_map(profiles, self.threads, |_ci, batch| {
             let _span = callpath_obs::span_under(parent, "prof.shard_correlate");
             let mut corr = Correlator::with_journal(self.structure, self.periods);
             let per_rank: Vec<PerNodeCosts> = batch.iter().map(|p| corr.add(p)).collect();
@@ -146,32 +197,91 @@ impl<'s> ParallelCorrelator<'s> {
             }
         });
 
-        // Reduce: replay each shard's journal against the canonical
-        // correlator in rank order, then fold its costs through the
-        // local→canonical remap.
-        let _replay = callpath_obs::span("prof.merge_replay");
-        let mut canon = Correlator::new(self.structure, self.periods);
-        let mut out: Vec<PerNodeCosts> = Vec::with_capacity(profiles.len());
-        for shard in shards {
-            let mut remap: Vec<NodeId> = vec![NodeId(u32::MAX); shard.cct.len()];
-            remap[shard.cct.root().index()] = canon.cct.root();
-            for &(parent, child) in &shard.journal {
-                let kind = shard.cct.kind(child);
-                let canon_parent = remap[parent.index()];
-                debug_assert_ne!(canon_parent.0, u32::MAX, "journal references unseen parent");
-                remap[child.index()] = canon.cct.find_or_add_child(canon_parent, kind);
+        // Reduce: merge adjacent shards pairwise, level by level, each
+        // pair concurrently on the pool. Left-to-right order is
+        // preserved at every level, so the surviving shard's CCT and
+        // per-rank ids are the sequential ones (see module docs).
+        let _merge = callpath_obs::span("prof.merge_tree");
+        while shards.len() > 1 {
+            callpath_obs::count("prof.merge.pairs", (shards.len() / 2) as u64);
+            let mut inputs: Vec<(Shard, Option<Shard>)> = Vec::with_capacity(shards.len() / 2 + 1);
+            let mut it = shards.into_iter();
+            while let Some(a) = it.next() {
+                inputs.push((a, it.next()));
             }
-            for costs in shard.per_rank {
-                let mapped: PerNodeCosts = costs
+            shards = run_tasks(
+                inputs
                     .into_iter()
-                    .map(|(n, cs)| (remap[n.index()], cs))
-                    .collect();
-                canon.fold_costs(&mapped);
-                out.push(mapped);
-            }
+                    .map(|(a, b)| {
+                        move || match b {
+                            Some(b) => {
+                                let _span = callpath_obs::span_under(parent, "prof.merge_pair");
+                                merge_pair(a, b)
+                            }
+                            // Odd shard out: passes through to the next
+                            // level unchanged, keeping its position.
+                            None => a,
+                        }
+                    })
+                    .collect(),
+            );
         }
-        (canon.finish(storage), out)
+        let canon = shards.pop().expect("sharded mode implies >= 1 shard");
+
+        // Fold totals in ascending rank order — the exact sequential
+        // accumulation order, so every f64 sum rounds identically.
+        let mut totals = std::collections::HashMap::new();
+        for costs in &canon.per_rank {
+            fold_costs_into(&mut totals, costs);
+        }
+        (
+            finish_parts(canon.cct, totals, self.periods, storage),
+            canon.per_rank,
+        )
     }
+}
+
+/// The pre-pruning reduction this PR replaced, kept compilable so the
+/// thread-scaling bench can gate the new path against it: every shard
+/// records its **full** journal (repeat visits included) and one
+/// thread replays all of them — O(total visits) — against a canonical
+/// correlator. Not part of the public API surface; do not use outside
+/// benchmarks.
+#[doc(hidden)]
+pub fn correlate_replay_baseline(
+    structure: &Structure,
+    periods: [u64; Counter::COUNT],
+    profiles: &[RawProfile],
+    threads: usize,
+    storage: StorageKind,
+) -> (Experiment, Vec<PerNodeCosts>) {
+    // An unpruned shard: CCT, full visit journal, per-rank costs.
+    type FullShard = (Cct, Vec<(NodeId, NodeId)>, Vec<PerNodeCosts>);
+    let shards: Vec<FullShard> = chunked_map(profiles, threads, |_ci, batch| {
+        let mut corr = Correlator::with_full_journal(structure, periods);
+        let per_rank: Vec<PerNodeCosts> = batch.iter().map(|p| corr.add(p)).collect();
+        (corr.cct, corr.journal.take().unwrap_or_default(), per_rank)
+    });
+    let mut canon = Correlator::new(structure, periods);
+    let mut out: Vec<PerNodeCosts> = Vec::with_capacity(profiles.len());
+    for (cct, journal, per_rank) in shards {
+        let mut remap: Vec<NodeId> = vec![NodeId(u32::MAX); cct.len()];
+        remap[cct.root().index()] = canon.cct.root();
+        for &(parent, child) in &journal {
+            let kind = cct.kind(child);
+            let canon_parent = remap[parent.index()];
+            remap[child.index()] = canon.cct.find_or_add_child(canon_parent, kind);
+        }
+        for costs in per_rank {
+            let mapped: PerNodeCosts = costs
+                .into_iter()
+                .map(|(n, cs)| (remap[n.index()], cs))
+                .collect();
+            canon.fold_costs(&mapped);
+            out.push(mapped);
+        }
+    }
+    (canon.finish(storage), out)
 }
 
 #[cfg(test)]
@@ -247,6 +357,60 @@ mod tests {
                 assert_eq!(a, b, "threads={threads} column {c:?}");
             }
         }
+    }
+
+    #[test]
+    fn replay_baseline_also_matches_sequential() {
+        // The bench gate compares new-vs-baseline timings; that only
+        // means something if both compute the same result.
+        let (structure, profiles, cfg) = profiles_for(7);
+        let mut seq = Correlator::new(&structure, cfg.periods);
+        let seq_costs: Vec<PerNodeCosts> = profiles.iter().map(|p| seq.add(p)).collect();
+        let seq_exp = seq.finish(StorageKind::Dense);
+        let (base_exp, base_costs) =
+            correlate_replay_baseline(&structure, cfg.periods, &profiles, 4, StorageKind::Dense);
+        assert_eq!(base_costs, seq_costs);
+        assert_eq!(base_exp.cct.len(), seq_exp.cct.len());
+        for c in seq_exp.columns.columns() {
+            let a: Vec<(u32, f64)> = seq_exp.columns.vec(c).nonzero_sorted().collect();
+            let b: Vec<(u32, f64)> = base_exp.columns.vec(c).nonzero_sorted().collect();
+            assert_eq!(a, b, "column {c:?}");
+        }
+    }
+
+    #[test]
+    fn pruned_journal_is_one_entry_per_non_root_node() {
+        let (structure, profiles, cfg) = profiles_for(6);
+        let mut pruned = Correlator::with_journal(&structure, cfg.periods);
+        let mut full = Correlator::with_full_journal(&structure, cfg.periods);
+        for p in &profiles {
+            pruned.add(p);
+            full.add(p);
+        }
+        let pj = pruned.journal.take().unwrap();
+        let fj = full.journal.take().unwrap();
+        assert_eq!(
+            pj.len(),
+            pruned.cct.len() - 1,
+            "pruned journal must hold every non-root node exactly once"
+        );
+        assert!(
+            fj.len() > pj.len(),
+            "repeat visits must make the full journal strictly larger \
+             (full {} vs pruned {})",
+            fj.len(),
+            pj.len()
+        );
+        // The pruned journal is the subsequence of first appearances:
+        // same set of children, creation order, parents before children.
+        let mut seen = vec![false; pruned.cct.len()];
+        seen[pruned.cct.root().index()] = true;
+        for &(parent, child) in &pj {
+            assert!(seen[parent.index()], "parent created after child");
+            assert!(!seen[child.index()], "child journaled twice");
+            seen[child.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -14,13 +14,18 @@
 #    open vs v2, first-render fault counts, decode-all)
 #    -> BENCH_zero_copy.json at the repo root. This row runs under a
 #    hard wall-clock budget so a scaling regression fails the script
-#    instead of silently stretching it.
+#    instead of silently stretching it;
+#  * thread scaling (ingest + decode_all at 1/2/4/8 workers, plus the
+#    pruned-merge-beats-old-replay gate that holds even on one core)
+#    -> BENCH_thread_scaling.json at the repo root, same hard-budget
+#    treatment.
 set -eu
 cd "$(dirname "$0")/.."
 cargo test --release --test perf_smoke -- --ignored --nocapture
 cargo test --release --test session_nav -- --ignored --nocapture
 cargo test --release --test expdb_open_smoke -- --ignored --nocapture
 timeout 900 cargo test --release --test zero_copy_smoke -- --ignored --nocapture
+timeout 900 cargo test --release --test thread_scaling -- --ignored --nocapture
 rm -f target/obs_overhead_on.json target/obs_overhead_off.json
 cargo test --release --test obs_overhead -- --ignored --nocapture
 cargo test --release --no-default-features --test obs_overhead -- --ignored --nocapture

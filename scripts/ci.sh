@@ -10,3 +10,8 @@ cargo test -q --workspace
 # The zero-copy borrow path must behave identically from an owned
 # aligned buffer: rerun the integration suite with `mmap` off.
 cargo test -q --no-default-features --features obs
+# The worker pool and every fan-out built on it must behave the same
+# whether the automatic thread count degenerates to 1 (inline path) or
+# fans out to 4: rerun the core fan-out unit tests pinned to both.
+CALLPATH_THREADS=1 cargo test -q -p callpath-core --lib -- pool:: chunked::
+CALLPATH_THREADS=4 cargo test -q -p callpath-core --lib -- pool:: chunked::
