@@ -1,0 +1,209 @@
+//! The TCP front end: thread-per-connection over a nonblocking accept
+//! loop, so shutdown is observed within one poll tick even with no
+//! incoming connections.
+//!
+//! Connection handling is deliberately boring: read one line, hand it
+//! to [`Engine::handle_line`], write one line back. Robustness lives in
+//! the bounds — a per-read socket timeout (so a stalled client can't
+//! pin a thread), an idle timeout (so abandoned connections are
+//! reclaimed), and a line-length cap (so a client can't buffer the
+//! server into the ground). On shutdown the accept loop stops, every
+//! connection finishes the request it is currently processing (the
+//! drain), and `run` joins all handler threads before returning.
+
+use crate::Engine;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How often the accept loop and connection reads poll the shutdown
+/// flag while idle.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// A bound listener plus the engine it feeds.
+pub struct Server {
+    engine: Arc<Engine>,
+    listener: TcpListener,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port; read it back
+    /// with [`Server::local_addr`]).
+    pub fn bind(engine: Arc<Engine>, addr: &str) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server { engine, listener })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept and serve connections until shutdown is requested, then
+    /// drain: stop accepting, let in-flight requests finish, join every
+    /// connection thread.
+    pub fn run(self) {
+        let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !self.engine.is_shutting_down() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let engine = Arc::clone(&self.engine);
+                    handlers.push(thread::spawn(move || serve_connection(&engine, stream)));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    thread::sleep(POLL_TICK);
+                }
+                Err(_) => thread::sleep(POLL_TICK),
+            }
+            // Reap finished handlers so a long-lived server doesn't
+            // accumulate join handles.
+            handlers.retain(|h| !h.is_finished());
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Serve one connection: line in, line out, until the peer hangs up,
+/// goes idle past the configured timeout, or the server drains.
+fn serve_connection(engine: &Engine, stream: TcpStream) {
+    let cfg = engine.config().clone();
+    // A short read timeout doubles as the shutdown poll tick: reads
+    // wake up regularly to check the flag without burning CPU.
+    let _ = stream.set_read_timeout(Some(POLL_TICK.max(Duration::from_millis(1))));
+    let _ = stream.set_write_timeout(Some(cfg.io_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut pending: Vec<u8> = Vec::new();
+    let mut line = String::new();
+    let mut last_activity = Instant::now();
+    loop {
+        if engine.is_shutting_down() {
+            return;
+        }
+        if last_activity.elapsed() > cfg.idle_timeout {
+            return;
+        }
+        line.clear();
+        match read_bounded_line(&mut reader, &mut pending, &mut line, cfg.max_line_bytes) {
+            ReadOutcome::Line => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                last_activity = Instant::now();
+                let reply = engine.handle_line(&line);
+                if writer
+                    .write_all(reply.as_bytes())
+                    .and_then(|_| writer.write_all(b"\n"))
+                    .and_then(|_| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            ReadOutcome::Eof => return,
+            ReadOutcome::TooLong => {
+                // Reject and drop the connection: past the cap we can't
+                // resynchronize on line boundaries safely.
+                engine.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let reply = crate::protocol::response(
+                    &crate::json::Json::Null,
+                    Err(crate::protocol::RequestError::new(
+                        "parse",
+                        format!("request line exceeds {} bytes", cfg.max_line_bytes),
+                    )),
+                );
+                let _ = writer
+                    .write_all(reply.as_bytes())
+                    .and_then(|_| writer.write_all(b"\n"))
+                    .and_then(|_| writer.flush());
+                return;
+            }
+            ReadOutcome::WouldBlock => continue,
+            ReadOutcome::Err => return,
+        }
+    }
+}
+
+enum ReadOutcome {
+    Line,
+    Eof,
+    TooLong,
+    WouldBlock,
+    Err,
+}
+
+/// Read one `\n`-terminated line into `out`, capped at `max` bytes.
+/// Bytes read ahead of a newline accumulate in `pending`, which the
+/// caller keeps alive across calls so a read timeout mid-line resumes
+/// cleanly instead of dropping the partial request.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    pending: &mut Vec<u8>,
+    out: &mut String,
+    max: usize,
+) -> ReadOutcome {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e)
+                if e.kind() == ErrorKind::WouldBlock
+                    || e.kind() == ErrorKind::TimedOut
+                    || e.kind() == ErrorKind::Interrupted =>
+            {
+                // Timeout (possibly mid-line: `pending` holds what we
+                // have). The caller re-checks shutdown and idle limits,
+                // then calls back in to keep waiting for the newline.
+                return ReadOutcome::WouldBlock;
+            }
+            Err(_) => return ReadOutcome::Err,
+        };
+        if available.is_empty() {
+            return if pending.is_empty() {
+                ReadOutcome::Eof
+            } else {
+                // Unterminated final line: serve it anyway.
+                finish_line(std::mem::take(pending), out)
+            };
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map(|i| i + 1).unwrap_or(available.len());
+        pending.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if pending.len() > max {
+            pending.clear();
+            return ReadOutcome::TooLong;
+        }
+        if newline.is_some() {
+            let mut bytes = std::mem::take(pending);
+            while bytes.last() == Some(&b'\n') || bytes.last() == Some(&b'\r') {
+                bytes.pop();
+            }
+            return finish_line(bytes, out);
+        }
+    }
+}
+
+fn finish_line(bytes: Vec<u8>, out: &mut String) -> ReadOutcome {
+    match String::from_utf8(bytes) {
+        Ok(s) => {
+            out.push_str(&s);
+            ReadOutcome::Line
+        }
+        Err(_) => {
+            // Non-UTF-8 request: hand the caller a line the JSON parser
+            // will reject, producing a structured `parse` reply instead
+            // of tearing down the connection.
+            out.push('\u{fffd}');
+            ReadOutcome::Line
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The bounded session table: many independent viewer [`Session`]s
+//! multiplexed over shared immutable [`Experiment`]s, with LRU
+//! eviction once the table is full.
+//!
+//! # Why the `'static` lifetime hack is sound
+//!
+//! `Session<'e>` borrows `&'e Experiment`. A table of sessions opened
+//! at arbitrary times over arbitrary databases can't express those
+//! borrows in the type system, so each slot erases the lifetime: the
+//! session is stored as `Session<'static>` pointing into an
+//! `Arc<Experiment>` held by the same slot. This is sound because:
+//!
+//! 1. the `Experiment` lives on the heap behind an `Arc`, so its
+//!    address is stable for the `Arc`'s whole life — moving the slot
+//!    (e.g. when the `HashMap` rehashes) moves the pointer, not the
+//!    pointee;
+//! 2. `_exp` is declared *after* `session`, so the session (and every
+//!    internal borrow) drops before the `Arc` it points into;
+//! 3. a `Session` never takes `&mut Experiment`: lazy column faults
+//!    and attribution caches go through `OnceLock`/`RwLock` interior
+//!    mutability, which is exactly what makes sharing one experiment
+//!    across many sessions safe in the first place (DESIGN.md §10).
+
+use callpath_core::prelude::{Experiment, SourceStore};
+use callpath_viewer::Session;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One resident session plus the experiment that keeps it alive.
+pub struct SessionSlot {
+    /// The interactive session, lifetime-erased (see module docs).
+    /// Field order matters: must drop before `_exp`.
+    pub session: Mutex<Session<'static>>,
+    /// Database path the session was opened on (reported by `stats`).
+    pub path: String,
+    /// Logical-clock stamp of the last request that touched this slot
+    /// (atomic so `touch` can stamp through a shared `Arc`).
+    last_used: AtomicU64,
+    /// Keeps the experiment (and the mmap behind it) alive.
+    _exp: Arc<Experiment>,
+}
+
+impl SessionSlot {
+    fn new(exp: Arc<Experiment>, path: String, now: u64) -> Self {
+        // SAFETY: see the module-level soundness argument. The borrow
+        // is created from the Arc's stable heap pointer and outlived
+        // by `_exp` in the same struct; declaration order guarantees
+        // the session drops first.
+        let session = {
+            let exp_static: &'static Experiment = unsafe { &*Arc::as_ptr(&exp) };
+            Session::new(exp_static, SourceStore::new())
+        };
+        SessionSlot {
+            session: Mutex::new(session),
+            path,
+            last_used: AtomicU64::new(now),
+            _exp: exp,
+        }
+    }
+}
+
+/// Bounded id → slot map with least-recently-used eviction.
+pub struct SessionTable {
+    slots: HashMap<u64, Arc<SessionSlot>>,
+    next_id: u64,
+    clock: u64,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl SessionTable {
+    /// An empty table holding at most `capacity` live sessions.
+    pub fn new(capacity: usize) -> Self {
+        SessionTable {
+            slots: HashMap::new(),
+            next_id: 1,
+            clock: 0,
+            capacity: capacity.max(1),
+            evictions: 0,
+        }
+    }
+
+    /// Open a new session over `exp`; evicts the least-recently-used
+    /// slot first if the table is full. Returns the new session id.
+    pub fn insert(&mut self, exp: Arc<Experiment>, path: String) -> u64 {
+        while self.slots.len() >= self.capacity {
+            if let Some(&victim) = self
+                .slots
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(id, _)| id)
+            {
+                self.slots.remove(&victim);
+                self.evictions += 1;
+            } else {
+                break;
+            }
+        }
+        self.clock += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.slots
+            .insert(id, Arc::new(SessionSlot::new(exp, path, self.clock)));
+        id
+    }
+
+    /// Look up a session and stamp it most-recently-used. The returned
+    /// `Arc` keeps the slot alive even if a concurrent `open` evicts it
+    /// from the table mid-request.
+    pub fn touch(&mut self, id: u64) -> Option<Arc<SessionSlot>> {
+        self.clock += 1;
+        let slot = self.slots.get(&id)?;
+        slot.last_used.store(self.clock, Ordering::Relaxed);
+        Some(Arc::clone(slot))
+    }
+
+    /// Drop a session explicitly. Returns `true` if it existed.
+    pub fn remove(&mut self, id: u64) -> bool {
+        self.slots.remove(&id).is_some()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// How many slots eviction has reclaimed since startup.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}

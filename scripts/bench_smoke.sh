@@ -18,7 +18,11 @@
 #  * thread scaling (ingest + decode_all at 1/2/4/8 workers, plus the
 #    pruned-merge-beats-old-replay gate that holds even on one core)
 #    -> BENCH_thread_scaling.json at the repo root, same hard-budget
-#    treatment.
+#    treatment;
+#  * serving latency (4 concurrent protocol clients driving scripted
+#    find/sort/hot-path/flatten sessions against a live callpath-serve,
+#    exact client-side p50/p95 per request) -> BENCH_serve.json at the
+#    repo root.
 set -eu
 cd "$(dirname "$0")/.."
 cargo test --release --test perf_smoke -- --ignored --nocapture
@@ -26,6 +30,7 @@ cargo test --release --test session_nav -- --ignored --nocapture
 cargo test --release --test expdb_open_smoke -- --ignored --nocapture
 timeout 900 cargo test --release --test zero_copy_smoke -- --ignored --nocapture
 timeout 900 cargo test --release --test thread_scaling -- --ignored --nocapture
+timeout 900 cargo test --release --test serve_smoke -- --ignored --nocapture
 rm -f target/obs_overhead_on.json target/obs_overhead_off.json
 cargo test --release --test obs_overhead -- --ignored --nocapture
 cargo test --release --no-default-features --test obs_overhead -- --ignored --nocapture

@@ -13,5 +13,12 @@ cargo test -q --no-default-features --features obs
 # The worker pool and every fan-out built on it must behave the same
 # whether the automatic thread count degenerates to 1 (inline path) or
 # fans out to 4: rerun the core fan-out unit tests pinned to both.
+# (`resolve_threads` caches the env read per process, so the variable
+# must be set at process start — which is exactly what happens here.)
 CALLPATH_THREADS=1 cargo test -q -p callpath-core --lib -- pool:: chunked::
 CALLPATH_THREADS=4 cargo test -q -p callpath-core --lib -- pool:: chunked::
+# The serving path: protocol fuzz (engine never panics on hostile
+# input) and the end-to-end TCP smoke (concurrent clients, renders
+# byte-identical to a direct Session, SIGINT drain).
+cargo test -q -p callpath-serve
+cargo test -q --test serve_smoke

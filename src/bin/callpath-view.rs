@@ -182,7 +182,27 @@ fn load(path: &str) -> Result<Experiment, String> {
     }
 }
 
-fn run() -> Result<(), String> {
+/// Write to stdout, tolerating a closed pipe: under `callpath-view … |
+/// head` the reader goes away mid-render, and the right behavior is to
+/// stop quietly (no panic, no error text), not to spray diagnostics.
+/// Returns `false` once stdout is gone; callers stop rendering then.
+fn emit(text: &str) -> bool {
+    use std::io::Write;
+    let mut stdout = std::io::stdout().lock();
+    match stdout
+        .write_all(text.as_bytes())
+        .and_then(|_| stdout.flush())
+    {
+        Ok(()) => true,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => false,
+        Err(e) => {
+            eprintln!("error: cannot write to stdout: {e}");
+            false
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
     let mut exp = load(&args.file)?;
     for (name, formula) in &args.derived {
@@ -209,12 +229,14 @@ fn run() -> Result<(), String> {
     result
 }
 
-fn present(args: &Args, exp: &mut Experiment) -> Result<(), String> {
+fn present(args: &Args, exp: &mut Experiment) -> Result<ExitCode, String> {
     if args.list_columns {
         for (i, d) in exp.columns.descs().iter().enumerate() {
-            println!("{i:>3}  {}", d.name);
+            if !emit(&format!("{i:>3}  {}\n", d.name)) {
+                break;
+            }
         }
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
 
     if args.interactive {
@@ -261,17 +283,14 @@ fn present(args: &Args, exp: &mut Experiment) -> Result<(), String> {
         let start = *roots
             .first()
             .ok_or_else(|| "the view is empty".to_owned())?;
-        print!(
-            "{}",
-            render_hot_path(
-                &mut view,
-                start,
-                col,
-                HotPathConfig::with_threshold(args.threshold),
-                &cfg
-            )
-        );
-        return Ok(());
+        emit(&render_hot_path(
+            &mut view,
+            start,
+            col,
+            HotPathConfig::with_threshold(args.threshold),
+            &cfg,
+        ));
+        return Ok(ExitCode::SUCCESS);
     }
 
     if args.flatten > 0 {
@@ -282,30 +301,35 @@ fn present(args: &Args, exp: &mut Experiment) -> Result<(), String> {
             let roots = flat.tree.roots();
             let level = flat.flatten(exp, &roots, args.flatten);
             let ids: Vec<u32> = level.iter().map(|n| n.0).collect();
-            print!(
-                "{}",
-                callpath_viewer::render_flattened(&mut view, &ids, &cfg)
-            );
-            return Ok(());
+            emit(&callpath_viewer::render_flattened(&mut view, &ids, &cfg));
+            return Ok(ExitCode::SUCCESS);
         }
     }
 
-    print!("{}", render(&mut view, &cfg));
-    Ok(())
+    emit(&render(&mut view, &cfg));
+    Ok(ExitCode::SUCCESS)
 }
 
 /// The interactive shell: a line-oriented front end over
 /// [`callpath_viewer::Session`]. Scopes are addressed by the row numbers
 /// the renderer prints, so the top-down discipline holds: only visible
 /// rows can be acted on.
-fn repl(exp: &Experiment) -> Result<(), String> {
+///
+/// Output contract: renders go to stdout; the banner, help text and
+/// command errors go to stderr, so piping stdout yields clean view
+/// text. When stdin is not a terminal (a scripted run), any failed
+/// command makes the final exit status nonzero — matching batch mode.
+fn repl(exp: &Experiment) -> Result<ExitCode, String> {
     use callpath_viewer::{Command, Session};
-    use std::io::BufRead;
+    use std::io::{BufRead, IsTerminal};
 
     let mut session = Session::new(exp, callpath_core::source::SourceStore::new());
     let (text, mut rows) = session.render_numbered();
-    println!("{text}");
-    println!("(interactive mode; 'help' lists commands)");
+    if !emit(&format!("{text}\n")) {
+        return Ok(ExitCode::SUCCESS);
+    }
+    eprintln!("(interactive mode; 'help' lists commands)");
+    let mut failed = false;
 
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
@@ -323,7 +347,7 @@ fn repl(exp: &Experiment) -> Result<(), String> {
         let result = match cmd {
             "quit" | "q" | "exit" => break,
             "help" | "h" | "?" => {
-                println!("{REPL_HELP}");
+                eprintln!("{REPL_HELP}");
                 continue;
             }
             "ccv" => session.apply(Command::SwitchView(ViewKind::CallingContext)),
@@ -363,19 +387,27 @@ fn repl(exp: &Experiment) -> Result<(), String> {
             other => Err(format!("unknown command '{other}' (try 'help')")),
         };
         if let Err(e) = result {
-            println!("error: {e}");
+            eprintln!("error: {e}");
+            failed = true;
             continue;
         }
         let (text, new_rows) = session.render_numbered();
         rows = new_rows;
-        println!("{text}");
+        if !emit(&format!("{text}\n")) {
+            break;
+        }
     }
-    Ok(())
+    // Interactive typos are forgiven; a failed command in a piped
+    // script is a failed run.
+    if failed && !std::io::stdin().is_terminal() {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE

@@ -6,6 +6,7 @@ pub use callpath_obs as obs;
 pub use callpath_parallel as parallel;
 pub use callpath_prof as prof;
 pub use callpath_profiler as profiler;
+pub use callpath_serve as serve;
 pub use callpath_structure as structure;
 pub use callpath_viewer as viewer;
 pub use callpath_workloads as workloads;

@@ -258,6 +258,7 @@ fn interactive_mode_drives_a_session() {
         .args([db.to_str().unwrap(), "-i"])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
         .spawn()
         .unwrap();
     child
@@ -267,7 +268,12 @@ fn interactive_mode_drives_a_session() {
         .write_all(b"hot\nfind transport\nbogus\nexpand 9999\nquit\n")
         .unwrap();
     let out = child.wait_with_output().unwrap();
-    assert!(out.status.success());
+    // Failed commands in a piped (non-tty) script exit nonzero, same
+    // as batch mode.
+    assert!(
+        !out.status.success(),
+        "scripted REPL with failing commands must exit nonzero"
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("[  0]"), "numbered rows: {text}");
     assert!(text.contains("🔥"), "hot path ran");
@@ -275,7 +281,74 @@ fn interactive_mode_drives_a_session() {
         text.contains("transport_m_computecoefficients_"),
         "find revealed it"
     );
-    assert!(text.contains("error: unknown command 'bogus'"));
-    assert!(text.contains("error: no row 9999"));
+    // Diagnostics go to stderr; stdout stays pipeable view text.
+    assert!(!text.contains("error:"), "stdout polluted: {text}");
+    let errs = String::from_utf8_lossy(&out.stderr);
+    assert!(errs.contains("error: unknown command 'bogus'"), "{errs}");
+    assert!(errs.contains("error: no row 9999"), "{errs}");
+    std::fs::remove_file(&db).ok();
+}
+
+/// A scripted REPL run where every command succeeds exits zero and
+/// keeps stdout free of any diagnostic text.
+#[test]
+fn interactive_mode_with_clean_script_exits_zero_with_clean_stdout() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let db = tmp("repl-clean.cpdb");
+    assert!(Command::new(record())
+        .args(["--workload", "s3d", "-o", db.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let mut child = Command::new(view())
+        .args([db.to_str().unwrap(), "-i"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"hot\nfind transport\nquit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "clean script must exit zero");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("error:"), "stdout polluted: {text}");
+    assert!(
+        !text.contains("interactive mode"),
+        "banner on stdout: {text}"
+    );
+    assert!(text.contains("🔥"), "hot path rendered");
+    std::fs::remove_file(&db).ok();
+}
+
+/// `callpath-view … | head` (reader hangs up early): no panic, no error
+/// text anywhere, exit zero.
+#[test]
+fn piped_view_with_early_reader_exit_is_quiet() {
+    let db = tmp("pipe.cpdb");
+    assert!(Command::new(record())
+        .args(["--workload", "s3d", "-o", db.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = Command::new("sh")
+        .arg("-c")
+        .arg(format!(
+            "{} {} 2>err.txt | head -n 2; cat err.txt; rm -f err.txt",
+            view(),
+            db.to_str().unwrap()
+        ))
+        .current_dir(std::env::temp_dir())
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().count(), 2, "{text}");
+    assert!(!text.contains("error"), "error text leaked: {text}");
+    assert!(!text.contains("panicked"), "panic leaked: {text}");
     std::fs::remove_file(&db).ok();
 }
