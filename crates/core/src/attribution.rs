@@ -71,7 +71,16 @@ pub fn attribute(cct: &Cct, raw: &RawMetrics, m: MetricId, storage: StorageKind)
 
     // Pass 1: inclusive. Arena order is topological (parents precede
     // children), so a single reverse sweep accumulates child sums.
-    let mut incl: Vec<f64> = (0..n).map(|i| raw.direct(m, NodeId(i as u32))).collect();
+    // Direct costs are scattered from the sorted non-zero entries in
+    // O(nnz) instead of probing the column once per node — for
+    // compacted columnar storage each probe is a binary search, which
+    // dominated lazy column faults on wide CCTs.
+    let mut incl: Vec<f64> = vec![0.0; n];
+    for (node, v) in raw.column(m).nonzero_sorted() {
+        if (node as usize) < n {
+            incl[node as usize] = v;
+        }
+    }
     for i in (1..n).rev() {
         let node = NodeId(i as u32);
         if let Some(p) = cct.parent(node) {
@@ -95,12 +104,11 @@ pub fn attribute(cct: &Cct, raw: &RawMetrics, m: MetricId, storage: StorageKind)
     //   - its innermost enclosing frame-like scope (rule 1);
     //   - the frame-direct bucket of that frame, when nothing but the frame
     //     itself separates the cost from the frame.
-    for i in 0..n {
-        let node = NodeId(i as u32);
-        let d = raw.direct(m, node);
-        if d == 0.0 {
+    for (i, d) in raw.column(m).nonzero_sorted() {
+        if i as usize >= n {
             continue;
         }
+        let node = NodeId(i);
         let kind = cct.kind(node);
         match kind {
             ScopeKind::Stmt { .. } | ScopeKind::Loop { .. } => {

@@ -15,87 +15,24 @@
 
 use crate::cct::Cct;
 use crate::experiment::Experiment;
-use crate::ids::{ColumnId, FileId, LoadModuleId, MetricId, NodeId, ProcId};
+use crate::ids::{ColumnId, MetricId, NodeId};
 use crate::metrics::{MetricDesc, RawMetrics, StorageKind};
-use crate::names::{NameTable, SourceLoc};
-use crate::scope::ScopeKind;
-
-/// Remap a scope kind from one experiment's name space into the merged
-/// name table.
-struct NameMap<'a> {
-    src: &'a NameTable,
-}
-
-impl NameMap<'_> {
-    fn proc(&self, names: &mut NameTable, p: ProcId) -> ProcId {
-        names.proc(self.src.proc_name(p))
-    }
-
-    fn file(&self, names: &mut NameTable, f: FileId) -> FileId {
-        names.file(self.src.file_name(f))
-    }
-
-    fn module(&self, names: &mut NameTable, m: LoadModuleId) -> LoadModuleId {
-        names.module(self.src.module_name(m))
-    }
-
-    fn loc(&self, names: &mut NameTable, l: SourceLoc) -> SourceLoc {
-        SourceLoc::new(self.file(names, l.file), l.line)
-    }
-
-    fn kind(&self, names: &mut NameTable, k: &ScopeKind) -> ScopeKind {
-        match *k {
-            ScopeKind::Root => ScopeKind::Root,
-            ScopeKind::Frame {
-                proc,
-                module,
-                def,
-                call_site,
-            } => ScopeKind::Frame {
-                proc: self.proc(names, proc),
-                module: self.module(names, module),
-                def: self.loc(names, def),
-                call_site: call_site.map(|c| self.loc(names, c)),
-            },
-            ScopeKind::InlinedFrame {
-                proc,
-                def,
-                call_site,
-            } => ScopeKind::InlinedFrame {
-                proc: self.proc(names, proc),
-                def: self.loc(names, def),
-                call_site: self.loc(names, call_site),
-            },
-            ScopeKind::Loop { header } => ScopeKind::Loop {
-                header: self.loc(names, header),
-            },
-            ScopeKind::Stmt { loc } => ScopeKind::Stmt {
-                loc: self.loc(names, loc),
-            },
-        }
-    }
-}
+use crate::names::NameTable;
+use crate::supergraph::{arena_journal, replay_into};
 
 /// Copy one experiment's CCT and direct costs into the merged experiment
 /// under construction. `metric_base` is the index of this side's first
 /// metric in the merged metric list.
+///
+/// The structural half is the shared union-supergraph primitive: the
+/// source tree's arena order is its pruned creation journal
+/// ([`arena_journal`]), and [`replay_into`] replays it against the
+/// merged tree with by-name kind translation — the N=2 case of the
+/// ensemble merge, producing the same node ids as the pre-supergraph
+/// hand-rolled walk (pinned by `tests/data/diff_s3d.golden`).
 fn fold_in(exp: &Experiment, cct: &mut Cct, raw: &mut RawMetrics, metric_base: usize) {
-    let map = NameMap {
-        src: &exp.cct.names,
-    };
-    // node_map[src node] = merged node.
-    let mut node_map: Vec<NodeId> = Vec::with_capacity(exp.cct.len());
-    node_map.push(cct.root());
-    for n in exp.cct.all_nodes().skip(1) {
-        let parent = exp.cct.parent(n).expect("non-root");
-        let merged_parent = node_map[parent.index()];
-        let mut names = std::mem::take(&mut cct.names);
-        let kind = map.kind(&mut names, &exp.cct.kind(n));
-        cct.names = names;
-        let merged = cct.find_or_add_child(merged_parent, kind);
-        debug_assert_eq!(node_map.len(), n.index());
-        node_map.push(merged);
-    }
+    let mut journal = Vec::new();
+    let node_map: Vec<NodeId> = replay_into(cct, &mut journal, &exp.cct, &arena_journal(&exp.cct));
     for mi in 0..exp.raw.metric_count() {
         let m = MetricId::from_usize(mi);
         let merged_m = MetricId::from_usize(metric_base + mi);
@@ -216,6 +153,8 @@ pub fn scaling_loss(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::names::SourceLoc;
+    use crate::scope::ScopeKind;
 
     /// Build a small experiment: main -> {fast, slow}, with the slow
     /// frame's statement cost parameterized.

@@ -84,6 +84,7 @@ pub mod pool;
 pub mod scope;
 pub mod source;
 pub mod summary;
+pub mod supergraph;
 pub mod view;
 pub mod viewtree;
 
@@ -107,10 +108,13 @@ pub mod prelude {
         MetricVec, NonzeroSorted, RawMetrics, StorageKind,
     };
     pub use crate::names::{NameTable, SourceLoc};
-    pub use crate::pool::{run_tasks, PoolStats};
+    pub use crate::pool::{reduce_pairwise, run_tasks, PoolStats};
     pub use crate::scope::{ScopeKind, StaticKey};
     pub use crate::source::SourceStore;
     pub use crate::summary::{Stat, Welford};
+    pub use crate::supergraph::{
+        arena_journal, merge_shards, replay_into, translate_kind, CctShard, RemapNodes,
+    };
     pub use crate::view::{sort_by_column, sort_nodes_with, top_k_by_column, View, ViewKind};
     pub use crate::viewtree::{
         LabelCache, SortCache, SortDir, SortKey, ViewScope, ViewTree, TOP_SLOT_BASE,

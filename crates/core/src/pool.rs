@@ -286,6 +286,41 @@ where
     out
 }
 
+/// Reduce `items` to one value by merging adjacent pairs level by level,
+/// every level's pairs running concurrently via [`run_tasks`]. `merge`
+/// is always called as `merge(left, right)` with `left` the lower-index
+/// operand, and an odd item out passes through to the next level
+/// unchanged in its position — so for any merge with the property
+/// "`merge(a, b)` extends `a` in `b`'s order" the result is identical
+/// to the sequential left-to-right fold, whatever the worker count.
+/// Returns `None` only for an empty input.
+pub fn reduce_pairwise<T, F>(mut items: Vec<T>, merge: F) -> Option<T>
+where
+    T: Send,
+    F: Fn(T, T) -> T + Sync,
+{
+    while items.len() > 1 {
+        let mut inputs: Vec<(T, Option<T>)> = Vec::with_capacity(items.len() / 2 + 1);
+        let mut it = items.into_iter();
+        while let Some(a) = it.next() {
+            inputs.push((a, it.next()));
+        }
+        let merge = &merge;
+        items = run_tasks(
+            inputs
+                .into_iter()
+                .map(|(a, b)| {
+                    move || match b {
+                        Some(b) => merge(a, b),
+                        None => a,
+                    }
+                })
+                .collect(),
+        );
+    }
+    items.pop()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,5 +450,26 @@ mod tests {
     fn empty_task_list_is_a_no_op() {
         let out: Vec<u32> = run_tasks(Vec::<fn() -> u32>::new());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reduce_pairwise_preserves_left_to_right_order() {
+        // String concatenation is order-sensitive: the pairwise tree
+        // must still produce the sequential fold's result.
+        for n in [0usize, 1, 2, 3, 7, 8, 13, 64] {
+            let items: Vec<String> = (0..n).map(|i| format!("{i},")).collect();
+            let expect = items.concat();
+            let got = reduce_pairwise(items, |a, b| a + &b);
+            match got {
+                None => assert_eq!(n, 0),
+                Some(s) => assert_eq!(s, expect, "n={n}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_pairwise_single_item_passes_through() {
+        assert_eq!(reduce_pairwise(vec![41u64], |a, b| a + b), Some(41));
+        assert_eq!(reduce_pairwise(Vec::<u64>::new(), |a, b| a + b), None);
     }
 }

@@ -1,0 +1,280 @@
+//! The union-supergraph core: deterministic N-way merge of calling
+//! context trees by journal replay.
+//!
+//! `prof::parallel` (PR 7) merges *rank shards* of one execution;
+//! `diff` merges exactly two experiments. Both reduce to the same
+//! primitive — replay a pruned creation journal of one tree against
+//! another, translating scope kinds **by name** — and the ensemble
+//! path (DESIGN.md §15) needs it for N arbitrary runs. This module
+//! factors that primitive out:
+//!
+//! * [`arena_journal`] derives the pruned journal of any loaded CCT
+//!   from its arena order (arena order *is* creation order, parents
+//!   precede children — see [`crate::cct`]);
+//! * [`translate_kind`] rewrites a [`ScopeKind`] from one name table
+//!   into another, interning on demand. Within one namespace the
+//!   intern order is proc, then module, then definition file, then
+//!   call-site file — the same order `diff`'s merge has always used,
+//!   so rebasing `diff` on this module is byte-identical;
+//! * [`replay_into`] replays a journal into a destination shard,
+//!   returning the node remap table;
+//! * [`CctShard`] pairs a CCT + journal with an arbitrary payload that
+//!   knows how to remap itself ([`RemapNodes`]), so the same pairwise
+//!   merge carries per-rank costs (prof) or per-run columns (ensemble).
+//!
+//! ## Determinism
+//!
+//! [`merge_shards`] is written for [`crate::pool::reduce_pairwise`]:
+//! it always extends the *left* shard in the *right* journal's order,
+//! so any pairwise reduction tree that keeps left-to-right operand
+//! order produces the same result as the sequential fold — same node
+//! ids, same name-table intern order, bit for bit. Folding every shard
+//! into a **fresh empty shard** (rather than mutating shard 0 in
+//! place) makes the result independent of any one input's stored
+//! name-table ordering or unreferenced names.
+
+use crate::cct::Cct;
+use crate::ids::NodeId;
+use crate::names::{NameTable, SourceLoc};
+use crate::scope::ScopeKind;
+
+/// Rewrite `kind` from `src` names into `names`, interning on demand.
+///
+/// Intern order within each namespace is fixed (proc, module, def
+/// file, call-site file, in field order) so that two folds seeing the
+/// same kind sequence build the same name table.
+pub fn translate_kind(names: &mut NameTable, src: &NameTable, k: &ScopeKind) -> ScopeKind {
+    let loc = |names: &mut NameTable, l: SourceLoc| {
+        SourceLoc::new(names.file(src.file_name(l.file)), l.line)
+    };
+    match *k {
+        ScopeKind::Root => ScopeKind::Root,
+        ScopeKind::Frame {
+            proc,
+            module,
+            def,
+            call_site,
+        } => ScopeKind::Frame {
+            proc: names.proc(src.proc_name(proc)),
+            module: names.module(src.module_name(module)),
+            def: loc(names, def),
+            call_site: call_site.map(|c| loc(names, c)),
+        },
+        ScopeKind::InlinedFrame {
+            proc,
+            def,
+            call_site,
+        } => ScopeKind::InlinedFrame {
+            proc: names.proc(src.proc_name(proc)),
+            def: loc(names, def),
+            call_site: loc(names, call_site),
+        },
+        ScopeKind::Loop { header } => ScopeKind::Loop {
+            header: loc(names, header),
+        },
+        ScopeKind::Stmt { loc: l } => ScopeKind::Stmt { loc: loc(names, l) },
+    }
+}
+
+/// The pruned creation journal of a loaded CCT: every non-root node
+/// once, as `(parent, node)`, in arena (= creation) order. Replaying
+/// it against an empty tree rebuilds `cct` with identical ids.
+pub fn arena_journal(cct: &Cct) -> Vec<(NodeId, NodeId)> {
+    cct.all_nodes()
+        .skip(1)
+        .map(|n| (cct.parent(n).expect("non-root node has a parent"), n))
+        .collect()
+}
+
+/// Replay `journal` (edges over `src`) into `dst`, translating scope
+/// kinds from `src.names` into `dst`'s name table and extending
+/// `dst_journal` with the edges that created new nodes. Returns the
+/// remap table: `remap[src node] = dst node` for every node the
+/// journal mentions (untouched slots stay `NodeId(u32::MAX)`).
+///
+/// `dst`'s existing node ids are stable across the call; new nodes are
+/// appended in `journal` order — exactly where a sequential fold that
+/// had processed `dst`'s inputs first would have put them.
+pub fn replay_into(
+    dst: &mut Cct,
+    dst_journal: &mut Vec<(NodeId, NodeId)>,
+    src: &Cct,
+    journal: &[(NodeId, NodeId)],
+) -> Vec<NodeId> {
+    let mut remap: Vec<NodeId> = vec![NodeId(u32::MAX); src.len()];
+    remap[src.root().index()] = dst.root();
+    for &(parent, child) in journal {
+        let merged_parent = remap[parent.index()];
+        debug_assert_ne!(
+            merged_parent.0,
+            u32::MAX,
+            "journal references unseen parent"
+        );
+        // The name table is moved out for the duration of the kind
+        // translation so `dst` itself stays borrowable.
+        let mut names = std::mem::take(&mut dst.names);
+        let kind = translate_kind(&mut names, &src.names, &src.kind(child));
+        dst.names = names;
+        let (merged_child, created) = dst.find_or_add_child_tracked(merged_parent, kind);
+        remap[child.index()] = merged_child;
+        if created {
+            dst_journal.push((merged_parent, merged_child));
+        }
+    }
+    remap
+}
+
+/// Payloads carried through a shard merge: anything holding node ids
+/// that must be rewritten when its shard's nodes land in a merged tree.
+pub trait RemapNodes {
+    /// Rewrite every node id through `map` (`map[old.index()] = new`).
+    fn remap_nodes(&mut self, map: &[NodeId]);
+}
+
+/// A mergeable unit: a CCT, the pruned journal that rebuilds it, and
+/// payloads in its local node ids.
+pub struct CctShard<P> {
+    /// The shard's tree.
+    pub cct: Cct,
+    /// First-appearance `(parent, child)` edges in creation order:
+    /// every non-root node of `cct` exactly once, after its parent.
+    pub journal: Vec<(NodeId, NodeId)>,
+    /// Per-input payloads (per-rank costs, per-run columns, ...), each
+    /// in this shard's node ids.
+    pub payload: Vec<P>,
+}
+
+impl<P> CctShard<P> {
+    /// A root-only shard with a fresh name table and no payloads: the
+    /// identity element of [`merge_shards`].
+    pub fn empty() -> Self {
+        CctShard {
+            cct: Cct::new(NameTable::new()),
+            journal: Vec::new(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Wrap an existing tree: the journal is derived from arena order.
+    pub fn from_cct(cct: Cct, payload: Vec<P>) -> Self {
+        let journal = arena_journal(&cct);
+        CctShard {
+            cct,
+            journal,
+            payload,
+        }
+    }
+}
+
+/// Merge `right` into `left`: replay `right`'s journal against
+/// `left`'s tree, remap `right`'s payloads into the merged ids and
+/// append them after `left`'s. `left`'s ids are stable, so its journal
+/// and payloads carry over untouched — the invariant
+/// [`crate::pool::reduce_pairwise`] needs for determinism.
+pub fn merge_shards<P: RemapNodes>(mut left: CctShard<P>, right: CctShard<P>) -> CctShard<P> {
+    let remap = replay_into(&mut left.cct, &mut left.journal, &right.cct, &right.journal);
+    for mut p in right.payload {
+        p.remap_nodes(&remap);
+        left.payload.push(p);
+    }
+    left
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProcId;
+
+    fn tree(procs: &[&str]) -> Cct {
+        let mut names = NameTable::new();
+        let file = names.file("x.c");
+        let module = names.module("x");
+        let ids: Vec<ProcId> = procs.iter().map(|p| names.proc(p)).collect();
+        let mut cct = Cct::new(names);
+        let root = cct.root();
+        let mut parent = root;
+        for (i, p) in ids.into_iter().enumerate() {
+            parent = cct.add_child(
+                parent,
+                ScopeKind::Frame {
+                    proc: p,
+                    module,
+                    def: SourceLoc::new(file, 10 * (i as u32 + 1)),
+                    call_site: None,
+                },
+            );
+        }
+        cct
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Tagged(Vec<NodeId>);
+
+    impl RemapNodes for Tagged {
+        fn remap_nodes(&mut self, map: &[NodeId]) {
+            for n in &mut self.0 {
+                *n = map[n.index()];
+            }
+        }
+    }
+
+    #[test]
+    fn arena_journal_rebuilds_the_tree() {
+        let src = tree(&["main", "work", "leaf"]);
+        let journal = arena_journal(&src);
+        assert_eq!(journal.len(), src.len() - 1);
+        let mut dst = Cct::new(NameTable::new());
+        let mut dj = Vec::new();
+        let remap = replay_into(&mut dst, &mut dj, &src, &journal);
+        assert_eq!(dst.len(), src.len());
+        for n in src.all_nodes() {
+            // Fresh fold of a single tree: ids map onto themselves.
+            assert_eq!(remap[n.index()], n);
+        }
+        assert_eq!(dj, journal);
+    }
+
+    #[test]
+    fn merge_deduplicates_shared_prefixes_and_remaps_payloads() {
+        let a = tree(&["main", "fast"]);
+        let b = tree(&["main", "slow"]);
+        let sa = CctShard::from_cct(a, vec![Tagged(vec![NodeId(2)])]);
+        let b_leaf = NodeId(2);
+        let sb = CctShard::from_cct(b, vec![Tagged(vec![b_leaf])]);
+        let merged = merge_shards(merge_shards(CctShard::empty(), sa), sb);
+        // main shared; fast and slow distinct: root + 3.
+        assert_eq!(merged.cct.len(), 4);
+        assert_eq!(merged.journal.len(), 3);
+        // b's payload now points at the merged "slow" node, not id 2.
+        assert_eq!(merged.payload.len(), 2);
+        let slow = merged.payload[1].0[0];
+        assert!(
+            matches!(merged.cct.kind(slow), ScopeKind::Frame { proc, .. }
+            if merged.cct.names.proc_name(proc) == "slow")
+        );
+    }
+
+    #[test]
+    fn fold_into_empty_ignores_source_name_table_order() {
+        // Same tree, but one source interned extra names first: the
+        // folds must still be identical because translation goes by
+        // string, against a fresh table.
+        let a = tree(&["main", "work"]);
+        let mut b = tree(&["main", "work"]);
+        b.names.proc("unrelated_zzz");
+        b.names.file("zzz.c");
+        let fold = |src: &Cct| {
+            let mut dst = Cct::new(NameTable::new());
+            let mut dj = Vec::new();
+            replay_into(&mut dst, &mut dj, src, &arena_journal(src));
+            dst
+        };
+        let fa = fold(&a);
+        let fb = fold(&b);
+        assert_eq!(fa.len(), fb.len());
+        for n in fa.all_nodes() {
+            assert_eq!(fa.kind(n), fb.kind(n));
+        }
+        assert_eq!(fa.names.proc_count(), fb.names.proc_count());
+    }
+}

@@ -1,0 +1,663 @@
+#![warn(missing_docs)]
+//! # callpath-ensemble
+//!
+//! Deterministic N-way **union supergraph** over many profile runs,
+//! with cross-run statistics — the ensemble path of DESIGN.md §15.
+//!
+//! Given N runs (each a CCT plus sparse per-metric costs), this crate
+//! builds one union CCT containing every calling context that appears
+//! in any run, remaps every run's costs into union node ids, computes
+//! per-node cross-run statistics (mean / min / max / stddev, one
+//! column each per base metric), and serializes the whole thing as a
+//! `.cpens` container ([`callpath_expdb::ens`]) that reopens
+//! topology-only in milliseconds.
+//!
+//! ## Determinism
+//!
+//! The union is **byte-identical** regardless of worker count and of
+//! the order runs are supplied in:
+//!
+//! * runs are first sorted into a *canonical order* by `(label,
+//!   content fingerprint)` — a pure function of run content;
+//! * the canonical sequence is split into one contiguous group per
+//!   worker, each group folded left-to-right into a **fresh empty
+//!   shard** (so no input's stored name-table order leaks into the
+//!   result), and the groups merged pairwise on the worker pool
+//!   ([`reduce_pairwise`] preserves left-to-right operand order), which
+//!   makes the parallel reduction equal to the sequential fold —
+//!   same node ids, same name table, bit for bit;
+//! * statistics fold runs in canonical order per node, over fixed-size
+//!   node tiles whose boundaries do not depend on the worker count, so
+//!   every f64 accumulation order is fixed too.
+//!
+//! The property tests in `tests/ensemble_properties.rs` pin all of
+//! this, and `tests/ensemble_smoke.rs` measures the 1,000-run build
+//! and cold open for `BENCH_ensemble.json`.
+
+use callpath_core::prelude::*;
+use callpath_expdb::ens::{Directory, EnsembleRun, STAT_NAMES};
+use callpath_expdb::model::{DbError, DbMetric, DbModel};
+use callpath_obs as obs;
+
+/// One run's raw material: a CCT and sparse direct costs per metric,
+/// in the run's own node ids.
+#[derive(Debug, Clone)]
+pub struct RunData {
+    /// Display label (file name, rank, trial id, ...). Sorts first in
+    /// the canonical order; need not be unique.
+    pub label: String,
+    /// The run's calling context tree.
+    pub cct: Cct,
+    /// Metric descriptors, index = local metric id.
+    pub metrics: Vec<MetricDesc>,
+    /// Per metric: sparse `(local node, value)`, ascending by node.
+    pub costs: Vec<Vec<(u32, f64)>>,
+}
+
+impl RunData {
+    /// Build from a database model (the synthetic-workload path):
+    /// validates topology and cost node ranges, attributes nothing.
+    pub fn from_model(label: impl Into<String>, model: &DbModel) -> Result<RunData, DbError> {
+        let cct = model.build_cct()?;
+        let n = cct.len() as u32;
+        let mut metrics = Vec::with_capacity(model.metrics.len());
+        let mut costs = Vec::with_capacity(model.metrics.len());
+        for m in &model.metrics {
+            if let Some(&(node, _)) = m.costs.iter().find(|&&(node, _)| node >= n) {
+                return Err(DbError::new(format!(
+                    "metric '{}': cost references node {node} beyond CCT size {n}",
+                    m.name
+                )));
+            }
+            metrics.push(MetricDesc::new(&m.name, &m.unit, m.period));
+            costs.push(m.costs.clone());
+        }
+        Ok(RunData {
+            label: label.into(),
+            cct,
+            metrics,
+            costs,
+        })
+    }
+
+    /// Build from an opened experiment (the `.cpdb` path). On a lazily
+    /// opened database this faults exactly the raw direct-cost columns
+    /// — never the presentation columns.
+    pub fn from_experiment(label: impl Into<String>, exp: &Experiment) -> RunData {
+        let metrics: Vec<MetricDesc> = (0..exp.raw.metric_count())
+            .map(|m| exp.raw.desc(MetricId::from_usize(m)).clone())
+            .collect();
+        let costs = (0..exp.raw.metric_count())
+            .map(|m| {
+                exp.raw
+                    .column(MetricId::from_usize(m))
+                    .nonzero_sorted()
+                    .collect()
+            })
+            .collect();
+        RunData {
+            label: label.into(),
+            cct: exp.cct.clone(),
+            metrics,
+            costs,
+        }
+    }
+}
+
+/// FNV-1a 64 over a canonical serialization of a run's content —
+/// resolved name strings (so the value is independent of name-table
+/// intern order), topology in arena order, metric descriptors, and
+/// cost bit patterns. The label is deliberately excluded: it is the
+/// *other* half of the canonical sort key.
+pub fn fingerprint(run: &RunData) -> u64 {
+    let mut h = Fnv::new();
+    let cct = &run.cct;
+    let names = &cct.names;
+    for node in cct.all_nodes().skip(1) {
+        h.u32(cct.parent(node).expect("non-root has parent").0);
+        match cct.kind(node) {
+            ScopeKind::Root => unreachable!("root is node 0"),
+            ScopeKind::Frame {
+                proc,
+                module,
+                def,
+                call_site,
+            } => {
+                h.u8(1);
+                h.str(names.proc_name(proc));
+                h.str(names.module_name(module));
+                h.str(names.file_name(def.file));
+                h.u32(def.line);
+                match call_site {
+                    Some(c) => {
+                        h.u8(1);
+                        h.str(names.file_name(c.file));
+                        h.u32(c.line);
+                    }
+                    None => h.u8(0),
+                }
+            }
+            ScopeKind::InlinedFrame {
+                proc,
+                def,
+                call_site,
+            } => {
+                h.u8(2);
+                h.str(names.proc_name(proc));
+                h.str(names.file_name(def.file));
+                h.u32(def.line);
+                h.str(names.file_name(call_site.file));
+                h.u32(call_site.line);
+            }
+            ScopeKind::Loop { header } => {
+                h.u8(3);
+                h.str(names.file_name(header.file));
+                h.u32(header.line);
+            }
+            ScopeKind::Stmt { loc } => {
+                h.u8(4);
+                h.str(names.file_name(loc.file));
+                h.u32(loc.line);
+            }
+        }
+    }
+    h.u32(run.metrics.len() as u32);
+    for (desc, costs) in run.metrics.iter().zip(&run.costs) {
+        h.str(&desc.name);
+        h.str(&desc.unit);
+        h.u64(desc.period.to_bits());
+        h.u32(costs.len() as u32);
+        for &(node, v) in costs {
+            h.u32(node);
+            h.u64(v.to_bits());
+        }
+    }
+    h.0
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u8(&mut self, v: u8) {
+        self.bytes(&[v]);
+    }
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// The union supergraph of a run set, plus everything needed to place
+/// each run's costs in it.
+pub struct Union {
+    /// The union CCT: every calling context of every run, once.
+    pub cct: Cct,
+    /// Canonical run order: `order[i]` is an index into the input
+    /// slice; position `i` is the run's index everywhere downstream.
+    pub order: Vec<usize>,
+    /// `node_maps[i][local]` = union node of canonical run `i`'s
+    /// `local` node.
+    pub node_maps: Vec<Vec<NodeId>>,
+}
+
+/// Per-run payload carried through the shard merge: the canonical
+/// position (for a debug assertion) and the local→merged node map.
+struct RunSlot {
+    pos: usize,
+    map: Vec<NodeId>,
+}
+
+impl RemapNodes for RunSlot {
+    fn remap_nodes(&mut self, map: &[NodeId]) {
+        for n in &mut self.map {
+            *n = map[n.index()];
+        }
+    }
+}
+
+/// Build the union supergraph of `runs` on `threads` workers
+/// (0 = automatic). Deterministic: the result is byte-identical for
+/// any thread count and any input order (see the module docs).
+pub fn build_union(runs: &[RunData], threads: usize) -> Union {
+    assert!(!runs.is_empty(), "an ensemble needs at least one run");
+    let _span = obs::span("ensemble.union");
+    obs::count("ensemble.runs", runs.len() as u64);
+
+    let fps: Vec<u64> = {
+        let _span = obs::span("ensemble.fingerprint");
+        chunked_map(runs, threads, |_, chunk| {
+            chunk.iter().map(fingerprint).collect::<Vec<u64>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+    let mut order: Vec<usize> = (0..runs.len()).collect();
+    order.sort_by(|&a, &b| {
+        (&runs[a].label, fps[a])
+            .cmp(&(&runs[b].label, fps[b]))
+            .then(a.cmp(&b))
+    });
+
+    // One contiguous group of the canonical sequence per worker, each
+    // folded sequentially into a fresh empty shard; then a pairwise
+    // reduction that preserves left-to-right order. Group boundaries
+    // vary with the worker count, but the result does not: merging
+    // adjacent folds equals folding the concatenation.
+    let t = resolve_threads(threads);
+    let group_len = order.len().div_ceil(t).max(1);
+    let fold_group = |start: usize, group: &[usize]| -> CctShard<RunSlot> {
+        let mut shard = CctShard::empty();
+        for (k, &ri) in group.iter().enumerate() {
+            let src = &runs[ri].cct;
+            let journal = arena_journal(src);
+            let map = replay_into(&mut shard.cct, &mut shard.journal, src, &journal);
+            shard.payload.push(RunSlot {
+                pos: start + k,
+                map,
+            });
+        }
+        shard
+    };
+    let shards: Vec<CctShard<RunSlot>> = run_tasks(
+        order
+            .chunks(group_len)
+            .enumerate()
+            .map(|(gi, group)| {
+                let fold_group = &fold_group;
+                move || fold_group(gi * group_len, group)
+            })
+            .collect(),
+    );
+    let merged = reduce_pairwise(shards, |a, b| {
+        obs::count("ensemble.merge.pairs", 1);
+        merge_shards(a, b)
+    })
+    .expect("at least one run implies at least one shard");
+
+    debug_assert!(merged.payload.windows(2).all(|w| w[0].pos + 1 == w[1].pos));
+    Union {
+        cct: merged.cct,
+        order,
+        node_maps: merged.payload.into_iter().map(|s| s.map).collect(),
+    }
+}
+
+/// Remap one sparse cost list through a node map, re-sorting by union
+/// node id. Replay is injective for trees built by child lookup, but a
+/// loaded file makes no such promise, so duplicates are summed (in
+/// original order — the sort is stable).
+fn remap_costs(costs: &[(u32, f64)], map: &[NodeId]) -> Vec<(u32, f64)> {
+    let mut out: Vec<(u32, f64)> = costs.iter().map(|&(n, v)| (map[n as usize].0, v)).collect();
+    out.sort_by_key(|&(n, _)| n);
+    let mut w = 0;
+    for i in 0..out.len() {
+        if w > 0 && out[w - 1].0 == out[i].0 {
+            out[w - 1].1 += out[i].1;
+        } else {
+            out[w] = out[i];
+            w += 1;
+        }
+    }
+    out.truncate(w);
+    out
+}
+
+/// Node-tile width of the statistics pass. Fixed — independent of the
+/// worker count — so per-node accumulation order never changes.
+const STAT_TILE: usize = 4096;
+
+/// A fully built ensemble, ready to serialize.
+pub struct BuiltEnsemble {
+    /// The union CCT.
+    pub cct: Cct,
+    /// Base metric names (from the canonical-first run; other runs
+    /// matched by name, missing metrics contribute zero columns).
+    pub metric_names: Vec<String>,
+    /// Stat columns, metric-major per [`STAT_NAMES`].
+    pub stat_metrics: Vec<DbMetric>,
+    /// Per-run remapped costs, canonical order.
+    pub runs: Vec<EnsembleRun>,
+}
+
+impl BuiltEnsemble {
+    /// Serialize as a `.cpens` container.
+    pub fn to_bytes(self) -> Vec<u8> {
+        callpath_expdb::ens::write_cpens(
+            &self.cct,
+            self.stat_metrics,
+            &self.metric_names,
+            &self.runs,
+        )
+    }
+}
+
+/// Build the full ensemble: union supergraph, per-run remapped costs,
+/// and cross-run statistics, on `threads` workers (0 = automatic).
+pub fn build(runs: &[RunData], threads: usize) -> BuiltEnsemble {
+    let union = build_union(runs, threads);
+    build_from_union(runs, union, threads)
+}
+
+/// The post-union half of [`build`], split out so benches can time the
+/// union and the statistics separately.
+pub fn build_from_union(runs: &[RunData], union: Union, threads: usize) -> BuiltEnsemble {
+    let _span = obs::span("ensemble.stats");
+    let first = &runs[union.order[0]];
+    let base: Vec<MetricDesc> = first.metrics.clone();
+    let metric_names: Vec<String> = base.iter().map(|d| d.name.clone()).collect();
+
+    // Remap every run's costs into union ids, matching metrics by name
+    // against the base list. Embarrassingly parallel per run.
+    let positions: Vec<usize> = (0..union.order.len()).collect();
+    let ens_runs: Vec<EnsembleRun> = chunked_map(&positions, threads, |_, chunk| {
+        chunk
+            .iter()
+            .map(|&i| {
+                let run = &runs[union.order[i]];
+                let map = &union.node_maps[i];
+                let costs = base
+                    .iter()
+                    .map(|bd| {
+                        run.metrics
+                            .iter()
+                            .position(|d| d.name == bd.name)
+                            .map(|mi| remap_costs(&run.costs[mi], map))
+                            .unwrap_or_default()
+                    })
+                    .collect();
+                EnsembleRun {
+                    label: run.label.clone(),
+                    fingerprint: fingerprint(run),
+                    costs,
+                }
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    // One streaming pass per (metric, node tile): fold runs in
+    // canonical order, then derive all four statistics. Absent nodes
+    // count as zero for min/max (a run that never reached a context
+    // spent nothing there) and for the mean/stddev denominator, which
+    // is always the run count.
+    let n_nodes = union.cct.len();
+    let n_runs = ens_runs.len() as f64;
+    let tiles: Vec<(usize, usize)> = (0..base.len())
+        .flat_map(|m| (0..n_nodes).step_by(STAT_TILE).map(move |lo| (m, lo)))
+        .collect();
+    type TileStats = [Vec<(u32, f64)>; 4];
+    let tile_stats: Vec<TileStats> = chunked_map(&tiles, threads, |_, chunk| {
+        chunk
+            .iter()
+            .map(|&(m, lo)| {
+                let hi = (lo + STAT_TILE).min(n_nodes);
+                let w = hi - lo;
+                let mut sum = vec![0.0f64; w];
+                let mut sumsq = vec![0.0f64; w];
+                let mut cnt = vec![0u32; w];
+                let mut mn = vec![f64::INFINITY; w];
+                let mut mx = vec![f64::NEG_INFINITY; w];
+                for run in &ens_runs {
+                    let costs = &run.costs[m];
+                    let a = costs.partition_point(|&(n, _)| (n as usize) < lo);
+                    let b = costs.partition_point(|&(n, _)| (n as usize) < hi);
+                    for &(node, v) in &costs[a..b] {
+                        let k = node as usize - lo;
+                        sum[k] += v;
+                        sumsq[k] += v * v;
+                        cnt[k] += 1;
+                        mn[k] = mn[k].min(v);
+                        mx[k] = mx[k].max(v);
+                    }
+                }
+                let mut out: TileStats = Default::default();
+                for k in 0..w {
+                    if cnt[k] == 0 {
+                        continue;
+                    }
+                    let node = (lo + k) as u32;
+                    let mean = sum[k] / n_runs;
+                    let (lo_v, hi_v) = if (cnt[k] as f64) < n_runs {
+                        (mn[k].min(0.0), mx[k].max(0.0))
+                    } else {
+                        (mn[k], mx[k])
+                    };
+                    let var = (sumsq[k] / n_runs - mean * mean).max(0.0);
+                    for (s, v) in [mean, lo_v, hi_v, var.sqrt()].into_iter().enumerate() {
+                        if v != 0.0 {
+                            out[s].push((node, v));
+                        }
+                    }
+                }
+                out
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    let mut stat_metrics: Vec<DbMetric> = base
+        .iter()
+        .flat_map(|d| {
+            STAT_NAMES.iter().map(|s| DbMetric {
+                name: format!("{} {s}", d.name),
+                unit: d.unit.clone(),
+                period: d.period,
+                costs: Vec::new(),
+            })
+        })
+        .collect();
+    let tiles_per_metric = n_nodes.div_ceil(STAT_TILE);
+    for (ti, tile) in tile_stats.into_iter().enumerate() {
+        let m = ti / tiles_per_metric;
+        for (s, entries) in tile.into_iter().enumerate() {
+            stat_metrics[m * STAT_NAMES.len() + s].costs.extend(entries);
+        }
+    }
+
+    BuiltEnsemble {
+        cct: union.cct,
+        metric_names,
+        stat_metrics,
+        runs: ens_runs,
+    }
+}
+
+/// Score each run's distance from the ensemble from directory totals
+/// alone (no column ever faulted): per run, the maximum over base
+/// metrics of `|total − mean| / stddev` of that metric's per-run
+/// totals (population stddev; metrics with zero spread contribute 0).
+/// Returns `(canonical run index, score)` sorted by descending score,
+/// ties by run index.
+pub fn outlier_scores(dir: &Directory) -> Vec<(usize, f64)> {
+    let n_runs = dir.runs.len() as f64;
+    let n_metrics = dir.metric_names.len();
+    let mut scores = vec![0.0f64; dir.runs.len()];
+    for m in 0..n_metrics {
+        let mean = dir.runs.iter().map(|r| r.stats[m].1).sum::<f64>() / n_runs;
+        let var = dir
+            .runs
+            .iter()
+            .map(|r| {
+                let d = r.stats[m].1 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n_runs;
+        let sd = var.sqrt();
+        if sd > 0.0 {
+            for (r, run) in dir.runs.iter().enumerate() {
+                let z = (run.stats[m].1 - mean).abs() / sd;
+                if z.is_finite() && z > scores[r] {
+                    scores[r] = z;
+                }
+            }
+        }
+    }
+    let mut out: Vec<(usize, f64)> = scores.into_iter().enumerate().collect();
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(label: &str, procs: &[&str], costs: &[(u32, f64)]) -> RunData {
+        let mut names = NameTable::new();
+        let file = names.file("x.c");
+        let module = names.module("x");
+        let ids: Vec<ProcId> = procs.iter().map(|p| names.proc(p)).collect();
+        let mut cct = Cct::new(names);
+        let mut parent = cct.root();
+        for (i, p) in ids.into_iter().enumerate() {
+            parent = cct.add_child(
+                parent,
+                ScopeKind::Frame {
+                    proc: p,
+                    module,
+                    def: SourceLoc::new(file, 10 * (i as u32 + 1)),
+                    call_site: None,
+                },
+            );
+        }
+        RunData {
+            label: label.into(),
+            cct,
+            metrics: vec![MetricDesc::new("cycles", "ev", 1.0)],
+            costs: vec![costs.to_vec()],
+        }
+    }
+
+    #[test]
+    fn union_contains_every_context_once() {
+        let runs = vec![
+            run("a", &["main", "fast"], &[(2, 1.0)]),
+            run("b", &["main", "slow"], &[(2, 2.0)]),
+            run("c", &["main", "fast"], &[(2, 4.0)]),
+        ];
+        let u = build_union(&runs, 1);
+        // root + main + fast + slow
+        assert_eq!(u.cct.len(), 4);
+        // Runs a and c share "fast": their leaves map to the same node.
+        let pos_of = |l: &str| u.order.iter().position(|&i| runs[i].label == l).unwrap();
+        assert_eq!(u.node_maps[pos_of("a")][2], u.node_maps[pos_of("c")][2]);
+        assert_ne!(u.node_maps[pos_of("a")][2], u.node_maps[pos_of("b")][2]);
+    }
+
+    #[test]
+    fn union_is_independent_of_input_order_and_threads() {
+        let runs = vec![
+            run("r2", &["main", "g", "h"], &[(3, 1.0)]),
+            run("r0", &["main", "f"], &[(2, 2.0)]),
+            run("r1", &["main", "g"], &[(2, 3.0)]),
+        ];
+        let reference = build(&runs, 1).to_bytes();
+        let mut shuffled = runs.clone();
+        shuffled.rotate_left(2);
+        for t in [1, 2, 3, 8] {
+            assert_eq!(build(&shuffled, t).to_bytes(), reference, "threads {t}");
+        }
+    }
+
+    #[test]
+    fn stats_count_absent_runs_as_zero() {
+        let runs = vec![
+            run("a", &["main"], &[(1, 3.0)]),
+            run("b", &["main"], &[(1, 5.0)]),
+            run("c", &["main", "only_c"], &[(2, 8.0)]),
+        ];
+        let built = build(&runs, 1);
+        let stat = |name: &str| {
+            built
+                .stat_metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap()
+                .costs
+                .clone()
+        };
+        // Node for "main" is 1 in the union. mean = (3+5+0)/3.
+        let mean = stat("cycles mean");
+        assert_eq!(mean.iter().find(|&&(n, _)| n == 1).unwrap().1, 8.0 / 3.0);
+        // "only_c" exists in one run of three: min counts the zeros.
+        assert!(mean.iter().any(|&(n, v)| n == 2 && v == 8.0 / 3.0));
+        assert!(!stat("cycles min").iter().any(|&(n, _)| n == 2));
+        assert_eq!(
+            stat("cycles max").iter().find(|&&(n, _)| n == 2).unwrap().1,
+            8.0
+        );
+        // All three runs hit "main": min/max are true extrema — but a
+        // missing zero at node 1 in run c widens min to 0.
+        assert!(!stat("cycles min").iter().any(|&(n, _)| n == 1));
+        assert_eq!(
+            stat("cycles max").iter().find(|&&(n, _)| n == 1).unwrap().1,
+            5.0
+        );
+    }
+
+    #[test]
+    fn metrics_match_by_name_across_runs() {
+        let mut a = run("a", &["main"], &[(1, 1.0)]);
+        a.metrics.push(MetricDesc::new("insns", "ev", 1.0));
+        a.costs.push(vec![(1, 10.0)]);
+        let mut b = run("b", &["main"], &[(1, 3.0)]);
+        // b stores insns FIRST: matching must go by name, not index.
+        b.metrics.insert(0, MetricDesc::new("insns", "ev", 1.0));
+        b.costs.insert(0, vec![(1, 20.0)]);
+        let built = build(&[a, b], 1);
+        assert_eq!(built.metric_names, vec!["cycles", "insns"]);
+        let insns_mean = built
+            .stat_metrics
+            .iter()
+            .find(|m| m.name == "insns mean")
+            .unwrap();
+        assert_eq!(insns_mean.costs, vec![(1, 15.0)]);
+    }
+
+    #[test]
+    fn outliers_surface_the_inflated_run() {
+        let mut runs: Vec<RunData> = (0..8)
+            .map(|i| run(&format!("r{i}"), &["main"], &[(1, 100.0)]))
+            .collect();
+        runs[5].costs[0] = vec![(1, 1000.0)];
+        let bytes = build(&runs, 0).to_bytes();
+        let dir = callpath_expdb::ens::read_directory(&bytes).unwrap();
+        let scores = outlier_scores(&dir);
+        assert_eq!(dir.runs[scores[0].0].label, "r5");
+        assert!(scores[0].1 > 2.0, "z-score {}", scores[0].1);
+        assert!(scores[0].1 > scores[1].1 * 2.0);
+    }
+
+    #[test]
+    fn duplicate_runs_collapse_to_the_same_topology() {
+        let a = run("same", &["main", "f"], &[(2, 1.0)]);
+        let b = a.clone();
+        let u = build_union(&[a, b], 2);
+        assert_eq!(u.cct.len(), 3);
+        assert_eq!(u.node_maps[0], u.node_maps[1]);
+    }
+}

@@ -133,7 +133,16 @@ const BLOCK_FIXED: u8 = 1;
 /// and every cost block gains a kind header; see the module docs.
 pub fn write_v21(model: &DbModel) -> Vec<u8> {
     let mut b = TocBuilder::new_aligned(model.sparse);
+    add_v21_sections(&mut b, model);
+    b.finish()
+}
 
+/// Add every standard v2.1 section of `model` to a container under
+/// construction: names, topology, metric descriptors, derived
+/// definitions, and one cost block per metric. Factored out of
+/// [`write_v21`] so the ensemble container ([`crate::ens`]) can embed
+/// a complete, valid v2.1 database and append its own sections after.
+pub(crate) fn add_v21_sections(b: &mut TocBuilder, model: &DbModel) {
     let mut names = Vec::new();
     put_strings(&mut names, &model.procs);
     put_strings(&mut names, &model.files);
@@ -164,31 +173,37 @@ pub fn write_v21(model: &DbModel) -> Vec<u8> {
     b.add(SEC_DERIVED, derived);
 
     for (i, m) in model.metrics.iter().enumerate() {
-        let nnz = m.costs.len();
-        let mut block;
-        if nnz as u64 >= FIXED_CUTOVER {
-            let pad = if nnz % 2 == 1 { 4 } else { 0 };
-            block = Vec::with_capacity(16 + 4 * nnz + pad + 8 * nnz);
-            block.push(BLOCK_FIXED);
-            block.resize(8, 0);
-            block.extend_from_slice(&(nnz as u64).to_le_bytes());
-            for &(node, _) in &m.costs {
-                block.extend_from_slice(&node.to_le_bytes());
-            }
-            block.resize(block.len() + pad, 0);
-            for &(_, v) in &m.costs {
-                block.extend_from_slice(&v.to_le_bytes());
-            }
-        } else {
-            block = Vec::with_capacity(8 + 9 * nnz);
-            block.push(BLOCK_VARINT);
-            block.resize(8, 0);
-            put_costs(&mut block, &m.costs);
-        }
-        b.add(SEC_BLOCK_BASE + i as u32, block);
+        b.add(SEC_BLOCK_BASE + i as u32, encode_block_v21(&m.costs));
     }
+}
 
-    b.finish()
+/// Encode one v2.1 cost-block body: kind byte, 7 padding bytes, then
+/// the fixed-width or varint payload. The encoding choice is a pure
+/// function of the entry count (see [`FIXED_CUTOVER`]), which is what
+/// keeps re-encoding byte-identical.
+pub(crate) fn encode_block_v21(costs: &[(u32, f64)]) -> Vec<u8> {
+    let nnz = costs.len();
+    let mut block;
+    if nnz as u64 >= FIXED_CUTOVER {
+        let pad = if nnz % 2 == 1 { 4 } else { 0 };
+        block = Vec::with_capacity(16 + 4 * nnz + pad + 8 * nnz);
+        block.push(BLOCK_FIXED);
+        block.resize(8, 0);
+        block.extend_from_slice(&(nnz as u64).to_le_bytes());
+        for &(node, _) in costs {
+            block.extend_from_slice(&node.to_le_bytes());
+        }
+        block.resize(block.len() + pad, 0);
+        for &(_, v) in costs {
+            block.extend_from_slice(&v.to_le_bytes());
+        }
+    } else {
+        block = Vec::with_capacity(8 + 9 * nnz);
+        block.push(BLOCK_VARINT);
+        block.resize(8, 0);
+        put_costs(&mut block, costs);
+    }
+    block
 }
 
 /// Build the two v2.1 topology section bodies from a model. Unlike the
@@ -618,7 +633,7 @@ pub(crate) fn read_block_v21(
     }
 }
 
-fn expect_consumed(buf: &[u8], what: &str) -> Result<(), DbError> {
+pub(crate) fn expect_consumed(buf: &[u8], what: &str) -> Result<(), DbError> {
     if buf.is_empty() {
         Ok(())
     } else {

@@ -43,6 +43,11 @@ struct LazyShared {
     /// Private topology copy for attributing faulted columns.
     cct: Cct,
     infos: Vec<MetricInfo>,
+    /// Section id holding metric `m`'s cost block. For a plain
+    /// database this is always `SEC_BLOCK_BASE + m`; an ensemble open
+    /// with per-run drill-down columns maps the appended metrics to
+    /// their run-block sections instead.
+    sections: Vec<u32>,
     /// Parsed derived formulas, in derived-column order.
     exprs: Vec<Expr>,
     /// Whole-program value per column (from stored totals), for `@n`
@@ -65,7 +70,7 @@ impl LazyShared {
         let _span = obs::span("expdb.block_decode");
         let payload = self
             .toc
-            .section(self.data.bytes(), SEC_BLOCK_BASE + m as u32)
+            .section(self.data.bytes(), self.sections[m])
             .map_err(|e| e.message)?;
         obs::observe("expdb.block_bytes", payload.len() as u64);
         let info = &self.infos[m];
@@ -86,7 +91,7 @@ impl LazyShared {
             return self.block(m).map(ColumnData::Owned);
         }
         let _span = obs::span("expdb.block_decode");
-        let id = SEC_BLOCK_BASE + m as u32;
+        let id = self.sections[m];
         let data = self.data.bytes();
         self.toc.verify_section(data, id).map_err(|e| e.message)?;
         let (off, body) = self.toc.raw_payload(data, id).map_err(|e| e.message)?;
@@ -244,18 +249,36 @@ pub fn open_lazy_path(path: &Path) -> Result<Experiment, DbError> {
 }
 
 fn open_image(image: FileImage) -> Result<Experiment, DbError> {
+    open_image_with(ByteImage::new(Arc::new(image)), Vec::new())
+}
+
+/// The full lazy-open path, optionally appending *extra* metrics whose
+/// cost blocks live in non-standard sections — the ensemble reader
+/// ([`crate::ens`]) uses this to graft per-run drill-down columns onto
+/// an opened `.cpens` container. Each extra entry is a descriptor plus
+/// the section id holding its block.
+pub(crate) fn open_image_with(
+    image: ByteImage,
+    extra: Vec<(MetricInfo, u32)>,
+) -> Result<Experiment, DbError> {
     let _span = obs::span("expdb.open_lazy");
-    let image = ByteImage::new(Arc::new(image));
     let data = image.bytes();
     let toc = Toc::parse(data)?;
     let (procs, files, modules) = bin2::read_names(toc.section(data, SEC_NAMES)?)?;
-    let infos = bin2::read_metric_infos(toc.section(data, SEC_METRICS)?)?;
+    let mut infos = bin2::read_metric_infos(toc.section(data, SEC_METRICS)?)?;
     let derived = bin2::read_derived(toc.section(data, SEC_DERIVED)?)?;
+    let mut sections: Vec<u32> = (0..infos.len() as u32)
+        .map(|i| SEC_BLOCK_BASE + i)
+        .collect();
+    for (info, sec) in extra {
+        infos.push(info);
+        sections.push(sec);
+    }
     // Block payloads stay untouched, but their *existence* is checked
     // now so a missing column is an open-time error, not a render-time
     // surprise.
-    for (i, info) in infos.iter().enumerate() {
-        if !toc.contains(SEC_BLOCK_BASE + i as u32) {
+    for (info, &sec) in infos.iter().zip(&sections) {
+        if !toc.contains(sec) {
             return Err(DbError::new(format!(
                 "missing cost block for metric '{}'",
                 info.name
@@ -329,6 +352,7 @@ fn open_image(image: FileImage) -> Result<Experiment, DbError> {
         cct: cct.clone(),
         attrs: (0..infos.len()).map(|_| OnceLock::new()).collect(),
         infos,
+        sections,
         exprs,
         aggregates: aggregates.clone(),
         storage,

@@ -26,6 +26,7 @@
 
 pub mod bin;
 pub mod bin2;
+pub mod ens;
 pub mod image;
 pub mod lazy;
 pub mod model;

@@ -119,56 +119,7 @@ pub struct DbModel {
 impl DbModel {
     /// Extract the model from an attributed experiment.
     pub fn from_experiment(exp: &Experiment) -> DbModel {
-        let names = &exp.cct.names;
-        let procs = (0..names.proc_count())
-            .map(|i| names.proc_name(ProcId(i as u32)).to_owned())
-            .collect();
-        let files = (0..names.file_count())
-            .map(|i| names.file_name(FileId(i as u32)).to_owned())
-            .collect();
-        let modules = (0..names.module_count())
-            .map(|i| names.module_name(LoadModuleId(i as u32)).to_owned())
-            .collect();
-
-        let mut nodes = Vec::with_capacity(exp.cct.len() - 1);
-        for n in exp.cct.all_nodes().skip(1) {
-            let parent = exp.cct.parent(n).expect("non-root has parent").0;
-            let scope = match exp.cct.kind(n) {
-                ScopeKind::Root => unreachable!("root is implicit"),
-                ScopeKind::Frame {
-                    proc,
-                    module,
-                    def,
-                    call_site,
-                } => DbScope::Frame {
-                    proc: proc.0,
-                    module: module.0,
-                    def_file: def.file.0,
-                    def_line: def.line,
-                    call_site: call_site.map(|c| (c.file.0, c.line)),
-                },
-                ScopeKind::InlinedFrame {
-                    proc,
-                    def,
-                    call_site,
-                } => DbScope::Inlined {
-                    proc: proc.0,
-                    def_file: def.file.0,
-                    def_line: def.line,
-                    cs_file: call_site.file.0,
-                    cs_line: call_site.line,
-                },
-                ScopeKind::Loop { header } => DbScope::Loop {
-                    file: header.file.0,
-                    line: header.line,
-                },
-                ScopeKind::Stmt { loc } => DbScope::Stmt {
-                    file: loc.file.0,
-                    line: loc.line,
-                },
-            };
-            nodes.push(DbNode { parent, scope });
-        }
+        let (procs, files, modules, nodes) = topology_parts(&exp.cct);
 
         let metrics = (0..exp.raw.metric_count())
             .map(|mi| {
@@ -204,6 +155,14 @@ impl DbModel {
         }
     }
 
+    /// Reconstruct just the validated CCT — no metrics recorded, no
+    /// attribution. The ensemble builder works from topology plus raw
+    /// sparse costs and never needs the presentation columns
+    /// [`DbModel::into_experiment`] would compute.
+    pub fn build_cct(&self) -> Result<Cct, DbError> {
+        build_cct(&self.procs, &self.files, &self.modules, &self.nodes)
+    }
+
     /// Rebuild a fully attributed experiment.
     pub fn into_experiment(self) -> Result<Experiment, DbError> {
         let cct = build_cct(&self.procs, &self.files, &self.modules, &self.nodes)?;
@@ -234,6 +193,64 @@ impl DbModel {
         }
         Ok(exp)
     }
+}
+
+/// Serialize a CCT's topology half: the three name tables plus node
+/// records in arena order — the inverse of [`build_cct`]. Shared by
+/// [`DbModel::from_experiment`] and the ensemble writer
+/// ([`crate::ens`]), which has a union CCT but no experiment.
+pub(crate) fn topology_parts(cct: &Cct) -> (Vec<String>, Vec<String>, Vec<String>, Vec<DbNode>) {
+    let names = &cct.names;
+    let procs = (0..names.proc_count())
+        .map(|i| names.proc_name(ProcId(i as u32)).to_owned())
+        .collect();
+    let files = (0..names.file_count())
+        .map(|i| names.file_name(FileId(i as u32)).to_owned())
+        .collect();
+    let modules = (0..names.module_count())
+        .map(|i| names.module_name(LoadModuleId(i as u32)).to_owned())
+        .collect();
+
+    let mut nodes = Vec::with_capacity(cct.len() - 1);
+    for n in cct.all_nodes().skip(1) {
+        let parent = cct.parent(n).expect("non-root has parent").0;
+        let scope = match cct.kind(n) {
+            ScopeKind::Root => unreachable!("root is implicit"),
+            ScopeKind::Frame {
+                proc,
+                module,
+                def,
+                call_site,
+            } => DbScope::Frame {
+                proc: proc.0,
+                module: module.0,
+                def_file: def.file.0,
+                def_line: def.line,
+                call_site: call_site.map(|c| (c.file.0, c.line)),
+            },
+            ScopeKind::InlinedFrame {
+                proc,
+                def,
+                call_site,
+            } => DbScope::Inlined {
+                proc: proc.0,
+                def_file: def.file.0,
+                def_line: def.line,
+                cs_file: call_site.file.0,
+                cs_line: call_site.line,
+            },
+            ScopeKind::Loop { header } => DbScope::Loop {
+                file: header.file.0,
+                line: header.line,
+            },
+            ScopeKind::Stmt { loc } => DbScope::Stmt {
+                file: loc.file.0,
+                line: loc.line,
+            },
+        };
+        nodes.push(DbNode { parent, scope });
+    }
+    (procs, files, modules, nodes)
 }
 
 /// Reconstruct a validated [`Cct`] from serialized name tables and node

@@ -69,6 +69,10 @@ pub(crate) const SEC_DERIVED: u32 = 4;
 pub(crate) const SEC_CCT_LINKS: u32 = 5;
 /// Aligned CCT scope kinds (tag bytes + fixed-width fields), v2.1 only.
 pub(crate) const SEC_CCT_KINDS: u32 = 6;
+/// Ensemble directory (run labels, fingerprints, per-run per-metric
+/// totals) — `.cpens` files only ([`crate::ens`]); plain v2.1 readers
+/// skip it, which is what makes an ensemble container a valid database.
+pub(crate) const SEC_ENSEMBLE: u32 = 7;
 /// First per-metric cost block id.
 pub(crate) const SEC_BLOCK_BASE: u32 = 16;
 

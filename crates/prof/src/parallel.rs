@@ -186,7 +186,7 @@ impl<'s> ParallelCorrelator<'s> {
         // Pool workers have no span context of their own, so each shard
         // nests explicitly under this call's span.
         let parent = callpath_obs::current();
-        let mut shards: Vec<Shard> = chunked_map(profiles, self.threads, |_ci, batch| {
+        let shards: Vec<Shard> = chunked_map(profiles, self.threads, |_ci, batch| {
             let _span = callpath_obs::span_under(parent, "prof.shard_correlate");
             let mut corr = Correlator::with_journal(self.structure, self.periods);
             let per_rank: Vec<PerNodeCosts> = batch.iter().map(|p| corr.add(p)).collect();
@@ -198,35 +198,17 @@ impl<'s> ParallelCorrelator<'s> {
         });
 
         // Reduce: merge adjacent shards pairwise, level by level, each
-        // pair concurrently on the pool. Left-to-right order is
-        // preserved at every level, so the surviving shard's CCT and
+        // pair concurrently on the pool (`core::pool::reduce_pairwise`
+        // keeps left-to-right operand order and passes the odd shard
+        // out through unchanged), so the surviving shard's CCT and
         // per-rank ids are the sequential ones (see module docs).
         let _merge = callpath_obs::span("prof.merge_tree");
-        while shards.len() > 1 {
-            callpath_obs::count("prof.merge.pairs", (shards.len() / 2) as u64);
-            let mut inputs: Vec<(Shard, Option<Shard>)> = Vec::with_capacity(shards.len() / 2 + 1);
-            let mut it = shards.into_iter();
-            while let Some(a) = it.next() {
-                inputs.push((a, it.next()));
-            }
-            shards = run_tasks(
-                inputs
-                    .into_iter()
-                    .map(|(a, b)| {
-                        move || match b {
-                            Some(b) => {
-                                let _span = callpath_obs::span_under(parent, "prof.merge_pair");
-                                merge_pair(a, b)
-                            }
-                            // Odd shard out: passes through to the next
-                            // level unchanged, keeping its position.
-                            None => a,
-                        }
-                    })
-                    .collect(),
-            );
-        }
-        let canon = shards.pop().expect("sharded mode implies >= 1 shard");
+        let canon = reduce_pairwise(shards, |a, b| {
+            let _span = callpath_obs::span_under(parent, "prof.merge_pair");
+            callpath_obs::count("prof.merge.pairs", 1);
+            merge_pair(a, b)
+        })
+        .expect("sharded mode implies >= 1 shard");
 
         // Fold totals in ascending rank order — the exact sequential
         // accumulation order, so every f64 sum rounds identically.

@@ -153,6 +153,10 @@ pub struct Engine {
     /// on the same database share one mmap and one set of lazy
     /// column slots.
     experiments: Mutex<HashMap<PathBuf, Arc<Experiment>>>,
+    /// Ensemble directories cache (same keying). A directory is tiny —
+    /// labels, fingerprints and per-metric totals — so `ensemble-stats`
+    /// after the first request never touches the file again.
+    ensembles: Mutex<HashMap<PathBuf, Arc<callpath_expdb::ens::Directory>>>,
     /// Request counters (also mirrored to `obs`).
     pub stats: ServeStats,
     /// In-process request latency histogram.
@@ -169,6 +173,7 @@ impl Engine {
             cfg,
             sessions: Mutex::new(SessionTable::new(capacity)),
             experiments: Mutex::new(HashMap::new()),
+            ensembles: Mutex::new(HashMap::new()),
             stats: ServeStats::default(),
             latency: LatencyHist::default(),
             shutdown: Arc::new(AtomicBool::new(false)),
@@ -277,6 +282,7 @@ impl Engine {
             Request::Flatten { session } => self.command(session, Command::Flatten),
             Request::Unflatten { session } => self.command(session, Command::Unflatten),
             Request::Find { session, needle } => self.command(session, Command::Find(needle)),
+            Request::EnsembleStats { path, top } => self.do_ensemble_stats(&path, top),
             Request::Stats => Ok(self.stats_result()),
             Request::Ping => Ok(obj(vec![("pong", Json::Bool(true))])),
             Request::Shutdown => {
@@ -290,6 +296,56 @@ impl Engine {
                 Ok(obj(vec![("draining", Json::Bool(true))]))
             }
         }
+    }
+
+    /// Load the ensemble directory for `path` (cached by canonical
+    /// path). The open is topology-only: no stat columns are faulted,
+    /// and the whole container is integrity-checked by the v2.1 open.
+    fn ensemble_directory(
+        &self,
+        path: &str,
+    ) -> Result<Arc<callpath_expdb::ens::Directory>, String> {
+        let key = std::fs::canonicalize(path).unwrap_or_else(|_| PathBuf::from(path));
+        if let Some(dir) = self.ensembles.lock().get(&key) {
+            return Ok(Arc::clone(dir));
+        }
+        let ensemble =
+            callpath_expdb::ens::open(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+        let dir = Arc::new(ensemble.dir);
+        obs::count("serve.ensemble_opens", 1);
+        self.ensembles.lock().insert(key, Arc::clone(&dir));
+        Ok(dir)
+    }
+
+    fn do_ensemble_stats(&self, path: &str, top: u32) -> Result<Json, RequestError> {
+        let dir = self
+            .ensemble_directory(path)
+            .map_err(|e| RequestError::new("open", e))?;
+        let scores = callpath_ensemble::outlier_scores(&dir);
+        let outliers: Vec<Json> = scores
+            .iter()
+            .take(top as usize)
+            .map(|&(r, score)| {
+                obj(vec![
+                    ("run", Json::Num(r as f64)),
+                    ("label", Json::Str(dir.runs[r].label.clone())),
+                    ("score", Json::Num(score)),
+                ])
+            })
+            .collect();
+        Ok(obj(vec![
+            ("runs", Json::Num(dir.runs.len() as f64)),
+            (
+                "metrics",
+                Json::Arr(
+                    dir.metric_names
+                        .iter()
+                        .map(|n| Json::Str(n.clone()))
+                        .collect(),
+                ),
+            ),
+            ("outliers", Json::Arr(outliers)),
+        ]))
     }
 
     fn do_open(&self, path: &str) -> Result<Json, RequestError> {

@@ -143,6 +143,15 @@ pub enum Request {
         /// Substring to look for (case-sensitive).
         needle: String,
     },
+    /// Cross-run statistics of a `.cpens` ensemble database: run
+    /// count, metric names and the top outlier runs. Served from the
+    /// ensemble directory alone — no metric columns are faulted.
+    EnsembleStats {
+        /// Filesystem path of the ensemble database.
+        path: String,
+        /// How many outlier runs to return (bounded at 1000).
+        top: u32,
+    },
     /// Server statistics (sessions, requests, latency quantiles).
     Stats,
     /// Liveness probe.
@@ -289,6 +298,28 @@ fn validate(value: &Json) -> Result<Request, RequestError> {
                 .ok_or_else(|| RequestError::invalid("missing string field 'needle'"))?
                 .to_owned(),
         }),
+        "ensemble-stats" => {
+            let path = params
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or_else(|| RequestError::invalid("missing string field 'path'"))?
+                .to_owned();
+            let top = match params.get("top") {
+                None => 10,
+                Some(v) => {
+                    let t = v
+                        .as_u64()
+                        .ok_or_else(|| RequestError::invalid("'top' must be an integer"))?;
+                    u32::try_from(t)
+                        .ok()
+                        .filter(|t| *t <= 1000)
+                        .ok_or_else(|| {
+                            RequestError::invalid(format!("top {t} out of range (max 1000)"))
+                        })?
+                }
+            };
+            Ok(Request::EnsembleStats { path, top })
+        }
         "stats" => Ok(Request::Stats),
         "ping" => Ok(Request::Ping),
         "shutdown" => Ok(Request::Shutdown),
@@ -354,6 +385,33 @@ mod tests {
                 threshold: None
             }
         );
+    }
+
+    #[test]
+    fn ensemble_stats_defaults_and_bounds_top() {
+        let (_, req) = parse_request(r#"{"method":"ensemble-stats","params":{"path":"e.cpens"}}"#);
+        assert_eq!(
+            req.unwrap(),
+            Request::EnsembleStats {
+                path: "e.cpens".into(),
+                top: 10
+            }
+        );
+        let (_, req) =
+            parse_request(r#"{"method":"ensemble-stats","params":{"path":"e.cpens","top":1000}}"#);
+        assert_eq!(
+            req.unwrap(),
+            Request::EnsembleStats {
+                path: "e.cpens".into(),
+                top: 1000
+            }
+        );
+        for params in [r#"{"path":"e","top":1001}"#, r#"{"path":"e","top":-3}"#] {
+            let (_, req) = parse_request(&format!(
+                r#"{{"method":"ensemble-stats","params":{params}}}"#
+            ));
+            assert_eq!(req.unwrap_err().code, "invalid", "{params}");
+        }
     }
 
     #[test]

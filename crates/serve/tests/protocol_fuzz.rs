@@ -37,6 +37,36 @@ fn engine() -> Engine {
     Engine::new(ServeConfig::default())
 }
 
+/// A small on-disk ensemble: 6 synthetic runs, run 4 inflated.
+fn ens_db() -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "callpath-serve-fuzz-{}-runs.cpens",
+        std::process::id()
+    ));
+    if !p.exists() {
+        let cfg = callpath_workloads::synth::EnsembleConfig {
+            n_runs: 6,
+            base_nodes: 200,
+            tail_nodes: 8,
+            nnz_per_metric: 64,
+            outlier_every: 5,
+            ..Default::default()
+        };
+        let runs: Vec<_> = (0..cfg.n_runs)
+            .map(|r| {
+                callpath_ensemble::RunData::from_model(
+                    format!("run-{r}"),
+                    &callpath_workloads::synth::ensemble_run(&cfg, r),
+                )
+                .unwrap()
+            })
+            .collect();
+        std::fs::write(&p, callpath_ensemble::build(&runs, 2).to_bytes()).unwrap();
+    }
+    p
+}
+
 /// Every reply must parse as JSON and carry `ok`.
 fn reply(engine: &Engine, line: &str) -> Json {
     let text = engine.handle_line(line);
@@ -210,6 +240,84 @@ fn engine_default_with_shutdown() -> Engine {
     let v = reply(&engine, r#"{"method":"shutdown"}"#);
     assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
     engine
+}
+
+#[test]
+fn ensemble_stats_answers_from_the_directory_and_rejects_malice() {
+    let db = ens_db();
+    let engine = engine();
+    let path = db.display().to_string();
+
+    // Happy path: run count, metric names, ranked outliers.
+    let line = format!(r#"{{"method":"ensemble-stats","params":{{"path":"{path}"}}}}"#);
+    let v = reply(&engine, &line);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{line}");
+    let result = v.get("result").unwrap();
+    assert_eq!(result.get("runs").and_then(Json::as_u64), Some(6));
+    let metrics = result.get("metrics").and_then(Json::as_arr).unwrap();
+    assert_eq!(metrics.len(), 2);
+    let outliers = result.get("outliers").and_then(Json::as_arr).unwrap();
+    assert_eq!(outliers.len(), 6, "default top covers all 6 runs");
+    let scores: Vec<f64> = outliers
+        .iter()
+        .map(|o| o.get("score").and_then(Json::as_f64).unwrap())
+        .collect();
+    assert!(
+        scores.windows(2).all(|w| w[0] >= w[1]),
+        "sorted: {scores:?}"
+    );
+    // Run 4 has metric 0 inflated 8x; it must rank first.
+    let top_run = outliers[0].get("run").and_then(Json::as_u64).unwrap();
+    assert_eq!(top_run, 4, "the inflated run ranks first");
+
+    // `top` bounds the reply; a second request hits the cache.
+    let line = format!(r#"{{"method":"ensemble-stats","params":{{"path":"{path}","top":2}}}}"#);
+    let v = reply(&engine, &line);
+    let outliers = v
+        .get("result")
+        .and_then(|r| r.get("outliers"))
+        .and_then(Json::as_arr)
+        .unwrap();
+    assert_eq!(outliers.len(), 2);
+
+    // Hostile parameters come back as structured errors.
+    let plain = s3d_db();
+    let cases: Vec<(String, &str)> = vec![
+        (r#"{"method":"ensemble-stats"}"#.into(), "invalid"),
+        (
+            r#"{"method":"ensemble-stats","params":{"path":7}}"#.into(),
+            "invalid",
+        ),
+        (
+            format!(r#"{{"method":"ensemble-stats","params":{{"path":"{path}","top":1001}}}}"#),
+            "invalid",
+        ),
+        (
+            format!(r#"{{"method":"ensemble-stats","params":{{"path":"{path}","top":-1}}}}"#),
+            "invalid",
+        ),
+        (
+            format!(r#"{{"method":"ensemble-stats","params":{{"path":"{path}","top":1.5}}}}"#),
+            "invalid",
+        ),
+        (
+            r#"{"method":"ensemble-stats","params":{"path":"/nonexistent/x.cpens"}}"#.into(),
+            "open",
+        ),
+        // A plain v2.1 database has no ensemble directory.
+        (
+            format!(
+                r#"{{"method":"ensemble-stats","params":{{"path":"{}"}}}}"#,
+                plain.display()
+            ),
+            "open",
+        ),
+    ];
+    for (line, want) in cases {
+        let v = reply(&engine, &line);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{line}");
+        assert_eq!(error_code(&v), Some(want), "{line}");
+    }
 }
 
 #[test]

@@ -23,6 +23,13 @@ pub struct RenderConfig {
     pub sort_by_name: bool,
     /// Columns to show, in order. Empty = all visible columns.
     pub columns: Vec<ColumnId>,
+    /// Grouped-column header: `(label, span)` pairs rendered as an
+    /// extra line above the metric names, each label centered over the
+    /// next `span` shown columns. The ensemble views use one group per
+    /// base metric over its statistic columns, plus a `runs` group
+    /// over per-run drill-down columns. Spans beyond the shown column
+    /// count are clipped; empty means no group line.
+    pub groups: Vec<(String, usize)>,
     /// How deep the tree expands.
     pub expand: ExpandMode,
     /// Hard depth cap.
@@ -46,6 +53,7 @@ impl Default for RenderConfig {
             sort: Some(ColumnId(0)),
             sort_by_name: false,
             columns: Vec::new(),
+            groups: Vec::new(),
             expand: ExpandMode::All,
             max_depth: 64,
             max_children: 100,
@@ -108,8 +116,44 @@ struct Renderer<'v, 'e> {
 }
 
 impl Renderer<'_, '_> {
+    /// Extra header line over grouped columns: each `(label, span)` in
+    /// `cfg.groups` is centered over the next `span` column cells (19
+    /// display chars each). Spans past the shown columns are clipped.
+    fn group_line(&mut self) {
+        if self.cfg.groups.is_empty() {
+            return;
+        }
+        let mut line = " ".repeat(self.cfg.label_width + 4);
+        let mut used = 0usize;
+        let mut shown = String::new();
+        for (label, span) in &self.cfg.groups {
+            let span = (*span).min(self.cols.len().saturating_sub(used));
+            if span == 0 {
+                break;
+            }
+            used += span;
+            let width = span * 19;
+            shown.clear();
+            write_truncated_name(label, &mut shown);
+            while shown.chars().count() > width.saturating_sub(2) {
+                shown.pop();
+            }
+            let pad = width - shown.chars().count();
+            for _ in 0..pad / 2 {
+                line.push(' ');
+            }
+            line.push_str(&shown);
+            for _ in 0..pad - pad / 2 {
+                line.push(' ');
+            }
+        }
+        self.out.push_str(line.trim_end());
+        self.out.push('\n');
+    }
+
     fn header(&mut self) {
         use std::fmt::Write as _;
+        self.group_line();
         let mut line = format!("{:width$}", "scope", width = self.cfg.label_width + 4);
         let descs = self.view.columns().descs().to_vec();
         let mut shown = String::new();
@@ -408,6 +452,27 @@ mod tests {
         raw.add_cost(cyc, sh, 90.0);
         raw.add_cost(cyc, sc, 10.0);
         Experiment::build(cct, raw, StorageKind::Dense)
+    }
+
+    #[test]
+    fn group_line_spans_and_clips_columns() {
+        let exp = sample();
+        let mut view = View::calling_context(&exp);
+        let cfg = RenderConfig {
+            // Three groups over two shown columns: the second is clipped
+            // to one column, the third dropped entirely.
+            groups: vec![("cycles".into(), 1), ("runs".into(), 4), ("gone".into(), 2)],
+            ..RenderConfig::default()
+        };
+        let text = render(&mut view, &cfg);
+        let group = text.lines().next().unwrap();
+        assert!(group.contains("cycles"), "{text}");
+        assert!(group.contains("runs"), "{text}");
+        assert!(!group.contains("gone"), "{text}");
+        assert!(group.find("cycles").unwrap() < group.find("runs").unwrap());
+        // Without groups the first line is the plain column header.
+        let plain = render(&mut view, &RenderConfig::default());
+        assert!(plain.lines().next().unwrap().starts_with("scope"));
     }
 
     #[test]

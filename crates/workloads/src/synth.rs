@@ -170,6 +170,115 @@ pub fn synth_model(cfg: &SynthConfig) -> DbModel {
     }
 }
 
+/// Parameters for [`ensemble_run`]: a family of related synthetic runs
+/// sharing one base topology, for the ensemble-supergraph bench.
+#[derive(Debug, Clone, Copy)]
+pub struct EnsembleConfig {
+    /// Seed shared by the whole family.
+    pub seed: u64,
+    /// Runs in the family (bounds the valid `r` of [`ensemble_run`]).
+    pub n_runs: usize,
+    /// Non-root nodes of the shared base topology (identical in every
+    /// run — this is what the union deduplicates).
+    pub base_nodes: usize,
+    /// Run-specific tail nodes appended after the base (what makes the
+    /// union strictly larger than any single run).
+    pub tail_nodes: usize,
+    /// Metric columns per run.
+    pub n_metrics: usize,
+    /// Non-zero entries per metric column.
+    pub nnz_per_metric: usize,
+    /// Every `outlier_every`-th run has metric 0 inflated 8× so
+    /// outlier scoring has designated ground truth; 0 disables.
+    pub outlier_every: usize,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig {
+            seed: 0xe45e,
+            n_runs: 1000,
+            base_nodes: 5000,
+            tail_nodes: 40,
+            n_metrics: 2,
+            nnz_per_metric: 800,
+            outlier_every: 97,
+        }
+    }
+}
+
+/// Whether run `r` is a designated outlier under `cfg`.
+pub fn is_outlier_run(cfg: &EnsembleConfig, r: usize) -> bool {
+    cfg.outlier_every > 0 && r % cfg.outlier_every == cfg.outlier_every - 1
+}
+
+/// Build run `r` of a synthetic ensemble family: the shared base
+/// topology (a pure function of `cfg.seed`), a run-specific tail of
+/// frame chains, and per-run jittered costs. Deterministic in
+/// `(cfg, r)`.
+pub fn ensemble_run(cfg: &EnsembleConfig, r: usize) -> DbModel {
+    let mut model = synth_model(&SynthConfig {
+        seed: cfg.seed,
+        n_nodes: cfg.base_nodes,
+        n_metrics: 0,
+        nnz_per_metric: 0,
+        n_procs: 200,
+    });
+    model.derived.clear();
+
+    // Run-specific tail: short chains of frames hung off random base
+    // nodes. Frames are legal anywhere, so no framed-path bookkeeping.
+    let run_seed = cfg.seed ^ (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let n_procs = model.procs.len() as u32;
+    let n_files = model.files.len() as u32;
+    for i in 0..cfg.tail_nodes {
+        let id = (cfg.base_nodes + i) as u32 + 1;
+        let t = mix(run_seed, i as u64);
+        let parent = if i > 0 && !t.is_multiple_of(4) {
+            id - 1
+        } else {
+            (t >> 32) as u32 % (cfg.base_nodes as u32 + 1)
+        };
+        let p = (t >> 8) as u32 % n_procs;
+        model.nodes.push(DbNode {
+            parent,
+            scope: DbScope::Frame {
+                proc: p,
+                module: (t >> 24) as u32 % model.modules.len() as u32,
+                def_file: p % n_files,
+                def_line: 1 + p % 100,
+                call_site: Some((p % n_files, 2 + (t >> 48) as u32 % 997)),
+            },
+        });
+    }
+
+    let n_total = model.nodes.len() as u64 + 1;
+    let nnz = cfg.nnz_per_metric.min(model.nodes.len()).max(1) as u64;
+    let inflate = if is_outlier_run(cfg, r) { 8.0 } else { 1.0 };
+    model.metrics = (0..cfg.n_metrics)
+        .map(|m| {
+            let stride = (n_total - 1) / nnz;
+            let costs: Vec<(u32, f64)> = (0..nnz)
+                .map(|k| {
+                    let t = mix(run_seed ^ (m as u64).rotate_left(17), k);
+                    let lo = 1 + k * stride;
+                    let node = if stride > 1 { lo + t % stride } else { lo };
+                    let v = 1.0 + (t >> 11) as f64 / (1u64 << 53) as f64 * 999.0;
+                    let v = if m == 0 { v * inflate } else { v };
+                    (node as u32, (v * 64.0).round() / 64.0)
+                })
+                .collect();
+            DbMetric {
+                name: format!("PAPI_ENS_{m:02}"),
+                unit: "events".into(),
+                period: 1.0,
+                costs,
+            }
+        })
+        .collect();
+    model
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +308,40 @@ mod tests {
             assert!(m.costs.windows(2).all(|w| w[0].0 < w[1].0), "{}", m.name);
             assert!(m.costs.last().unwrap().0 <= a.nodes.len() as u32);
         }
+    }
+
+    #[test]
+    fn ensemble_runs_share_the_base_and_differ_in_the_tail() {
+        let cfg = EnsembleConfig {
+            n_runs: 4,
+            base_nodes: 300,
+            tail_nodes: 10,
+            nnz_per_metric: 50,
+            outlier_every: 3,
+            ..Default::default()
+        };
+        let a = ensemble_run(&cfg, 0);
+        let b = ensemble_run(&cfg, 1);
+        assert_eq!(ensemble_run(&cfg, 0), a, "deterministic");
+        assert_eq!(a.nodes[..300], b.nodes[..300], "shared base");
+        assert_ne!(a.nodes[300..], b.nodes[300..], "distinct tails");
+        assert_eq!(a.nodes.len(), 310);
+        for (i, n) in a.nodes.iter().enumerate() {
+            assert!(n.parent < i as u32 + 1);
+        }
+        for m in &a.metrics {
+            assert!(m.costs.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+        // Run 2 is the designated outlier (every 3rd): metric 0 is
+        // inflated relative to run 0, metric 1 is not.
+        assert!(is_outlier_run(&cfg, 2) && !is_outlier_run(&cfg, 0));
+        let total = |m: &DbMetric| m.costs.iter().map(|&(_, v)| v).sum::<f64>();
+        let c = ensemble_run(&cfg, 2);
+        assert!(total(&c.metrics[0]) > 4.0 * total(&a.metrics[0]));
+        assert!(total(&c.metrics[1]) < 2.0 * total(&a.metrics[1]));
+        // Every run must open as a valid experiment.
+        a.into_experiment().unwrap();
+        c.into_experiment().unwrap();
     }
 
     #[test]

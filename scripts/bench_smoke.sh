@@ -22,7 +22,12 @@
 #  * serving latency (4 concurrent protocol clients driving scripted
 #    find/sort/hot-path/flatten sessions against a live callpath-serve,
 #    exact client-side p50/p95 per request) -> BENCH_serve.json at the
-#    repo root.
+#    repo root;
+#  * ensemble scaling (1,000-run synthetic union supergraph at 1/2/4/8
+#    workers, .cpens cold open + first sorted cross-run stats render
+#    under a single-digit-ms gate, directory-only outlier scoring)
+#    -> BENCH_ensemble.json at the repo root, same hard-budget
+#    treatment.
 set -eu
 cd "$(dirname "$0")/.."
 cargo test --release --test perf_smoke -- --ignored --nocapture
@@ -31,6 +36,7 @@ cargo test --release --test expdb_open_smoke -- --ignored --nocapture
 timeout 900 cargo test --release --test zero_copy_smoke -- --ignored --nocapture
 timeout 900 cargo test --release --test thread_scaling -- --ignored --nocapture
 timeout 900 cargo test --release --test serve_smoke -- --ignored --nocapture
+timeout 900 cargo test --release --test ensemble_smoke -- --ignored --nocapture
 rm -f target/obs_overhead_on.json target/obs_overhead_off.json
 cargo test --release --test obs_overhead -- --ignored --nocapture
 cargo test --release --no-default-features --test obs_overhead -- --ignored --nocapture

@@ -22,3 +22,12 @@ CALLPATH_THREADS=4 cargo test -q -p callpath-core --lib -- pool:: chunked::
 # byte-identical to a direct Session, SIGINT drain).
 cargo test -q -p callpath-serve
 cargo test -q --test serve_smoke
+# The ensemble path: N-way union determinism and .cpens corruption
+# rejection, with the mmap borrow path on (default) and off — the
+# grafted per-run drill-down columns must fault identically from an
+# owned aligned buffer.
+cargo test -q -p callpath-ensemble
+cargo test -q --test ensemble_properties
+cargo test -q -p callpath-expdb --features mmap ens::
+cargo test -q -p callpath-expdb ens::
+cargo test -q --no-default-features --features obs --test ensemble_properties

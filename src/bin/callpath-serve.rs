@@ -43,8 +43,8 @@ PROTOCOL (one JSON object per line, reply per line):
     {\"id\":1,\"method\":\"open\",\"params\":{\"path\":\"s3d.cpdb\"}}
     {\"id\":2,\"method\":\"expand\",\"params\":{\"session\":1,\"node\":4}}
     methods: open close render expand collapse select zoom unzoom sort
-             sort-name view hot-path flatten unflatten find stats ping
-             shutdown
+             sort-name view hot-path flatten unflatten find stats
+             ensemble-stats ping shutdown
 ";
 
 struct Args {

@@ -193,6 +193,46 @@ fn diff_tool_finds_the_regression() {
     std::fs::remove_file(&peer).ok();
 }
 
+/// The diff CLI's full output, byte for byte, against a golden captured
+/// before `diff::fold_in` was rebased on the union-supergraph core
+/// (`core::supergraph`): the N=2 path through the shared merge must
+/// reproduce the old hand-rolled walk exactly.
+#[test]
+fn diff_output_is_byte_identical_to_the_golden() {
+    let base = tmp("diff-golden-tuned.cpdb");
+    let peer = tmp("diff-golden-base.cpdb");
+    assert!(Command::new(record())
+        .args(["--workload", "s3d-tuned", "-o", base.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(Command::new(record())
+        .args(["--workload", "s3d", "-o", peer.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = Command::new(env!("CARGO_BIN_EXE_callpath-diff"))
+        .args([base.to_str().unwrap(), peer.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout)
+        .unwrap()
+        .replace(base.to_str().unwrap(), "BASE")
+        .replace(peer.to_str().unwrap(), "PEER");
+    assert_eq!(
+        text,
+        include_str!("data/diff_s3d.golden"),
+        "callpath-diff output drifted from the pre-supergraph golden"
+    );
+    std::fs::remove_file(&base).ok();
+    std::fs::remove_file(&peer).ok();
+}
+
 #[test]
 fn record_profiles_a_cps_scenario_file() {
     let db = tmp("imagepipe.cpdb");

@@ -1,0 +1,176 @@
+//! Ensemble determinism properties: the N-way union supergraph and its
+//! `.cpens` serialization are pure functions of the *set* of runs —
+//! byte-identical across input orderings, worker counts, duplicated
+//! runs and empty runs — and the container rejects corruption instead
+//! of misreading it.
+//!
+//! The worker count is exercised two ways: explicit `threads` arguments
+//! in-process (the env var is `OnceLock`-cached per process), and
+//! `CALLPATH_THREADS` itself across subprocesses of the
+//! `callpath-ensemble` binary.
+
+use callpath_core::prelude::*;
+use callpath_ensemble::{build, build_union, RunData};
+use callpath_expdb::ens;
+use proptest::prelude::*;
+use std::process::Command;
+
+/// One synthetic run: a chain of frames drawn from a tiny proc pool,
+/// with sparse costs on the chain.
+fn chain_run(label: &str, path: &[usize], costs: &[(u32, f64)]) -> RunData {
+    const POOL: [&str; 5] = ["main", "alpha", "beta", "gamma", "delta"];
+    let mut names = NameTable::new();
+    let file = names.file("x.c");
+    let module = names.module("x");
+    let ids: Vec<ProcId> = POOL.iter().map(|p| names.proc(p)).collect();
+    let mut cct = Cct::new(names);
+    let mut parent = cct.root();
+    for (depth, &p) in path.iter().enumerate() {
+        parent = cct.add_child(
+            parent,
+            ScopeKind::Frame {
+                proc: ids[p % POOL.len()],
+                module,
+                def: SourceLoc::new(file, 10 * (depth as u32 + 1)),
+                call_site: None,
+            },
+        );
+    }
+    let n = cct.len() as u32;
+    RunData {
+        label: label.into(),
+        cct,
+        metrics: vec![MetricDesc::new("cycles", "ev", 1.0)],
+        costs: vec![costs.iter().map(|&(node, v)| (node % n, v)).collect()],
+    }
+}
+
+/// Strategy: 2–6 runs, each a 1–4 deep chain with 0–4 quantized costs.
+fn runs_strategy() -> impl Strategy<Value = Vec<RunData>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(0usize..5, 1..5),
+            proptest::collection::vec((0u32..6, 0u32..1000), 0..5),
+        ),
+        2..7,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (path, raw))| {
+                let costs: Vec<(u32, f64)> =
+                    raw.into_iter().map(|(n, v)| (n, v as f64 / 8.0)).collect();
+                chain_run(&format!("run-{i}"), &path, &costs)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The `.cpens` bytes are invariant under run order (rotation and
+    /// reversal) and worker count, and every parallel split equals the
+    /// sequential left-to-right fold (`threads = 1`).
+    #[test]
+    fn cpens_bytes_are_order_and_thread_invariant(
+        runs in runs_strategy(),
+        rot in 0usize..6,
+    ) {
+        let sequential = build(&runs, 1).to_bytes();
+        let mut rotated = runs.clone();
+        let k = rot % rotated.len();
+        rotated.rotate_left(k);
+        let mut reversed = runs.clone();
+        reversed.reverse();
+        for t in [1usize, 2, 3, 8] {
+            prop_assert_eq!(&build(&rotated, t).to_bytes(), &sequential, "rotated, t={}", t);
+            prop_assert_eq!(&build(&reversed, t).to_bytes(), &sequential, "reversed, t={}", t);
+        }
+    }
+
+    /// Duplicating a run adds no contexts to the union, and an empty
+    /// run (root only, no costs) changes neither the topology nor the
+    /// determinism of the result.
+    #[test]
+    fn duplicates_and_empty_runs_are_harmless(runs in runs_strategy()) {
+        let base_nodes = build_union(&runs, 1).cct.len();
+
+        let mut with_dup = runs.clone();
+        with_dup.push(runs[0].clone());
+        prop_assert_eq!(build_union(&with_dup, 3).cct.len(), base_nodes);
+
+        let mut with_empty = runs.clone();
+        with_empty.push(chain_run("zz-empty", &[0usize; 0], &[(0u32, 0.0f64); 0]));
+        prop_assert_eq!(build_union(&with_empty, 3).cct.len(), base_nodes);
+        let reference = build(&with_empty, 1).to_bytes();
+        for t in [2usize, 8] {
+            prop_assert_eq!(&build(&with_empty, t).to_bytes(), &reference, "t={}", t);
+        }
+    }
+
+    /// Truncations and bit flips of a written container are rejected
+    /// (structured error), never misread or panicking.
+    #[test]
+    fn corrupt_containers_are_rejected(
+        runs in runs_strategy(),
+        cut_frac in 0.0f64..1.0,
+        flip_at in 0usize..1 << 20,
+        flip_bit in 0u8..8,
+    ) {
+        let bytes = build(&runs, 1).to_bytes();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("callpath-ens-prop-{}.cpens", std::process::id()));
+
+        // Truncation: every proper prefix must fail to open.
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        std::fs::write(&path, &bytes[..cut.min(bytes.len() - 1)]).unwrap();
+        prop_assert!(ens::open(&path).is_err(), "truncated to {} bytes", cut);
+
+        // A single bit flip must fail verification or change content;
+        // `open` validates structure, `verify_container` the payloads.
+        let mut flipped = bytes.clone();
+        let at = flip_at % flipped.len();
+        flipped[at] ^= 1 << flip_bit;
+        std::fs::write(&path, &flipped).unwrap();
+        let survives = match ens::open(&path) {
+            Err(_) => true,
+            Ok(_) => callpath_expdb::verify_container(&flipped).is_err(),
+        };
+        prop_assert!(survives, "flip at byte {} bit {} went undetected", at, flip_bit);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// `CALLPATH_THREADS` is read once per process, so the env-var leg of
+/// the determinism property runs the real binary: the same synthetic
+/// build must produce byte-identical `.cpens` files at every setting.
+#[test]
+fn env_thread_counts_produce_identical_files() {
+    let bin = env!("CARGO_BIN_EXE_callpath-ensemble");
+    let dir = std::env::temp_dir();
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "3", "8"] {
+        let path = dir.join(format!(
+            "callpath-ens-env-{}-t{threads}.cpens",
+            std::process::id()
+        ));
+        let out = Command::new(bin)
+            .args(["build", path.to_str().unwrap(), "--synth", "12"])
+            .env("CALLPATH_THREADS", threads)
+            .output()
+            .expect("run callpath-ensemble");
+        assert!(
+            out.status.success(),
+            "CALLPATH_THREADS={threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outputs.push(std::fs::read(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+    assert!(
+        outputs.windows(2).all(|w| w[0] == w[1]),
+        "ensemble bytes differ across CALLPATH_THREADS settings"
+    );
+}

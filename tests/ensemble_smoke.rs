@@ -1,0 +1,211 @@
+//! Ensemble scaling bench (run via `scripts/bench_smoke.sh`): build a
+//! 1,000-run synthetic ensemble, measure the N-way union at
+//! `threads ∈ {1, 2, 4, 8}`, then cold-open the written `.cpens` and
+//! render the first sorted cross-run statistics view — faulting only
+//! the columns that view needs. Emits `BENCH_ensemble.json`.
+//!
+//! Honesty rules follow `BENCH_thread_scaling.json`: `cores` comes from
+//! `available_parallelism`, `speedup` is null on a single-core host,
+//! and the parallel-beats-sequential gate only fires when there are at
+//! least 4 real cores to win on.
+//!
+//! `#[ignore]`d by default: timing assertions belong in release builds
+//! on a quiet machine, not in every `cargo test` run.
+
+use callpath_core::prelude::*;
+use callpath_ensemble::{build, build_union, outlier_scores, RunData};
+use callpath_expdb::ens;
+use callpath_viewer::{render, ExpandMode, RenderConfig};
+use callpath_workloads::synth::{ensemble_run, is_outlier_run, EnsembleConfig};
+use std::time::Instant;
+
+const THREAD_POINTS: [usize; 4] = [1, 2, 4, 8];
+/// One union of 1,000 runs takes long enough to be stable on its own.
+const UNION_ITERS: usize = 1;
+/// Opens and renders are sub-10ms targets: min-of-N smooths page-cache
+/// and scheduler noise.
+const OPEN_ITERS: usize = 5;
+/// The acceptance gate: cold open + first sorted stats render must be
+/// single-digit milliseconds against a 1,000-run ensemble.
+const OPEN_RENDER_GATE_MS: f64 = 10.0;
+
+fn min_ms(iters: usize, mut run: impl FnMut()) -> f64 {
+    (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// JSON rows for one curve: `[{"threads": 1, "ms": 12.3, "speedup": null}, ...]`.
+fn curve_json(points: &[(usize, f64)], cores: usize) -> String {
+    let base_ms = points
+        .iter()
+        .find(|&&(t, _)| t == 1)
+        .map(|&(_, ms)| ms)
+        .unwrap_or(f64::NAN);
+    let rows: Vec<String> = points
+        .iter()
+        .map(|&(threads, ms)| {
+            let speedup = if cores == 1 {
+                "null".to_owned()
+            } else {
+                format!("{:.2}", base_ms / ms.max(1e-9))
+            };
+            format!("    {{ \"threads\": {threads}, \"ms\": {ms:.3}, \"speedup\": {speedup} }}")
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
+#[test]
+#[ignore = "wall-clock scaling bench; run via scripts/bench_smoke.sh"]
+fn ensemble_thousand_runs() {
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    // --- Generate the run family. ---------------------------------
+    let cfg = EnsembleConfig::default();
+    let t = Instant::now();
+    let runs: Vec<RunData> = (0..cfg.n_runs)
+        .map(|r| RunData::from_model(format!("run-{r:04}"), &ensemble_run(&cfg, r)).unwrap())
+        .collect();
+    let gen_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // --- N-way union scaling curve. -------------------------------
+    let mut union_points: Vec<(usize, f64)> = Vec::new();
+    for &threads in &THREAD_POINTS {
+        let ms = min_ms(UNION_ITERS, || {
+            std::hint::black_box(build_union(&runs, threads));
+        });
+        union_points.push((threads, ms));
+    }
+    let ms_at = |t: usize| {
+        union_points
+            .iter()
+            .find(|&&(p, _)| p == t)
+            .map(|&(_, ms)| ms)
+            .unwrap()
+    };
+    if cores >= 4 {
+        assert!(
+            ms_at(4) < ms_at(1),
+            "parallel N-way union at t=4 ({:.1} ms) must beat the sequential \
+             fold ({:.1} ms) on a {cores}-core host",
+            ms_at(4),
+            ms_at(1)
+        );
+    }
+
+    // --- Build + persist once. ------------------------------------
+    let t = Instant::now();
+    let built = build(&runs, 0);
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let union_nodes = built.cct.len();
+    let n_metrics = built.metric_names.len();
+    let bytes = built.to_bytes();
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db_path = dir.join("ensemble_smoke.cpens");
+    std::fs::write(&db_path, &bytes).expect("write ensemble database");
+
+    // --- Cold open: topology only, no columns faulted. ------------
+    let open_ms = min_ms(OPEN_ITERS, || {
+        let e = ens::open(&db_path).unwrap();
+        assert_eq!(e.exp.columns.materialized_columns(), 0);
+        std::hint::black_box(&e);
+    });
+
+    // --- Cold open + first sorted cross-run stats view. -----------
+    // The view shows the four statistic columns of metric 0, sorted by
+    // mean: exactly four raw blocks fault out of the thousands in the
+    // file (4 stats x 2 metrics + 2,000 per-run blocks).
+    let mut faulted = 0;
+    let open_render_ms = min_ms(OPEN_ITERS, || {
+        let e = ens::open(&db_path).unwrap();
+        let base = &e.dir.metric_names[0];
+        let columns: Vec<ColumnId> = ens::STAT_NAMES
+            .iter()
+            .map(|s| e.exp.columns.find(&format!("{base} {s} (I)")).unwrap())
+            .collect();
+        let view_cfg = RenderConfig {
+            sort: Some(columns[0]),
+            columns,
+            groups: vec![(base.clone(), ens::STAT_NAMES.len())],
+            expand: ExpandMode::Levels(2),
+            max_children: 10,
+            show_percent: false,
+            ..Default::default()
+        };
+        let mut view = View::calling_context(&e.exp);
+        std::hint::black_box(render(&mut view, &view_cfg));
+        faulted = e.exp.columns.materialized_columns();
+    });
+    assert!(
+        faulted <= ens::STAT_NAMES.len(),
+        "the stats view must fault only its own columns, not the ensemble \
+         ({faulted} materialized)"
+    );
+    assert!(
+        open_render_ms < OPEN_RENDER_GATE_MS,
+        "cold open + sorted stats render took {open_render_ms:.2} ms against \
+         a {}-run ensemble (gate: {OPEN_RENDER_GATE_MS} ms)",
+        cfg.n_runs
+    );
+
+    // --- Outlier scoring from the directory alone. ----------------
+    let mut top_run = usize::MAX;
+    let outlier_ms = min_ms(OPEN_ITERS, || {
+        let dir = ens::read_directory(&bytes).unwrap();
+        let scores = outlier_scores(&dir);
+        top_run = scores[0].0;
+    });
+    assert!(
+        is_outlier_run(&cfg, top_run),
+        "top-scored run {top_run} is not one of the inflated runs"
+    );
+
+    let record = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"ensemble\",\n",
+            "  \"cores\": {},\n",
+            "  \"workload\": \"synthetic ensemble, {} runs x {} metrics, {} union contexts\",\n",
+            "  \"generate_ms\": {:.1},\n",
+            "  \"union_iters\": {},\n",
+            "  \"union_points\": {},\n",
+            "  \"build_with_stats_ms\": {:.1},\n",
+            "  \"file_bytes\": {},\n",
+            "  \"open_iters\": {},\n",
+            "  \"cold_open_ms\": {:.3},\n",
+            "  \"cold_open_sorted_stats_render_ms\": {:.3},\n",
+            "  \"open_render_gate_ms\": {:.1},\n",
+            "  \"columns_faulted_by_stats_view\": {},\n",
+            "  \"outlier_scoring_ms\": {:.3},\n",
+            "  \"top_outlier_run\": {}\n",
+            "}}\n"
+        ),
+        cores,
+        cfg.n_runs,
+        n_metrics,
+        union_nodes,
+        gen_ms,
+        UNION_ITERS,
+        curve_json(&union_points, cores),
+        build_ms,
+        bytes.len(),
+        OPEN_ITERS,
+        open_ms,
+        open_render_ms,
+        OPEN_RENDER_GATE_MS,
+        faulted,
+        outlier_ms,
+        top_run,
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_ensemble.json");
+    std::fs::write(&path, &record).expect("write perf record");
+    println!("perf record written to {}:\n{record}", path.display());
+}
