@@ -1,0 +1,103 @@
+#![warn(missing_docs)]
+//! # callpath-analyze
+//!
+//! The analysis path: from *presenting* call path profiles (the paper's
+//! contribution) to *programmatically interrogating* them. Three layers:
+//!
+//! * a typed **query language** over an [`Experiment`]'s CCT and
+//!   presentation columns ([`query`]) — procedure/module/file regex
+//!   matches, metric thresholds (absolute or percent-of-program),
+//!   boolean composition and subtree aggregates — evaluated lazily so a
+//!   query over a v2.1/`.cpens` database faults only the columns it
+//!   names;
+//! * **canned detectors** ([`detectors`]): pure functions that turn a
+//!   profile (or ensemble directory) into a structured [`Verdict`] with
+//!   evidence call paths — load imbalance, scaling-loss attribution,
+//!   derived-metric waste, ensemble outliers;
+//! * a **perf gate** ([`gate`]): candidate-vs-baseline comparison of
+//!   `BENCH_*.json` records (or whole profiles reduced to per-metric
+//!   totals) under a declarative tolerance policy, producing a
+//!   machine- and human-readable report with a hard pass/fail bit.
+//!
+//! The regular-expression dialect used by queries and policies is the
+//! bounded matcher in [`rex`] — hostile input cannot make it panic or
+//! run away (pattern size, nesting depth and matching steps are all
+//! capped).
+//!
+//! [`Experiment`]: callpath_core::experiment::Experiment
+//! [`Verdict`]: detectors::Verdict
+
+pub mod detectors;
+pub mod gate;
+pub mod query;
+pub mod rex;
+
+pub use detectors::{
+    derived_waste, ensemble_outliers, load_imbalance, load_imbalance_with_context,
+    scaling_loss_verdict, Evidence, ImbalanceConfig, OutlierConfig, ScalingConfig, Status, Verdict,
+    WasteConfig,
+};
+pub use gate::{
+    gate_records, load_bench_records, parse_policy, record_from_experiment, BenchRecord,
+    GateReport, GateRow, Policy, RowVerdict, Rule,
+};
+pub use query::{eval_mask, path_labels, run_query, Pred, Query, QueryHit, QueryReport};
+pub use rex::Rex;
+
+/// Deterministic number formatting shared by every human-readable
+/// rendering in this crate: whole values that fit `i64` print without a
+/// fraction, everything else with four decimals, non-finite values by
+/// name. Pinned by the golden verdict tests.
+pub fn fmt_num(x: f64) -> String {
+    if !x.is_finite() {
+        return if x.is_nan() {
+            "nan".to_owned()
+        } else if x > 0.0 {
+            "inf".to_owned()
+        } else {
+            "-inf".to_owned()
+        };
+    }
+    if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Clamp a score to something JSON can carry: non-finite values degrade
+/// to `0.0` (NaN) or `±1e9` (infinities).
+pub fn finite(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else if x.is_nan() {
+        0.0
+    } else if x > 0.0 {
+        1e9
+    } else {
+        -1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_num_is_deterministic() {
+        assert_eq!(fmt_num(3.0), "3");
+        assert_eq!(fmt_num(-2.0), "-2");
+        assert_eq!(fmt_num(0.5), "0.5000");
+        assert_eq!(fmt_num(f64::NAN), "nan");
+        assert_eq!(fmt_num(f64::INFINITY), "inf");
+        assert_eq!(fmt_num(f64::NEG_INFINITY), "-inf");
+    }
+
+    #[test]
+    fn finite_clamps() {
+        assert_eq!(finite(2.5), 2.5);
+        assert_eq!(finite(f64::NAN), 0.0);
+        assert_eq!(finite(f64::INFINITY), 1e9);
+        assert_eq!(finite(f64::NEG_INFINITY), -1e9);
+    }
+}

@@ -1,0 +1,462 @@
+//! A bounded regular-expression matcher for query predicates and gate
+//! policies.
+//!
+//! Queries arrive over the serve protocol and policies off disk, so the
+//! matcher is built for hostile input: the pattern is size- and
+//! depth-capped at compile time, and matching runs under a fixed step
+//! budget — a pathological pattern (`(a*)*b` against `aaaa…`) exhausts
+//! the budget and reports "no match" instead of running away. No
+//! external dependencies; the dialect is the practical core of POSIX
+//! ERE: literals, `.`, `*`, `+`, `?`, `[...]`/`[^...]` with ranges,
+//! `^`, `$`, `|`, `(...)` and `\`-escapes (plus `\d`, `\w`, `\s`).
+//! Matching is an unanchored substring search unless the pattern
+//! anchors itself.
+
+use std::cell::Cell;
+
+/// Longest accepted pattern, in bytes.
+pub const MAX_PATTERN: usize = 512;
+/// Deepest accepted group nesting.
+const MAX_DEPTH: u32 = 32;
+/// Matching step budget: exceeding it means "no match".
+const STEP_BUDGET: u64 = 1 << 20;
+/// Matching recursion cap: a branch this deep fails quietly instead of
+/// overflowing the stack (text inputs here — labels, file names, bench
+/// field names — are far shorter than this, and a greedy star past the
+/// cap simply backtracks to fewer repetitions).
+const MATCH_DEPTH: u32 = 350;
+
+#[derive(Debug, Clone)]
+enum ClassItem {
+    Single(char),
+    Range(char, char),
+    Digit,
+    Word,
+    Space,
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Char(char),
+    Any,
+    Class { neg: bool, items: Vec<ClassItem> },
+    Start,
+    End,
+    Group(Alt),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Rep {
+    One,
+    Star,
+    Plus,
+    Opt,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    rep: Rep,
+}
+
+type Seq = Vec<Piece>;
+
+#[derive(Debug, Clone)]
+struct Alt {
+    arms: Vec<Seq>,
+}
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Rex {
+    pattern: String,
+    ast: Alt,
+}
+
+impl Rex {
+    /// Compile `pattern`; every malformed or oversized pattern is an
+    /// error, never a panic.
+    pub fn compile(pattern: &str) -> Result<Rex, String> {
+        if pattern.len() > MAX_PATTERN {
+            return Err(format!(
+                "pattern longer than {MAX_PATTERN} bytes ({})",
+                pattern.len()
+            ));
+        }
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut p = Parser { chars, pos: 0 };
+        let ast = p.parse_alt(0)?;
+        if p.pos != p.chars.len() {
+            return Err(format!("unexpected ')' at char {}", p.pos));
+        }
+        Ok(Rex {
+            pattern: pattern.to_owned(),
+            ast,
+        })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Unanchored search: does any substring of `text` match?
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        let ctx = Ctx {
+            budget: Cell::new(STEP_BUDGET),
+            depth: Cell::new(0),
+        };
+        for start in 0..=chars.len() {
+            if m_alt(&self.ast, &chars, start, &ctx, &|_| true) {
+                return true;
+            }
+            if ctx.budget.get() == 0 {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+/// Shared matcher state: the step budget and the *physical* recursion
+/// depth. Depth lives in a cell (not a parameter) because continuations
+/// run at the stack depth of their caller, not of their creation site —
+/// a parameter would undercount and let hostile patterns overflow the
+/// stack.
+struct Ctx {
+    budget: Cell<u64>,
+    depth: Cell<u32>,
+}
+
+impl Ctx {
+    /// Account one step and one stack level; false means "give up on
+    /// this branch".
+    fn enter(&self) -> bool {
+        if self.budget.get() == 0 || self.depth.get() >= MATCH_DEPTH {
+            return false;
+        }
+        self.budget.set(self.budget.get() - 1);
+        self.depth.set(self.depth.get() + 1);
+        true
+    }
+
+    fn leave(&self) {
+        self.depth.set(self.depth.get() - 1);
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alt(&mut self, depth: u32) -> Result<Alt, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("groups nested deeper than {MAX_DEPTH}"));
+        }
+        let mut arms = vec![self.parse_seq(depth)?];
+        while self.peek() == Some('|') {
+            self.bump();
+            arms.push(self.parse_seq(depth)?);
+        }
+        Ok(Alt { arms })
+    }
+
+    fn parse_seq(&mut self, depth: u32) -> Result<Seq, String> {
+        let mut seq = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom(depth)?;
+            let rep = match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    Rep::Star
+                }
+                Some('+') => {
+                    self.bump();
+                    Rep::Plus
+                }
+                Some('?') => {
+                    self.bump();
+                    Rep::Opt
+                }
+                _ => Rep::One,
+            };
+            seq.push(Piece { atom, rep });
+        }
+        Ok(seq)
+    }
+
+    fn parse_atom(&mut self, depth: u32) -> Result<Atom, String> {
+        let at = self.pos;
+        match self.bump() {
+            None => Err("unexpected end of pattern".into()),
+            Some('(') => {
+                let inner = self.parse_alt(depth + 1)?;
+                if self.bump() != Some(')') {
+                    return Err(format!("unclosed group opened at char {at}"));
+                }
+                Ok(Atom::Group(inner))
+            }
+            Some('[') => self.parse_class(at),
+            Some('.') => Ok(Atom::Any),
+            Some('^') => Ok(Atom::Start),
+            Some('$') => Ok(Atom::End),
+            Some('*') | Some('+') | Some('?') => {
+                Err(format!("repetition with nothing to repeat at char {at}"))
+            }
+            Some('\\') => match self.bump() {
+                None => Err("trailing backslash".into()),
+                Some('d') => Ok(Atom::Class {
+                    neg: false,
+                    items: vec![ClassItem::Digit],
+                }),
+                Some('w') => Ok(Atom::Class {
+                    neg: false,
+                    items: vec![ClassItem::Word],
+                }),
+                Some('s') => Ok(Atom::Class {
+                    neg: false,
+                    items: vec![ClassItem::Space],
+                }),
+                Some(c) if c.is_ascii_alphanumeric() => {
+                    Err(format!("unknown escape '\\{c}' at char {at}"))
+                }
+                Some(c) => Ok(Atom::Char(c)),
+            },
+            Some(c) => Ok(Atom::Char(c)),
+        }
+    }
+
+    fn parse_class(&mut self, at: usize) -> Result<Atom, String> {
+        let neg = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            let Some(c) = self.bump() else {
+                return Err(format!("unclosed class opened at char {at}"));
+            };
+            if c == ']' && !items.is_empty() {
+                return Ok(Atom::Class { neg, items });
+            }
+            let lo = if c == '\\' {
+                match self.bump() {
+                    None => return Err(format!("unclosed class opened at char {at}")),
+                    Some('d') => {
+                        items.push(ClassItem::Digit);
+                        continue;
+                    }
+                    Some('w') => {
+                        items.push(ClassItem::Word);
+                        continue;
+                    }
+                    Some('s') => {
+                        items.push(ClassItem::Space);
+                        continue;
+                    }
+                    Some(e) if e.is_ascii_alphanumeric() => {
+                        return Err(format!("unknown escape '\\{e}' in class"));
+                    }
+                    Some(e) => e,
+                }
+            } else {
+                c
+            };
+            // A trailing or leading '-' is a literal; 'a-z' is a range.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let Some(hi) = self.bump() else {
+                    return Err(format!("unclosed class opened at char {at}"));
+                };
+                let hi = if hi == '\\' {
+                    match self.bump() {
+                        Some(e) if !e.is_ascii_alphanumeric() => e,
+                        _ => return Err("bad escape as range end".into()),
+                    }
+                } else {
+                    hi
+                };
+                if hi < lo {
+                    return Err(format!("inverted range '{lo}-{hi}'"));
+                }
+                items.push(ClassItem::Range(lo, hi));
+            } else {
+                items.push(ClassItem::Single(lo));
+            }
+        }
+    }
+}
+
+fn class_match(items: &[ClassItem], c: char) -> bool {
+    items.iter().any(|item| match item {
+        ClassItem::Single(s) => *s == c,
+        ClassItem::Range(lo, hi) => *lo <= c && c <= *hi,
+        ClassItem::Digit => c.is_ascii_digit(),
+        ClassItem::Word => c.is_ascii_alphanumeric() || c == '_',
+        ClassItem::Space => c.is_whitespace(),
+    })
+}
+
+/// Continuation-passing backtracking matcher. Every entry burns one
+/// budget step and one depth level; an exhausted budget or an over-deep
+/// branch fails quietly (a greedy star past the depth cap backtracks to
+/// fewer repetitions).
+fn m_alt(alt: &Alt, text: &[char], pos: usize, ctx: &Ctx, k: &dyn Fn(usize) -> bool) -> bool {
+    alt.arms.iter().any(|arm| m_seq(arm, text, pos, ctx, k))
+}
+
+fn m_seq(seq: &[Piece], text: &[char], pos: usize, ctx: &Ctx, k: &dyn Fn(usize) -> bool) -> bool {
+    if !ctx.enter() {
+        return false;
+    }
+    let r = (|| {
+        let Some((first, rest)) = seq.split_first() else {
+            return k(pos);
+        };
+        let then = move |p: usize| m_seq(rest, text, p, ctx, k);
+        match first.rep {
+            Rep::One => m_atom(&first.atom, text, pos, ctx, &then),
+            Rep::Opt => m_atom(&first.atom, text, pos, ctx, &then) || then(pos),
+            Rep::Star => m_star(&first.atom, text, pos, ctx, &then),
+            Rep::Plus => m_atom(&first.atom, text, pos, ctx, &|p| {
+                m_star(&first.atom, text, p, ctx, &then)
+            }),
+        }
+    })();
+    ctx.leave();
+    r
+}
+
+/// Greedy `atom*` then `k`: consume as many as possible (each iteration
+/// must advance), backtracking into `k` at every boundary.
+fn m_star(atom: &Atom, text: &[char], pos: usize, ctx: &Ctx, k: &dyn Fn(usize) -> bool) -> bool {
+    if !ctx.enter() {
+        return false;
+    }
+    let r = m_atom(atom, text, pos, ctx, &|p| {
+        p > pos && m_star(atom, text, p, ctx, k)
+    }) || k(pos);
+    ctx.leave();
+    r
+}
+
+fn m_atom(atom: &Atom, text: &[char], pos: usize, ctx: &Ctx, k: &dyn Fn(usize) -> bool) -> bool {
+    if !ctx.enter() {
+        return false;
+    }
+    let r = match atom {
+        Atom::Char(c) => text.get(pos) == Some(c) && k(pos + 1),
+        Atom::Any => pos < text.len() && k(pos + 1),
+        Atom::Class { neg, items } => match text.get(pos) {
+            Some(&c) => (class_match(items, c) != *neg) && k(pos + 1),
+            None => false,
+        },
+        Atom::Start => pos == 0 && k(pos),
+        Atom::End => pos == text.len() && k(pos),
+        Atom::Group(alt) => m_alt(alt, text, pos, ctx, k),
+    };
+    ctx.leave();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Rex::compile(pat).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literals_are_substring_searches() {
+        assert!(m("solve", "mpi_solve_x"));
+        assert!(!m("solve", "mpi_slove_x"));
+        assert!(m("", "anything"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^main$", "main"));
+        assert!(!m("^main$", "domain"));
+        assert!(m("^mpi_", "mpi_waitall"));
+        assert!(!m("^mpi_", "pmpi_wait"));
+        assert!(m("\\.c$", "solver.c"));
+        assert!(!m("\\.c$", "solver.cc"));
+    }
+
+    #[test]
+    fn classes_and_reps() {
+        assert!(m("rank_[0-9]+", "rank_042"));
+        assert!(!m("rank_[0-9]+", "rank_"));
+        assert!(m("[^a-z]", "ab9"));
+        assert!(!m("[^a-z0-9]", "ab9"));
+        assert!(m("a.c", "abc"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("\\d\\d", "x42"));
+        assert!(m("\\w+", "_id"));
+        assert!(m("\\s", "a b"));
+        assert!(m("[-x]", "-"), "leading/trailing dash is literal");
+        assert!(m("[x-]", "-"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("mpi_(send|recv)", "mpi_recv"));
+        assert!(!m("mpi_(send|recv)", "mpi_wait"));
+        assert!(m("(ab)+c", "ababc"));
+        assert!(!m("^(ab)+c$", "abac"));
+    }
+
+    #[test]
+    fn malformed_patterns_are_errors() {
+        for bad in [
+            "(", "(a", "a)", "[", "[]", "[z-a]", "*a", "+", "?x", "\\", "\\q", "((((",
+        ] {
+            assert!(Rex::compile(bad).is_err(), "{bad:?} must not compile");
+        }
+        let long = "a".repeat(MAX_PATTERN + 1);
+        assert!(Rex::compile(&long).is_err());
+        let deep = format!("{}a{}", "(".repeat(40), ")".repeat(40));
+        assert!(Rex::compile(&deep).is_err());
+    }
+
+    #[test]
+    fn pathological_backtracking_exhausts_the_budget_quietly() {
+        let r = Rex::compile("(a*)*b").unwrap();
+        let text = "a".repeat(4096);
+        // No panic, no runaway: budget exhausts and reports no match.
+        assert!(!r.is_match(&text));
+    }
+
+    #[test]
+    fn empty_star_does_not_loop() {
+        assert!(m("(a?)*b", "b"));
+        assert!(m("()*x", "x"));
+    }
+
+    #[test]
+    fn unicode_text_is_matched_per_char() {
+        assert!(m("^.é.$", "aéz"));
+        assert!(m("é+", "café"));
+    }
+}

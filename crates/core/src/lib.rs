@@ -77,6 +77,7 @@ pub mod flat;
 pub mod format;
 pub mod hotpath;
 pub mod ids;
+pub mod jsonval;
 pub mod mapped;
 pub mod metrics;
 pub mod names;

@@ -1,419 +1,8 @@
-//! A minimal JSON value tree: enough to parse protocol requests and
-//! write protocol responses, with no external dependencies.
+//! JSON value tree for the protocol surface.
 //!
-//! The parser is the hostile-input half of the protocol surface, so it
-//! is written to *reject*, never to panic: recursion is depth-capped
-//! (a `[[[[…` bomb returns an error instead of overflowing the stack),
-//! numbers must be finite, strings must be valid escapes over valid
-//! UTF-8, and trailing garbage after the top-level value is an error.
+//! The codec itself lives in [`callpath_core::jsonval`] so the analyze
+//! layer can parse `BENCH_*.json` records and emit machine-readable
+//! reports with the same hostile-input-hardened parser; this module
+//! re-exports it under the historical `serve::json` path.
 
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (always finite; the parser rejects overflow).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in source order (duplicate keys: last one wins on
-    /// lookup, all are kept).
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Member of an object by key (last occurrence wins), if this is an
-    /// object that has it.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(members) => members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The string payload, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The boolean payload, if this is a boolean.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload as an exact unsigned integer: the number
-    /// must be a non-negative whole value small enough that `f64`
-    /// stored it losslessly.
-    pub fn as_u64(&self) -> Option<u64> {
-        let n = self.as_f64()?;
-        if n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53) {
-            Some(n as u64)
-        } else {
-            None
-        }
-    }
-
-    /// The array elements, if this is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Serialize into `out`. Stable member order (source/insertion
-    /// order), no whitespace.
-    pub fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(true) => out.push_str("true"),
-            Json::Bool(false) => out.push_str("false"),
-            Json::Num(n) => write_num(*n, out),
-            Json::Str(s) => write_str(s, out),
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, v) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    v.write(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(members) => {
-                out.push('{');
-                for (i, (k, v)) in members.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    write_str(k, out);
-                    out.push(':');
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-
-    /// [`Json::write`] into a fresh string.
-    pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-}
-
-/// Convenience: build an object from `(key, value)` pairs.
-pub fn obj(members: Vec<(&str, Json)>) -> Json {
-    Json::Obj(
-        members
-            .into_iter()
-            .map(|(k, v)| (k.to_owned(), v))
-            .collect(),
-    )
-}
-
-/// Write a number: whole values that round-trip through `f64` print as
-/// integers (session ids, node ids, counts), everything else as the
-/// shortest `{:?}` float form.
-fn write_num(n: f64, out: &mut String) {
-    use std::fmt::Write as _;
-    if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
-        let _ = write!(out, "{}", n as i64);
-    } else {
-        let _ = write!(out, "{n:?}");
-    }
-}
-
-fn write_str(s: &str, out: &mut String) {
-    use std::fmt::Write as _;
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Nesting cap: a request deeper than this is rejected before the
-/// parser's recursion can become a stack problem.
-const MAX_DEPTH: u32 = 64;
-
-/// Parse one complete JSON value; trailing non-whitespace is an error.
-pub fn parse(text: &str) -> Result<Json, String> {
-    let bytes = text.as_bytes();
-    let mut pos = 0usize;
-    let value = parse_value(text, bytes, &mut pos, 0)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(text: &str, bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Json, String> {
-    if depth > MAX_DEPTH {
-        return Err(format!("nesting deeper than {MAX_DEPTH}"));
-    }
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut members = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(members));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) != Some(&b'"') {
-                    return Err(format!("expected object key at byte {pos}", pos = *pos));
-                }
-                let key = parse_string(text, bytes, pos)?;
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}", pos = *pos));
-                }
-                *pos += 1;
-                let value = parse_value(text, bytes, pos, depth + 1)?;
-                members.push((key, value));
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(members));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(text, bytes, pos, depth + 1)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
-                }
-            }
-        }
-        Some(b'"') => Ok(Json::Str(parse_string(text, bytes, pos)?)),
-        Some(b't') if text[*pos..].starts_with("true") => {
-            *pos += 4;
-            Ok(Json::Bool(true))
-        }
-        Some(b'f') if text[*pos..].starts_with("false") => {
-            *pos += 5;
-            Ok(Json::Bool(false))
-        }
-        Some(b'n') if text[*pos..].starts_with("null") => {
-            *pos += 4;
-            Ok(Json::Null)
-        }
-        Some(_) => parse_number(text, bytes, pos),
-    }
-}
-
-fn parse_number(text: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    if bytes.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-    {
-        *pos += 1;
-    }
-    let token = &text[start..*pos];
-    match token.parse::<f64>() {
-        Ok(n) if n.is_finite() => Ok(Json::Num(n)),
-        _ => Err(format!("invalid number '{token}' at byte {start}")),
-    }
-}
-
-fn parse_string(text: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    debug_assert_eq!(bytes[*pos], b'"');
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        let Some(&b) = bytes.get(*pos) else {
-            return Err("unterminated string".into());
-        };
-        match b {
-            b'"' => {
-                *pos += 1;
-                return Ok(out);
-            }
-            b'\\' => {
-                *pos += 1;
-                let Some(&esc) = bytes.get(*pos) else {
-                    return Err("unterminated escape".into());
-                };
-                *pos += 1;
-                match esc {
-                    b'"' => out.push('"'),
-                    b'\\' => out.push('\\'),
-                    b'/' => out.push('/'),
-                    b'n' => out.push('\n'),
-                    b'r' => out.push('\r'),
-                    b't' => out.push('\t'),
-                    b'b' => out.push('\u{8}'),
-                    b'f' => out.push('\u{c}'),
-                    b'u' => {
-                        let hex = text
-                            .get(*pos..*pos + 4)
-                            .ok_or_else(|| "truncated \\u escape".to_owned())?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape '{hex}'"))?;
-                        *pos += 4;
-                        // Surrogates are rejected rather than paired: the
-                        // protocol never needs astral escapes (raw UTF-8
-                        // passes through unescaped).
-                        out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| format!("invalid codepoint \\u{hex}"))?,
-                        );
-                    }
-                    other => return Err(format!("invalid escape '\\{}'", other as char)),
-                }
-            }
-            0x00..=0x1f => return Err("unescaped control byte in string".into()),
-            _ => {
-                // Consume one UTF-8 scalar from the source text.
-                let rest = &text[*pos..];
-                let c = rest.chars().next().ok_or("string spans invalid UTF-8")?;
-                out.push(c);
-                *pos += c.len_utf8();
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn round_trips_the_protocol_shapes() {
-        let v = obj(vec![
-            ("id", Json::Num(7.0)),
-            ("method", Json::Str("open".into())),
-            (
-                "params",
-                obj(vec![("path", Json::Str("/tmp/a \"b\"\n.db".into()))]),
-            ),
-            ("rows", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
-            ("flag", Json::Bool(true)),
-            ("nothing", Json::Null),
-        ]);
-        let text = v.to_json();
-        assert_eq!(parse(&text).unwrap(), v);
-    }
-
-    #[test]
-    fn integers_print_without_a_fraction() {
-        assert_eq!(Json::Num(42.0).to_json(), "42");
-        assert_eq!(Json::Num(-3.0).to_json(), "-3");
-        assert_eq!(Json::Num(0.5).to_json(), "0.5");
-    }
-
-    #[test]
-    fn rejects_truncated_input() {
-        for bad in [
-            "", "{", "{\"a\"", "{\"a\":", "{\"a\":1", "[1,", "\"abc", "\"abc\\", "\"a\\u12", "tru",
-            "-",
-        ] {
-            assert!(parse(bad).is_err(), "{bad:?} must not parse");
-        }
-    }
-
-    #[test]
-    fn rejects_trailing_garbage_and_bad_tokens() {
-        assert!(parse("{} x").is_err());
-        assert!(parse("1 2").is_err());
-        assert!(parse("NaN").is_err());
-        assert!(parse("Infinity").is_err());
-        assert!(parse("1e999").is_err(), "overflow to inf is rejected");
-        assert!(parse("{'a':1}").is_err(), "single quotes are not JSON");
-    }
-
-    #[test]
-    fn depth_bomb_is_an_error_not_a_stack_overflow() {
-        let bomb = "[".repeat(100_000);
-        assert!(parse(&bomb).is_err());
-        let deep_ok = format!("{}1{}", "[".repeat(60), "]".repeat(60));
-        assert!(parse(&deep_ok).is_ok());
-    }
-
-    #[test]
-    fn escapes_decode() {
-        assert_eq!(
-            parse(r#""a\n\t\"\\A""#).unwrap(),
-            Json::Str("a\n\t\"\\A".into())
-        );
-        assert!(parse(r#""\ud800""#).is_err(), "lone surrogate rejected");
-        assert!(parse("\"a\u{1}b\"").is_err(), "raw control byte rejected");
-    }
-
-    #[test]
-    fn object_lookup_takes_the_last_duplicate() {
-        let v = parse(r#"{"a":1,"a":2}"#).unwrap();
-        assert_eq!(v.get("a").and_then(Json::as_u64), Some(2));
-        assert_eq!(v.get("b"), None);
-    }
-
-    #[test]
-    fn as_u64_requires_an_exact_nonnegative_whole() {
-        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
-        assert_eq!(parse("-1").unwrap().as_u64(), None);
-        assert_eq!(parse("1.5").unwrap().as_u64(), None);
-        assert_eq!(parse("1e300").unwrap().as_u64(), None);
-    }
-}
+pub use callpath_core::jsonval::*;

@@ -283,6 +283,12 @@ impl Engine {
             Request::Unflatten { session } => self.command(session, Command::Unflatten),
             Request::Find { session, needle } => self.command(session, Command::Find(needle)),
             Request::EnsembleStats { path, top } => self.do_ensemble_stats(&path, top),
+            Request::Analyze {
+                path,
+                query,
+                score,
+                top,
+            } => self.do_analyze(&path, &query, score.as_deref(), top),
             Request::Stats => Ok(self.stats_result()),
             Request::Ping => Ok(obj(vec![("pong", Json::Bool(true))])),
             Request::Shutdown => {
@@ -346,6 +352,27 @@ impl Engine {
             ),
             ("outliers", Json::Arr(outliers)),
         ]))
+    }
+
+    /// Run an analysis query against the (cached) experiment for
+    /// `path`. A `.cpens` ensemble works unchanged — it is a valid
+    /// v2.1 database, so the query sees its stat columns. Query text
+    /// errors (bad syntax, unknown columns) come back as `command`
+    /// errors; only the file open itself is an `open` error.
+    fn do_analyze(
+        &self,
+        path: &str,
+        query: &str,
+        score: Option<&str>,
+        top: u32,
+    ) -> Result<Json, RequestError> {
+        let exp = self
+            .load_experiment(path)
+            .map_err(|e| RequestError::new("open", e))?;
+        let report = callpath_analyze::run_query(&exp, query, score, top as usize, 1)
+            .map_err(|e| RequestError::new("command", e))?;
+        obs::count("serve.analyze", 1);
+        Ok(report.to_json())
     }
 
     fn do_open(&self, path: &str) -> Result<Json, RequestError> {

@@ -152,6 +152,19 @@ pub enum Request {
         /// How many outlier runs to return (bounded at 1000).
         top: u32,
     },
+    /// Evaluate an analysis query (the `callpath-analyze` predicate
+    /// language) over a database and return the matching call paths.
+    /// Only the columns the query names are faulted.
+    Analyze {
+        /// Filesystem path of the database (v2.1 or `.cpens`).
+        path: String,
+        /// Query text, e.g. `proc ~ "^MPI_" and incl("cycles") > 5%`.
+        query: String,
+        /// Optional exact score column name (defaults to the first).
+        score: Option<String>,
+        /// How many hits to return (bounded at 1000).
+        top: u32,
+    },
     /// Server statistics (sessions, requests, latency quantiles).
     Stats,
     /// Liveness probe.
@@ -319,6 +332,56 @@ fn validate(value: &Json) -> Result<Request, RequestError> {
                 }
             };
             Ok(Request::EnsembleStats { path, top })
+        }
+        "analyze" => {
+            let path = params
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or_else(|| RequestError::invalid("missing string field 'path'"))?
+                .to_owned();
+            let query = params
+                .get("query")
+                .and_then(Json::as_str)
+                .ok_or_else(|| RequestError::invalid("missing string field 'query'"))?
+                .to_owned();
+            // The size bound is enforced here, before the text ever
+            // reaches the query parser: an oversized predicate is a
+            // protocol-level rejection, not a query error.
+            if query.len() > callpath_analyze::query::MAX_QUERY {
+                return Err(RequestError::invalid(format!(
+                    "oversized predicate ({} bytes, max {})",
+                    query.len(),
+                    callpath_analyze::query::MAX_QUERY
+                )));
+            }
+            let score = match params.get("score") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| RequestError::invalid("'score' must be a string"))?
+                        .to_owned(),
+                ),
+            };
+            let top = match params.get("top") {
+                None => 20,
+                Some(v) => {
+                    let t = v
+                        .as_u64()
+                        .ok_or_else(|| RequestError::invalid("'top' must be an integer"))?;
+                    u32::try_from(t)
+                        .ok()
+                        .filter(|t| *t <= 1000)
+                        .ok_or_else(|| {
+                            RequestError::invalid(format!("top {t} out of range (max 1000)"))
+                        })?
+                }
+            };
+            Ok(Request::Analyze {
+                path,
+                query,
+                score,
+                top,
+            })
         }
         "stats" => Ok(Request::Stats),
         "ping" => Ok(Request::Ping),

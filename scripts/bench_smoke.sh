@@ -27,7 +27,11 @@
 #    workers, .cpens cold open + first sorted cross-run stats render
 #    under a single-digit-ms gate, directory-only outlier scoring)
 #    -> BENCH_ensemble.json at the repo root, same hard-budget
-#    treatment.
+#    treatment;
+#  * the analysis path (cold-open + sorted query over a 200k-context
+#    v2.1 database at 1/2/4/8 threads with exact lazy-fault counts,
+#    the waste detector on s3d, the perf gate over the repo's own
+#    records) -> BENCH_analyze.json at the repo root.
 set -eu
 cd "$(dirname "$0")/.."
 cargo test --release --test perf_smoke -- --ignored --nocapture
@@ -37,6 +41,7 @@ timeout 900 cargo test --release --test zero_copy_smoke -- --ignored --nocapture
 timeout 900 cargo test --release --test thread_scaling -- --ignored --nocapture
 timeout 900 cargo test --release --test serve_smoke -- --ignored --nocapture
 timeout 900 cargo test --release --test ensemble_smoke -- --ignored --nocapture
+timeout 900 cargo test --release --test analyze_smoke -- --ignored --nocapture
 rm -f target/obs_overhead_on.json target/obs_overhead_off.json
 cargo test --release --test obs_overhead -- --ignored --nocapture
 cargo test --release --no-default-features --test obs_overhead -- --ignored --nocapture

@@ -31,3 +31,20 @@ cargo test -q --test ensemble_properties
 cargo test -q -p callpath-expdb --features mmap ens::
 cargo test -q -p callpath-expdb ens::
 cargo test -q --no-default-features --features obs --test ensemble_properties
+# The analysis path: query/detector/gate unit tests, the serve
+# `analyze` RPC fuzz (covered by `-p callpath-serve` above), exact
+# lazy-fault accounting with the mmap borrow path on (default) and
+# off, and the query-property file pinned to both degenerate and
+# fanned-out thread counts (its doc comment promises this).
+cargo test -q -p callpath-analyze
+cargo test -q --test analyze_lazy_fault
+cargo test -q --no-default-features --features obs --test analyze_lazy_fault
+CALLPATH_THREADS=1 cargo test -q --test analyze_properties
+CALLPATH_THREADS=4 cargo test -q --test analyze_properties
+# Self-gate: the repo's committed BENCH_*.json trajectory against
+# itself under the committed policy. Zero deltas by construction, so
+# this is deterministic and non-flaky — it exercises the gate's full
+# load/parse/report path, and only a >25% nav/cold-open regression
+# (the policy's hard rules) can ever fail it.
+cargo run -q --bin callpath-analyze -- gate \
+  --baseline . --candidate . --policy scripts/perf_policy.toml

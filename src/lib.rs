@@ -1,4 +1,5 @@
 //! Umbrella crate re-exporting the callpath workspace. See README.md.
+pub use callpath_analyze as analyze;
 pub use callpath_baseline as baseline;
 pub use callpath_core as core;
 pub use callpath_expdb as expdb;

@@ -1,0 +1,148 @@
+//! Golden verdicts: every canned detector, run against the paper's
+//! three workload shapes, renders byte-exact. Pins the detector scores,
+//! status thresholds, evidence paths and the deterministic number
+//! formatting in one place — any change to a detector's arithmetic or
+//! its rendering shows up as a golden diff, not a silent drift.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test analyze_golden
+//! ```
+
+use callpath_analyze::{
+    derived_waste, ensemble_outliers, load_imbalance_with_context, scaling_loss_verdict,
+    ImbalanceConfig, OutlierConfig, ScalingConfig, Status, WasteConfig,
+};
+use callpath_ensemble::RunData;
+use callpath_expdb::ens;
+use callpath_parallel::{run_spmd, SpmdConfig};
+use callpath_profiler::ExecConfig;
+use callpath_workloads::{moab, pflotran, pipeline, s3d};
+use std::path::Path;
+
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} ({e}); run with UPDATE_GOLDENS=1"));
+    assert_eq!(
+        actual, want,
+        "verdict drifted from tests/data/{name}; regenerate with UPDATE_GOLDENS=1 \
+         if the change is intentional"
+    );
+}
+
+/// PFLOTRAN at 64 ranks with the paper's uneven partition: the
+/// imbalance detector must FAIL, blame the heavy ranks, and point its
+/// hot-path evidence at the main timestep loop.
+#[test]
+fn pflotran_imbalance_verdict_is_golden() {
+    const RANKS: usize = 64;
+    let part = pflotran::Partition::default();
+    let scales: Vec<f64> = (0..RANKS).map(|r| part.scale(r, RANKS)).collect();
+    let run = run_spmd(
+        &pflotran::program(),
+        &SpmdConfig::new(scales, ExecConfig::default()),
+    );
+    let series: Vec<f64> = run.rank_cycles.iter().map(|&c| c as f64).collect();
+    let cycles_incl = run
+        .experiment
+        .columns
+        .desc(
+            run.experiment
+                .inclusive_col(run.experiment.raw.find("PAPI_TOT_CYC").unwrap()),
+        )
+        .name
+        .clone();
+    let v = load_imbalance_with_context(
+        &series,
+        "CYCLES across 64 pflotran ranks",
+        &ImbalanceConfig::default(),
+        &run.experiment,
+        &cycles_incl,
+    )
+    .unwrap();
+    // The hot-path evidence must pass the paper's loop at
+    // timestepper.F90:384 (Fig. 7 drill-down).
+    assert!(
+        v.evidence
+            .iter()
+            .any(|e| e.path.iter().any(|l| l.contains("timestepper.F90:384"))),
+        "evidence must cite the timestep loop: {:?}",
+        v.evidence
+    );
+    check_golden("verdict_pflotran_imbalance.golden", &v.render());
+}
+
+/// S3D untuned vs tuned (the paper's 2.9x flux-loop transformation):
+/// the loss the detector attributes must sit in the diffusive flux
+/// computation.
+#[test]
+fn s3d_scaling_verdict_is_golden() {
+    let exec = ExecConfig::default();
+    let base = pipeline::build_experiment(&s3d::program(s3d::S3dConfig::tuned()), &exec);
+    let peer = pipeline::build_experiment(&s3d::program(s3d::S3dConfig::default()), &exec);
+    let v = scaling_loss_verdict(
+        &base,
+        "tuned",
+        &peer,
+        "untuned",
+        "PAPI_TOT_CYC",
+        &ScalingConfig::default(),
+    )
+    .unwrap();
+    assert!(
+        v.evidence.iter().any(|e| !e.path.is_empty()),
+        "scaling loss must carry evidence frames"
+    );
+    check_golden("verdict_s3d_scaling.golden", &v.render());
+}
+
+/// S3D flops vs cycles against a 4 flops/cycle peak: the waste verdict
+/// names the frames leaving the most peak unused.
+#[test]
+fn s3d_waste_verdict_is_golden() {
+    let exp = pipeline::build_experiment(
+        &s3d::program(s3d::S3dConfig::default()),
+        &ExecConfig::default(),
+    );
+    let v = derived_waste(&exp, "PAPI_TOT_CYC", "PAPI_FP_OPS", &WasteConfig::default()).unwrap();
+    check_golden("verdict_s3d_waste.golden", &v.render());
+}
+
+/// Eight MOAB runs, one with its work inflated 5x: the ensemble
+/// outlier detector must flag exactly that run from the directory
+/// alone. (Eight runs, not four: the largest z-score one outlier can
+/// reach among n runs is `(n-1)/sqrt(n)`, so n must be at least 7 for
+/// the default `z_warn = 2` to be attainable at all.)
+#[test]
+fn moab_outliers_verdict_is_golden() {
+    let program = moab::program();
+    let mut runs = Vec::new();
+    for r in 0..8 {
+        let exec = ExecConfig {
+            work_scale: if r == 2 { 5.0 } else { 1.0 },
+            ..ExecConfig::default()
+        };
+        let exp = pipeline::build_experiment(&program, &exec);
+        runs.push(RunData::from_experiment(format!("moab-{r}"), &exp));
+    }
+    let bytes = callpath_ensemble::build(&runs, 1).to_bytes();
+    let dir = ens::read_directory(&bytes).unwrap();
+    let v = ensemble_outliers(&dir, &OutlierConfig::default());
+    assert!(
+        v.evidence
+            .iter()
+            .any(|e| e.path == vec!["moab-2".to_owned()]),
+        "the inflated run must be the cited outlier: {:?}",
+        v.evidence
+    );
+    assert_ne!(v.status, Status::Pass, "an inflated run must at least warn");
+    check_golden("verdict_moab_outliers.golden", &v.render());
+}

@@ -156,6 +156,31 @@ fn ensemble_thousand_runs() {
         cfg.n_runs
     );
 
+    // --- Cold open + sorted analysis query: exact fault accounting.
+    // The query names two stat columns and scores by one of them; on a
+    // 1,000-run ensemble (thousands of stored columns) exactly those
+    // two may fault, and the raw per-run blocks must stay untouched.
+    let mut query_faulted = usize::MAX;
+    let analyze_query_ms = min_ms(OPEN_ITERS, || {
+        let e = ens::open(&db_path).unwrap();
+        let base = &e.dir.metric_names[0];
+        let mean = format!("{base} mean (I)");
+        let query = format!(r#"col("{mean}") > 0 and col("{base} stddev (I)") >= 0"#);
+        let report = callpath_analyze::run_query(&e.exp, &query, Some(&mean), 10, 1).unwrap();
+        assert!(report.matched > 0, "query must match contexts");
+        query_faulted = e.exp.columns.materialized_columns();
+        assert_eq!(
+            query_faulted, 2,
+            "a sorted query over the ensemble must fault exactly the two \
+             named stat columns"
+        );
+        assert_eq!(
+            e.exp.raw.materialized_metrics(),
+            0,
+            "query evaluation must not touch raw per-run blocks"
+        );
+    });
+
     // --- Outlier scoring from the directory alone. ----------------
     let mut top_run = usize::MAX;
     let outlier_ms = min_ms(OPEN_ITERS, || {
@@ -184,6 +209,8 @@ fn ensemble_thousand_runs() {
             "  \"cold_open_sorted_stats_render_ms\": {:.3},\n",
             "  \"open_render_gate_ms\": {:.1},\n",
             "  \"columns_faulted_by_stats_view\": {},\n",
+            "  \"analyze_query_ms\": {:.3},\n",
+            "  \"columns_faulted_by_analyze_query\": {},\n",
             "  \"outlier_scoring_ms\": {:.3},\n",
             "  \"top_outlier_run\": {}\n",
             "}}\n"
@@ -202,6 +229,8 @@ fn ensemble_thousand_runs() {
         open_render_ms,
         OPEN_RENDER_GATE_MS,
         faulted,
+        analyze_query_ms,
+        query_faulted,
         outlier_ms,
         top_run,
     );
